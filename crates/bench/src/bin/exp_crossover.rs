@@ -1,0 +1,56 @@
+//! E5 — LBT vs FZF crossover: who wins where, by what factor. LBT's
+//! simplicity gives it better constants when `c` is small; FZF's worst-case
+//! guarantee takes over as concurrency (and with it LBT's candidate sets)
+//! grows.
+
+use kav_bench::{header, median_time, ms, row};
+use kav_core::{Fzf, Lbt, Verifier};
+use kav_workloads::{random_k_atomic, staircase, RandomHistoryConfig};
+
+fn main() {
+    println!("## E5: LBT vs FZF crossover\n");
+    println!("### fixed n = 8000, concurrency sweep (spread knob)\n");
+    header(&["spread", "c", "lbt ms", "fzf ms", "lbt/fzf"]);
+    for spread in [0, 1, 2, 4, 8, 16, 32] {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops: 8_000,
+            k: 2,
+            spread,
+            seed: 9,
+            ..Default::default()
+        });
+        let lbt = Lbt::new();
+        let d_lbt = median_time(5, || {
+            assert!(lbt.verify(&h).is_k_atomic());
+        });
+        let d_fzf = median_time(5, || {
+            assert!(Fzf.verify(&h).is_k_atomic());
+        });
+        row(&[
+            spread.to_string(),
+            h.max_concurrent_writes().to_string(),
+            ms(d_lbt),
+            ms(d_fzf),
+            format!("{:.2}", d_lbt.as_secs_f64() / d_fzf.as_secs_f64()),
+        ]);
+    }
+
+    println!("\n### adversarial staircase (c = n/2)\n");
+    header(&["steps", "lbt ms", "fzf ms", "lbt/fzf"]);
+    for steps in [250, 500, 1_000, 2_000] {
+        let h = staircase(steps);
+        let lbt = Lbt::new();
+        let d_lbt = median_time(3, || {
+            assert!(lbt.verify(&h).is_k_atomic());
+        });
+        let d_fzf = median_time(3, || {
+            assert!(Fzf.verify(&h).is_k_atomic());
+        });
+        row(&[
+            steps.to_string(),
+            ms(d_lbt),
+            ms(d_fzf),
+            format!("{:.2}", d_lbt.as_secs_f64() / d_fzf.as_secs_f64()),
+        ]);
+    }
+}

@@ -1,0 +1,58 @@
+//! E4 — FZF is `O(n log n)` on *every* input family (Theorem 4.6):
+//! practical mixes and the staircase that breaks LBT alike.
+
+use kav_bench::{header, log_log_slope, median_time, ms, row};
+use kav_core::{Fzf, Verifier};
+use kav_workloads::{random_k_atomic, staircase, RandomHistoryConfig};
+
+fn main() {
+    println!("## E4: FZF scaling (quasilinear everywhere expected)\n");
+    header(&["workload", "n", "median ms", "us/op", "chunks"]);
+
+    let mut points = Vec::new();
+    for ops in [1_000, 2_000, 4_000, 8_000, 16_000, 32_000] {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops,
+            k: 2,
+            spread: 3,
+            seed: 42,
+            ..Default::default()
+        });
+        let d = median_time(5, || {
+            assert!(Fzf.verify(&h).is_k_atomic());
+        });
+        let (_, report) = Fzf.verify_detailed(&h);
+        points.push((ops as f64, d.as_secs_f64().max(1e-9)));
+        row(&[
+            "random k=2".into(),
+            ops.to_string(),
+            ms(d),
+            format!("{:.3}", d.as_secs_f64() * 1e6 / ops as f64),
+            report.chunks.to_string(),
+        ]);
+    }
+    let random_slope = log_log_slope(&points);
+
+    let mut stair_points = Vec::new();
+    for steps in [500, 1_000, 2_000, 4_000, 8_000, 16_000] {
+        let h = staircase(steps);
+        let d = median_time(5, || {
+            assert!(Fzf.verify(&h).is_k_atomic());
+        });
+        let (_, report) = Fzf.verify_detailed(&h);
+        stair_points.push((steps as f64, d.as_secs_f64().max(1e-9)));
+        row(&[
+            "staircase".into(),
+            h.len().to_string(),
+            ms(d),
+            format!("{:.3}", d.as_secs_f64() * 1e6 / h.len() as f64),
+            report.chunks.to_string(),
+        ]);
+    }
+
+    println!(
+        "\nlog-log slopes: random {:.2}, staircase {:.2} (both quasilinear ~ 1)",
+        random_slope,
+        log_log_slope(&stair_points),
+    );
+}

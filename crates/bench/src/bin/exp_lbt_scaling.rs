@@ -1,0 +1,68 @@
+//! E2 — LBT on practical histories (Theorem 3.2, "likely quasilinear in
+//! practice"): runtime vs n at small, fixed concurrency, on both synthetic
+//! k-atomic mixes and simulated strict-quorum histories.
+
+use kav_bench::{header, log_log_slope, median_time, ms, row};
+use kav_core::{Lbt, Verifier};
+use kav_sim::{SimConfig, Simulation};
+use kav_workloads::{random_k_atomic, RandomHistoryConfig};
+
+fn main() {
+    println!("## E2: LBT scaling on practical histories (quasilinear expected)\n");
+    header(&["workload", "n", "c", "median ms", "us/op"]);
+
+    let mut synth_points = Vec::new();
+    for ops in [1_000, 2_000, 4_000, 8_000, 16_000, 32_000] {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops,
+            k: 2,
+            spread: 3,
+            seed: 42,
+            ..Default::default()
+        });
+        let lbt = Lbt::new();
+        let d = median_time(5, || {
+            assert!(lbt.verify(&h).is_k_atomic());
+        });
+        synth_points.push((ops as f64, d.as_secs_f64().max(1e-9)));
+        row(&[
+            "random k=2".into(),
+            ops.to_string(),
+            h.max_concurrent_writes().to_string(),
+            ms(d),
+            format!("{:.3}", d.as_secs_f64() * 1e6 / ops as f64),
+        ]);
+    }
+
+    for clients in [4, 8] {
+        for total_ops in [2_000, 8_000] {
+            let output = Simulation::new(SimConfig {
+                clients,
+                ops_per_client: total_ops / clients,
+                seed: 7,
+                ..SimConfig::default()
+            })
+            .expect("valid config")
+            .run();
+            for (key, raw) in output.histories {
+                let h = raw.into_history().expect("sim output validates");
+                let lbt = Lbt::new();
+                let d = median_time(5, || {
+                    assert!(lbt.verify(&h).is_k_atomic());
+                });
+                row(&[
+                    format!("sim N=3 R=W=2 clients={clients} key={key}"),
+                    h.len().to_string(),
+                    h.max_concurrent_writes().to_string(),
+                    ms(d),
+                    format!("{:.3}", d.as_secs_f64() * 1e6 / h.len() as f64),
+                ]);
+            }
+        }
+    }
+
+    println!(
+        "\nempirical log-log slope on random k=2 series: {:.2} (quasilinear ~ 1)",
+        log_log_slope(&synth_points)
+    );
+}

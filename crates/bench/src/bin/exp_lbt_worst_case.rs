@@ -1,0 +1,65 @@
+//! E3 — LBT on the adversarial staircase (`c = Θ(n)`): the `O(c·n)` term
+//! of Theorem 3.2 is tight. The default (increasing-finish) candidate
+//! order also does `Θ(n²)` candidate *trials*; the decreasing order needs
+//! only one trial per epoch yet remains `Θ(c·n)` overall because
+//! identifying the candidate set costs `O(c)` per epoch — the same charge
+//! the paper's own analysis makes for line 3 of Figure 2.
+
+use kav_bench::{header, log_log_slope, median_time, ms, row};
+use kav_core::{CandidateOrder, Lbt, LbtConfig, SearchStrategy, Verifier};
+use kav_workloads::staircase;
+
+fn main() {
+    println!("## E3: LBT worst case on the staircase (quadratic expected)\n");
+    header(&[
+        "steps m",
+        "n",
+        "increasing ms",
+        "candidates tried",
+        "decreasing ms",
+        "candidates tried",
+    ]);
+
+    let inc = Lbt::with_config(LbtConfig {
+        strategy: SearchStrategy::IterativeDeepening,
+        candidate_order: CandidateOrder::IncreasingFinish,
+    });
+    let dec = Lbt::with_config(LbtConfig {
+        strategy: SearchStrategy::IterativeDeepening,
+        candidate_order: CandidateOrder::DecreasingFinish,
+    });
+
+    let mut inc_points = Vec::new();
+    let mut dec_points = Vec::new();
+    for steps in [125, 250, 500, 1_000, 2_000] {
+        let h = staircase(steps);
+        let d_inc = median_time(3, || {
+            assert!(inc.verify(&h).is_k_atomic());
+        });
+        let (_, rep_inc) = inc.verify_detailed(&h);
+        let d_dec = median_time(3, || {
+            assert!(dec.verify(&h).is_k_atomic());
+        });
+        let (_, rep_dec) = dec.verify_detailed(&h);
+        inc_points.push((steps as f64, d_inc.as_secs_f64().max(1e-9)));
+        dec_points.push((steps as f64, d_dec.as_secs_f64().max(1e-9)));
+        row(&[
+            steps.to_string(),
+            h.len().to_string(),
+            ms(d_inc),
+            rep_inc.candidates_tried.to_string(),
+            ms(d_dec),
+            rep_dec.candidates_tried.to_string(),
+        ]);
+    }
+
+    println!(
+        "\nlog-log time slopes: increasing-finish {:.2}, decreasing-finish {:.2}",
+        log_log_slope(&inc_points),
+        log_log_slope(&dec_points),
+    );
+    println!(
+        "(candidate trials: quadratic vs linear; both times are Theta(c*n) = Theta(n^2) here,\n\
+         since identifying C costs O(c) per epoch — the paper's own charging of Fig. 2 line 3)"
+    );
+}

@@ -1,0 +1,49 @@
+//! E9 — the solved `k = 1` baseline: the GK zone test agrees with the
+//! exhaustive oracle and costs less than the 2-AV verifiers on the same
+//! histories.
+
+use kav_bench::{header, median_time, ms, row};
+use kav_core::{ExhaustiveSearch, Fzf, GkOneAv, Lbt, Verifier};
+use kav_workloads::{random_k_atomic, RandomHistoryConfig};
+
+fn main() {
+    println!("## E9: 1-AV baseline (GK zones)\n");
+    println!("### agreement with the exhaustive oracle (n = 12, 60 seeds)\n");
+    let mut agree = 0;
+    let total = 60;
+    for seed in 0..total {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops: 12,
+            k: if seed % 2 == 0 { 1 } else { 2 },
+            seed,
+            ..Default::default()
+        });
+        let gk = GkOneAv.verify(&h).is_k_atomic();
+        let oracle = ExhaustiveSearch::new(1).verify(&h).is_k_atomic();
+        agree += usize::from(gk == oracle);
+    }
+    println!("GK vs oracle agreement: {agree}/{total}\n");
+
+    println!("### relative cost on identical k=1 histories\n");
+    header(&["n", "gk ms", "lbt ms", "fzf ms"]);
+    for ops in [2_000, 8_000, 32_000] {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops,
+            k: 1,
+            spread: 2,
+            seed: 11,
+            ..Default::default()
+        });
+        let d_gk = median_time(5, || {
+            assert!(GkOneAv.verify(&h).is_k_atomic());
+        });
+        let lbt = Lbt::new();
+        let d_lbt = median_time(5, || {
+            assert!(lbt.verify(&h).is_k_atomic());
+        });
+        let d_fzf = median_time(5, || {
+            assert!(Fzf.verify(&h).is_k_atomic());
+        });
+        row(&[ops.to_string(), ms(d_gk), ms(d_lbt), ms(d_fzf)]);
+    }
+}

@@ -1,0 +1,77 @@
+//! E8 — the paper's motivation, measured: smallest k per key as a function
+//! of the quorum configuration. Strict quorums (`R + W > N`) stay within
+//! k ≤ 2 (new/old inversion only); sloppy quorums and replica lag push k
+//! higher — the "tuning knob" a storage operator could turn back (§I).
+
+use kav_bench::{header, row};
+use kav_core::{smallest_k, Staleness};
+use kav_sim::{LatencyModel, SimConfig, Simulation};
+
+fn main() {
+    println!("## E8: smallest k vs quorum configuration\n");
+    header(&[
+        "N", "R", "W", "lag us", "keys@k=1", "keys@k=2", "keys@k>=3", "max k",
+    ]);
+
+    let cases: Vec<(usize, usize, usize, (u64, u64))> = vec![
+        (3, 2, 2, (0, 0)),
+        (3, 2, 2, (2_000, 30_000)),
+        (3, 1, 3, (0, 0)),
+        (3, 3, 1, (0, 0)),
+        (3, 1, 1, (0, 0)),
+        (3, 1, 1, (2_000, 30_000)),
+        (5, 2, 2, (0, 0)),
+        (5, 1, 1, (2_000, 30_000)),
+        (7, 1, 1, (5_000, 60_000)),
+    ];
+
+    for (n, r, w, lag) in cases {
+        let mut at_1 = 0usize;
+        let mut at_2 = 0usize;
+        let mut at_3plus = 0usize;
+        let mut max_k = 1u64;
+        for seed in 0..6 {
+            let output = Simulation::new(SimConfig {
+                replicas: n,
+                read_quorum: r,
+                write_quorum: w,
+                clients: 6,
+                ops_per_client: 30,
+                keys: 2,
+                apply_lag: if lag == (0, 0) {
+                    LatencyModel::Fixed(0)
+                } else {
+                    LatencyModel::Uniform { lo: lag.0, hi: lag.1 }
+                },
+                seed,
+                ..SimConfig::default()
+            })
+            .expect("valid config")
+            .run();
+            for (_, raw) in output.histories {
+                let h = raw.into_history().expect("sim output validates");
+                let k = match smallest_k(&h, Some(500_000)) {
+                    Staleness::Exact(k) => k,
+                    Staleness::AtLeast(k) => k,
+                };
+                max_k = max_k.max(k);
+                match k {
+                    1 => at_1 += 1,
+                    2 => at_2 += 1,
+                    _ => at_3plus += 1,
+                }
+            }
+        }
+        row(&[
+            n.to_string(),
+            r.to_string(),
+            w.to_string(),
+            format!("{}..{}", lag.0, lag.1),
+            at_1.to_string(),
+            at_2.to_string(),
+            at_3plus.to_string(),
+            max_k.to_string(),
+        ]);
+    }
+    println!("\n(strict quorums R+W>N should stay within k<=2; sloppy + lag should not)");
+}

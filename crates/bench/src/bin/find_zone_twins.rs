@@ -1,0 +1,58 @@
+//! Search tool: find two histories with identical zone sets but different
+//! 2-AV verdicts (the §IV-A motivation for FZF analysing more than zones).
+
+use kav_core::{Fzf, Verifier};
+use kav_history::{clusters, zones, Operation, RawHistory, Time, Value, ZoneKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Zone multiset signature -> (2-AV verdict, example history).
+type Buckets = HashMap<Vec<(ZoneKind, u64, u64)>, (bool, RawHistory)>;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0),
+    );
+    let mut buckets: Buckets = HashMap::new();
+    for trial in 0..3_000_000u64 {
+        let num_writes = rng.gen_range(2..=4);
+        let num_reads = rng.gen_range(1..=4);
+        let mut raw = RawHistory::new();
+        for v in 0..num_writes {
+            let s = rng.gen_range(0..20u64);
+            let f = s + rng.gen_range(1..20u64);
+            raw.push(Operation::write(Value(v + 1), Time(s), Time(f)));
+        }
+        for _ in 0..num_reads {
+            let w = rng.gen_range(0..num_writes) as usize;
+            let ws = raw.ops[w].start.as_u64();
+            let s = ws + rng.gen_range(0..25u64);
+            let f = s + rng.gen_range(1..20u64);
+            raw.push(Operation::read(raw.ops[w].value, Time(s), Time(f)));
+        }
+        raw.make_endpoints_distinct();
+        let Ok(h) = raw.clone().into_history() else { continue };
+        let cs = clusters(&h);
+        let mut sig: Vec<(ZoneKind, u64, u64)> = zones(&h, &cs)
+            .iter()
+            .map(|z| (z.kind(), z.low().as_u64(), z.high().as_u64()))
+            .collect();
+        sig.sort_unstable();
+        let verdict = Fzf.verify(&h).is_k_atomic();
+        match buckets.get(&sig) {
+            None => {
+                buckets.insert(sig, (verdict, h.to_raw()));
+            }
+            Some((prev, prev_raw)) if *prev != verdict => {
+                println!("FOUND at trial {trial}");
+                println!("zones: {sig:?}");
+                println!("history A (2-atomic = {prev}): {prev_raw:?}");
+                println!("history B (2-atomic = {verdict}): {:?}", h.to_raw());
+                return;
+            }
+            _ => {}
+        }
+    }
+    println!("no twins found; buckets: {}", buckets.len());
+}

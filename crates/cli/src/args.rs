@@ -1,0 +1,162 @@
+//! A minimal `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parsed arguments: positionals plus `--key value` options.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// A malformed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ArgError {}
+
+/// Boolean flags (take no value) recognised by any subcommand.
+const BOOLEAN_FLAGS: &[&str] = &["witness", "help"];
+
+impl Args {
+    /// Parses raw arguments. `--name value` becomes an option, bare words
+    /// become positionals, and `--witness`/`--help` are boolean flags.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(word) = iter.next() {
+            if let Some(name) = word.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    args.flags.push(name.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                    if args.options.insert(name.to_string(), value).is_some() {
+                        return Err(ArgError(format!("--{name} given twice")));
+                    }
+                }
+            } else {
+                args.positionals.push(word);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    pub fn num_positionals(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// Raw value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// True if the boolean flag `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Parses `--name` as type `T`, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArgError`] naming the option if its value fails to
+    /// parse.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Parses `--name lo:hi` as an inclusive range, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArgError`] when the value is not `lo:hi` with integer
+    /// bounds.
+    pub fn get_range(&self, name: &str, default: (u64, u64)) -> Result<(u64, u64), ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                let (lo, hi) = v
+                    .split_once(':')
+                    .ok_or_else(|| ArgError(format!("--{name}: expected lo:hi, got {v:?}")))?;
+                let lo = lo
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{name}: bad lower bound {lo:?}")))?;
+                let hi = hi
+                    .parse()
+                    .map_err(|_| ArgError(format!("--{name}: bad upper bound {hi:?}")))?;
+                Ok((lo, hi))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn mixes_positionals_options_and_flags() {
+        let args = parse(&["verify", "--k", "2", "history.json", "--witness"]).unwrap();
+        assert_eq!(args.positional(0), Some("verify"));
+        assert_eq!(args.positional(1), Some("history.json"));
+        assert_eq!(args.num_positionals(), 2);
+        assert_eq!(args.get("k"), Some("2"));
+        assert!(args.flag("witness"));
+        assert!(!args.flag("help"));
+    }
+
+    #[test]
+    fn typed_access_with_defaults() {
+        let args = parse(&["--n", "500"]).unwrap();
+        assert_eq!(args.get_parsed("n", 0usize).unwrap(), 500);
+        assert_eq!(args.get_parsed("seed", 7u64).unwrap(), 7);
+        assert!(args.get_parsed::<usize>("n", 0).is_ok());
+        let bad = parse(&["--n", "abc"]).unwrap();
+        assert!(bad.get_parsed::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn ranges() {
+        let args = parse(&["--lag", "100:900"]).unwrap();
+        assert_eq!(args.get_range("lag", (0, 0)).unwrap(), (100, 900));
+        assert_eq!(args.get_range("net", (5, 7)).unwrap(), (5, 7));
+        let bad = parse(&["--lag", "100"]).unwrap();
+        assert!(bad.get_range("lag", (0, 0)).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(parse(&["--k"]).is_err());
+        assert!(parse(&["--k", "1", "--k", "2"]).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Subcommand implementations for the `kav` binary.
+
+use crate::args::{ArgError, Args};
+use kav_core::{
+    check_witness, diagnose, smallest_k, ExhaustiveSearch, Fzf, GkOneAv, Lbt, Staleness, Verdict,
+    Verifier,
+};
+use kav_history::{csv, json, render_timeline, repair, History, HistoryStats, RawHistory};
+use kav_sim::{LatencyModel, SimConfig, Simulation};
+use kav_weighted::{reduce_bin_packing, BinPacking};
+use kav_workloads as workloads;
+use std::error::Error;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+pub fn usage() -> &'static str {
+    "kav — k-atomicity verification toolbox\n\
+     \n\
+     USAGE:\n\
+     \x20 kav verify --k <1|2|N> [--algo gk|lbt|fzf|search] [--witness] <history.json>\n\
+     \x20 kav smallest-k [--budget <nodes>] <history.json>\n\
+     \x20 kav stats <history.json>\n\
+     \x20 kav diagnose [--budget <nodes>] <history.json>\n\
+     \x20 kav render [--width <cols>] <history.json>\n\
+     \x20 kav repair <dirty.json> --out <clean.json>\n\
+     \x20 kav gen --workload <staircase|serial|ladder|random|figure3>\n\
+     \x20        [--n <ops>] [--k <bound>] [--seed <s>] [--spread <w>] [--out <file>]\n\
+     \x20 kav sim [--replicas N] [--read-quorum R] [--write-quorum W] [--fanout F]\n\
+     \x20        [--clients C] [--ops N] [--keys K] [--lag lo:hi] [--net lo:hi]\n\
+     \x20        [--drop p] [--seed s] [--budget nodes] [--out-prefix path]\n\
+     \x20 kav reduce --sizes 3,2,2 --bins 2 --capacity 5 [--out <file>] [--decide true]\n"
+}
+
+/// Reads a raw history, dispatching on the file extension (.csv or JSON).
+fn load_raw(path: &str) -> Result<RawHistory, Box<dyn Error>> {
+    if path.ends_with(".csv") {
+        Ok(csv::read_history(path)?)
+    } else {
+        Ok(json::read_history(path)?)
+    }
+}
+
+fn load(args: &Args, position: usize) -> Result<History, Box<dyn Error>> {
+    let path = args
+        .positional(position)
+        .ok_or_else(|| ArgError("missing history file argument".into()))?;
+    Ok(load_raw(path)?.into_history()?)
+}
+
+/// `kav verify` — decide k-atomicity with a chosen algorithm.
+pub fn verify(args: &Args) -> CmdResult {
+    let k: u64 = args.get_parsed("k", 2)?;
+    let history = load(args, 1)?;
+    let algo = args.get("algo").unwrap_or(match k {
+        1 => "gk",
+        2 => "fzf",
+        _ => "search",
+    });
+    let verdict = match (algo, k) {
+        ("gk", 1) => GkOneAv.verify(&history),
+        ("lbt", 2) => Lbt::new().verify(&history),
+        ("fzf", 2) => Fzf.verify(&history),
+        ("search", _) => {
+            let budget: u64 = args.get_parsed("budget", 10_000_000u64)?;
+            ExhaustiveSearch::with_node_budget(k, budget).verify(&history)
+        }
+        (a, k) => {
+            return Err(ArgError(format!("algorithm {a:?} cannot decide k = {k}")).into());
+        }
+    };
+    match &verdict {
+        Verdict::KAtomic { witness } => {
+            check_witness(&history, witness, k)?;
+            println!("YES: history is {k}-atomic ({algo}, witness checked)");
+            if args.flag("witness") {
+                let ids: Vec<String> =
+                    witness.iter().map(|id| history.op(*id).to_string()).collect();
+                println!("witness order:\n  {}", ids.join("\n  "));
+            }
+        }
+        Verdict::NotKAtomic => println!("NO: history is not {k}-atomic ({algo})"),
+        Verdict::Inconclusive => println!("UNKNOWN: search budget exhausted ({algo})"),
+    }
+    Ok(())
+}
+
+/// `kav smallest-k` — the §II-B exact staleness bound.
+pub fn smallest_k_cmd(args: &Args) -> CmdResult {
+    let history = load(args, 1)?;
+    let budget: u64 = args.get_parsed("budget", 10_000_000u64)?;
+    match smallest_k(&history, Some(budget)) {
+        Staleness::Exact(k) => println!("smallest k = {k}"),
+        Staleness::AtLeast(k) => println!("smallest k >= {k} (budget exhausted)"),
+    }
+    Ok(())
+}
+
+/// `kav stats` — the census of a history.
+pub fn stats(args: &Args) -> CmdResult {
+    let history = load(args, 1)?;
+    println!("{}", HistoryStats::of(&history));
+    Ok(())
+}
+
+fn emit(raw: &RawHistory, args: &Args) -> CmdResult {
+    match args.get("out") {
+        Some(path) if path.ends_with(".csv") => {
+            csv::write_history(path, raw)?;
+            println!("wrote {} operations to {path}", raw.len());
+        }
+        Some(path) => {
+            json::write_history(path, raw)?;
+            println!("wrote {} operations to {path}", raw.len());
+        }
+        None => println!("{}", json::to_json_string(raw)),
+    }
+    Ok(())
+}
+
+/// `kav render` — ASCII timeline of a history.
+pub fn render(args: &Args) -> CmdResult {
+    let history = load(args, 1)?;
+    let width: usize = args.get_parsed("width", 100)?;
+    print!("{}", render_timeline(&history, width));
+    Ok(())
+}
+
+/// `kav diagnose` — why is this history inconsistent?
+pub fn diagnose_cmd(args: &Args) -> CmdResult {
+    let history = load(args, 1)?;
+    let budget: u64 = args.get_parsed("budget", 2_000_000u64)?;
+    println!("{}", diagnose(&history, Some(budget)));
+    Ok(())
+}
+
+/// `kav repair` — salvage a dirty capture into a verifiable history.
+pub fn repair_cmd(args: &Args) -> CmdResult {
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("repair requires a history file".into()))?;
+    let raw = load_raw(path)?;
+    let (history, log) = repair(raw)?;
+    println!("{log}");
+    println!("{} operations survive", history.len());
+    if args.get("out").is_some() {
+        emit(&history.to_raw(), args)?;
+    }
+    Ok(())
+}
+
+/// `kav gen` — synthetic workloads.
+pub fn gen(args: &Args) -> CmdResult {
+    let workload = args
+        .get("workload")
+        .ok_or_else(|| ArgError("gen requires --workload".into()))?;
+    let n: usize = args.get_parsed("n", 100)?;
+    let k: u64 = args.get_parsed("k", 2)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let spread: u64 = args.get_parsed("spread", 3)?;
+    let history = match workload {
+        "staircase" => workloads::staircase(n.max(1) / 2),
+        "serial" => workloads::serial(n),
+        "ladder" => workloads::ladder(k),
+        "figure3" => workloads::figure3(),
+        "random" => workloads::random_k_atomic(workloads::RandomHistoryConfig {
+            ops: n,
+            k,
+            spread,
+            seed,
+            ..Default::default()
+        }),
+        other => return Err(ArgError(format!("unknown workload {other:?}")).into()),
+    };
+    emit(&history.to_raw(), args)
+}
+
+/// `kav sim` — run the quorum-store simulator and verify each key.
+pub fn sim(args: &Args) -> CmdResult {
+    let (net_lo, net_hi) = args.get_range("net", (50, 500))?;
+    let (lag_lo, lag_hi) = args.get_range("lag", (0, 0))?;
+    let config = SimConfig {
+        replicas: args.get_parsed("replicas", 3)?,
+        read_quorum: args.get_parsed("read-quorum", 2)?,
+        write_quorum: args.get_parsed("write-quorum", 2)?,
+        write_fanout: args.get("fanout").map(|v| v.parse()).transpose().map_err(|_| {
+            ArgError("--fanout: expected an integer".into())
+        })?,
+        clients: args.get_parsed("clients", 4)?,
+        ops_per_client: args.get_parsed("ops", 50)?,
+        keys: args.get_parsed("keys", 1)?,
+        read_fraction: args.get_parsed("read-fraction", 0.5)?,
+        network: LatencyModel::Uniform { lo: net_lo, hi: net_hi },
+        apply_lag: if (lag_lo, lag_hi) == (0, 0) {
+            LatencyModel::Fixed(0)
+        } else {
+            LatencyModel::Uniform { lo: lag_lo, hi: lag_hi }
+        },
+        drop_probability: args.get_parsed("drop", 0.0)?,
+        seed: args.get_parsed("seed", 0)?,
+        ..SimConfig::default()
+    };
+    let budget: u64 = args.get_parsed("budget", 2_000_000u64)?;
+    let output = Simulation::new(config)?.run();
+    println!(
+        "simulated {} reads / {} writes (mean latency {:.0} / {:.0} us)",
+        output.stats.reads,
+        output.stats.writes,
+        output.stats.mean_read_latency(),
+        output.stats.mean_write_latency(),
+    );
+    let prefix = args.get("out-prefix").map(str::to_owned);
+    println!("key | ops | c | smallest k");
+    for (key, raw) in &output.histories {
+        if let Some(prefix) = &prefix {
+            json::write_history(format!("{prefix}-key{key}.json"), raw)?;
+        }
+        let history = raw.clone().into_history()?;
+        let k = smallest_k(&history, Some(budget));
+        println!(
+            "{key:>3} | {:>4} | {} | {k}",
+            history.len(),
+            history.max_concurrent_writes()
+        );
+    }
+    Ok(())
+}
+
+/// `kav reduce` — the Figure-5 bin-packing reduction.
+pub fn reduce(args: &Args) -> CmdResult {
+    let sizes: Vec<u64> = args
+        .get("sizes")
+        .ok_or_else(|| ArgError("reduce requires --sizes a,b,c".into()))?
+        .split(',')
+        .map(|s| s.trim().parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| ArgError("--sizes: expected comma-separated integers".into()))?;
+    let bins: usize = args.get_parsed("bins", 2)?;
+    let capacity: u64 = args.get_parsed("capacity", 10)?;
+    let bp = BinPacking::new(sizes, bins, capacity)?;
+    let instance = reduce_bin_packing(&bp);
+    println!(
+        "reduced {} items / {} bins / capacity {} -> {} ops, k = {}",
+        bp.sizes().len(),
+        bp.bins(),
+        bp.capacity(),
+        instance.history.len(),
+        instance.k
+    );
+    if args.get_parsed("decide", true)? {
+        let budget: u64 = args.get_parsed("budget", 10_000_000u64)?;
+        let verdict = instance.decide(Some(budget));
+        let exact = bp.solve_exact().is_some();
+        println!("k-WAV verdict: {verdict}; exact bin packing: {}", if exact { "YES" } else { "NO" });
+    }
+    if args.get("out").is_some() {
+        emit(&instance.history.to_raw(), args)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! End-to-end tests of the `kav` binary: spawn the real executable, drive
+//! the documented workflows, and check the observable output.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn kav(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_kav"))
+        .args(args)
+        .output()
+        .expect("kav binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kav_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = kav(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = kav(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown subcommand"));
+}
+
+#[test]
+fn gen_verify_smallest_k_pipeline() {
+    let path = temp_file("ladder3.json");
+    let out = kav(&["gen", "--workload", "ladder", "--k", "3", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = kav(&["verify", "--k", "2", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("NO"), "{}", stdout(&out));
+
+    let out = kav(&["verify", "--k", "3", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("YES"), "{}", stdout(&out));
+
+    let out = kav(&["smallest-k", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("smallest k = 3"), "{}", stdout(&out));
+}
+
+#[test]
+fn verify_with_witness_prints_the_order() {
+    let path = temp_file("serial.json");
+    kav(&["gen", "--workload", "serial", "--n", "6", "--out", path.to_str().unwrap()]);
+    let out = kav(&["verify", "--k", "2", "--algo", "lbt", "--witness", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("YES"));
+    assert!(text.contains("witness order"), "{text}");
+    assert!(text.contains("write(v1)"), "{text}");
+}
+
+#[test]
+fn csv_roundtrip_through_the_cli() {
+    let path = temp_file("hist.csv");
+    let out = kav(&["gen", "--workload", "random", "--n", "40", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.starts_with("kind,value,start,finish,weight"), "{text}");
+
+    let out = kav(&["stats", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("operations:             40"));
+}
+
+#[test]
+fn diagnose_and_render() {
+    let path = temp_file("figure3.json");
+    kav(&["gen", "--workload", "figure3", "--out", path.to_str().unwrap()]);
+
+    let out = kav(&["diagnose", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("staleness"), "{text}");
+    assert!(text.contains("no viable order"), "{text}");
+
+    let out = kav(&["render", "--width", "80", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let art = stdout(&out);
+    assert_eq!(art.lines().count(), 23, "one row per operation");
+    assert!(art.contains("W(1)"));
+}
+
+#[test]
+fn sim_prints_per_key_staleness_table() {
+    let out = kav(&["sim", "--clients", "3", "--ops", "15", "--keys", "2", "--seed", "5"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("simulated"), "{text}");
+    assert!(text.contains("key | ops | c | smallest k"), "{text}");
+    assert!(text.lines().count() >= 4, "{text}");
+}
+
+#[test]
+fn reduce_decides_bin_packing() {
+    let out = kav(&["reduce", "--sizes", "3,3,3", "--bins", "2", "--capacity", "5"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("k = 7"), "{text}");
+    assert!(text.contains("k-WAV verdict: NO"), "{text}");
+    assert!(text.contains("exact bin packing: NO"), "{text}");
+
+    let out = kav(&["reduce", "--sizes", "3,2", "--bins", "2", "--capacity", "5"]);
+    let text = stdout(&out);
+    assert!(text.contains("k-WAV verdict: YES"), "{text}");
+}
+
+#[test]
+fn malformed_input_is_reported() {
+    let path = temp_file("garbage.json");
+    std::fs::write(&path, "{ not json").unwrap();
+    let out = kav(&["verify", "--k", "2", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("error"), "{}", stderr(&out));
+
+    let out = kav(&["verify", "--k"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("requires a value"));
+}
+
+#[test]
+fn repair_salvages_a_dirty_trace() {
+    let path = temp_file("dirty.json");
+    std::fs::write(
+        &path,
+        r#"{"ops":[
+            {"kind":"write","value":1,"start":0,"finish":10},
+            {"kind":"read","value":1,"start":12,"finish":20},
+            {"kind":"read","value":9,"start":30,"finish":40}
+        ]}"#,
+    )
+    .unwrap();
+    let clean = temp_file("clean.json");
+    let out = kav(&["repair", path.to_str().unwrap(), "--out", clean.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("dropped 1 operations"), "{text}");
+    assert!(text.contains("2 operations survive"), "{text}");
+
+    // The repaired file verifies.
+    let out = kav(&["verify", "--k", "1", clean.to_str().unwrap()]);
+    assert!(stdout(&out).contains("YES"), "{}", stdout(&out));
+}

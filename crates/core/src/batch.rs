@@ -1,0 +1,122 @@
+//! Parallel verification of many registers.
+//!
+//! k-atomicity is a *local* property (§II-B): a multi-register history is
+//! k-atomic iff each register's sub-history is, so registers verify
+//! independently — embarrassingly parallel. This module fans a batch of
+//! histories over a thread pool of scoped workers pulling from a shared
+//! queue (std scoped threads; no extra dependencies).
+
+use crate::{Verdict, Verifier};
+use kav_history::History;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Verifies every history in `batch` with `verifier`, using up to
+/// `threads` worker threads (clamped to at least 1). Results are returned
+/// in input order.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{verify_batch, Fzf};
+/// use kav_history::HistoryBuilder;
+///
+/// let histories: Vec<_> = (0..4)
+///     .map(|i| {
+///         HistoryBuilder::new()
+///             .write(1, 0, 10)
+///             .read(1, 12 + i, 20 + i)
+///             .build()
+///     })
+///     .collect::<Result<_, _>>()?;
+/// let verdicts = verify_batch(&Fzf, &histories, 2);
+/// assert!(verdicts.iter().all(Verdict::is_k_atomic));
+/// # use kav_core::Verdict;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn verify_batch<V: Verifier + Sync>(
+    verifier: &V,
+    batch: &[History],
+    threads: usize,
+) -> Vec<Verdict> {
+    let threads = threads.max(1).min(batch.len().max(1));
+    if threads == 1 || batch.len() <= 1 {
+        return batch.iter().map(|h| verifier.verify(h)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Verdict>>> =
+        (0..batch.len()).map(|_| std::sync::Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= batch.len() {
+                    break;
+                }
+                let verdict = verifier.verify(&batch[i]);
+                *slots[i].lock().expect("no panics hold this lock") = Some(verdict);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker threads joined cleanly")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fzf, GkOneAv, Lbt};
+    use kav_history::HistoryBuilder;
+
+    fn mixed_batch() -> Vec<History> {
+        let mut out = Vec::new();
+        for i in 0..16u64 {
+            let mut b = HistoryBuilder::new().write(1, 0, 10).write(2, 12, 20);
+            // Alternate 2-atomic (stale-1 read) and non-2-atomic (ladder).
+            if i % 2 == 0 {
+                b = b.read(1, 22, 30);
+            } else {
+                b = b.write(3, 22, 30).read(1, 32, 40);
+            }
+            out.push(b.build().unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let batch = mixed_batch();
+        let sequential = verify_batch(&Fzf, &batch, 1);
+        for threads in [2, 4, 8, 64] {
+            let parallel = verify_batch(&Fzf, &batch, threads);
+            let seq: Vec<bool> = sequential.iter().map(Verdict::is_k_atomic).collect();
+            let par: Vec<bool> = parallel.iter().map(Verdict::is_k_atomic).collect();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn verdict_pattern_is_alternating() {
+        let verdicts = verify_batch(&Lbt::new(), &mixed_batch(), 4);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(v.is_k_atomic(), i % 2 == 0, "index {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        assert!(verify_batch(&GkOneAv, &[], 4).is_empty());
+        let one = vec![HistoryBuilder::new().write(1, 0, 5).build().unwrap()];
+        let verdicts = verify_batch(&GkOneAv, &one, 8);
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].is_k_atomic());
+    }
+}

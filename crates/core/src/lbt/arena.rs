@@ -1,0 +1,401 @@
+//! Undo-logged intrusive linked lists backing LBT (§III-C).
+//!
+//! The complexity proof of Theorem 3.2 relies on three structures:
+//!
+//! * `H` — all remaining operations, doubly linked in start-time order;
+//! * `W` — remaining writes, doubly linked in finish-time order;
+//! * per-write lists of remaining dictated reads, in start-time order.
+//!
+//! A failed epoch must revert its removals in time proportional to the work
+//! it did, so removals are recorded in an undo log and rolled back
+//! dancing-links style: an unlinked node keeps its own `next`/`prev`
+//! pointers, and relinking in exact reverse order of unlinking restores the
+//! lists bit for bit.
+
+use kav_history::History;
+#[cfg(test)]
+use kav_history::OpId;
+
+const NIL: usize = usize::MAX;
+
+/// One reversible removal.
+#[derive(Clone, Copy, Debug)]
+enum Undo {
+    /// Removed from the start-ordered `H` list.
+    H(usize),
+    /// Removed from the finish-ordered `W` list.
+    W(usize),
+    /// Removed from its dictating write's read list.
+    D(usize),
+}
+
+/// A log position to roll back to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Checkpoint(usize);
+
+/// The three linked structures plus the undo log.
+pub(crate) struct Lists {
+    /// `H`: node storage for all op ids plus sentinels at `n` (head) and
+    /// `n + 1` (tail).
+    h_next: Vec<usize>,
+    h_prev: Vec<usize>,
+    in_h: Vec<bool>,
+    h_len: usize,
+    /// `W`: separate pointer arrays over the same ids, same sentinels.
+    w_next: Vec<usize>,
+    w_prev: Vec<usize>,
+    in_w: Vec<bool>,
+    w_len: usize,
+    /// Dictated-read lists: nodes are read op ids; each write `w` owns a
+    /// sentinel pair at `n + 2·rank(w)` / `n + 2·rank(w) + 1`.
+    d_next: Vec<usize>,
+    d_prev: Vec<usize>,
+    in_d: Vec<bool>,
+    /// Per-op head sentinel of its dictated-read list (`NIL` for reads).
+    d_head_of: Vec<usize>,
+    undo: Vec<Undo>,
+    n: usize,
+}
+
+impl Lists {
+    /// Builds the lists from a validated history.
+    pub(crate) fn new(history: &History) -> Self {
+        let n = history.len();
+        let h_head = n;
+        let h_tail = n + 1;
+
+        let mut h_next = vec![NIL; n + 2];
+        let mut h_prev = vec![NIL; n + 2];
+        // Thread H in start order.
+        let mut prev = h_head;
+        for &id in history.sorted_by_start() {
+            h_next[prev] = id.index();
+            h_prev[id.index()] = prev;
+            prev = id.index();
+        }
+        h_next[prev] = h_tail;
+        h_prev[h_tail] = prev;
+
+        let mut w_next = vec![NIL; n + 2];
+        let mut w_prev = vec![NIL; n + 2];
+        let mut in_w = vec![false; n + 2];
+        let mut prev = h_head;
+        for &id in history.writes_by_finish() {
+            w_next[prev] = id.index();
+            w_prev[id.index()] = prev;
+            in_w[id.index()] = true;
+            prev = id.index();
+        }
+        w_next[prev] = h_tail;
+        w_prev[h_tail] = prev;
+
+        let num_writes = history.num_writes();
+        let mut d_next = vec![NIL; n + 2 * num_writes];
+        let mut d_prev = vec![NIL; n + 2 * num_writes];
+        let mut in_d = vec![false; n];
+        let mut d_head_of = vec![NIL; n];
+        for (rank, &w) in history.writes_by_finish().iter().enumerate() {
+            let head = n + 2 * rank;
+            let tail = n + 2 * rank + 1;
+            d_head_of[w.index()] = head;
+            let mut prev = head;
+            for &r in history.dictated_reads(w) {
+                d_next[prev] = r.index();
+                d_prev[r.index()] = prev;
+                in_d[r.index()] = true;
+                prev = r.index();
+            }
+            d_next[prev] = tail;
+            d_prev[tail] = prev;
+        }
+
+        Lists {
+            h_next,
+            h_prev,
+            in_h: {
+                let mut v = vec![false; n + 2];
+                v[..n].fill(true);
+                v
+            },
+            h_len: n,
+            w_next,
+            w_prev,
+            in_w,
+            w_len: num_writes,
+            d_next,
+            d_prev,
+            in_d,
+            d_head_of,
+            undo: Vec::new(),
+            n,
+        }
+    }
+
+    #[inline]
+    fn h_head(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn h_tail(&self) -> usize {
+        self.n + 1
+    }
+
+    /// Remaining operations in `H`.
+    #[inline]
+    pub(crate) fn h_len(&self) -> usize {
+        self.h_len
+    }
+
+    /// Remaining writes in `W`.
+    #[inline]
+    pub(crate) fn w_len(&self) -> usize {
+        self.w_len
+    }
+
+    /// Whether `op` is still in `H` (test/debug helper).
+    #[cfg(test)]
+    pub(crate) fn in_h(&self, op: usize) -> bool {
+        self.in_h[op]
+    }
+
+    /// Whether write `w` is still in `W`.
+    #[inline]
+    pub(crate) fn in_w(&self, w: usize) -> bool {
+        self.in_w[w]
+    }
+
+    /// Last (largest-start) operation remaining in `H`.
+    #[inline]
+    pub(crate) fn h_last(&self) -> Option<usize> {
+        let p = self.h_prev[self.h_tail()];
+        (p != self.h_head()).then_some(p)
+    }
+
+    /// The operation before `op` in start order.
+    #[inline]
+    pub(crate) fn h_prev_of(&self, op: usize) -> Option<usize> {
+        let p = self.h_prev[op];
+        (p != self.h_head()).then_some(p)
+    }
+
+    /// Last (largest-finish) write remaining in `W`.
+    #[inline]
+    pub(crate) fn w_last(&self) -> Option<usize> {
+        let p = self.w_prev[self.h_tail()];
+        (p != self.h_head()).then_some(p)
+    }
+
+    /// The write before `w` in finish order.
+    #[inline]
+    pub(crate) fn w_prev_of(&self, w: usize) -> Option<usize> {
+        let p = self.w_prev[w];
+        (p != self.h_head()).then_some(p)
+    }
+
+    /// Remaining dictated reads of `w`, in start order.
+    pub(crate) fn dictated_remaining(&self, w: usize) -> Vec<usize> {
+        let head = self.d_head_of[w];
+        debug_assert_ne!(head, NIL, "dictated_remaining called on a read");
+        let tail = head + 1;
+        let mut out = Vec::new();
+        let mut cur = self.d_next[head];
+        while cur != tail {
+            out.push(cur);
+            cur = self.d_next[cur];
+        }
+        out
+    }
+
+    /// Unlinks `op` from `H` (logged).
+    pub(crate) fn remove_h(&mut self, op: usize) {
+        debug_assert!(self.in_h[op]);
+        self.h_next[self.h_prev[op]] = self.h_next[op];
+        self.h_prev[self.h_next[op]] = self.h_prev[op];
+        self.in_h[op] = false;
+        self.h_len -= 1;
+        self.undo.push(Undo::H(op));
+    }
+
+    /// Unlinks write `w` from `W` (logged).
+    pub(crate) fn remove_w(&mut self, w: usize) {
+        debug_assert!(self.in_w[w]);
+        self.w_next[self.w_prev[w]] = self.w_next[w];
+        self.w_prev[self.w_next[w]] = self.w_prev[w];
+        self.in_w[w] = false;
+        self.w_len -= 1;
+        self.undo.push(Undo::W(w));
+    }
+
+    /// Unlinks read `r` from its dictating write's read list (logged).
+    pub(crate) fn remove_d(&mut self, r: usize) {
+        debug_assert!(self.in_d[r]);
+        self.d_next[self.d_prev[r]] = self.d_next[r];
+        self.d_prev[self.d_next[r]] = self.d_prev[r];
+        self.in_d[r] = false;
+        self.undo.push(Undo::D(r));
+    }
+
+    /// Marks the current log position.
+    pub(crate) fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.undo.len())
+    }
+
+    /// Reverts every removal made after `cp`, restoring all lists exactly.
+    pub(crate) fn rollback(&mut self, cp: Checkpoint) {
+        while self.undo.len() > cp.0 {
+            match self.undo.pop().expect("length checked") {
+                Undo::H(op) => {
+                    self.h_next[self.h_prev[op]] = op;
+                    self.h_prev[self.h_next[op]] = op;
+                    self.in_h[op] = true;
+                    self.h_len += 1;
+                }
+                Undo::W(w) => {
+                    self.w_next[self.w_prev[w]] = w;
+                    self.w_prev[self.w_next[w]] = w;
+                    self.in_w[w] = true;
+                    self.w_len += 1;
+                }
+                Undo::D(r) => {
+                    self.d_next[self.d_prev[r]] = r;
+                    self.d_prev[self.d_next[r]] = r;
+                    self.in_d[r] = true;
+                }
+            }
+        }
+    }
+
+    /// Forgets the undo history: removals made so far become permanent.
+    pub(crate) fn commit(&mut self) {
+        self.undo.clear();
+    }
+
+    /// Remaining `H` as op ids in start order (test/debug helper).
+    #[cfg(test)]
+    pub(crate) fn h_ids(&self) -> Vec<OpId> {
+        let mut out = Vec::new();
+        let mut cur = self.h_next[self.h_head()];
+        while cur != self.h_tail() {
+            out.push(OpId(cur));
+            cur = self.h_next[cur];
+        }
+        out
+    }
+
+    /// Remaining `W` as op ids in finish order (test/debug helper).
+    #[cfg(test)]
+    pub(crate) fn w_ids(&self) -> Vec<OpId> {
+        let mut out = Vec::new();
+        let mut cur = self.w_next[self.h_head()];
+        while cur != self.h_tail() {
+            out.push(OpId(cur));
+            cur = self.w_next[cur];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_history::HistoryBuilder;
+
+    fn sample() -> History {
+        HistoryBuilder::new()
+            .write(1, 0, 10) // 0
+            .write(2, 5, 15) // 1
+            .read(1, 20, 30) // 2
+            .read(2, 22, 35) // 3
+            .read(1, 40, 50) // 4
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn initial_lists_mirror_history() {
+        let h = sample();
+        let lists = Lists::new(&h);
+        assert_eq!(lists.h_len(), 5);
+        assert_eq!(lists.w_len(), 2);
+        assert_eq!(lists.h_ids(), h.sorted_by_start().to_vec());
+        assert_eq!(lists.w_ids(), h.writes_by_finish().to_vec());
+        assert_eq!(lists.dictated_remaining(0), vec![2, 4]);
+        assert_eq!(lists.dictated_remaining(1), vec![3]);
+        assert_eq!(lists.h_last(), Some(4));
+        assert_eq!(lists.w_last(), Some(1));
+        assert_eq!(lists.w_prev_of(1), Some(0));
+        assert_eq!(lists.w_prev_of(0), None);
+    }
+
+    #[test]
+    fn removal_and_rollback_restore_everything() {
+        let h = sample();
+        let mut lists = Lists::new(&h);
+        let before_h = lists.h_ids();
+        let before_w = lists.w_ids();
+
+        let cp = lists.checkpoint();
+        lists.remove_h(4);
+        lists.remove_d(4);
+        lists.remove_h(0);
+        lists.remove_w(0);
+        lists.remove_h(3);
+        lists.remove_d(3);
+        assert_eq!(lists.h_len(), 2);
+        assert_eq!(lists.w_len(), 1);
+        assert!(!lists.in_h(4));
+        assert!(!lists.in_w(0));
+        assert_eq!(lists.dictated_remaining(0), vec![2]);
+
+        lists.rollback(cp);
+        assert_eq!(lists.h_ids(), before_h);
+        assert_eq!(lists.w_ids(), before_w);
+        assert_eq!(lists.h_len(), 5);
+        assert_eq!(lists.w_len(), 2);
+        assert_eq!(lists.dictated_remaining(0), vec![2, 4]);
+        assert!(lists.in_h(4) && lists.in_w(0));
+    }
+
+    #[test]
+    fn nested_checkpoints_roll_back_independently() {
+        let h = sample();
+        let mut lists = Lists::new(&h);
+        let cp1 = lists.checkpoint();
+        lists.remove_h(4);
+        lists.remove_d(4);
+        let cp2 = lists.checkpoint();
+        lists.remove_h(2);
+        lists.remove_d(2);
+        assert_eq!(lists.dictated_remaining(0), Vec::<usize>::new());
+        lists.rollback(cp2);
+        assert_eq!(lists.dictated_remaining(0), vec![2]);
+        lists.rollback(cp1);
+        assert_eq!(lists.dictated_remaining(0), vec![2, 4]);
+    }
+
+    #[test]
+    fn commit_makes_removals_permanent() {
+        let h = sample();
+        let mut lists = Lists::new(&h);
+        let cp = lists.checkpoint();
+        lists.remove_h(4);
+        lists.remove_d(4);
+        lists.commit();
+        // Rolling back to a pre-commit checkpoint is a no-op now.
+        lists.rollback(cp);
+        assert!(!lists.in_h(4));
+        assert_eq!(lists.h_len(), 4);
+    }
+
+    #[test]
+    fn traversal_helpers_respect_removals() {
+        let h = sample();
+        let mut lists = Lists::new(&h);
+        lists.remove_h(4);
+        assert_eq!(lists.h_last(), Some(3));
+        assert_eq!(lists.h_prev_of(3), Some(2));
+        lists.remove_h(0);
+        assert_eq!(lists.h_prev_of(1), None);
+    }
+}

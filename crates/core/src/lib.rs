@@ -1,0 +1,63 @@
+//! Verifiers for the k-atomicity-verification (k-AV) problem.
+//!
+//! This crate implements the algorithmic contributions of *On the
+//! k-Atomicity-Verification Problem* (Golab, Hurwitz & Li, ICDCS 2013):
+//!
+//! * [`Lbt`] — the Limited BackTracking 2-AV verifier (§III),
+//!   `O(n log n + c·n)` with iterative deepening;
+//! * [`Fzf`] — the Forward Zones First 2-AV verifier (§IV), `O(n log n)`
+//!   worst case;
+//! * [`GkOneAv`] — the Gibbons–Korach zone test for 1-atomicity
+//!   (linearizability), the solved `k = 1` baseline;
+//! * [`ExhaustiveSearch`] — an exact, exponential-time oracle for any `k`
+//!   (and the weighted rule of §V) on small histories;
+//! * [`smallest_k`] — the §II-B search for the exact staleness bound of a
+//!   history.
+//!
+//! Every YES verdict carries a [`TotalOrder`] witness that can be
+//! re-validated independently with [`check_witness`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use kav_core::{check_witness, Fzf, Lbt, Verifier};
+//! use kav_history::HistoryBuilder;
+//!
+//! // A read that is one write stale: 2-atomic, not atomic.
+//! let history = HistoryBuilder::new()
+//!     .write(1, 0, 10)
+//!     .write(2, 12, 20)
+//!     .read(1, 22, 30)
+//!     .build()?;
+//!
+//! let verdict = Fzf.verify(&history);
+//! assert!(verdict.is_k_atomic());
+//! check_witness(&history, verdict.witness().unwrap(), 2)?;
+//!
+//! // LBT agrees.
+//! assert!(Lbt::new().verify(&history).is_k_atomic());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod diagnose;
+mod fzf;
+mod gk;
+mod lbt;
+mod search;
+mod smallest_k;
+mod verdict;
+mod witness;
+
+pub use batch::verify_batch;
+pub use diagnose::{diagnose, AtomicityViolation, Diagnosis};
+pub use fzf::{Fzf, FzfReport};
+pub use gk::{GkAnalysis, GkOneAv};
+pub use lbt::{CandidateOrder, Lbt, LbtConfig, LbtReport, SearchStrategy};
+pub use search::{ExhaustiveSearch, SearchReport, MAX_SEARCH_OPS};
+pub use smallest_k::{smallest_k, staleness_upper_bound, Staleness};
+pub use verdict::{Verdict, Verifier};
+pub use witness::{check_witness, TotalOrder, WitnessError};

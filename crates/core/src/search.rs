@@ -1,0 +1,474 @@
+//! Exhaustive k-AV / k-WAV decision by search over linear extensions.
+//!
+//! No polynomial algorithm is known for k-AV with `k ≥ 3` (the paper's open
+//! problem), and the weighted problem is NP-complete (Theorem 5.1). This
+//! module provides the exact *oracle* both need on small histories: a DFS
+//! over the linear extensions of the "precedes" interval order, with
+//!
+//! * **separation pruning** — a placed write whose pending reads can no
+//!   longer meet the bound kills the branch immediately;
+//! * **memoisation** — a state is the set of placed operations plus the
+//!   (capped) separation counters of placed writes with pending reads;
+//!   failed states are never re-explored;
+//! * **symmetry breaking** — operations with identical constraint
+//!   signatures (same kind, weight, predecessor/successor sets, dictating
+//!   write, and no dictated reads for writes) are interchangeable, so only
+//!   the lowest-id unplaced member of a class is ever tried first.
+//!
+//! Staleness uses the weighted rule throughout (see
+//! [`crate::check_witness`]): with unit weights, separation `≤ k` is
+//! exactly plain k-atomicity, so [`ExhaustiveSearch::new`] doubles as the
+//! ground-truth k-AV oracle used by the property-test suite.
+
+use crate::{TotalOrder, Verdict, Verifier};
+use kav_history::{History, OpId};
+use std::collections::HashMap;
+
+/// Largest history (in operations) the bitmask representation supports.
+pub const MAX_SEARCH_OPS: usize = 128;
+
+/// Exact, exponential-time verifier for any `k`, weighted or not.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{ExhaustiveSearch, Verifier};
+/// use kav_history::HistoryBuilder;
+///
+/// // Three sequential writes then a read of the first: 3-atomic only.
+/// let h = HistoryBuilder::new()
+///     .write(1, 0, 10)
+///     .write(2, 12, 20)
+///     .write(3, 22, 30)
+///     .read(1, 32, 40)
+///     .build()?;
+/// assert!(!ExhaustiveSearch::new(2).verify(&h).is_k_atomic());
+/// assert!(ExhaustiveSearch::new(3).verify(&h).is_k_atomic());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExhaustiveSearch {
+    k: u64,
+    node_budget: Option<u64>,
+}
+
+impl ExhaustiveSearch {
+    /// An unbounded exact search for the given `k`.
+    pub fn new(k: u64) -> Self {
+        ExhaustiveSearch { k, node_budget: None }
+    }
+
+    /// An exact search that gives up ([`Verdict::Inconclusive`]) after
+    /// expanding `node_budget` search nodes.
+    pub fn with_node_budget(k: u64, node_budget: u64) -> Self {
+        ExhaustiveSearch { k, node_budget: Some(node_budget) }
+    }
+
+    /// Runs the search and additionally reports nodes expanded.
+    pub fn verify_detailed(&self, history: &History) -> (Verdict, SearchReport) {
+        let mut report = SearchReport::default();
+        if history.len() > MAX_SEARCH_OPS {
+            return (Verdict::Inconclusive, report);
+        }
+        if history.is_empty() {
+            return (Verdict::KAtomic { witness: TotalOrder::new(vec![]) }, report);
+        }
+        let mut dfs = Dfs::new(history, self.k, self.node_budget);
+        let outcome = dfs.run();
+        report.nodes = dfs.nodes;
+        report.memo_entries = dfs.failed.len();
+        let verdict = match outcome {
+            DfsOutcome::Found(order) => Verdict::KAtomic { witness: TotalOrder::new(order) },
+            DfsOutcome::Exhausted => Verdict::NotKAtomic,
+            DfsOutcome::BudgetExceeded => Verdict::Inconclusive,
+        };
+        (verdict, report)
+    }
+}
+
+impl Verifier for ExhaustiveSearch {
+    fn k(&self) -> u64 {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "exhaustive-search"
+    }
+
+    fn verify(&self, history: &History) -> Verdict {
+        self.verify_detailed(history).0
+    }
+}
+
+/// Search-effort counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchReport {
+    /// Search nodes expanded.
+    pub nodes: u64,
+    /// Distinct failed states memoised.
+    pub memo_entries: usize,
+}
+
+enum DfsOutcome {
+    Found(Vec<OpId>),
+    Exhausted,
+    BudgetExceeded,
+}
+
+struct Dfs<'h> {
+    history: &'h History,
+    k: u64,
+    n: usize,
+    /// `pred_mask[i]`: operations that precede op `i` in real time.
+    pred_mask: Vec<u128>,
+    /// Symmetry class representative: only the smallest unplaced member of
+    /// a class may be placed.
+    class_of: Vec<usize>,
+    /// Pending (unplaced) dictated read count per write.
+    pending_reads: Vec<u32>,
+    /// Separation accumulated by each placed write with pending reads,
+    /// capped at `k + 1` (any value above `k` is equally dead).
+    separation: Vec<u64>,
+    placed_mask: u128,
+    placed: Vec<OpId>,
+    /// Memoised failed states: placed set + active separation fingerprint.
+    failed: HashMap<(u128, Vec<(u16, u64)>), ()>,
+    nodes: u64,
+    budget: Option<u64>,
+    budget_hit: bool,
+}
+
+impl<'h> Dfs<'h> {
+    fn new(history: &'h History, k: u64, budget: Option<u64>) -> Self {
+        let n = history.len();
+        let mut pred_mask = vec![0u128; n];
+        let mut succ_mask = vec![0u128; n];
+        for (i, preds) in pred_mask.iter_mut().enumerate() {
+            for (j, succs) in succ_mask.iter_mut().enumerate() {
+                if i != j && history.precedes(OpId(j), OpId(i)) {
+                    *preds |= 1 << j;
+                    *succs |= 1 << i;
+                }
+            }
+        }
+
+        // Symmetry classes: identical constraint signatures.
+        #[derive(PartialEq, Eq, Hash)]
+        struct Signature {
+            is_write: bool,
+            weight: u32,
+            preds: u128,
+            succs: u128,
+            dictating: Option<usize>,
+            /// Writes with dictated reads are never interchangeable; give
+            /// them a unique tag.
+            unique_tag: Option<usize>,
+        }
+        let mut classes: HashMap<Signature, usize> = HashMap::new();
+        let mut class_of = vec![0usize; n];
+        for i in 0..n {
+            let op = history.op(OpId(i));
+            let has_reads = op.is_write() && !history.dictated_reads(OpId(i)).is_empty();
+            let sig = Signature {
+                is_write: op.is_write(),
+                weight: op.weight.as_u32(),
+                preds: pred_mask[i],
+                succs: succ_mask[i],
+                dictating: history.dictating_write(OpId(i)).map(OpId::index),
+                unique_tag: has_reads.then_some(i),
+            };
+            let next = classes.len();
+            class_of[i] = *classes.entry(sig).or_insert(next);
+        }
+
+        let pending_reads = (0..n)
+            .map(|i| history.dictated_reads(OpId(i)).len() as u32)
+            .collect();
+
+        Dfs {
+            history,
+            k,
+            n,
+            pred_mask,
+            class_of,
+            pending_reads,
+            separation: vec![0; n],
+            placed_mask: 0,
+            placed: Vec::with_capacity(n),
+            failed: HashMap::new(),
+            nodes: 0,
+            budget,
+            budget_hit: false,
+        }
+    }
+
+    fn run(&mut self) -> DfsOutcome {
+        match self.explore() {
+            true => DfsOutcome::Found(std::mem::take(&mut self.placed)),
+            false if self.budget_hit => DfsOutcome::BudgetExceeded,
+            false => DfsOutcome::Exhausted,
+        }
+    }
+
+    /// Fingerprint of the live constraint state (placed writes with pending
+    /// reads and their capped separations).
+    fn state_key(&self) -> (u128, Vec<(u16, u64)>) {
+        let mut active: Vec<(u16, u64)> = (0..self.n)
+            .filter(|&i| {
+                self.placed_mask & (1 << i) != 0 && self.pending_reads[i] > 0
+            })
+            .map(|i| (i as u16, self.separation[i]))
+            .collect();
+        active.sort_unstable();
+        (self.placed_mask, active)
+    }
+
+    fn explore(&mut self) -> bool {
+        if self.placed.len() == self.n {
+            return true;
+        }
+        if let Some(b) = self.budget {
+            if self.nodes >= b {
+                self.budget_hit = true;
+                return false;
+            }
+        }
+        self.nodes += 1;
+
+        let key = self.state_key();
+        if self.failed.contains_key(&key) {
+            return false;
+        }
+
+        // Candidate next operations: unplaced, all predecessors placed,
+        // first unplaced member of their symmetry class.
+        let mut tried_classes: Vec<usize> = Vec::new();
+        for i in 0..self.n {
+            let bit = 1u128 << i;
+            if self.placed_mask & bit != 0 {
+                continue;
+            }
+            if self.pred_mask[i] & !self.placed_mask != 0 {
+                continue;
+            }
+            if tried_classes.contains(&self.class_of[i]) {
+                continue;
+            }
+            tried_classes.push(self.class_of[i]);
+
+            if self.try_place(i) {
+                if self.explore() {
+                    return true;
+                }
+                self.unplace(i);
+            }
+        }
+
+        self.failed.insert(key, ());
+        false
+    }
+
+    /// Attempts to place op `i` next; returns false (without mutating) if
+    /// the placement immediately violates or dooms the bound.
+    fn try_place(&mut self, i: usize) -> bool {
+        let op = self.history.op(OpId(i));
+        if op.is_write() {
+            let w_weight = u64::from(op.weight.as_u32());
+            // A write heavier than k can never satisfy its own reads.
+            if self.pending_reads[i] > 0 && w_weight > self.k {
+                return false;
+            }
+            // A placed write with pending reads whose separation would
+            // exceed k can never be satisfied later: prune. This also keeps
+            // every live separation counter at most k, so the subtraction
+            // in `unplace` is exact.
+            for j in 0..self.n {
+                if self.placed_mask & (1 << j) != 0
+                    && self.pending_reads[j] > 0
+                    && self.separation[j] + w_weight > self.k
+                {
+                    return false;
+                }
+            }
+            for j in 0..self.n {
+                if self.placed_mask & (1 << j) != 0 && self.pending_reads[j] > 0 {
+                    self.separation[j] += w_weight;
+                }
+            }
+            // The write's own weight counts towards its reads' separation.
+            self.separation[i] = w_weight;
+        } else {
+            let w = self
+                .history
+                .dictating_write(OpId(i))
+                .expect("validated read")
+                .index();
+            if self.placed_mask & (1 << w) == 0 {
+                return false; // dictating write not placed yet
+            }
+            debug_assert!(self.separation[w] <= self.k, "pruned on write placement");
+            self.pending_reads[w] -= 1;
+        }
+        self.placed_mask |= 1 << i;
+        self.placed.push(OpId(i));
+        true
+    }
+
+    fn unplace(&mut self, i: usize) {
+        let op = self.history.op(OpId(i));
+        self.placed_mask &= !(1u128 << i);
+        self.placed.pop();
+        if op.is_write() {
+            let w_weight = u64::from(op.weight.as_u32());
+            // DFS unwinds in exact reverse order, so pending_reads[j] here
+            // equals its value when this write was placed: the subtraction
+            // mirrors the addition one for one.
+            for j in 0..self.n {
+                if self.placed_mask & (1 << j) != 0 && self.pending_reads[j] > 0 {
+                    self.separation[j] -= w_weight;
+                }
+            }
+            self.separation[i] = 0;
+        } else {
+            let w = self
+                .history
+                .dictating_write(OpId(i))
+                .expect("validated read")
+                .index();
+            self.pending_reads[w] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_witness;
+    use kav_history::HistoryBuilder;
+
+    fn verify_checked(h: &History, k: u64) -> bool {
+        match ExhaustiveSearch::new(k).verify(h) {
+            Verdict::KAtomic { witness } => {
+                check_witness(h, &witness, k).expect("search witness must certify");
+                true
+            }
+            Verdict::NotKAtomic => false,
+            Verdict::Inconclusive => panic!("unbounded search cannot be inconclusive"),
+        }
+    }
+
+    #[test]
+    fn staleness_ladder() {
+        // k sequential writes then a read of the first is exactly
+        // k-atomic, for every ladder height.
+        for writes in 1..=5u64 {
+            let mut b = HistoryBuilder::new();
+            for i in 0..writes {
+                b = b.write(i + 1, 100 * i, 100 * i + 50);
+            }
+            let h = b.read(1, 1000, 1100).build().unwrap();
+            for k in 1..=writes + 1 {
+                assert_eq!(
+                    verify_checked(&h, k),
+                    k >= writes,
+                    "writes={writes} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_staleness() {
+        // Heavy dictating write: its own weight dominates.
+        let h = HistoryBuilder::new()
+            .weighted_write(1, 0, 10, 5)
+            .read(1, 12, 20)
+            .build()
+            .unwrap();
+        assert!(!verify_checked(&h, 4));
+        assert!(verify_checked(&h, 5));
+    }
+
+    #[test]
+    fn concurrent_writes_can_be_reordered() {
+        // Two concurrent writes and a read of each, serially after: the
+        // order can be chosen so each read is fresh... but not both.
+        let h = HistoryBuilder::new()
+            .write(1, 0, 10)
+            .write(2, 2, 12)
+            .read(1, 20, 30)
+            .read(2, 40, 50)
+            .build()
+            .unwrap();
+        // r(1) then r(2): order w2 w1 r1 r2 fails r1? w1 last: r1 sep 1,
+        // r2 sep 2 — 2-atomic; not 1-atomic (reads in both orders of the
+        // two values around each other).
+        assert!(!verify_checked(&h, 1));
+        assert!(verify_checked(&h, 2));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_inconclusive() {
+        let mut b = HistoryBuilder::new();
+        for i in 0..12u64 {
+            b = b.write(i + 1, i, 1000 + i); // 12 mutually concurrent writes
+        }
+        let h = b.read(1, 2000, 2100).build().unwrap();
+        let verdict = ExhaustiveSearch::with_node_budget(1, 3).verify(&h);
+        assert_eq!(verdict, Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn oversized_histories_are_inconclusive() {
+        let mut b = HistoryBuilder::new();
+        for i in 0..(MAX_SEARCH_OPS as u64 + 1) {
+            b = b.write(i + 1, 10 * i, 10 * i + 5);
+        }
+        let h = b.build().unwrap();
+        assert_eq!(ExhaustiveSearch::new(1).verify(&h), Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn symmetry_breaking_handles_many_identical_writes() {
+        // 20 pairwise-concurrent weightless-read writes: without symmetry
+        // breaking this would branch 20! ways at the root.
+        let mut b = HistoryBuilder::new();
+        for i in 0..20u64 {
+            b = b.write(i + 1, i, 1000 + i);
+        }
+        let h = b.build().unwrap();
+        let (verdict, report) = ExhaustiveSearch::new(1).verify_detailed(&h);
+        assert!(verdict.is_k_atomic());
+        assert!(
+            report.nodes < 100,
+            "symmetry breaking should collapse identical writes, used {} nodes",
+            report.nodes
+        );
+    }
+
+    #[test]
+    fn empty_history() {
+        let h = HistoryBuilder::new().build().unwrap();
+        assert!(verify_checked(&h, 1));
+    }
+
+    #[test]
+    fn agrees_with_2av_on_figure_shapes() {
+        // 2-atomic but not 1-atomic.
+        let h = HistoryBuilder::new()
+            .write(1, 0, 10)
+            .write(2, 12, 20)
+            .read(1, 22, 30)
+            .build()
+            .unwrap();
+        assert!(!verify_checked(&h, 1));
+        assert!(verify_checked(&h, 2));
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let s = ExhaustiveSearch::new(3);
+        assert_eq!(s.k(), 3);
+        assert_eq!(s.name(), "exhaustive-search");
+    }
+}

@@ -1,0 +1,197 @@
+//! Computing the smallest `k` for which a history is k-atomic (§II-B).
+//!
+//! k-atomicity is monotone in `k`, so the smallest `k` is well defined and
+//! finite: ordering all operations by *finish time* is always a valid total
+//! order (if `a` precedes `b` then `a.finish < b.start < b.finish`) that
+//! places every write before its dictated reads (guaranteed by the §II-C
+//! write-shortening normalisation), so some `k` always works.
+//!
+//! The procedure uses the best verifier per level — the Gibbons–Korach
+//! zone test for `k = 1`, FZF for `k = 2` — and falls back to the
+//! exhaustive oracle from `k = 3` up, since no polynomial algorithm is
+//! known there (the paper's open problem).
+
+use crate::{ExhaustiveSearch, Fzf, GkOneAv, Verdict, Verifier};
+use kav_history::{History, OpId};
+use std::fmt;
+
+/// Result of a smallest-k computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Staleness {
+    /// The history is exactly `k`-atomic (k-atomic but not (k−1)-atomic).
+    Exact(u64),
+    /// The search budget ran out: the history is not (k−1)-atomic, so the
+    /// smallest k is at least this value.
+    AtLeast(u64),
+}
+
+impl Staleness {
+    /// The proven lower bound on the smallest k.
+    pub fn lower_bound(&self) -> u64 {
+        match *self {
+            Staleness::Exact(k) | Staleness::AtLeast(k) => k,
+        }
+    }
+
+    /// The exact smallest k, if it was determined.
+    pub fn exact(&self) -> Option<u64> {
+        match *self {
+            Staleness::Exact(k) => Some(k),
+            Staleness::AtLeast(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Staleness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Staleness::Exact(k) => write!(f, "k = {k}"),
+            Staleness::AtLeast(k) => write!(f, "k >= {k}"),
+        }
+    }
+}
+
+/// A cheap upper bound on the smallest k: the maximum separation observed
+/// in the finish-time order, which is always a valid witness order.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::staleness_upper_bound;
+/// use kav_history::HistoryBuilder;
+///
+/// let h = HistoryBuilder::new()
+///     .write(1, 0, 10)
+///     .write(2, 12, 20)
+///     .read(1, 22, 30)
+///     .build()?;
+/// assert!(staleness_upper_bound(&h) >= 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn staleness_upper_bound(history: &History) -> u64 {
+    if history.num_reads() == 0 {
+        return 1;
+    }
+    let order = history.sorted_by_finish();
+    let mut prefix = vec![0u64; order.len() + 1];
+    let mut position = vec![0usize; history.len()];
+    for (i, &id) in order.iter().enumerate() {
+        let op = history.op(id);
+        position[id.index()] = i;
+        prefix[i + 1] =
+            prefix[i] + if op.is_write() { u64::from(op.weight.as_u32()) } else { 0 };
+    }
+    let mut bound = 1u64;
+    for &id in history.reads() {
+        let w: OpId = history.dictating_write(id).expect("validated read");
+        let (rp, wp) = (position[id.index()], position[w.index()]);
+        debug_assert!(wp < rp, "normalisation places writes before their reads in finish order");
+        bound = bound.max(prefix[rp] - prefix[wp]);
+    }
+    bound
+}
+
+/// Computes the smallest `k` for which `history` is k-atomic.
+///
+/// `node_budget` bounds each exhaustive-search call for `k ≥ 3`; pass
+/// `None` for an unbounded (potentially exponential) search. Histories
+/// larger than [`crate::MAX_SEARCH_OPS`] operations that are not 2-atomic
+/// yield [`Staleness::AtLeast`].
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{smallest_k, Staleness};
+/// use kav_history::HistoryBuilder;
+///
+/// let h = HistoryBuilder::new()
+///     .write(1, 0, 10)
+///     .write(2, 12, 20)
+///     .read(1, 22, 30)
+///     .build()?;
+/// assert_eq!(smallest_k(&h, None), Staleness::Exact(2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn smallest_k(history: &History, node_budget: Option<u64>) -> Staleness {
+    if GkOneAv.verify(history).is_k_atomic() {
+        return Staleness::Exact(1);
+    }
+    if Fzf.verify(history).is_k_atomic() {
+        return Staleness::Exact(2);
+    }
+    let upper = staleness_upper_bound(history).max(3);
+    let mut k = 3;
+    while k <= upper {
+        let search = match node_budget {
+            Some(b) => ExhaustiveSearch::with_node_budget(k, b),
+            None => ExhaustiveSearch::new(k),
+        };
+        match search.verify(history) {
+            Verdict::KAtomic { .. } => return Staleness::Exact(k),
+            Verdict::NotKAtomic => k += 1,
+            Verdict::Inconclusive => return Staleness::AtLeast(k),
+        }
+    }
+    // The finish-order witness proves `upper`-atomicity, so the loop can
+    // only exit by exceeding it if searches were cut short.
+    Staleness::AtLeast(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_history::HistoryBuilder;
+
+    fn ladder(writes: u64) -> History {
+        let mut b = HistoryBuilder::new();
+        for i in 0..writes {
+            b = b.write(i + 1, 100 * i, 100 * i + 50);
+        }
+        b.read(1, 100 * writes, 100 * writes + 50).build().unwrap()
+    }
+
+    #[test]
+    fn ladder_staleness_is_its_height() {
+        for writes in 1..=5 {
+            assert_eq!(smallest_k(&ladder(writes), None), Staleness::Exact(writes));
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_sound() {
+        for writes in 1..=5 {
+            let h = ladder(writes);
+            assert!(staleness_upper_bound(&h) >= writes);
+        }
+    }
+
+    #[test]
+    fn atomic_histories_report_one() {
+        let h = HistoryBuilder::new().write(1, 0, 10).read(1, 12, 20).build().unwrap();
+        assert_eq!(smallest_k(&h, None), Staleness::Exact(1));
+        assert_eq!(staleness_upper_bound(&h), 1);
+    }
+
+    #[test]
+    fn read_free_history_is_atomic() {
+        let h = HistoryBuilder::new().write(1, 0, 10).write(2, 5, 15).build().unwrap();
+        assert_eq!(smallest_k(&h, None), Staleness::Exact(1));
+        assert_eq!(staleness_upper_bound(&h), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_lower_bound() {
+        let result = smallest_k(&ladder(4), Some(1));
+        assert_eq!(result, Staleness::AtLeast(3));
+        assert_eq!(result.lower_bound(), 3);
+        assert_eq!(result.exact(), None);
+    }
+
+    #[test]
+    fn staleness_accessors_and_display() {
+        assert_eq!(Staleness::Exact(2).exact(), Some(2));
+        assert_eq!(Staleness::Exact(2).lower_bound(), 2);
+        assert_eq!(Staleness::Exact(2).to_string(), "k = 2");
+        assert_eq!(Staleness::AtLeast(3).to_string(), "k >= 3");
+    }
+}

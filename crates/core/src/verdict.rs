@@ -1,0 +1,93 @@
+//! Verdicts and the common verifier interface.
+
+use crate::TotalOrder;
+use kav_history::History;
+use std::fmt;
+
+/// The outcome of asking whether a history is k-atomic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The history is k-atomic; `witness` is a valid k-atomic total order
+    /// certifying it (checkable with [`crate::check_witness`]).
+    KAtomic {
+        /// A certifying total order over all operations.
+        witness: TotalOrder,
+    },
+    /// The history is not k-atomic.
+    NotKAtomic,
+    /// A budgeted search gave up before deciding (only produced by
+    /// [`crate::ExhaustiveSearch`] when its node budget is exhausted).
+    Inconclusive,
+}
+
+impl Verdict {
+    /// `Some(true)`/`Some(false)` for decided verdicts, `None` if
+    /// inconclusive.
+    pub fn decided(&self) -> Option<bool> {
+        match self {
+            Verdict::KAtomic { .. } => Some(true),
+            Verdict::NotKAtomic => Some(false),
+            Verdict::Inconclusive => None,
+        }
+    }
+
+    /// True iff the verdict is YES.
+    pub fn is_k_atomic(&self) -> bool {
+        matches!(self, Verdict::KAtomic { .. })
+    }
+
+    /// The witness of a YES verdict, if any.
+    pub fn witness(&self) -> Option<&TotalOrder> {
+        match self {
+            Verdict::KAtomic { witness } => Some(witness),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::KAtomic { .. } => write!(f, "YES"),
+            Verdict::NotKAtomic => write!(f, "NO"),
+            Verdict::Inconclusive => write!(f, "UNKNOWN"),
+        }
+    }
+}
+
+/// A decision procedure for k-atomicity at a fixed `k`.
+///
+/// Implementations: [`crate::GkOneAv`] (`k = 1`), [`crate::Lbt`] and
+/// [`crate::Fzf`] (`k = 2`), and [`crate::ExhaustiveSearch`] (any `k`, small
+/// histories).
+pub trait Verifier {
+    /// The `k` this verifier decides.
+    fn k(&self) -> u64;
+
+    /// Short human-readable algorithm name (e.g. `"lbt"`).
+    fn name(&self) -> &'static str;
+
+    /// Decides whether `history` is `k`-atomic.
+    fn verify(&self, history: &History) -> Verdict;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_accessors() {
+        let yes = Verdict::KAtomic { witness: TotalOrder::new(vec![]) };
+        assert_eq!(yes.decided(), Some(true));
+        assert!(yes.is_k_atomic());
+        assert!(yes.witness().is_some());
+        assert_eq!(yes.to_string(), "YES");
+
+        assert_eq!(Verdict::NotKAtomic.decided(), Some(false));
+        assert!(Verdict::NotKAtomic.witness().is_none());
+        assert_eq!(Verdict::NotKAtomic.to_string(), "NO");
+
+        assert_eq!(Verdict::Inconclusive.decided(), None);
+        assert_eq!(Verdict::Inconclusive.to_string(), "UNKNOWN");
+    }
+}

@@ -1,0 +1,328 @@
+//! Witness total orders and their independent validation.
+//!
+//! Every YES verdict in this crate carries a [`TotalOrder`] — a concrete
+//! valid k-atomic total order over the history — so that verdicts are
+//! *certifiable*: [`check_witness`] re-validates a witness against the
+//! definition of k-atomicity in `O(n log n)`, sharing no code with the
+//! verifiers themselves.
+//!
+//! Staleness is measured with the weighted rule of §V: for a read `r`
+//! dictated by write `w`, the *separation* is `weight(w)` plus the weights
+//! of all writes strictly between `w` and `r` in the total order. With unit
+//! weights, separation `≤ k` is exactly "at most `k−1` intervening writes",
+//! i.e. plain k-atomicity; with explicit weights it is the k-WAV criterion.
+
+use kav_history::{History, OpId};
+use std::error::Error;
+use std::fmt;
+
+/// A total order over all operations of one history, earliest first.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::TotalOrder;
+/// use kav_history::OpId;
+///
+/// let order = TotalOrder::new(vec![OpId(0), OpId(2), OpId(1)]);
+/// assert_eq!(order.len(), 3);
+/// assert_eq!(order.as_slice()[1], OpId(2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TotalOrder(Vec<OpId>);
+
+impl TotalOrder {
+    /// Wraps a sequence of operation ids as a total order.
+    pub fn new(order: Vec<OpId>) -> Self {
+        TotalOrder(order)
+    }
+
+    /// The operations in order, earliest first.
+    pub fn as_slice(&self) -> &[OpId] {
+        &self.0
+    }
+
+    /// Number of operations in the order.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the order covers no operations.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the operations, earliest first.
+    pub fn iter(&self) -> std::slice::Iter<'_, OpId> {
+        self.0.iter()
+    }
+
+    /// Consumes the order, returning the underlying sequence.
+    pub fn into_inner(self) -> Vec<OpId> {
+        self.0
+    }
+}
+
+impl From<Vec<OpId>> for TotalOrder {
+    fn from(order: Vec<OpId>) -> Self {
+        TotalOrder(order)
+    }
+}
+
+impl<'a> IntoIterator for &'a TotalOrder {
+    type Item = &'a OpId;
+    type IntoIter = std::slice::Iter<'a, OpId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Why a claimed witness fails to certify k-atomicity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WitnessError {
+    /// The order is not a permutation of the history's operations.
+    NotAPermutation,
+    /// Operation `later` precedes `earlier` in real time, yet the order
+    /// places `earlier` first — the order is not valid.
+    OrderViolation {
+        /// Placed earlier in the witness.
+        earlier: OpId,
+        /// Placed later, but precedes `earlier` in the history.
+        later: OpId,
+    },
+    /// A read is placed before its dictating write.
+    ReadBeforeDictatingWrite {
+        /// The offending read.
+        read: OpId,
+        /// Its dictating write.
+        write: OpId,
+    },
+    /// A read's separation from its dictating write exceeds `k`.
+    StalenessExceeded {
+        /// The offending read.
+        read: OpId,
+        /// Its dictating write.
+        write: OpId,
+        /// The separation found (dictating write weight + intervening write
+        /// weights).
+        separation: u64,
+        /// The bound that was violated.
+        k: u64,
+    },
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WitnessError::NotAPermutation => {
+                write!(f, "witness is not a permutation of the history")
+            }
+            WitnessError::OrderViolation { earlier, later } => {
+                write!(f, "witness places {earlier} before {later}, which precedes it in real time")
+            }
+            WitnessError::ReadBeforeDictatingWrite { read, write } => {
+                write!(f, "witness places read {read} before its dictating write {write}")
+            }
+            WitnessError::StalenessExceeded { read, write, separation, k } => {
+                write!(
+                    f,
+                    "read {read} has separation {separation} from dictating write {write}, exceeding k={k}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for WitnessError {}
+
+/// Checks that `order` certifies the k-atomicity (weighted rule) of
+/// `history`.
+///
+/// Runs in `O(n)` given the history's precomputed indexes. The check is
+/// deliberately independent of the verifier implementations: it validates
+/// the permutation property, validity (a linear extension of "precedes"),
+/// and the separation bound for every read.
+///
+/// # Errors
+///
+/// Returns the first [`WitnessError`] encountered, if any.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{check_witness, TotalOrder};
+/// use kav_history::{HistoryBuilder, OpId};
+///
+/// let h = HistoryBuilder::new()
+///     .write(1, 0, 10)
+///     .read(1, 12, 20)
+///     .build()?;
+/// let order = TotalOrder::new(vec![OpId(0), OpId(1)]);
+/// assert!(check_witness(&h, &order, 1).is_ok());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_witness(history: &History, order: &TotalOrder, k: u64) -> Result<(), WitnessError> {
+    let n = history.len();
+    if order.len() != n {
+        return Err(WitnessError::NotAPermutation);
+    }
+    let mut position: Vec<Option<usize>> = vec![None; n];
+    for (pos, id) in order.iter().enumerate() {
+        if id.index() >= n || position[id.index()].is_some() {
+            return Err(WitnessError::NotAPermutation);
+        }
+        position[id.index()] = Some(pos);
+    }
+
+    // Validity: no later element may precede (in real time) an earlier one.
+    // Track the earlier element with the maximum start time; `later` then
+    // violates validity iff later.finish < max start so far.
+    let mut max_start_so_far = None::<(kav_history::Time, OpId)>;
+    for &id in order.iter() {
+        let op = history.op(id);
+        if let Some((max_start, holder)) = max_start_so_far {
+            if op.finish < max_start {
+                return Err(WitnessError::OrderViolation { earlier: holder, later: id });
+            }
+        }
+        if max_start_so_far.is_none_or(|(t, _)| op.start > t) {
+            max_start_so_far = Some((op.start, id));
+        }
+    }
+
+    // Separation: prefix sums of write weights along the order.
+    // prefix[i] = total write weight among order[0..i].
+    let mut prefix = vec![0u64; n + 1];
+    for (i, &id) in order.iter().enumerate() {
+        let op = history.op(id);
+        prefix[i + 1] = prefix[i] + if op.is_write() { u64::from(op.weight.as_u32()) } else { 0 };
+    }
+    for (pos, &id) in order.iter().enumerate() {
+        if let Some(write) = history.dictating_write(id) {
+            let wpos = position[write.index()].expect("permutation checked above");
+            if wpos > pos {
+                return Err(WitnessError::ReadBeforeDictatingWrite { read: id, write });
+            }
+            // weight(w) + weights of writes strictly between w and r.
+            let separation = prefix[pos] - prefix[wpos];
+            if separation > k {
+                return Err(WitnessError::StalenessExceeded { read: id, write, separation, k });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_history::HistoryBuilder;
+
+    fn ids(v: &[usize]) -> TotalOrder {
+        TotalOrder::new(v.iter().map(|&i| OpId(i)).collect())
+    }
+
+    #[test]
+    fn accepts_a_correct_1_atomic_witness() {
+        let h = HistoryBuilder::new()
+            .write(1, 0, 10) // 0
+            .read(1, 12, 20) // 1
+            .write(2, 25, 30) // 2
+            .read(2, 35, 40) // 3
+            .build()
+            .unwrap();
+        assert!(check_witness(&h, &ids(&[0, 1, 2, 3]), 1).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_length_and_duplicates() {
+        let h = HistoryBuilder::new().write(1, 0, 10).read(1, 12, 20).build().unwrap();
+        assert_eq!(check_witness(&h, &ids(&[0]), 1), Err(WitnessError::NotAPermutation));
+        assert_eq!(check_witness(&h, &ids(&[0, 0]), 1), Err(WitnessError::NotAPermutation));
+        assert_eq!(check_witness(&h, &ids(&[0, 7]), 1), Err(WitnessError::NotAPermutation));
+    }
+
+    #[test]
+    fn rejects_order_violating_real_time() {
+        let h = HistoryBuilder::new()
+            .write(1, 0, 10) // 0
+            .write(2, 20, 30) // 1: strictly after write 0
+            .read(2, 40, 50) // 2
+            .read(1, 60, 70) // 3
+            .build()
+            .unwrap();
+        // Placing write 1 before write 0 contradicts real time.
+        let err = check_witness(&h, &ids(&[1, 0, 2, 3]), 2).unwrap_err();
+        assert!(matches!(err, WitnessError::OrderViolation { .. }));
+    }
+
+    #[test]
+    fn rejects_read_before_its_write() {
+        // All three operations pairwise concurrent, so any permutation is
+        // order-valid; only the dictating-write rule can fail.
+        let h = HistoryBuilder::new()
+            .write(1, 0, 10) // 0
+            .write(2, 1, 12) // 1
+            .read(2, 2, 14) // 2
+            .build()
+            .unwrap();
+        let err = check_witness(&h, &ids(&[2, 1, 0]), 2).unwrap_err();
+        assert!(matches!(err, WitnessError::ReadBeforeDictatingWrite { .. }));
+    }
+
+    #[test]
+    fn separation_counts_intervening_writes_plus_dictator() {
+        // Three concurrent writes then a read of the first.
+        let h = HistoryBuilder::new()
+            .write(1, 0, 10) // 0
+            .write(2, 1, 11) // 1
+            .write(3, 2, 12) // 2
+            .read(1, 14, 20) // 3
+            .build()
+            .unwrap();
+        let order = ids(&[0, 1, 2, 3]);
+        // separation(read) = w(1) itself + w(2) + w(3) = 3.
+        assert!(check_witness(&h, &order, 3).is_ok());
+        let err = check_witness(&h, &order, 2).unwrap_err();
+        assert!(
+            matches!(err, WitnessError::StalenessExceeded { separation: 3, k: 2, .. }),
+            "got {err:?}"
+        );
+        // Reordering the dictating write last fixes it for k = 1.
+        assert!(check_witness(&h, &ids(&[1, 2, 0, 3]), 1).is_ok());
+    }
+
+    #[test]
+    fn weighted_separation_uses_write_weights() {
+        let h = HistoryBuilder::new()
+            .weighted_write(1, 0, 10, 4) // 0
+            .weighted_write(2, 1, 11, 9) // 1
+            .read(1, 14, 20) // 2
+            .build()
+            .unwrap();
+        let order = ids(&[0, 1, 2]);
+        // separation = weight(w1)=4 + weight(w2)=9 = 13.
+        assert!(check_witness(&h, &order, 13).is_ok());
+        assert!(matches!(
+            check_witness(&h, &order, 12),
+            Err(WitnessError::StalenessExceeded { separation: 13, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_history_has_empty_witness() {
+        let h = HistoryBuilder::new().build().unwrap();
+        assert!(check_witness(&h, &TotalOrder::new(vec![]), 1).is_ok());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = WitnessError::StalenessExceeded {
+            read: OpId(3),
+            write: OpId(0),
+            separation: 4,
+            k: 2,
+        };
+        assert!(e.to_string().contains("separation 4"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Anomaly detection: the §II-C preconditions, checked rather than assumed.
+//!
+//! The paper assumes histories are free of anomalies that trivially prevent
+//! k-atomicity (a read with no dictating write, or one that precedes its
+//! dictating write) and of modelling defects (duplicate write values,
+//! coinciding endpoints, empty intervals). [`crate::RawHistory::validate`]
+//! reports every violation; [`crate::History`] construction refuses them.
+
+use crate::{OpId, Time, Value};
+use std::error::Error;
+use std::fmt;
+
+/// One violation of the §II model assumptions found in a raw history.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Anomaly {
+    /// An operation whose finish is not strictly after its start.
+    EmptyInterval {
+        /// The offending operation.
+        op: OpId,
+    },
+    /// Two endpoints (start or finish, of any operations) share a timestamp.
+    ///
+    /// The paper assumes all `2n` endpoints are distinct. Use
+    /// [`crate::RawHistory::make_endpoints_distinct`] to repair ties
+    /// conservatively before validation.
+    DuplicateEndpoint {
+        /// The shared timestamp.
+        time: Time,
+        /// The first operation with an endpoint at `time`.
+        first: OpId,
+        /// The second operation with an endpoint at `time`.
+        second: OpId,
+    },
+    /// Two writes store the same value, so reads of that value have no unique
+    /// dictating write. (§II-C: with duplicate values the decision problem is
+    /// NP-complete already for 1-atomicity.)
+    DuplicateWriteValue {
+        /// The value written twice.
+        value: Value,
+        /// The first write of `value`.
+        first: OpId,
+        /// The second write of `value`.
+        second: OpId,
+    },
+    /// A read returns a value no write in the history stores.
+    MissingDictatingWrite {
+        /// The orphaned read.
+        read: OpId,
+        /// The value it claims to have observed.
+        value: Value,
+    },
+    /// A read finishes before its dictating write starts — it observed a
+    /// value "from the future". No total order can repair this.
+    ReadPrecedesDictatingWrite {
+        /// The offending read.
+        read: OpId,
+        /// Its dictating write.
+        write: OpId,
+    },
+    /// An operation with weight zero; weights must be positive integers (§V).
+    ZeroWeight {
+        /// The offending operation.
+        op: OpId,
+    },
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Anomaly::EmptyInterval { op } => {
+                write!(f, "operation {op} has finish <= start")
+            }
+            Anomaly::DuplicateEndpoint { time, first, second } => {
+                write!(f, "operations {first} and {second} share endpoint {time}")
+            }
+            Anomaly::DuplicateWriteValue { value, first, second } => {
+                write!(f, "writes {first} and {second} both store {value}")
+            }
+            Anomaly::MissingDictatingWrite { read, value } => {
+                write!(f, "read {read} observes {value} which no write stores")
+            }
+            Anomaly::ReadPrecedesDictatingWrite { read, write } => {
+                write!(f, "read {read} finishes before its dictating write {write} starts")
+            }
+            Anomaly::ZeroWeight { op } => {
+                write!(f, "operation {op} has weight 0; weights must be positive")
+            }
+        }
+    }
+}
+
+/// The outcome of validating a [`crate::RawHistory`].
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::{RawHistory, Operation, Value, Time};
+///
+/// let mut raw = RawHistory::new();
+/// raw.push(Operation::read(Value(1), Time(0), Time(5))); // no write of v1
+/// let report = raw.validate();
+/// assert!(!report.is_clean());
+/// assert_eq!(report.anomalies().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    anomalies: Vec<Anomaly>,
+}
+
+impl ValidationReport {
+    pub(crate) fn new(anomalies: Vec<Anomaly>) -> Self {
+        ValidationReport { anomalies }
+    }
+
+    /// True if no anomaly was found.
+    pub fn is_clean(&self) -> bool {
+        self.anomalies.is_empty()
+    }
+
+    /// The anomalies found, in detection order.
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+
+    /// Converts the report into a `Result`, erring if any anomaly was found.
+    pub fn into_result(self) -> Result<(), ValidationError> {
+        if self.is_clean() {
+            Ok(())
+        } else {
+            Err(ValidationError { anomalies: self.anomalies })
+        }
+    }
+}
+
+/// Error returned when constructing a [`crate::History`] from a raw history
+/// that violates the §II model assumptions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError {
+    anomalies: Vec<Anomaly>,
+}
+
+impl ValidationError {
+    /// The anomalies that caused the rejection.
+    pub fn anomalies(&self) -> &[Anomaly] {
+        &self.anomalies
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "history violates model assumptions ({} anomalies:", self.anomalies.len())?;
+        for a in &self.anomalies {
+            write!(f, " [{a}]")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_into_result() {
+        assert!(ValidationReport::new(vec![]).into_result().is_ok());
+        let err = ValidationReport::new(vec![Anomaly::EmptyInterval { op: OpId(0) }])
+            .into_result()
+            .unwrap_err();
+        assert_eq!(err.anomalies().len(), 1);
+        assert!(err.to_string().contains("finish <= start"));
+    }
+
+    #[test]
+    fn anomalies_display() {
+        let cases: Vec<Anomaly> = vec![
+            Anomaly::EmptyInterval { op: OpId(1) },
+            Anomaly::DuplicateEndpoint { time: Time(3), first: OpId(0), second: OpId(2) },
+            Anomaly::DuplicateWriteValue { value: Value(7), first: OpId(0), second: OpId(1) },
+            Anomaly::MissingDictatingWrite { read: OpId(4), value: Value(9) },
+            Anomaly::ReadPrecedesDictatingWrite { read: OpId(2), write: OpId(3) },
+            Anomaly::ZeroWeight { op: OpId(5) },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ValidationError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! Fluent construction of histories for tests, docs and examples.
+
+use crate::{History, Operation, RawHistory, Time, ValidationError, Value, Weight};
+
+/// A fluent builder over [`RawHistory`] that keeps call sites compact.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::HistoryBuilder;
+///
+/// let h = HistoryBuilder::new()
+///     .write(1, 0, 10)
+///     .write(2, 5, 15)
+///     .read(1, 20, 30)
+///     .build()?;
+/// assert_eq!(h.len(), 3);
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HistoryBuilder {
+    raw: RawHistory,
+}
+
+impl HistoryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        HistoryBuilder::default()
+    }
+
+    /// Appends a write of `value` over `[start, finish]`.
+    pub fn write(mut self, value: u64, start: u64, finish: u64) -> Self {
+        self.raw.write(Value(value), Time(start), Time(finish));
+        self
+    }
+
+    /// Appends a read of `value` over `[start, finish]`.
+    pub fn read(mut self, value: u64, start: u64, finish: u64) -> Self {
+        self.raw.read(Value(value), Time(start), Time(finish));
+        self
+    }
+
+    /// Appends a write with an explicit k-WAV weight.
+    pub fn weighted_write(mut self, value: u64, start: u64, finish: u64, weight: u32) -> Self {
+        self.raw.push(Operation::weighted_write(
+            Value(value),
+            Time(start),
+            Time(finish),
+            Weight(weight),
+        ));
+        self
+    }
+
+    /// Appends an arbitrary operation.
+    pub fn op(mut self, op: Operation) -> Self {
+        self.raw.push(op);
+        self
+    }
+
+    /// Returns the accumulated operations without validating.
+    pub fn build_raw(self) -> RawHistory {
+        self.raw
+    }
+
+    /// Validates and builds the [`History`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidationError`] if the accumulated operations violate
+    /// the §II model assumptions.
+    pub fn build(self) -> Result<History, ValidationError> {
+        self.raw.into_history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let h = HistoryBuilder::new()
+            .write(1, 0, 10)
+            .read(1, 20, 30)
+            .weighted_write(2, 40, 50, 9)
+            .build()
+            .unwrap();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.total_write_weight(), 10);
+    }
+
+    #[test]
+    fn build_raw_skips_validation() {
+        let raw = HistoryBuilder::new().read(7, 0, 5).build_raw();
+        assert_eq!(raw.len(), 1);
+        assert!(!raw.validate().is_clean());
+    }
+
+    #[test]
+    fn op_appends_arbitrary_operations() {
+        let op = Operation::read(Value(1), Time(6), Time(9));
+        let raw = HistoryBuilder::new().write(1, 0, 5).op(op).build_raw();
+        assert_eq!(raw.ops[1], op);
+    }
+}

@@ -1,0 +1,238 @@
+//! FZF Stage 1: maximal chunks and dangling clusters (§IV-A).
+//!
+//! A *chunk* is a set of clusters whose forward zones union to a continuous,
+//! non-empty interval and whose backward zones all lie inside that interval.
+//! The *chunk set* `CS(H)` consists of the maximal chunks covering every
+//! forward cluster; backward clusters belonging to no chunk are *dangling*.
+//!
+//! Because all endpoints are distinct, two forward zones either overlap or
+//! are separated by a gap — zones cannot merely "touch". Maximal chunks are
+//! therefore exactly the maximal runs of pairwise-connected forward zones,
+//! and their intervals are pairwise disjoint (any shared point would lie in
+//! a zone of each run, merging them).
+
+use crate::{ClusterId, Time, Zone, ZoneKind};
+use serde::{Deserialize, Serialize};
+
+/// One maximal chunk of the chunk set `CS(H)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Forward clusters of the chunk, sorted by increasing zone low
+    /// endpoint — precisely the order FZF's `TF` enumerates their writes.
+    pub forward: Vec<ClusterId>,
+    /// Backward clusters whose zones lie strictly inside `[low, high]`,
+    /// sorted by increasing zone low endpoint.
+    pub backward: Vec<ClusterId>,
+    /// Left end of the union of forward zones (`K.l`).
+    pub low: Time,
+    /// Right end of the union of forward zones (`K.h`).
+    pub high: Time,
+}
+
+impl Chunk {
+    /// Total number of clusters in the chunk.
+    pub fn num_clusters(&self) -> usize {
+        self.forward.len() + self.backward.len()
+    }
+}
+
+/// The chunk set of a history plus its dangling clusters.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkSet {
+    /// Maximal chunks, sorted by increasing `low` (disjoint intervals).
+    pub chunks: Vec<Chunk>,
+    /// Backward clusters belonging to no chunk, sorted by zone low endpoint.
+    pub dangling: Vec<ClusterId>,
+}
+
+impl ChunkSet {
+    /// Total number of clusters across chunks and dangling clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.chunks.iter().map(Chunk::num_clusters).sum::<usize>() + self.dangling.len()
+    }
+}
+
+/// Computes `CS(H)` from the zones of a history (FZF Stage 1).
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::{RawHistory, Value, Time, clusters, zones, chunk_set};
+///
+/// let mut raw = RawHistory::new();
+/// raw.write(Value(1), Time(0), Time(20));
+/// raw.read(Value(1), Time(40), Time(60));    // forward zone [20,40]
+/// raw.write(Value(2), Time(25), Time(35));   // backward zone inside it
+/// raw.write(Value(3), Time(100), Time(120)); // backward zone far right: dangling
+/// let h = raw.into_history()?;
+/// let cs = clusters(&h);
+/// let zs = zones(&h, &cs);
+/// let chunked = chunk_set(&zs);
+/// assert_eq!(chunked.chunks.len(), 1);
+/// assert_eq!(chunked.chunks[0].backward.len(), 1);
+/// assert_eq!(chunked.dangling.len(), 1);
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+pub fn chunk_set(zones: &[Zone]) -> ChunkSet {
+    // Sort forward zones by low endpoint and merge overlapping runs.
+    let mut forward: Vec<&Zone> = zones.iter().filter(|z| z.is_forward()).collect();
+    forward.sort_unstable_by_key(|z| z.low());
+
+    let mut chunks: Vec<Chunk> = Vec::new();
+    for zone in forward {
+        match chunks.last_mut() {
+            // Distinct endpoints: strict `<` and `<=` coincide here.
+            Some(chunk) if zone.low() < chunk.high => {
+                chunk.forward.push(zone.cluster);
+                chunk.high = chunk.high.max(zone.high());
+            }
+            _ => chunks.push(Chunk {
+                forward: vec![zone.cluster],
+                backward: Vec::new(),
+                low: zone.low(),
+                high: zone.high(),
+            }),
+        }
+    }
+
+    // Attach each backward zone to the chunk strictly containing it, if any.
+    let mut backward: Vec<&Zone> = zones
+        .iter()
+        .filter(|z| z.kind() == ZoneKind::Backward)
+        .collect();
+    backward.sort_unstable_by_key(|z| z.low());
+
+    let mut dangling = Vec::new();
+    for zone in backward {
+        // Chunks are disjoint and sorted; find the last chunk starting
+        // before the zone and test containment.
+        let idx = chunks.partition_point(|c| c.low < zone.low());
+        let host = idx.checked_sub(1).map(|i| &mut chunks[i]);
+        match host {
+            Some(chunk) if zone.high() < chunk.high => chunk.backward.push(zone.cluster),
+            _ => dangling.push(zone.cluster),
+        }
+    }
+
+    ChunkSet { chunks, dangling }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fz(id: usize, low: u64, high: u64) -> Zone {
+        // forward: min_finish < max_start
+        Zone { cluster: ClusterId(id), min_finish: Time(low), max_start: Time(high) }
+    }
+
+    fn bz(id: usize, low: u64, high: u64) -> Zone {
+        // backward: max_start < min_finish
+        Zone { cluster: ClusterId(id), min_finish: Time(high), max_start: Time(low) }
+    }
+
+    #[test]
+    fn single_forward_zone_is_one_chunk() {
+        let cs = chunk_set(&[fz(0, 2, 8)]);
+        assert_eq!(cs.chunks.len(), 1);
+        assert_eq!(cs.chunks[0].forward, vec![ClusterId(0)]);
+        assert_eq!((cs.chunks[0].low, cs.chunks[0].high), (Time(2), Time(8)));
+        assert!(cs.dangling.is_empty());
+        assert_eq!(cs.num_clusters(), 1);
+    }
+
+    #[test]
+    fn overlapping_forward_zones_merge_into_one_chunk() {
+        let cs = chunk_set(&[fz(0, 0, 5), fz(1, 3, 9), fz(2, 8, 12)]);
+        assert_eq!(cs.chunks.len(), 1);
+        assert_eq!(cs.chunks[0].forward, vec![ClusterId(0), ClusterId(1), ClusterId(2)]);
+        assert_eq!((cs.chunks[0].low, cs.chunks[0].high), (Time(0), Time(12)));
+    }
+
+    #[test]
+    fn disjoint_forward_zones_split_chunks() {
+        let cs = chunk_set(&[fz(0, 0, 5), fz(1, 7, 10)]);
+        assert_eq!(cs.chunks.len(), 2);
+        assert_eq!(cs.chunks[0].forward, vec![ClusterId(0)]);
+        assert_eq!(cs.chunks[1].forward, vec![ClusterId(1)]);
+    }
+
+    #[test]
+    fn backward_zone_strictly_inside_joins_chunk() {
+        let cs = chunk_set(&[fz(0, 0, 10), bz(1, 2, 6)]);
+        assert_eq!(cs.chunks[0].backward, vec![ClusterId(1)]);
+        assert!(cs.dangling.is_empty());
+    }
+
+    #[test]
+    fn straddling_or_outside_backward_zones_dangle() {
+        let cs = chunk_set(&[
+            fz(0, 5, 10),
+            bz(1, 0, 3),   // entirely left
+            bz(2, 8, 13),  // straddles the right boundary
+            bz(3, 20, 25), // entirely right
+        ]);
+        assert!(cs.chunks[0].backward.is_empty());
+        assert_eq!(cs.dangling, vec![ClusterId(1), ClusterId(2), ClusterId(3)]);
+    }
+
+    #[test]
+    fn no_forward_zones_means_everything_dangles() {
+        let cs = chunk_set(&[bz(0, 0, 3), bz(1, 5, 8)]);
+        assert!(cs.chunks.is_empty());
+        assert_eq!(cs.dangling.len(), 2);
+    }
+
+    /// The worked example of the paper's Figure 3: eight forward zones and
+    /// seven backward zones yielding three maximal chunks
+    /// {FZ1,BZ1}, {FZ2,FZ3,FZ4,BZ3,BZ4}, {FZ5..FZ8,BZ6} and dangling
+    /// {BZ2, BZ5, BZ7}.
+    #[test]
+    fn figure3_structure() {
+        // Coordinates transcribed from the figure's qualitative layout.
+        let zs = vec![
+            // chunk 1: FZ1 with BZ1 inside
+            fz(0, 0, 10),
+            bz(8, 3, 6),
+            // dangling BZ2 between chunks 1 and 2
+            bz(9, 11, 13),
+            // chunk 2: FZ2 overlaps FZ3, FZ3 overlaps FZ4 (FZ2 ends before
+            // FZ3 ends — the "middle chunk" shape of Lemma 4.2 Case 1)
+            fz(1, 14, 20),
+            fz(2, 18, 28),
+            fz(3, 26, 34),
+            bz(10, 16, 19),
+            bz(11, 27, 30),
+            // dangling BZ5 between chunks 2 and 3
+            bz(12, 35, 37),
+            // chunk 3: FZ5..FZ8 chained, FZ5 ends after FZ6 ends (the
+            // "rightmost chunk" shape of Lemma 4.2 Case 2), BZ6 inside
+            fz(4, 38, 52),
+            fz(5, 44, 48),
+            fz(6, 50, 60),
+            fz(7, 58, 66),
+            bz(13, 53, 56),
+            // dangling BZ7 after chunk 3
+            bz(14, 70, 75),
+        ];
+        let cs = chunk_set(&zs);
+        assert_eq!(cs.chunks.len(), 3, "Figure 3 has three maximal chunks");
+        assert_eq!(cs.chunks[0].forward, vec![ClusterId(0)]);
+        assert_eq!(cs.chunks[0].backward, vec![ClusterId(8)]);
+        assert_eq!(
+            cs.chunks[1].forward,
+            vec![ClusterId(1), ClusterId(2), ClusterId(3)]
+        );
+        assert_eq!(cs.chunks[1].backward, vec![ClusterId(10), ClusterId(11)]);
+        assert_eq!(
+            cs.chunks[2].forward,
+            vec![ClusterId(4), ClusterId(5), ClusterId(6), ClusterId(7)]
+        );
+        assert_eq!(cs.chunks[2].backward, vec![ClusterId(13)]);
+        assert_eq!(
+            cs.dangling,
+            vec![ClusterId(9), ClusterId(12), ClusterId(14)],
+            "Figure 3 has three dangling clusters"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Clusters: a write together with its dictated reads (§IV, after
+//! Gibbons & Korach).
+
+use crate::{History, OpId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a cluster within one history's cluster list.
+///
+/// Clusters are listed in the finish order of their dictating writes, so
+/// `ClusterId` doubles as an index into [`clusters`]' result.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ClusterId(pub usize);
+
+impl ClusterId {
+    /// Index into the cluster list.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster{}", self.0)
+    }
+}
+
+/// A write and the reads that obtained its value.
+///
+/// Every write in a history heads exactly one cluster; a cluster may have no
+/// reads (a write nobody observed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cluster {
+    /// The dictating write.
+    pub write: OpId,
+    /// Its dictated reads, sorted by start time.
+    pub reads: Vec<OpId>,
+}
+
+impl Cluster {
+    /// Total number of operations in the cluster (write + reads).
+    pub fn len(&self) -> usize {
+        1 + self.reads.len()
+    }
+
+    /// A cluster always contains its write, so it is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all operation ids in the cluster, write first.
+    pub fn ops(&self) -> impl Iterator<Item = OpId> + '_ {
+        std::iter::once(self.write).chain(self.reads.iter().copied())
+    }
+}
+
+/// Computes the clusters of a history, one per write, ordered by the finish
+/// time of the dictating write.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::{RawHistory, Value, Time, clusters};
+///
+/// let mut raw = RawHistory::new();
+/// raw.write(Value(1), Time(0), Time(4));
+/// raw.read(Value(1), Time(6), Time(9));
+/// raw.read(Value(1), Time(7), Time(11));
+/// let h = raw.into_history()?;
+/// let cs = clusters(&h);
+/// assert_eq!(cs.len(), 1);
+/// assert_eq!(cs[0].reads.len(), 2);
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+pub fn clusters(history: &History) -> Vec<Cluster> {
+    history
+        .writes_by_finish()
+        .iter()
+        .map(|&write| Cluster { write, reads: history.dictated_reads(write).to_vec() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RawHistory, Time, Value};
+
+    #[test]
+    fn one_cluster_per_write_in_finish_order() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(2), Time(10), Time(20));
+        raw.write(Value(1), Time(0), Time(5));
+        raw.read(Value(2), Time(30), Time(40));
+        let h = raw.into_history().unwrap();
+        let cs = clusters(&h);
+        assert_eq!(cs.len(), 2);
+        // Finish order: value 1 first (finish 5), then value 2.
+        assert_eq!(h.op(cs[0].write).value, Value(1));
+        assert_eq!(h.op(cs[1].write).value, Value(2));
+        assert!(cs[0].reads.is_empty());
+        assert_eq!(cs[1].reads.len(), 1);
+        assert_eq!(cs[1].len(), 2);
+        assert_eq!(cs[0].ops().count(), 1);
+        assert!(!cs[0].is_empty());
+    }
+
+    #[test]
+    fn cluster_reads_are_sorted_by_start() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(2));
+        raw.read(Value(1), Time(50), Time(60));
+        raw.read(Value(1), Time(10), Time(20));
+        raw.read(Value(1), Time(30), Time(40));
+        let h = raw.into_history().unwrap();
+        let cs = clusters(&h);
+        let starts: Vec<_> = cs[0].reads.iter().map(|r| h.op(*r).start).collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,229 @@
+//! CSV import/export for operation histories.
+//!
+//! Real trace collectors commonly emit one operation per line. The schema
+//! is a header `kind,value,start,finish[,weight]` followed by rows like
+//! `write,1,0,10` or `read,1,12,20,1`. The weight column is optional and
+//! defaults to 1. This module is hand-rolled (the format needs no quoting:
+//! every field is an integer or a keyword).
+
+use crate::{OpKind, Operation, RawHistory, Time, Value, Weight};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write as IoWrite};
+use std::path::Path;
+
+/// Error parsing a CSV history.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "csv line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> CsvError {
+    CsvError::Parse { line, message: message.into() }
+}
+
+/// Parses a history from CSV text (header required).
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] naming the first malformed line.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::csv;
+///
+/// let raw = csv::from_csv_str("kind,value,start,finish\nwrite,1,0,10\nread,1,12,20\n")?;
+/// assert_eq!(raw.len(), 2);
+/// # Ok::<(), kav_history::csv::CsvError>(())
+/// ```
+pub fn from_csv_str(text: &str) -> Result<RawHistory, CsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty input: expected a header row"))?;
+    let header_fields: Vec<&str> = header.split(',').map(str::trim).collect();
+    match header_fields.as_slice() {
+        ["kind", "value", "start", "finish"] | ["kind", "value", "start", "finish", "weight"] => {}
+        _ => {
+            return Err(parse_err(
+                1,
+                format!("expected header kind,value,start,finish[,weight], got {header:?}"),
+            ))
+        }
+    }
+
+    let mut raw = RawHistory::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 4 && fields.len() != 5 {
+            return Err(parse_err(lineno, format!("expected 4 or 5 fields, got {}", fields.len())));
+        }
+        let kind = match fields[0] {
+            "write" | "w" => OpKind::Write,
+            "read" | "r" => OpKind::Read,
+            other => return Err(parse_err(lineno, format!("unknown kind {other:?}"))),
+        };
+        let parse_u64 = |name: &str, raw: &str| -> Result<u64, CsvError> {
+            raw.parse()
+                .map_err(|_| parse_err(lineno, format!("bad {name} {raw:?}")))
+        };
+        let value = Value(parse_u64("value", fields[1])?);
+        let start = Time(parse_u64("start", fields[2])?);
+        let finish = Time(parse_u64("finish", fields[3])?);
+        let weight = match fields.get(4) {
+            Some(w) => {
+                let w = parse_u64("weight", w)?;
+                Weight(u32::try_from(w).map_err(|_| parse_err(lineno, "weight too large"))?)
+            }
+            None => Weight::UNIT,
+        };
+        raw.push(Operation { kind, value, start, finish, weight });
+    }
+    Ok(raw)
+}
+
+/// Serialises a history to CSV text (always includes the weight column).
+pub fn to_csv_string(history: &RawHistory) -> String {
+    let mut out = String::from("kind,value,start,finish,weight\n");
+    for op in history.iter() {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            match op.kind {
+                OpKind::Write => "write",
+                OpKind::Read => "read",
+            },
+            op.value.as_u64(),
+            op.start.as_u64(),
+            op.finish.as_u64(),
+            op.weight.as_u32(),
+        ));
+    }
+    out
+}
+
+/// Reads a history from a CSV file.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on I/O failure or malformed content.
+pub fn read_history(path: impl AsRef<Path>) -> Result<RawHistory, CsvError> {
+    let mut buf = String::new();
+    fs::File::open(path)?.read_to_string(&mut buf)?;
+    from_csv_str(&buf)
+}
+
+/// Writes a history to a CSV file.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Io`] on I/O failure.
+pub fn write_history(path: impl AsRef<Path>, history: &RawHistory) -> Result<(), CsvError> {
+    let mut file = fs::File::create(path)?;
+    file.write_all(to_csv_string(history).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(10));
+        raw.read(Value(1), Time(12), Time(20));
+        raw.push(Operation::weighted_write(Value(2), Time(30), Time(40), Weight(7)));
+        let text = to_csv_string(&raw);
+        let back = from_csv_str(&text).unwrap();
+        assert_eq!(raw, back);
+    }
+
+    #[test]
+    fn accepts_short_kinds_and_optional_weight() {
+        let raw = from_csv_str("kind,value,start,finish\nw,1,0,10\nr,1,12,20\n").unwrap();
+        assert_eq!(raw.len(), 2);
+        assert!(raw.ops[0].is_write());
+        assert_eq!(raw.ops[1].weight, Weight::UNIT);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let raw =
+            from_csv_str("kind,value,start,finish\n\nwrite,1,0,10\n\n").unwrap();
+        assert_eq!(raw.len(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = from_csv_str("kind,value,start,finish\nwrite,1,0,10\nscan,2,0,5\n")
+            .unwrap_err();
+        match err {
+            CsvError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("scan"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_fields() {
+        assert!(from_csv_str("").is_err());
+        assert!(from_csv_str("a,b\n").is_err());
+        assert!(from_csv_str("kind,value,start,finish\nwrite,1,0\n").is_err());
+        assert!(from_csv_str("kind,value,start,finish\nwrite,x,0,10\n").is_err());
+        assert!(
+            from_csv_str("kind,value,start,finish,weight\nwrite,1,0,10,99999999999\n").is_err()
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("kav_history_csv_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.csv");
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(10));
+        write_history(&path, &raw).unwrap();
+        assert_eq!(read_history(&path).unwrap(), raw);
+        fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,300 @@
+//! A static interval tree over zones (centered / augmented-median form).
+//!
+//! FZF's Stage 1 (§IV-C) keeps zones "in an interval tree sorted by the low
+//! zone endpoint". The chunk computation itself only needs a sorted sweep,
+//! but stabbing and overlap queries are useful throughout the workbench
+//! (zone inspection, chunk attribution, the CLI's `stats`/`render`), so the
+//! tree is provided as a first-class structure: build once in
+//! `O(n log n)`, query in `O(log n + hits)`.
+
+use crate::Time;
+
+/// An interval with an opaque payload (e.g. a cluster id).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeInterval<T> {
+    /// Inclusive lower endpoint.
+    pub low: Time,
+    /// Inclusive upper endpoint.
+    pub high: Time,
+    /// Caller's payload.
+    pub data: T,
+}
+
+/// A node of the centered interval tree.
+#[derive(Clone, Debug)]
+struct Node<T> {
+    center: Time,
+    /// Intervals containing `center`, sorted by low ascending.
+    by_low: Vec<TreeInterval<T>>,
+    /// The same intervals, sorted by high descending.
+    by_high: Vec<TreeInterval<T>>,
+    left: Option<Box<Node<T>>>,
+    right: Option<Box<Node<T>>>,
+}
+
+/// A static interval tree: build once, query many times.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::{IntervalTree, Time, TreeInterval};
+///
+/// let tree = IntervalTree::build(vec![
+///     TreeInterval { low: Time(0), high: Time(10), data: "a" },
+///     TreeInterval { low: Time(5), high: Time(15), data: "b" },
+///     TreeInterval { low: Time(20), high: Time(30), data: "c" },
+/// ]);
+/// let mut hit: Vec<&str> = tree.stab(Time(7)).map(|i| i.data).collect();
+/// hit.sort_unstable();
+/// assert_eq!(hit, vec!["a", "b"]);
+/// assert_eq!(tree.overlapping(Time(12), Time(22)).count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IntervalTree<T> {
+    root: Option<Box<Node<T>>>,
+    len: usize,
+}
+
+impl<T: Clone> IntervalTree<T> {
+    /// Builds a tree from intervals (any order). Intervals with
+    /// `low > high` are rejected by panic — construct them the right way
+    /// around.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any interval has `low > high`.
+    pub fn build(intervals: Vec<TreeInterval<T>>) -> Self {
+        for i in &intervals {
+            assert!(i.low <= i.high, "interval tree: low must not exceed high");
+        }
+        let len = intervals.len();
+        IntervalTree { root: Self::build_node(intervals), len }
+    }
+
+    fn build_node(mut intervals: Vec<TreeInterval<T>>) -> Option<Box<Node<T>>> {
+        if intervals.is_empty() {
+            return None;
+        }
+        // Median endpoint as the center.
+        let mut endpoints: Vec<Time> = intervals
+            .iter()
+            .flat_map(|i| [i.low, i.high])
+            .collect();
+        endpoints.sort_unstable();
+        let center = endpoints[endpoints.len() / 2];
+
+        let mut here = Vec::new();
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for interval in intervals.drain(..) {
+            if interval.high < center {
+                left.push(interval);
+            } else if interval.low > center {
+                right.push(interval);
+            } else {
+                here.push(interval);
+            }
+        }
+        let mut by_low = here.clone();
+        by_low.sort_by_key(|i| i.low);
+        let mut by_high = here;
+        by_high.sort_by_key(|i| std::cmp::Reverse(i.high));
+        Some(Box::new(Node {
+            center,
+            by_low,
+            by_high,
+            left: Self::build_node(left),
+            right: Self::build_node(right),
+        }))
+    }
+
+    /// Number of intervals stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree stores no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All intervals containing the point `at` (closed endpoints).
+    pub fn stab(&self, at: Time) -> impl Iterator<Item = &TreeInterval<T>> {
+        let mut out = Vec::new();
+        let mut node = self.root.as_deref();
+        while let Some(n) = node {
+            if at < n.center {
+                // Intervals here contain center >= at; they match iff their
+                // low <= at — take the by_low prefix.
+                for i in &n.by_low {
+                    if i.low <= at {
+                        out.push(i);
+                    } else {
+                        break;
+                    }
+                }
+                node = n.left.as_deref();
+            } else if at > n.center {
+                for i in &n.by_high {
+                    if i.high >= at {
+                        out.push(i);
+                    } else {
+                        break;
+                    }
+                }
+                node = n.right.as_deref();
+            } else {
+                out.extend(n.by_low.iter());
+                break;
+            }
+        }
+        out.into_iter()
+    }
+
+    /// All intervals intersecting the closed query interval `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn overlapping(&self, low: Time, high: Time) -> impl Iterator<Item = &TreeInterval<T>> {
+        assert!(low <= high, "query interval reversed");
+        let mut out = Vec::new();
+        Self::collect_overlaps(self.root.as_deref(), low, high, &mut out);
+        out.into_iter()
+    }
+
+    fn collect_overlaps<'a>(
+        node: Option<&'a Node<T>>,
+        low: Time,
+        high: Time,
+        out: &mut Vec<&'a TreeInterval<T>>,
+    ) {
+        let Some(n) = node else { return };
+        // Intervals stored here all contain n.center.
+        if high < n.center {
+            // Query entirely left of center: stored intervals match iff
+            // their low <= high.
+            for i in &n.by_low {
+                if i.low <= high {
+                    out.push(i);
+                } else {
+                    break;
+                }
+            }
+            Self::collect_overlaps(n.left.as_deref(), low, high, out);
+        } else if low > n.center {
+            for i in &n.by_high {
+                if i.high >= low {
+                    out.push(i);
+                } else {
+                    break;
+                }
+            }
+            Self::collect_overlaps(n.right.as_deref(), low, high, out);
+        } else {
+            // Query straddles the center: every stored interval overlaps.
+            out.extend(n.by_low.iter());
+            Self::collect_overlaps(n.left.as_deref(), low, high, out);
+            Self::collect_overlaps(n.right.as_deref(), low, high, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(low: u64, high: u64, data: usize) -> TreeInterval<usize> {
+        TreeInterval { low: Time(low), high: Time(high), data }
+    }
+
+    /// Brute-force reference for the tree queries.
+    fn naive_stab(ivs: &[TreeInterval<usize>], at: Time) -> Vec<usize> {
+        let mut v: Vec<usize> = ivs
+            .iter()
+            .filter(|i| i.low <= at && at <= i.high)
+            .map(|i| i.data)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn naive_overlap(ivs: &[TreeInterval<usize>], low: Time, high: Time) -> Vec<usize> {
+        let mut v: Vec<usize> = ivs
+            .iter()
+            .filter(|i| i.low <= high && low <= i.high)
+            .map(|i| i.data)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: IntervalTree<usize> = IntervalTree::build(vec![]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert_eq!(tree.stab(Time(5)).count(), 0);
+        assert_eq!(tree.overlapping(Time(0), Time(10)).count(), 0);
+    }
+
+    #[test]
+    fn small_fixed_cases() {
+        let ivs = vec![iv(0, 10, 0), iv(5, 15, 1), iv(20, 30, 2), iv(8, 9, 3)];
+        let tree = IntervalTree::build(ivs.clone());
+        assert_eq!(tree.len(), 4);
+        for at in [0u64, 5, 8, 9, 10, 12, 19, 20, 30, 31] {
+            let mut got: Vec<usize> = tree.stab(Time(at)).map(|i| i.data).collect();
+            got.sort_unstable();
+            assert_eq!(got, naive_stab(&ivs, Time(at)), "stab {at}");
+        }
+        for (lo, hi) in [(0u64, 4), (9, 21), (16, 19), (0, 100), (30, 30)] {
+            let mut got: Vec<usize> =
+                tree.overlapping(Time(lo), Time(hi)).map(|i| i.data).collect();
+            got.sort_unstable();
+            assert_eq!(got, naive_overlap(&ivs, Time(lo), Time(hi)), "overlap {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        // Deterministic pseudo-random intervals (LCG) — no rng dependency.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..30 {
+            let n = (next() % 40) as usize;
+            let ivs: Vec<TreeInterval<usize>> = (0..n)
+                .map(|d| {
+                    let low = next() % 1000;
+                    let len = next() % 200;
+                    iv(low, low + len, d)
+                })
+                .collect();
+            let tree = IntervalTree::build(ivs.clone());
+            for _ in 0..50 {
+                let at = Time(next() % 1300);
+                let mut got: Vec<usize> = tree.stab(at).map(|i| i.data).collect();
+                got.sort_unstable();
+                assert_eq!(got, naive_stab(&ivs, at), "round {round}");
+
+                let lo = next() % 1200;
+                let hi = lo + next() % 300;
+                let mut got: Vec<usize> = tree
+                    .overlapping(Time(lo), Time(hi))
+                    .map(|i| i.data)
+                    .collect();
+                got.sort_unstable();
+                assert_eq!(got, naive_overlap(&ivs, Time(lo), Time(hi)), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "low must not exceed high")]
+    fn rejects_reversed_intervals() {
+        IntervalTree::build(vec![iv(10, 5, 0)]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Write shortening and dense re-ranking (§II-C, last assumption).
+//!
+//! The paper assumes WLOG that a write finishes before any of its dictated
+//! reads *finishes*: a write's commit point cannot lie after a dictated read
+//! has already returned its value, so the tail of the write interval past
+//! that point is inert. [`normalize`] enforces the assumption by moving each
+//! offending write's finish to just below the minimum finish time of its
+//! dictated reads, then re-ranks all `2n` endpoints onto the dense grid
+//! `0..2n`.
+//!
+//! Correctness of the repair relies on two facts:
+//!
+//! * the new finish stays above the write's start, because an anomaly-free
+//!   read never finishes before its dictating write starts; and
+//! * no two shortened finishes collide, because the minimum-finish read of a
+//!   write is dictated by that write alone, so distinct writes shorten below
+//!   distinct read finishes.
+
+use crate::{Operation, RawHistory, Time};
+
+/// Sort key for one endpoint during re-ranking. `phase == 0` places a
+/// shortened write finish immediately *below* the read finish it attaches
+/// to; original endpoints use `phase == 1`.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct EndpointKey {
+    time: Time,
+    phase: u8,
+    op: usize,
+    is_finish: bool,
+}
+
+/// Applies write shortening and re-ranks all endpoints onto `0..2n`.
+///
+/// `dictating[i]` must give, for each read `i`, the index of its dictating
+/// write (`None` for writes). The input must already be anomaly-free with
+/// pairwise distinct endpoints; both are guaranteed by
+/// [`crate::RawHistory::validate`] before [`crate::History`] calls this.
+pub(crate) fn normalize(raw: &RawHistory, dictating: &[Option<usize>]) -> Vec<Operation> {
+    let n = raw.ops.len();
+
+    // Minimum finish among each write's dictated reads.
+    let mut min_read_finish: Vec<Option<Time>> = vec![None; n];
+    for (i, op) in raw.ops.iter().enumerate() {
+        if let Some(w) = dictating[i] {
+            let slot = &mut min_read_finish[w];
+            *slot = Some(match *slot {
+                Some(t) => t.min(op.finish),
+                None => op.finish,
+            });
+        }
+    }
+
+    let mut keys: Vec<EndpointKey> = Vec::with_capacity(2 * n);
+    for (i, op) in raw.ops.iter().enumerate() {
+        keys.push(EndpointKey { time: op.start, phase: 1, op: i, is_finish: false });
+        let finish_key = match min_read_finish[i] {
+            // Shorten: park the finish just below the earliest dictated-read
+            // finish. (Equality is impossible: endpoints are distinct.)
+            Some(min_rf) if op.finish > min_rf => {
+                EndpointKey { time: min_rf, phase: 0, op: i, is_finish: true }
+            }
+            _ => EndpointKey { time: op.finish, phase: 1, op: i, is_finish: true },
+        };
+        keys.push(finish_key);
+    }
+
+    keys.sort_unstable();
+
+    let mut ops = raw.ops.clone();
+    for (rank, key) in keys.iter().enumerate() {
+        let op = &mut ops[key.op];
+        if key.is_finish {
+            op.finish = Time(rank as u64);
+        } else {
+            op.start = Time(rank as u64);
+        }
+    }
+
+    debug_assert!(ops.iter().all(|op| op.start < op.finish));
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RawHistory, Time, Value};
+
+    fn dictating_map(raw: &RawHistory) -> Vec<Option<usize>> {
+        raw.ops
+            .iter()
+            .map(|op| {
+                if op.is_read() {
+                    raw.ops.iter().position(|w| w.is_write() && w.value == op.value)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn already_normalized_history_keeps_order() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(10)).read(Value(1), Time(20), Time(30));
+        let d = dictating_map(&raw);
+        let ops = normalize(&raw, &d);
+        assert!(ops[0].start < ops[0].finish);
+        assert!(ops[0].finish < ops[1].start);
+        assert!(ops[1].start < ops[1].finish);
+        // Dense grid 0..4.
+        let mut all: Vec<u64> = ops
+            .iter()
+            .flat_map(|o| [o.start.as_u64(), o.finish.as_u64()])
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn long_write_is_shortened_below_first_dictated_read_finish() {
+        let mut raw = RawHistory::new();
+        // Write spans the whole history; its dictated read finishes at 15.
+        raw.write(Value(1), Time(0), Time(100)).read(Value(1), Time(5), Time(15));
+        let d = dictating_map(&raw);
+        let ops = normalize(&raw, &d);
+        let (w, r) = (ops[0], ops[1]);
+        assert!(w.finish < r.finish, "write must finish before its dictated read finishes");
+        assert!(w.start < w.finish, "interval must stay proper");
+        assert!(r.start < w.finish, "shortening must not push the write before the read start");
+    }
+
+    #[test]
+    fn shortening_lands_immediately_below_the_read_finish() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(100)) // shortened below t=15
+            .read(Value(1), Time(5), Time(15))
+            .write(Value(2), Time(11), Time(13)); // unrelated write inside
+        let d = dictating_map(&raw);
+        let ops = normalize(&raw, &d);
+        // Order of endpoints: w1.s=0, r.s=5, w2.s=11, w2.f=13, [w1.f], r.f=15
+        assert_eq!(ops[0].start, Time(0));
+        assert_eq!(ops[1].start, Time(1));
+        assert_eq!(ops[2].start, Time(2));
+        assert_eq!(ops[2].finish, Time(3));
+        assert_eq!(ops[0].finish, Time(4), "shortened finish parks just below the read finish");
+        assert_eq!(ops[1].finish, Time(5));
+    }
+
+    #[test]
+    fn two_writes_shorten_below_distinct_reads_without_collision() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(50))
+            .read(Value(1), Time(2), Time(10))
+            .write(Value(2), Time(1), Time(60))
+            .read(Value(2), Time(3), Time(12));
+        let d = dictating_map(&raw);
+        let ops = normalize(&raw, &d);
+        let mut all: Vec<u64> = ops
+            .iter()
+            .flat_map(|o| [o.start.as_u64(), o.finish.as_u64()])
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8, "all endpoints stay distinct after shortening");
+        assert!(ops[0].finish < ops[1].finish);
+        assert!(ops[2].finish < ops[3].finish);
+    }
+}

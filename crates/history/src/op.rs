@@ -1,0 +1,279 @@
+//! Operations: the atoms of a history.
+//!
+//! Each operation is a read or a write on a single register, with a start
+//! time, a finish time, a value (stored or retrieved) and — for the weighted
+//! k-AV problem of §V — a positive weight (unit by default).
+
+use crate::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an operation inside one [`crate::History`] (its index).
+///
+/// Ids are dense: a history with `n` operations uses ids `0..n`. They are
+/// only meaningful relative to the history that produced them.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::OpId;
+///
+/// let id = OpId(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "op3");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct OpId(pub usize);
+
+impl OpId {
+    /// Returns the operation's index into the history's operation table.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The value written by a write or returned by a read.
+///
+/// The paper assumes each write stores a *distinct* value (§II-C) — in a real
+/// deployment the value would be tagged with a globally unique write id —
+/// which makes the read→dictating-write mapping a function. We keep that
+/// assumption and validate it when a [`crate::History`] is constructed.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// Returns the raw value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Value {
+    fn from(value: u64) -> Self {
+        Value(value)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Positive weight of a write, for the weighted k-AV problem (§V).
+///
+/// The unweighted problem is the special case where every write has weight
+/// `Weight::UNIT`; reads carry a weight too but it is never consulted.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Weight(pub u32);
+
+impl Weight {
+    /// The default weight of every operation: 1.
+    pub const UNIT: Weight = Weight(1);
+
+    /// Returns the raw weight.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Weight {
+    fn default() -> Self {
+        Weight::UNIT
+    }
+}
+
+impl From<u32> for Weight {
+    fn from(value: u32) -> Self {
+        Weight(value)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Whether an operation reads or writes the register.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+#[serde(rename_all = "snake_case")]
+pub enum OpKind {
+    /// The operation retrieves a value.
+    Read,
+    /// The operation stores a value.
+    Write,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => write!(f, "read"),
+            OpKind::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// A single read or write operation with its time interval.
+///
+/// An operation is *active* over the closed interval `[start, finish]`. The
+/// paper's "precedes" partial order (`op1.f < op2.s`) and everything built on
+/// it is exposed via [`Operation::precedes`] and [`Operation::overlaps`].
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::{Operation, Time, Value};
+///
+/// let w = Operation::write(Value(1), Time(0), Time(10));
+/// let r = Operation::read(Value(1), Time(12), Time(20));
+/// assert!(w.precedes(&r));
+/// assert!(!r.precedes(&w));
+/// assert!(!w.overlaps(&r));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Operation {
+    /// Read or write.
+    pub kind: OpKind,
+    /// Value stored (write) or retrieved (read).
+    pub value: Value,
+    /// Invocation time.
+    pub start: Time,
+    /// Response time. Must be strictly greater than `start`.
+    pub finish: Time,
+    /// Weight for the weighted k-AV problem; 1 unless set explicitly.
+    #[serde(default)]
+    pub weight: Weight,
+}
+
+impl Operation {
+    /// Creates a unit-weight read of `value` active over `[start, finish]`.
+    pub fn read(value: Value, start: Time, finish: Time) -> Self {
+        Operation { kind: OpKind::Read, value, start, finish, weight: Weight::UNIT }
+    }
+
+    /// Creates a unit-weight write of `value` active over `[start, finish]`.
+    pub fn write(value: Value, start: Time, finish: Time) -> Self {
+        Operation { kind: OpKind::Write, value, start, finish, weight: Weight::UNIT }
+    }
+
+    /// Creates a write with an explicit weight (for k-WAV instances, §V).
+    pub fn weighted_write(value: Value, start: Time, finish: Time, weight: Weight) -> Self {
+        Operation { kind: OpKind::Write, value, start, finish, weight }
+    }
+
+    /// Returns true if this is a read.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        self.kind == OpKind::Read
+    }
+
+    /// Returns true if this is a write.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        self.kind == OpKind::Write
+    }
+
+    /// The paper's "precedes" relation: `self.finish < other.start`.
+    #[inline]
+    pub fn precedes(&self, other: &Operation) -> bool {
+        self.finish < other.start
+    }
+
+    /// Two operations are concurrent iff neither precedes the other.
+    #[inline]
+    pub fn overlaps(&self, other: &Operation) -> bool {
+        !self.precedes(other) && !other.precedes(self)
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({})@[{},{}]",
+            self.kind, self.value, self.start, self.finish
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: u64, f: u64) -> Operation {
+        Operation::write(Value(1), Time(s), Time(f))
+    }
+
+    #[test]
+    fn precedes_is_strict_on_endpoints() {
+        let a = w(0, 5);
+        let b = w(6, 10);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+
+        // Sharing an endpoint would not count as preceding; endpoints are
+        // distinct in validated histories anyway.
+        let c = w(5, 9);
+        assert!(!a.precedes(&c));
+        assert!(a.overlaps(&c));
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let a = w(0, 10);
+        let b = w(5, 15);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.precedes(&b));
+    }
+
+    #[test]
+    fn constructors_set_kind_and_unit_weight() {
+        let r = Operation::read(Value(9), Time(1), Time(2));
+        assert!(r.is_read());
+        assert!(!r.is_write());
+        assert_eq!(r.weight, Weight::UNIT);
+
+        let w = Operation::weighted_write(Value(3), Time(1), Time(2), Weight(7));
+        assert!(w.is_write());
+        assert_eq!(w.weight.as_u32(), 7);
+    }
+
+    #[test]
+    fn serde_roundtrip_defaults_weight() {
+        let js = r#"{"kind":"write","value":4,"start":0,"finish":3}"#;
+        let op: Operation = serde_json::from_str(js).unwrap();
+        assert_eq!(op.weight, Weight::UNIT);
+        assert_eq!(op.kind, OpKind::Write);
+        let back = serde_json::to_string(&op).unwrap();
+        let again: Operation = serde_json::from_str(&back).unwrap();
+        assert_eq!(op, again);
+    }
+
+    #[test]
+    fn display_formats() {
+        let op = Operation::read(Value(2), Time(1), Time(4));
+        assert_eq!(op.to_string(), "read(v2)@[t1,t4]");
+    }
+}

@@ -1,0 +1,121 @@
+//! ASCII timeline rendering of histories — the visual language of the
+//! paper's figures, for terminals.
+//!
+//! Each operation occupies one row with a fixed label gutter; time flows
+//! left to right. Writes render as `W(v) [===]`, reads as `r(v) [---]`,
+//! scaled onto a fixed-width canvas.
+
+use crate::{History, OpKind};
+
+/// Renders `history` as an ASCII timeline of at most `width` columns
+/// (minimum 20). Rows are ordered by start time.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::{HistoryBuilder, render_timeline};
+///
+/// let h = HistoryBuilder::new()
+///     .write(1, 0, 10)
+///     .read(1, 12, 20)
+///     .build()?;
+/// let art = render_timeline(&h, 40);
+/// assert!(art.contains("W(1)"));
+/// assert!(art.contains("r(1)"));
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+pub fn render_timeline(history: &History, width: usize) -> String {
+    let width = width.max(20);
+    if history.is_empty() {
+        return String::from("(empty history)\n");
+    }
+    let max_t = history
+        .ops()
+        .iter()
+        .map(|op| op.finish.as_u64())
+        .max()
+        .expect("non-empty");
+    let scale = |t: u64| -> usize {
+        if max_t == 0 {
+            0
+        } else {
+            ((t as u128 * (width as u128 - 1)) / max_t as u128) as usize
+        }
+    };
+
+    let gutter = history
+        .ops()
+        .iter()
+        .map(|op| op.value.as_u64().to_string().len())
+        .max()
+        .unwrap_or(1)
+        + 4;
+
+    let mut out = String::new();
+    for &id in history.sorted_by_start() {
+        let op = history.op(id);
+        let from = scale(op.start.as_u64());
+        let to = scale(op.finish.as_u64()).max(from + 1);
+        let label = match op.kind {
+            OpKind::Write => format!("W({})", op.value.as_u64()),
+            OpKind::Read => format!("r({})", op.value.as_u64()),
+        };
+        let fill = if op.kind == OpKind::Write { '=' } else { '-' };
+
+        let mut row = vec![' '; width.max(to + 1)];
+        row[from] = '[';
+        row[to] = ']';
+        for cell in row.iter_mut().take(to).skip(from + 1) {
+            *cell = fill;
+        }
+        out.push_str(&format!("{label:<gutter$}"));
+        out.push_str(row.into_iter().collect::<String>().trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    #[test]
+    fn renders_each_op_on_its_own_row() {
+        let h = HistoryBuilder::new()
+            .write(1, 0, 50)
+            .write(2, 20, 80)
+            .read(1, 60, 100)
+            .build()
+            .unwrap();
+        let art = render_timeline(&h, 60);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("W(1)"));
+        assert!(art.contains("W(2)"));
+        assert!(art.contains("r(1)"));
+        // Rows are start-ordered: W(1) first.
+        assert!(art.lines().next().unwrap().contains("W(1)"));
+    }
+
+    #[test]
+    fn empty_history_renders_placeholder() {
+        let h = HistoryBuilder::new().build().unwrap();
+        assert_eq!(render_timeline(&h, 40), "(empty history)\n");
+    }
+
+    #[test]
+    fn narrow_width_is_clamped() {
+        let h = HistoryBuilder::new().write(1, 0, 5).build().unwrap();
+        let art = render_timeline(&h, 1);
+        assert!(art.lines().next().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn brackets_delimit_every_interval() {
+        let h = HistoryBuilder::new().write(1, 0, 10).read(1, 12, 24).build().unwrap();
+        for line in render_timeline(&h, 50).lines() {
+            assert!(line.contains('['), "missing opening bracket: {line:?}");
+            assert!(line.ends_with(']'), "missing closing bracket: {line:?}");
+        }
+    }
+}

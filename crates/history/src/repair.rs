@@ -1,0 +1,254 @@
+//! Trace repair: turning dirty captures into verifiable histories.
+//!
+//! §II-C assumes anomaly-free input and notes that "detection of such
+//! anomalies is straightforward". Real captures are messier: probes crash
+//! mid-operation, clocks collide, values arrive that no recorded write
+//! stored. [`repair`] applies the standard cleanups a trace auditor
+//! performs before verification, and reports every change so dropped
+//! operations are visible rather than silent:
+//!
+//! 1. drop operations with inverted/empty intervals,
+//! 2. drop reads whose value no write in the trace stores,
+//! 3. drop reads that finish before their dictating write starts
+//!    (probe clock damage — unrepairable without guessing),
+//! 4. keep the first write of a duplicated value, drop later ones
+//!    (and reads are re-bound to the survivor by value),
+//! 5. re-rank endpoints toward concurrency to restore distinctness.
+//!
+//! Dropping operations can only *weaken* constraints: if the original
+//! history was k-atomic, the repaired one still is (the restriction of a
+//! valid k-atomic order remains valid and k-atomic). The converse does not
+//! hold — repair is for salvaging evidence, not for proving innocence.
+
+use crate::{History, Operation, RawHistory, ValidationError, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why an operation was removed during repair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// `finish <= start`.
+    EmptyInterval,
+    /// Read of a value no write stores.
+    NoDictatingWrite,
+    /// Read finishing before its dictating write starts.
+    ReadBeforeWrite,
+    /// A later write of an already-written value.
+    DuplicateWriteValue,
+    /// Zero weight.
+    ZeroWeight,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DropReason::EmptyInterval => write!(f, "empty interval"),
+            DropReason::NoDictatingWrite => write!(f, "no dictating write"),
+            DropReason::ReadBeforeWrite => write!(f, "read finishes before its write starts"),
+            DropReason::DuplicateWriteValue => write!(f, "duplicate write value"),
+            DropReason::ZeroWeight => write!(f, "zero weight"),
+        }
+    }
+}
+
+/// The audit trail of one repair pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairLog {
+    /// Operations removed, with their original index and the reason.
+    pub dropped: Vec<(usize, Operation, DropReason)>,
+    /// Whether endpoints had to be re-ranked for distinctness.
+    pub re_ranked: bool,
+}
+
+impl RepairLog {
+    /// True if the input needed no changes.
+    pub fn is_clean(&self) -> bool {
+        self.dropped.is_empty() && !self.re_ranked
+    }
+}
+
+impl fmt::Display for RepairLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "no repairs needed");
+        }
+        writeln!(f, "dropped {} operations:", self.dropped.len())?;
+        for (idx, op, reason) in &self.dropped {
+            writeln!(f, "  #{idx} {op}: {reason}")?;
+        }
+        if self.re_ranked {
+            write!(f, "endpoints re-ranked for distinctness")?;
+        }
+        Ok(())
+    }
+}
+
+/// Repairs a raw capture into a validated [`History`], reporting every
+/// change. See the module docs for the cleanup rules.
+///
+/// # Errors
+///
+/// Never fails on the anomalies it repairs; retains [`ValidationError`] in
+/// the signature for forward compatibility (a repaired history always
+/// validates today, and the test suite asserts it).
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::{repair, RawHistory, Value, Time};
+///
+/// let mut raw = RawHistory::new();
+/// raw.write(Value(1), Time(0), Time(10));
+/// raw.read(Value(1), Time(12), Time(20));
+/// raw.read(Value(9), Time(30), Time(40)); // nobody wrote 9
+/// let (history, log) = repair(raw)?;
+/// assert_eq!(history.len(), 2);
+/// assert_eq!(log.dropped.len(), 1);
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+pub fn repair(raw: RawHistory) -> Result<(History, RepairLog), ValidationError> {
+    let mut log = RepairLog::default();
+    let mut survivors: Vec<(usize, Operation)> = Vec::with_capacity(raw.len());
+
+    // Pass 1: structural validity per op + first-write-wins for values.
+    let mut first_write: HashMap<Value, Operation> = HashMap::new();
+    for (idx, op) in raw.ops.iter().enumerate() {
+        if op.finish <= op.start {
+            log.dropped.push((idx, *op, DropReason::EmptyInterval));
+            continue;
+        }
+        if op.weight.as_u32() == 0 {
+            log.dropped.push((idx, *op, DropReason::ZeroWeight));
+            continue;
+        }
+        if op.is_write() {
+            if first_write.contains_key(&op.value) {
+                log.dropped.push((idx, *op, DropReason::DuplicateWriteValue));
+                continue;
+            }
+            first_write.insert(op.value, *op);
+        }
+        survivors.push((idx, *op));
+    }
+
+    // Pass 2: read sanity against the surviving writes.
+    let mut cleaned = RawHistory::new();
+    for (idx, op) in survivors {
+        if op.is_read() {
+            match first_write.get(&op.value) {
+                None => {
+                    log.dropped.push((idx, op, DropReason::NoDictatingWrite));
+                    continue;
+                }
+                Some(w) if op.precedes(w) => {
+                    log.dropped.push((idx, op, DropReason::ReadBeforeWrite));
+                    continue;
+                }
+                Some(_) => {}
+            }
+        }
+        cleaned.push(op);
+    }
+
+    // Pass 3: distinct endpoints.
+    let needs_reranking = !cleaned
+        .validate()
+        .anomalies()
+        .iter()
+        .all(|a| !matches!(a, crate::Anomaly::DuplicateEndpoint { .. }));
+    if needs_reranking {
+        cleaned.make_endpoints_distinct();
+        log.re_ranked = true;
+    }
+
+    let history = cleaned.into_history()?;
+    Ok((history, log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Time, Weight};
+
+    #[test]
+    fn clean_input_passes_through() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(10)).read(Value(1), Time(12), Time(20));
+        let (h, log) = repair(raw).unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(log.is_clean());
+        assert_eq!(log.to_string(), "no repairs needed");
+    }
+
+    #[test]
+    fn drops_each_kind_of_anomaly() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(10)); // ok
+        raw.write(Value(2), Time(5), Time(5)); // empty interval
+        raw.read(Value(9), Time(12), Time(20)); // orphan read
+        raw.read(Value(1), Time(30), Time(40)); // ok
+        raw.push(Operation {
+            kind: crate::OpKind::Write,
+            value: Value(3),
+            start: Time(50),
+            finish: Time(60),
+            weight: Weight(0), // zero weight
+        });
+        let (h, log) = repair(raw).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(log.dropped.len(), 3);
+        let reasons: Vec<DropReason> = log.dropped.iter().map(|(_, _, r)| *r).collect();
+        assert!(reasons.contains(&DropReason::EmptyInterval));
+        assert!(reasons.contains(&DropReason::NoDictatingWrite));
+        assert!(reasons.contains(&DropReason::ZeroWeight));
+        assert!(log.to_string().contains("dropped 3 operations"));
+    }
+
+    #[test]
+    fn duplicate_writes_keep_the_first() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(10));
+        raw.write(Value(1), Time(20), Time(30)); // dup, dropped
+        raw.read(Value(1), Time(40), Time(50)); // binds to the first
+        let (h, log) = repair(raw).unwrap();
+        assert_eq!(h.num_writes(), 1);
+        assert_eq!(h.num_reads(), 1);
+        assert_eq!(log.dropped.len(), 1);
+        assert_eq!(log.dropped[0].2, DropReason::DuplicateWriteValue);
+    }
+
+    #[test]
+    fn future_reads_are_dropped() {
+        let mut raw = RawHistory::new();
+        raw.read(Value(1), Time(0), Time(5)); // before the write: damaged
+        raw.write(Value(1), Time(10), Time(20));
+        let (h, log) = repair(raw).unwrap();
+        assert_eq!(h.len(), 1);
+        assert_eq!(log.dropped[0].2, DropReason::ReadBeforeWrite);
+    }
+
+    #[test]
+    fn colliding_endpoints_are_re_ranked() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(10));
+        raw.read(Value(1), Time(10), Time(20)); // touches the write
+        let (h, log) = repair(raw).unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(log.re_ranked);
+        assert!(!log.is_clean());
+    }
+
+    #[test]
+    fn repair_preserves_k_atomicity_direction() {
+        // Dropping ops weakens constraints: a repaired version of a clean
+        // 1-atomic history (with junk added) is still 1-atomic.
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(10));
+        raw.read(Value(1), Time(12), Time(20));
+        raw.read(Value(42), Time(13), Time(21)); // junk probe
+        let (h, log) = repair(raw).unwrap();
+        assert_eq!(log.dropped.len(), 1);
+        // The survivors are the serial pair: trivially atomic.
+        assert_eq!(h.len(), 2);
+    }
+}

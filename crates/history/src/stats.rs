@@ -1,0 +1,120 @@
+//! Summary statistics of a history: the knobs the paper's complexity bounds
+//! are parameterised on (`n`, `c`) plus the zone/chunk census FZF sees.
+
+use crate::{chunk_set, clusters, zones, History, ZoneKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A census of one history.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::{HistoryBuilder, HistoryStats};
+///
+/// let h = HistoryBuilder::new()
+///     .write(1, 0, 10)
+///     .write(2, 5, 15)
+///     .read(1, 20, 30)
+///     .build()?;
+/// let stats = HistoryStats::of(&h);
+/// assert_eq!(stats.ops, 3);
+/// assert_eq!(stats.max_concurrent_writes, 2);
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryStats {
+    /// Total operations `n`.
+    pub ops: usize,
+    /// Number of reads.
+    pub reads: usize,
+    /// Number of writes (= number of clusters).
+    pub writes: usize,
+    /// Maximum writes concurrently active — the `c` of Theorem 3.2.
+    pub max_concurrent_writes: usize,
+    /// Clusters with forward zones.
+    pub forward_clusters: usize,
+    /// Clusters with backward zones.
+    pub backward_clusters: usize,
+    /// Maximal chunks in `CS(H)`.
+    pub chunks: usize,
+    /// Dangling (chunk-less backward) clusters.
+    pub dangling_clusters: usize,
+    /// Largest number of clusters in any single chunk.
+    pub largest_chunk: usize,
+}
+
+impl HistoryStats {
+    /// Computes the census of `history`.
+    pub fn of(history: &History) -> Self {
+        let cs = clusters(history);
+        let zs = zones(history, &cs);
+        let chunked = chunk_set(&zs);
+        let forward = zs.iter().filter(|z| z.kind() == ZoneKind::Forward).count();
+        HistoryStats {
+            ops: history.len(),
+            reads: history.num_reads(),
+            writes: history.num_writes(),
+            max_concurrent_writes: history.max_concurrent_writes(),
+            forward_clusters: forward,
+            backward_clusters: zs.len() - forward,
+            chunks: chunked.chunks.len(),
+            dangling_clusters: chunked.dangling.len(),
+            largest_chunk: chunked
+                .chunks
+                .iter()
+                .map(|c| c.num_clusters())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for HistoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "operations:             {}", self.ops)?;
+        writeln!(f, "  reads:                {}", self.reads)?;
+        writeln!(f, "  writes:               {}", self.writes)?;
+        writeln!(f, "max concurrent writes:  {}", self.max_concurrent_writes)?;
+        writeln!(f, "forward clusters:       {}", self.forward_clusters)?;
+        writeln!(f, "backward clusters:      {}", self.backward_clusters)?;
+        writeln!(f, "maximal chunks:         {}", self.chunks)?;
+        writeln!(f, "dangling clusters:      {}", self.dangling_clusters)?;
+        write!(f, "largest chunk:          {}", self.largest_chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryBuilder;
+
+    #[test]
+    fn census_counts_match() {
+        let h = HistoryBuilder::new()
+            .write(1, 0, 2)
+            .read(1, 4, 6) // forward cluster
+            .write(2, 3, 5) // backward, inside chunk [2,4]? high=5 > 4 -> dangling
+            .write(3, 20, 22) // backward, dangling
+            .build()
+            .unwrap();
+        let s = HistoryStats::of(&h);
+        assert_eq!(s.ops, 4);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 3);
+        assert_eq!(s.forward_clusters, 1);
+        assert_eq!(s.backward_clusters, 2);
+        assert_eq!(s.chunks, 1);
+        assert_eq!(s.chunks + s.dangling_clusters, 3 - s.forward_clusters + 1);
+        assert!(s.largest_chunk >= 1);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_history_census() {
+        let h = HistoryBuilder::new().build().unwrap();
+        let s = HistoryStats::of(&h);
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.largest_chunk, 0);
+    }
+}

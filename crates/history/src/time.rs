@@ -1,0 +1,92 @@
+//! Timestamps for operation endpoints.
+//!
+//! The paper (§II-C) assumes every start and finish time in a history is
+//! distinct, and that timestamps closely reflect real time (e.g. TrueTime).
+//! We model a timestamp as a plain `u64` rank or microsecond count; only the
+//! *order* of timestamps is ever consumed by the verification algorithms, so
+//! [`crate::History`] is free to re-rank them onto a dense grid.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in (logical or real) time at which an operation starts or
+/// finishes.
+///
+/// `Time` is an order-only quantity: verifiers compare timestamps but never
+/// subtract or scale them, so any strictly monotone relabelling of the
+/// timestamps of a history leaves every verdict unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::Time;
+///
+/// let a = Time(3);
+/// let b = Time(7);
+/// assert!(a < b);
+/// assert_eq!(a.as_u64(), 3);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The smallest representable time.
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable time.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Returns the underlying integer rank.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use kav_history::Time;
+    /// assert_eq!(Time(42).as_u64(), 42);
+    /// ```
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Time {
+    fn from(value: u64) -> Self {
+        Time(value)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_u64() {
+        assert!(Time(1) < Time(2));
+        assert!(Time::ZERO < Time::MAX);
+        assert_eq!(Time(5), Time::from(5));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Time(17).to_string(), "t17");
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let t = Time(9);
+        let js = serde_json::to_string(&t).unwrap();
+        assert_eq!(js, "9");
+        let back: Time = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, t);
+    }
+}

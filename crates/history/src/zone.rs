@@ -1,0 +1,205 @@
+//! Zones (Gibbons & Korach): the time footprint of a cluster.
+//!
+//! For a cluster, let `Z.f` be the minimum finish time of any operation in
+//! the cluster and `Z.s̄` the maximum start time. The zone is *forward* when
+//! `Z.f < Z.s̄` (some member starts after another finished) and *backward*
+//! otherwise (all members overlap pairwise — they share a common instant).
+//! The zone occupies `[low, high] = [min(Z.f, Z.s̄), max(Z.f, Z.s̄)]`.
+//!
+//! Gibbons & Korach's classic test: a history is 1-atomic iff no two forward
+//! zones overlap and no backward zone lies entirely inside a forward zone.
+//! FZF's Stage 1 (§IV-A) chunks the history along the same structure.
+
+use crate::{Cluster, ClusterId, History, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Orientation of a zone.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+#[serde(rename_all = "snake_case")]
+pub enum ZoneKind {
+    /// `min finish < max start`: the cluster's operations do not all
+    /// pairwise overlap. A forward cluster always has at least one read
+    /// (otherwise its only start precedes its only finish).
+    Forward,
+    /// `max start < min finish`: every pair of cluster operations overlaps;
+    /// the zone is the interval common to all of them. Write-only clusters
+    /// are always backward.
+    Backward,
+}
+
+impl fmt::Display for ZoneKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZoneKind::Forward => write!(f, "forward"),
+            ZoneKind::Backward => write!(f, "backward"),
+        }
+    }
+}
+
+/// The zone of one cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Zone {
+    /// The cluster this zone describes.
+    pub cluster: ClusterId,
+    /// Minimum finish time over the cluster (`Z.f`).
+    pub min_finish: Time,
+    /// Maximum start time over the cluster (`Z.s̄`).
+    pub max_start: Time,
+}
+
+impl Zone {
+    /// Computes the zone of `cluster` within `history`.
+    pub fn of_cluster(history: &History, id: ClusterId, cluster: &Cluster) -> Zone {
+        let mut min_finish = Time::MAX;
+        let mut max_start = Time::ZERO;
+        for op in cluster.ops() {
+            let op = history.op(op);
+            min_finish = min_finish.min(op.finish);
+            max_start = max_start.max(op.start);
+        }
+        Zone { cluster: id, min_finish, max_start }
+    }
+
+    /// Forward or backward (§IV).
+    #[inline]
+    pub fn kind(&self) -> ZoneKind {
+        // Endpoints are distinct in a validated history, so < vs > is total.
+        if self.min_finish < self.max_start {
+            ZoneKind::Forward
+        } else {
+            ZoneKind::Backward
+        }
+    }
+
+    /// True iff this is a forward zone.
+    #[inline]
+    pub fn is_forward(&self) -> bool {
+        self.kind() == ZoneKind::Forward
+    }
+
+    /// The low endpoint `Z.l = min(Z.f, Z.s̄)`.
+    #[inline]
+    pub fn low(&self) -> Time {
+        self.min_finish.min(self.max_start)
+    }
+
+    /// The high endpoint `Z.h = max(Z.f, Z.s̄)`.
+    #[inline]
+    pub fn high(&self) -> Time {
+        self.min_finish.max(self.max_start)
+    }
+
+    /// True iff the zones' closed intervals `[low, high]` intersect.
+    #[inline]
+    pub fn overlaps(&self, other: &Zone) -> bool {
+        self.low() <= other.high() && other.low() <= self.high()
+    }
+
+    /// True iff `other` lies strictly inside this zone's interval.
+    #[inline]
+    pub fn contains(&self, other: &Zone) -> bool {
+        self.low() < other.low() && other.high() < self.high()
+    }
+}
+
+impl fmt::Display for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{},{}]", self.kind(), self.low(), self.high())
+    }
+}
+
+/// Computes the zone of every cluster, in cluster order.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::{RawHistory, Value, Time, clusters, zones, ZoneKind};
+///
+/// let mut raw = RawHistory::new();
+/// raw.write(Value(1), Time(0), Time(4));      // finishes before...
+/// raw.read(Value(1), Time(6), Time(9));       // ...its read starts: forward
+/// raw.write(Value(2), Time(1), Time(11));     // write-only: backward
+/// let h = raw.into_history()?;
+/// let cs = clusters(&h);
+/// let zs = zones(&h, &cs);
+/// assert_eq!(zs[0].kind(), ZoneKind::Forward);
+/// assert_eq!(zs[1].kind(), ZoneKind::Backward);
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+pub fn zones(history: &History, clusters: &[Cluster]) -> Vec<Zone> {
+    clusters
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Zone::of_cluster(history, ClusterId(i), c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clusters, RawHistory, Value};
+
+    fn zones_of(raw: RawHistory) -> (History, Vec<Zone>) {
+        let h = raw.into_history().unwrap();
+        let cs = clusters(&h);
+        let zs = zones(&h, &cs);
+        (h, zs)
+    }
+
+    #[test]
+    fn forward_zone_from_read_after_write() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(10));
+        raw.read(Value(1), Time(20), Time(30));
+        let (_, zs) = zones_of(raw);
+        assert_eq!(zs.len(), 1);
+        assert!(zs[0].is_forward());
+        // Zone spans [write finish, read start] in normalised coordinates.
+        assert_eq!(zs[0].low(), zs[0].min_finish);
+        assert_eq!(zs[0].high(), zs[0].max_start);
+    }
+
+    #[test]
+    fn backward_zone_from_fully_overlapping_cluster() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(100));
+        raw.read(Value(1), Time(10), Time(150));
+        // Normalisation shortens the write below t=150, keeping overlap.
+        let (_, zs) = zones_of(raw);
+        assert_eq!(zs[0].kind(), ZoneKind::Backward);
+        assert!(zs[0].low() < zs[0].high());
+    }
+
+    #[test]
+    fn write_only_cluster_is_backward() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(3), Time(7));
+        let (_, zs) = zones_of(raw);
+        assert_eq!(zs[0].kind(), ZoneKind::Backward);
+        assert_eq!(zs[0].low(), Time(0)); // re-ranked start
+        assert_eq!(zs[0].high(), Time(1)); // re-ranked finish
+    }
+
+    #[test]
+    fn overlap_and_containment() {
+        let a = Zone { cluster: ClusterId(0), min_finish: Time(2), max_start: Time(10) };
+        let b = Zone { cluster: ClusterId(1), min_finish: Time(5), max_start: Time(12) };
+        let c = Zone { cluster: ClusterId(2), min_finish: Time(7), max_start: Time(4) }; // backward [4,7]
+        let d = Zone { cluster: ClusterId(3), min_finish: Time(30), max_start: Time(40) };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&d));
+        assert!(a.contains(&c));
+        assert!(!c.contains(&a));
+        assert!(!a.contains(&b));
+    }
+
+    #[test]
+    fn display_mentions_kind_and_bounds() {
+        let z = Zone { cluster: ClusterId(0), min_finish: Time(2), max_start: Time(10) };
+        assert_eq!(z.to_string(), "forward[t2,t10]");
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the history substrate: validation, repair,
+//! normalisation, zones/chunks and transforms maintain their documented
+//! invariants on arbitrary inputs.
+
+use kav_history::{
+    chunk_set, clusters, repair, transform, zones, HistoryStats, OpKind, Operation, RawHistory,
+    Time, Value, Weight, ZoneKind,
+};
+use proptest::prelude::*;
+
+/// Completely arbitrary operation soup — may contain every anomaly.
+fn arb_soup() -> impl Strategy<Value = RawHistory> {
+    prop::collection::vec(
+        (any::<bool>(), 0u64..6, 0u64..120, 0u64..40, 0u32..4),
+        0..25,
+    )
+    .prop_map(|ops| {
+        ops.into_iter()
+            .map(|(is_read, value, start, len, weight)| Operation {
+                kind: if is_read { OpKind::Read } else { OpKind::Write },
+                value: Value(value),
+                start: Time(start),
+                finish: Time(start + len), // len 0 => empty interval anomaly
+                weight: Weight(weight),    // 0 => zero-weight anomaly
+            })
+            .collect()
+    })
+}
+
+/// Anomaly-free generator (validated downstream).
+fn arb_clean() -> impl Strategy<Value = RawHistory> {
+    let writes = prop::collection::vec((0u64..200, 1u64..50), 1..8);
+    let reads = prop::collection::vec((any::<prop::sample::Index>(), 0u64..80, 1u64..40), 0..10);
+    (writes, reads).prop_map(|(writes, reads)| {
+        let mut raw = RawHistory::new();
+        for (i, &(s, l)) in writes.iter().enumerate() {
+            raw.push(Operation::write(Value(i as u64 + 1), Time(s), Time(s + l)));
+        }
+        for (which, off, l) in reads {
+            let w = which.index(writes.len());
+            let s = writes[w].0 + off;
+            raw.push(Operation::read(Value(w as u64 + 1), Time(s), Time(s + l)));
+        }
+        raw.make_endpoints_distinct();
+        raw
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Repair always produces a validating history, never invents
+    /// operations, and is idempotent.
+    #[test]
+    fn repair_is_sound_and_idempotent(raw in arb_soup()) {
+        let (history, log) = repair(raw.clone()).expect("repair always salvages");
+        prop_assert_eq!(history.len() + log.dropped.len(), raw.len());
+        prop_assert!(history.to_raw().validate().is_clean());
+        let (again, log2) = repair(history.to_raw()).expect("second pass");
+        prop_assert!(log2.dropped.is_empty(), "idempotence: nothing left to drop");
+        prop_assert_eq!(again.len(), history.len());
+    }
+
+    /// `make_endpoints_distinct` yields distinct endpoints and preserves
+    /// every strict precedence.
+    #[test]
+    fn endpoint_repair_preserves_precedence(raw in arb_soup()) {
+        let mut repaired = raw.clone();
+        repaired.make_endpoints_distinct();
+        // Distinctness:
+        let mut endpoints: Vec<u64> = repaired
+            .iter()
+            .flat_map(|op| [op.start.as_u64(), op.finish.as_u64()])
+            .collect();
+        endpoints.sort_unstable();
+        let before_dedup = endpoints.len();
+        endpoints.dedup();
+        prop_assert_eq!(before_dedup, endpoints.len());
+        // Precedence preservation:
+        for i in 0..raw.len() {
+            for j in 0..raw.len() {
+                if i != j && raw.ops[i].precedes(&raw.ops[j]) {
+                    prop_assert!(
+                        repaired.ops[i].precedes(&repaired.ops[j]),
+                        "strict precedence {i} -> {j} lost"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Zone and chunk invariants on clean histories.
+    #[test]
+    fn zone_and_chunk_invariants(raw in arb_clean()) {
+        let h = raw.into_history().expect("clean");
+        let cs = clusters(&h);
+        let zs = zones(&h, &cs);
+        prop_assert_eq!(cs.len(), h.num_writes());
+
+        for z in &zs {
+            prop_assert!(z.low() <= z.high());
+            if z.kind() == ZoneKind::Forward {
+                // Forward zones need a read that starts after the write
+                // finishes; in particular the cluster has a read.
+                prop_assert!(!cs[z.cluster.index()].reads.is_empty());
+            }
+        }
+
+        let chunked = chunk_set(&zs);
+        // Chunk intervals are sorted and pairwise disjoint.
+        for pair in chunked.chunks.windows(2) {
+            prop_assert!(pair[0].high < pair[1].low);
+        }
+        // Every forward cluster appears in exactly one chunk.
+        let mut seen = std::collections::HashSet::new();
+        for chunk in &chunked.chunks {
+            for c in &chunk.forward {
+                prop_assert!(seen.insert(*c), "forward cluster in two chunks");
+            }
+            // Backward members nest strictly inside the interval.
+            for c in &chunk.backward {
+                let z = zs[c.index()];
+                prop_assert!(chunk.low < z.low() && z.high() < chunk.high);
+            }
+        }
+        let forward_total = zs.iter().filter(|z| z.kind() == ZoneKind::Forward).count();
+        prop_assert_eq!(seen.len(), forward_total);
+        // Dangling clusters are backward.
+        for d in &chunked.dangling {
+            prop_assert_eq!(zs[d.index()].kind(), ZoneKind::Backward);
+        }
+        // Census agrees.
+        let stats = HistoryStats::of(&h);
+        prop_assert_eq!(stats.chunks, chunked.chunks.len());
+        prop_assert_eq!(stats.dangling_clusters, chunked.dangling.len());
+        prop_assert_eq!(stats.reads + stats.writes, stats.ops);
+    }
+
+    /// Transform laws: shift and dilate compose and preserve validity.
+    #[test]
+    fn transform_laws(raw in arb_clean(), a in 1u64..500, b in 1u64..500, f in 1u64..6) {
+        let shifted = transform::shift(&transform::shift(&raw, a), b);
+        let direct = transform::shift(&raw, a + b);
+        prop_assert_eq!(shifted, direct, "shift composes additively");
+
+        let dilated = transform::dilate(&raw, f);
+        prop_assert!(dilated.validate().is_clean());
+        // Dilation preserves order, hence cluster/zone structure counts.
+        let h1 = raw.clone().into_history().expect("clean");
+        let h2 = dilated.into_history().expect("still clean");
+        prop_assert_eq!(
+            HistoryStats::of(&h1), HistoryStats::of(&h2),
+            "order-isomorphic relabelling preserves the census"
+        );
+    }
+
+    /// Merging value-disjoint histories keeps both parts intact.
+    #[test]
+    fn merge_preserves_parts(a in arb_clean(), b in arb_clean()) {
+        let b_shifted = transform::offset_values(&b, 1000);
+        let merged = transform::merge(&a, &b_shifted);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        prop_assert!(merged.validate().is_clean(), "{:?}", merged.validate());
+        // Projecting the merged history back onto b's values recovers b's
+        // operation multiset (up to re-ranked timestamps).
+        let values: std::collections::BTreeSet<Value> =
+            b_shifted.iter().map(|op| op.value).collect();
+        let projected = transform::project_values(&merged, &values);
+        prop_assert_eq!(projected.len(), b.len());
+    }
+
+    /// Validation finds a planted orphan read in any clean history.
+    #[test]
+    fn validation_catches_planted_orphans(raw in arb_clean(), s in 0u64..500) {
+        let mut poisoned = raw;
+        poisoned.push(Operation::read(Value(99_999), Time(10 * s + 1_000_000), Time(10 * s + 1_000_005)));
+        let report = poisoned.validate();
+        let caught = report
+            .anomalies()
+            .iter()
+            .any(|a| matches!(a, kav_history::Anomaly::MissingDictatingWrite { .. }));
+        prop_assert!(caught, "orphan read not detected: {:?}", report);
+    }
+}

@@ -1,0 +1,304 @@
+//! Simulation parameters.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A latency / delay distribution, sampled per message or per pause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum LatencyModel {
+    /// Always exactly this many microseconds.
+    Fixed(u64),
+    /// Uniform over `[lo, hi]` microseconds.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+}
+
+impl LatencyModel {
+    pub(crate) fn sample<R: rand::Rng>(&self, rng: &mut R) -> u64 {
+        match *self {
+            LatencyModel::Fixed(v) => v,
+            LatencyModel::Uniform { lo, hi } => rng.gen_range(lo..=hi.max(lo)),
+        }
+    }
+
+    /// The largest delay this model can produce.
+    pub fn max(&self) -> u64 {
+        match *self {
+            LatencyModel::Fixed(v) => v,
+            LatencyModel::Uniform { hi, lo } => hi.max(lo),
+        }
+    }
+}
+
+/// How clients pick keys.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+#[derive(Default)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    #[default]
+    Uniform,
+    /// Zipf-distributed popularity with the given exponent (> 0): key 0 is
+    /// the hottest. Skew concentrates write contention and staleness on
+    /// few registers.
+    Zipf {
+        /// The Zipf exponent `s` (1.0 is the classic harmonic profile).
+        exponent: f64,
+    },
+}
+
+
+/// A periodically partitioned ("flaky") replica: during each downtime
+/// window it buffers writes (applying them on recovery, like hinted
+/// handoff being replayed) and cannot answer reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlakyReplica {
+    /// Index of the affected replica.
+    pub replica: usize,
+    /// Length of one up/down cycle in microseconds.
+    pub period: u64,
+    /// Leading portion of each cycle the replica spends down; must be
+    /// strictly less than `period`.
+    pub downtime: u64,
+}
+
+impl FlakyReplica {
+    /// True iff the replica is reachable at simulation time `at`.
+    pub fn is_up(&self, at: u64) -> bool {
+        at % self.period >= self.downtime
+    }
+
+    /// The earliest time `>= at` at which the replica is reachable.
+    pub fn next_up(&self, at: u64) -> u64 {
+        if self.is_up(at) {
+            at
+        } else {
+            at - (at % self.period) + self.downtime
+        }
+    }
+}
+
+/// Configuration of the quorum-replicated store simulation.
+///
+/// The store keeps `replicas` copies of every key. A write is sent to
+/// `write_fanout` replicas (all of them by default) and completes after
+/// `write_quorum` acknowledgements; a read is sent to every replica and
+/// returns the highest-versioned value among the first `read_quorum`
+/// replies. With `read_quorum + write_quorum > replicas` every read quorum
+/// intersects every complete write quorum (the strict-quorum regime); with
+/// smaller quorums — or with `write_fanout < replicas`, modelling sloppy
+/// quorums and hinted handoff — reads can miss committed writes entirely
+/// and staleness is unbounded, the situation §I of the paper targets.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of replicas `N`.
+    pub replicas: usize,
+    /// Read quorum size `R` (`1 ≤ R ≤ N`).
+    pub read_quorum: usize,
+    /// Write quorum size `W` (`1 ≤ W ≤ N`).
+    pub write_quorum: usize,
+    /// Replicas each write is actually sent to (default `N`; lowering this
+    /// below `N` models sloppy replication). Must be at least
+    /// `write_quorum`.
+    pub write_fanout: Option<usize>,
+    /// Number of closed-loop client processes.
+    pub clients: usize,
+    /// Operations each client issues.
+    pub ops_per_client: usize,
+    /// Number of distinct keys (registers); keys are chosen uniformly.
+    pub keys: u64,
+    /// Fraction of client operations that are reads, in `[0, 1]`.
+    pub read_fraction: f64,
+    /// One-way network latency per message.
+    pub network: LatencyModel,
+    /// Additional delay between a replica receiving a write and applying it
+    /// (replication lag).
+    pub apply_lag: LatencyModel,
+    /// Client think time between operations.
+    pub think_time: LatencyModel,
+    /// Probability that a write message to a replica is lost. Losses are
+    /// capped so at least `write_quorum` messages always survive (real
+    /// systems would retry; the simulator guarantees liveness instead).
+    pub drop_probability: f64,
+    /// Key popularity profile.
+    pub key_distribution: KeyDistribution,
+    /// Read repair: after a read completes, asynchronously push the
+    /// freshest observed version to the replicas that answered stale.
+    pub read_repair: bool,
+    /// An optionally flaky replica (periodic partitions).
+    pub flaky: Option<FlakyReplica>,
+    /// Client clock skew bound in microseconds: each client's recorded
+    /// timestamps are offset by a fixed amount drawn from
+    /// `[-clock_skew, +clock_skew]`. §II-C assumes accurate (TrueTime-like)
+    /// timestamps; raising this knob shows what goes wrong without them —
+    /// recorded histories may contain false anomalies (reads apparently
+    /// preceding their writes) or false staleness verdicts.
+    pub clock_skew: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            replicas: 3,
+            read_quorum: 2,
+            write_quorum: 2,
+            write_fanout: None,
+            clients: 4,
+            ops_per_client: 50,
+            keys: 1,
+            read_fraction: 0.5,
+            network: LatencyModel::Uniform { lo: 50, hi: 500 },
+            apply_lag: LatencyModel::Fixed(0),
+            think_time: LatencyModel::Uniform { lo: 10, hi: 200 },
+            drop_probability: 0.0,
+            key_distribution: KeyDistribution::Uniform,
+            read_repair: false,
+            flaky: None,
+            clock_skew: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Effective write fanout (`write_fanout` or `replicas`).
+    pub fn fanout(&self) -> usize {
+        self.write_fanout.unwrap_or(self.replicas)
+    }
+
+    /// Checks the configuration for contradictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.replicas == 0 {
+            return Err(ConfigError("replicas must be positive"));
+        }
+        if self.read_quorum == 0 || self.read_quorum > self.replicas {
+            return Err(ConfigError("read_quorum must be in 1..=replicas"));
+        }
+        if self.write_quorum == 0 || self.write_quorum > self.replicas {
+            return Err(ConfigError("write_quorum must be in 1..=replicas"));
+        }
+        if self.fanout() < self.write_quorum || self.fanout() > self.replicas {
+            return Err(ConfigError("write_fanout must be in write_quorum..=replicas"));
+        }
+        if self.clients == 0 {
+            return Err(ConfigError("clients must be positive"));
+        }
+        if self.keys == 0 {
+            return Err(ConfigError("keys must be positive"));
+        }
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return Err(ConfigError("read_fraction must be in [0, 1]"));
+        }
+        if !(0.0..=1.0).contains(&self.drop_probability) {
+            return Err(ConfigError("drop_probability must be in [0, 1]"));
+        }
+        if let KeyDistribution::Zipf { exponent } = self.key_distribution {
+            if !exponent.is_finite() || exponent <= 0.0 {
+                return Err(ConfigError("zipf exponent must be positive and finite"));
+            }
+        }
+        if let Some(flaky) = self.flaky {
+            if flaky.replica >= self.replicas {
+                return Err(ConfigError("flaky.replica must name an existing replica"));
+            }
+            if flaky.period == 0 || flaky.downtime >= flaky.period {
+                return Err(ConfigError("flaky windows need 0 < downtime < period"));
+            }
+            if self.read_quorum > self.replicas - 1 {
+                return Err(ConfigError(
+                    "with a flaky replica, read_quorum must leave one spare replica",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every read quorum must intersect every write quorum
+    /// (`R + W > N` and full fanout): the regime in which histories stay
+    /// close to atomic.
+    pub fn strict_quorums(&self) -> bool {
+        self.read_quorum + self.write_quorum > self.replicas
+            && self.fanout() == self.replicas
+            && self.drop_probability == 0.0
+    }
+}
+
+/// A contradictory [`SimConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConfigError(&'static str);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid simulation config: {}", self.0)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_config_is_valid_and_strict() {
+        let cfg = SimConfig::default();
+        cfg.validate().unwrap();
+        assert!(cfg.strict_quorums());
+        assert_eq!(cfg.fanout(), 3);
+    }
+
+    #[test]
+    fn sloppy_configs_are_flagged() {
+        let cfg = SimConfig { read_quorum: 1, write_quorum: 1, ..Default::default() };
+        cfg.validate().unwrap();
+        assert!(!cfg.strict_quorums());
+
+        let cfg = SimConfig { write_fanout: Some(2), ..Default::default() };
+        cfg.validate().unwrap();
+        assert!(!cfg.strict_quorums());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        for cfg in [
+            SimConfig { replicas: 0, ..Default::default() },
+            SimConfig { read_quorum: 0, ..Default::default() },
+            SimConfig { read_quorum: 4, ..Default::default() },
+            SimConfig { write_quorum: 9, ..Default::default() },
+            SimConfig { write_fanout: Some(1), ..Default::default() }, // < W
+            SimConfig { clients: 0, ..Default::default() },
+            SimConfig { keys: 0, ..Default::default() },
+            SimConfig { read_fraction: 1.5, ..Default::default() },
+            SimConfig { drop_probability: -0.1, ..Default::default() },
+        ] {
+            assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn latency_models_sample_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(LatencyModel::Fixed(7).sample(&mut rng), 7);
+        assert_eq!(LatencyModel::Fixed(7).max(), 7);
+        let u = LatencyModel::Uniform { lo: 3, hi: 9 };
+        for _ in 0..100 {
+            let s = u.sample(&mut rng);
+            assert!((3..=9).contains(&s));
+        }
+        assert_eq!(u.max(), 9);
+    }
+}

@@ -1,0 +1,363 @@
+//! The discrete-event simulation engine.
+//!
+//! A single binary heap of timestamped events drives closed-loop clients
+//! against `N` replica processes. Replicas apply last-write-wins by version
+//! number (versions are assigned per key by a global sequencer at write
+//! issue time, standing in for the unique write tags of §II-C). Every
+//! operation's invocation and response are recorded with globally unique,
+//! order-consistent timestamps, yielding one anomaly-free [`RawHistory`]
+//! per key.
+
+use crate::{KeyDistribution, SimConfig, SimOutput, SimStats};
+use kav_history::{Operation, RawHistory, Time, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation time in microseconds.
+type Micros = u64;
+type Key = u64;
+type Version = u64;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// Client becomes ready to issue its next operation.
+    ClientNext { client: usize },
+    /// A write message reaches a replica; application is delayed by the
+    /// replica's apply lag.
+    WriteArrive { replica: usize, key: Key, version: Version, client: usize, op_seq: u64 },
+    /// The replica applies the write (becomes visible to reads) and sends
+    /// its acknowledgement.
+    WriteApply { replica: usize, key: Key, version: Version, client: usize, op_seq: u64 },
+    /// A write acknowledgement reaches the coordinator.
+    WriteAck { client: usize, op_seq: u64 },
+    /// A read request reaches a replica; the reply departs immediately.
+    ReadArrive { replica: usize, key: Key, client: usize, op_seq: u64 },
+    /// A read reply reaches the coordinator.
+    ReadReply { client: usize, op_seq: u64, version: Version, replica: usize },
+    /// A read-repair push reaches a replica (no acknowledgement needed).
+    RepairArrive { replica: usize, key: Key, version: Version },
+    /// The repair is applied; nobody waits for it.
+    WriteApplyNoAck { replica: usize, key: Key, version: Version },
+}
+
+/// In-flight operation state at a coordinator (one per closed-loop client).
+struct Pending {
+    op_seq: u64,
+    key: Key,
+    start_stamp: Time,
+    started_at: Micros,
+    is_read: bool,
+    /// For writes: the version being written. For reads: best version seen.
+    version: Version,
+    replies: usize,
+    needed: usize,
+    done: bool,
+}
+
+pub(crate) fn run(config: &SimConfig) -> SimOutput {
+    config.validate().expect("run() requires a validated config");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.replicas;
+
+    // Key sampling: uniform, or Zipf via a precomputed CDF.
+    let zipf_cdf: Option<Vec<f64>> = match config.key_distribution {
+        KeyDistribution::Uniform => None,
+        KeyDistribution::Zipf { exponent } => {
+            let mut acc = 0.0;
+            let mut cdf: Vec<f64> = (0..config.keys)
+                .map(|i| {
+                    acc += 1.0 / ((i + 1) as f64).powf(exponent);
+                    acc
+                })
+                .collect();
+            let total = *cdf.last().expect("keys >= 1");
+            for v in &mut cdf {
+                *v /= total;
+            }
+            Some(cdf)
+        }
+    };
+    let pick_key = |rng: &mut StdRng, cdf: &Option<Vec<f64>>| -> Key {
+        match cdf {
+            None => rng.gen_range(0..config.keys),
+            Some(cdf) => {
+                let u: f64 = rng.gen();
+                cdf.partition_point(|&c| c < u) as Key
+            }
+        }
+    };
+
+    // A flaky replica buffers writes while down and cannot serve reads.
+    let is_up = |replica: usize, at: Micros| -> bool {
+        config.flaky.is_none_or(|f| f.replica != replica || f.is_up(at))
+    };
+    let next_up = |replica: usize, at: Micros| -> Micros {
+        config.flaky.map_or(at, |f| if f.replica == replica { f.next_up(at) } else { at })
+    };
+
+    // replica -> key -> max applied version (last-write-wins).
+    let mut state: Vec<HashMap<Key, Version>> = vec![HashMap::new(); n];
+    let mut queue: BinaryHeap<Reverse<(Micros, u64, Event)>> = BinaryHeap::new();
+    let mut event_seq: u64 = 0;
+
+    macro_rules! schedule {
+        ($at:expr, $ev:expr) => {{
+            event_seq += 1;
+            queue.push(Reverse(($at, event_seq, $ev)));
+        }};
+    }
+
+    // Per-client clock offsets (0 when clock_skew is 0). Signed skew is
+    // applied to recorded timestamps only — the simulation itself runs on
+    // true time, exactly like real probes with imperfect clocks.
+    let offsets: Vec<i64> = (0..config.clients)
+        .map(|_| {
+            if config.clock_skew == 0 {
+                0
+            } else {
+                let bound = config.clock_skew as i64;
+                rng.gen_range(-bound..=bound)
+            }
+        })
+        .collect();
+
+    // Unique timestamps: 20 low bits carry a global event sequence number,
+    // so any two stamps within the same microsecond stay distinct as long
+    // as a run records fewer than 2^20 timestamps (far above our sizes).
+    // With zero skew, stamps are order-consistent with simulation time.
+    let mut stamp_seq: u64 = 0;
+    let mut stamp = move |at: Micros, offset: i64| -> Time {
+        stamp_seq += 1;
+        let skewed = (at as i64 + offset).max(0) as u64;
+        Time((skewed << 20) | (stamp_seq & 0xf_ffff))
+    };
+
+    // Seed every key with version 1 applied everywhere at t = 0, so no read
+    // can lack a dictating write.
+    let mut histories: HashMap<Key, RawHistory> = HashMap::new();
+    let mut next_version: HashMap<Key, Version> = HashMap::new();
+    for key in 0..config.keys {
+        for replica_state in &mut state {
+            replica_state.insert(key, 1);
+        }
+        let s = stamp(0, 0);
+        let f = stamp(0, 0);
+        histories.entry(key).or_default().push(Operation::write(Value(1), s, f));
+        next_version.insert(key, 2);
+    }
+
+    // Clients start staggered to avoid a synchronised burst.
+    for client in 0..config.clients {
+        let at = 10 + config.think_time.sample(&mut rng);
+        schedule!(at, Event::ClientNext { client });
+    }
+
+    /// Read-repair bookkeeping: every reply of a fanned-out read, kept
+    /// until all surviving replies arrive (completion only needs the first
+    /// R of them).
+    struct ReadTracker {
+        key: Key,
+        expected: usize,
+        replies: Vec<(usize, Version)>,
+    }
+    let mut open_reads: HashMap<u64, ReadTracker> = HashMap::new();
+
+    let mut pending: Vec<Option<Pending>> = (0..config.clients).map(|_| None).collect();
+    let mut remaining: Vec<usize> = vec![config.ops_per_client; config.clients];
+    let mut next_op_seq: u64 = 0;
+    let mut stats = SimStats::default();
+
+    while let Some(Reverse((now, _, event))) = queue.pop() {
+        match event {
+            Event::ClientNext { client } => {
+                if remaining[client] == 0 {
+                    continue;
+                }
+                remaining[client] -= 1;
+                next_op_seq += 1;
+                let op_seq = next_op_seq;
+                let key = pick_key(&mut rng, &zipf_cdf);
+                let is_read = rng.gen_bool(config.read_fraction);
+                let start_stamp = stamp(now, offsets[client]);
+
+                if is_read {
+                    // Send to all replicas, wait for the first R replies.
+                    // Requests that would land during a partition are lost;
+                    // validation guarantees enough spares remain for R.
+                    let mut sent = 0;
+                    for replica in 0..n {
+                        let at = now + config.network.sample(&mut rng);
+                        if is_up(replica, at) {
+                            schedule!(at, Event::ReadArrive { replica, key, client, op_seq });
+                            sent += 1;
+                        }
+                    }
+                    if config.read_repair {
+                        open_reads.insert(
+                            op_seq,
+                            ReadTracker { key, expected: sent, replies: Vec::with_capacity(sent) },
+                        );
+                    }
+                    pending[client] = Some(Pending {
+                        op_seq,
+                        key,
+                        start_stamp,
+                        started_at: now,
+                        is_read: true,
+                        version: 0,
+                        replies: 0,
+                        needed: config.read_quorum,
+                        done: false,
+                    });
+                } else {
+                    let version = {
+                        let v = next_version.get_mut(&key).expect("key seeded");
+                        let version = *v;
+                        *v += 1;
+                        version
+                    };
+                    // Fanout targets; drop messages with bounded probability
+                    // but always keep at least W alive (a real coordinator
+                    // would retry; the simulator guarantees liveness).
+                    let mut targets: Vec<usize> = (0..n).collect();
+                    targets.shuffle(&mut rng);
+                    targets.truncate(config.fanout());
+                    let mut alive: Vec<bool> = targets
+                        .iter()
+                        .map(|_| !rng.gen_bool(config.drop_probability))
+                        .collect();
+                    let mut shortfall =
+                        config.write_quorum.saturating_sub(alive.iter().filter(|a| **a).count());
+                    for slot in alive.iter_mut() {
+                        if shortfall == 0 {
+                            break;
+                        }
+                        if !*slot {
+                            *slot = true;
+                            shortfall -= 1;
+                        }
+                    }
+                    for (i, &replica) in targets.iter().enumerate() {
+                        if alive[i] {
+                            let at = now + config.network.sample(&mut rng);
+                            schedule!(
+                                at,
+                                Event::WriteArrive { replica, key, version, client, op_seq }
+                            );
+                        }
+                    }
+                    pending[client] = Some(Pending {
+                        op_seq,
+                        key,
+                        start_stamp,
+                        started_at: now,
+                        is_read: false,
+                        version,
+                        replies: 0,
+                        needed: config.write_quorum,
+                        done: false,
+                    });
+                }
+            }
+
+            Event::WriteArrive { replica, key, version, client, op_seq } => {
+                // A partitioned replica buffers the write and applies it on
+                // recovery (hinted-handoff replay).
+                let at = next_up(replica, now) + config.apply_lag.sample(&mut rng);
+                schedule!(at, Event::WriteApply { replica, key, version, client, op_seq });
+            }
+
+            Event::WriteApply { replica, key, version, client, op_seq } => {
+                let slot = state[replica].get_mut(&key).expect("key seeded");
+                *slot = (*slot).max(version);
+                let at = now + config.network.sample(&mut rng);
+                schedule!(at, Event::WriteAck { client, op_seq });
+            }
+
+            Event::RepairArrive { replica, key, version } => {
+                let at = next_up(replica, now) + config.apply_lag.sample(&mut rng);
+                schedule!(
+                    at + 1,
+                    Event::WriteApplyNoAck { replica, key, version }
+                );
+            }
+
+            Event::WriteApplyNoAck { replica, key, version } => {
+                let slot = state[replica].get_mut(&key).expect("key seeded");
+                *slot = (*slot).max(version);
+            }
+
+            Event::WriteAck { client, op_seq } => {
+                let Some(p) = pending[client].as_mut() else { continue };
+                if p.done || p.op_seq != op_seq || p.is_read {
+                    continue;
+                }
+                p.replies += 1;
+                if p.replies >= p.needed {
+                    p.done = true;
+                    let finish = stamp(now, offsets[client]);
+                    histories
+                        .entry(p.key)
+                        .or_default()
+                        .push(Operation::write(Value(p.version), p.start_stamp, finish));
+                    stats.writes += 1;
+                    stats.total_write_latency += now - p.started_at;
+                    let at = now + config.think_time.sample(&mut rng);
+                    schedule!(at, Event::ClientNext { client });
+                }
+            }
+
+            Event::ReadArrive { replica, key, client, op_seq } => {
+                let version = *state[replica].get(&key).expect("key seeded");
+                let at = now + config.network.sample(&mut rng);
+                schedule!(at, Event::ReadReply { client, op_seq, version, replica });
+            }
+
+            Event::ReadReply { client, op_seq, version, replica } => {
+                // Read repair observes every reply, including those arriving
+                // after the quorum completed the operation.
+                if let Some(tracker) = open_reads.get_mut(&op_seq) {
+                    tracker.replies.push((replica, version));
+                    if tracker.replies.len() >= tracker.expected {
+                        let tracker = open_reads.remove(&op_seq).expect("present");
+                        let best =
+                            tracker.replies.iter().map(|(_, v)| *v).max().expect("non-empty");
+                        for (replica, v) in tracker.replies {
+                            if v < best {
+                                let at = now + config.network.sample(&mut rng);
+                                schedule!(
+                                    at,
+                                    Event::RepairArrive { replica, key: tracker.key, version: best }
+                                );
+                                stats.repairs += 1;
+                            }
+                        }
+                    }
+                }
+                let Some(p) = pending[client].as_mut() else { continue };
+                if p.done || p.op_seq != op_seq || !p.is_read {
+                    continue;
+                }
+                p.version = p.version.max(version);
+                p.replies += 1;
+                if p.replies >= p.needed {
+                    p.done = true;
+                    let finish = stamp(now, offsets[client]);
+                    histories
+                        .entry(p.key)
+                        .or_default()
+                        .push(Operation::read(Value(p.version), p.start_stamp, finish));
+                    stats.reads += 1;
+                    stats.total_read_latency += now - p.started_at;
+                    let at = now + config.think_time.sample(&mut rng);
+                    schedule!(at, Event::ClientNext { client });
+                }
+            }
+        }
+    }
+
+    SimOutput { histories: histories.into_iter().collect(), stats }
+}

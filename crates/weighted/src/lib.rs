@@ -1,0 +1,139 @@
+//! The weighted k-atomicity-verification problem (k-WAV) of §V.
+//!
+//! k-WAV generalises k-AV: every write carries a positive integer weight,
+//! and a valid total order is accepted iff for every read, the total weight
+//! of the writes separating it from its dictating write — *including the
+//! dictating write itself* — is at most `k`. Unit weights recover plain
+//! k-AV exactly.
+//!
+//! The paper proves k-WAV NP-complete by reduction from bin packing
+//! (Theorem 5.1, Figure 5). This crate provides all three artefacts:
+//!
+//! * [`WkavInstance`] — the decision problem, solved exactly (on small
+//!   instances) by the branch-and-bound oracle of `kav-core`;
+//! * [`BinPacking`] — exact and first-fit-decreasing solvers for the source
+//!   problem;
+//! * [`reduce_bin_packing`] / [`extract_packing`] — the Figure-5
+//!   construction and its inverse, tested for equivalence in both
+//!   directions.
+//!
+//! # Example: important writes
+//!
+//! A storage system can mark important writes with a higher weight so that
+//! reads may skip many unimportant writes but only few important ones:
+//!
+//! ```
+//! use kav_history::HistoryBuilder;
+//! use kav_weighted::WkavInstance;
+//!
+//! let history = HistoryBuilder::new()
+//!     .weighted_write(1, 0, 10, 1)
+//!     .weighted_write(2, 12, 20, 5) // important!
+//!     .read(1, 22, 30)              // skips the important write
+//!     .build()?;
+//!
+//! // weight(w1) + weight(w2) = 6 > 5: not 5-weighted-atomic...
+//! assert!(!WkavInstance::new(history.clone(), 5).decide(None).is_k_atomic());
+//! // ...but 6 suffices.
+//! assert!(WkavInstance::new(history, 6).decide(None).is_k_atomic());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binpacking;
+mod reduction;
+
+pub use binpacking::{BinPacking, BinPackingError};
+pub use reduction::{extract_packing, reduce_bin_packing};
+
+use kav_core::{ExhaustiveSearch, Verdict, Verifier};
+use kav_history::History;
+
+/// A k-WAV decision instance: a weighted history and the bound `k`.
+#[derive(Clone, Debug)]
+pub struct WkavInstance {
+    /// The weighted history (weights live on its write operations).
+    pub history: History,
+    /// The separation bound, counting the dictating write's own weight.
+    pub k: u64,
+}
+
+impl WkavInstance {
+    /// Bundles a weighted history with its bound.
+    pub fn new(history: History, k: u64) -> Self {
+        WkavInstance { history, k }
+    }
+
+    /// Decides the instance with the exact search oracle.
+    ///
+    /// k-WAV is NP-complete (Theorem 5.1), so this is exponential in the
+    /// worst case; `node_budget` caps the work, trading completeness for
+    /// time ([`Verdict::Inconclusive`] when exceeded).
+    pub fn decide(&self, node_budget: Option<u64>) -> Verdict {
+        let search = match node_budget {
+            Some(b) => ExhaustiveSearch::with_node_budget(self.k, b),
+            None => ExhaustiveSearch::new(self.k),
+        };
+        search.verify(&self.history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_core::{check_witness, Fzf, Lbt};
+    use kav_history::HistoryBuilder;
+
+    #[test]
+    fn unit_weights_recover_plain_k_av() {
+        // One write stale: 2-atomic, not 1-atomic — in both formulations.
+        let h = HistoryBuilder::new()
+            .write(1, 0, 10)
+            .write(2, 12, 20)
+            .read(1, 22, 30)
+            .build()
+            .unwrap();
+        assert!(!WkavInstance::new(h.clone(), 1).decide(None).is_k_atomic());
+        assert!(WkavInstance::new(h.clone(), 2).decide(None).is_k_atomic());
+        assert_eq!(
+            WkavInstance::new(h.clone(), 2).decide(None).is_k_atomic(),
+            Fzf.verify(&h).is_k_atomic()
+        );
+        assert_eq!(
+            WkavInstance::new(h.clone(), 2).decide(None).is_k_atomic(),
+            Lbt::new().verify(&h).is_k_atomic()
+        );
+    }
+
+    #[test]
+    fn witnesses_satisfy_the_weighted_rule() {
+        let h = HistoryBuilder::new()
+            .weighted_write(1, 0, 10, 2)
+            .weighted_write(2, 12, 20, 3)
+            .read(1, 22, 30)
+            .build()
+            .unwrap();
+        let instance = WkavInstance::new(h, 5);
+        match instance.decide(None) {
+            Verdict::KAtomic { witness } => {
+                check_witness(&instance.history, &witness, 5).unwrap();
+            }
+            v => panic!("expected YES, got {v}"),
+        }
+        let tighter = WkavInstance::new(instance.history.clone(), 4);
+        assert!(!tighter.decide(None).is_k_atomic());
+    }
+
+    #[test]
+    fn budgeted_decisions_can_be_inconclusive() {
+        let mut b = HistoryBuilder::new();
+        for i in 0..14u64 {
+            b = b.weighted_write(i + 1, i, 1000 + i, 2);
+        }
+        let h = b.read(1, 2000, 2100).build().unwrap();
+        let verdict = WkavInstance::new(h, 2).decide(Some(2));
+        assert_eq!(verdict, Verdict::Inconclusive);
+    }
+}

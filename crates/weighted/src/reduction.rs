@@ -1,0 +1,187 @@
+//! The Figure-5 reduction: bin packing → k-WAV (Theorem 5.1).
+//!
+//! Given a bin-packing instance with `m` bins of capacity `B` and item
+//! sizes `s_1..s_n`, the reduction builds a weighted history whose *short*
+//! writes and reads are totally ordered in real time,
+//!
+//! ```text
+//! w(1)  w(2)  r(1)  w(3)  r(2)  …  w(m+1)  r(m)
+//! ```
+//!
+//! with `r(i)` dictated by `w(i)` and every short write of weight 1, plus
+//! `n` *long* writes of weights `s_1..s_n` that start after `w(1)` finishes
+//! and end inside `w(m+1)`'s interval — so each long write must be ordered
+//! after `w(1)` and before `r(m)` but is otherwise unconstrained. Setting
+//! `k = B + 2` makes the instance decide bin packing: the separation budget
+//! of `r(i)` is `weight(w(i)) + weight(w(i+1)) + (longs between) ≤ B + 2`,
+//! i.e. each "bin" `w(i)..r(i)` absorbs at most `B` units of long-write
+//! weight. The dummy write `w(m+1)` ensures bin `m` has capacity exactly
+//! `B` as well.
+
+use crate::{BinPacking, WkavInstance};
+use kav_history::{History, HistoryBuilder, OpId};
+
+/// Builds the k-WAV instance of Figure 5 for a bin-packing instance.
+///
+/// The returned instance is solvable iff `bp` is feasible (Theorem 5.1);
+/// the test suite checks both directions against the exact solvers.
+///
+/// # Examples
+///
+/// ```
+/// use kav_weighted::{reduce_bin_packing, BinPacking};
+///
+/// let bp = BinPacking::new(vec![3, 2, 2], 2, 5)?;
+/// let instance = reduce_bin_packing(&bp);
+/// assert_eq!(instance.k, 7); // B + 2
+/// assert!(instance.decide(None).is_k_atomic());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn reduce_bin_packing(bp: &BinPacking) -> WkavInstance {
+    let m = bp.bins() as u64;
+    let mut b = HistoryBuilder::new();
+
+    // Short ops on a coarse grid: slot j occupies [100·j, 100·j + 50].
+    // Sequence: w(1), w(2), r(1), w(3), r(2), …, w(m+1), r(m).
+    let slot = |j: u64| (100 * j, 100 * j + 50);
+    let mut j = 0;
+    let (s, f) = slot(j);
+    b = b.write(1, s, f); // w(1)
+    j += 1;
+    for i in 2..=(m + 1) {
+        let (s, f) = slot(j);
+        b = b.write(i, s, f); // w(i)
+        j += 1;
+        let (s, f) = slot(j);
+        b = b.read(i - 1, s, f); // r(i-1)
+        j += 1;
+    }
+
+    // Long writes: start just after w(1) finishes (inside w(2)'s slot gap),
+    // end inside w(m+1)'s interval — concurrent with every short op except
+    // w(1) (which precedes them) and r(m) (which they precede). Staggered
+    // endpoints keep all timestamps distinct.
+    let w1_finish = 50;
+    let w_m1_start = 100 * (2 * m - 1); // slot of w(m+1)
+    for (idx, &size) in bp.sizes().iter().enumerate() {
+        let idx = idx as u64;
+        b = b.weighted_write(
+            1000 + idx,
+            w1_finish + 1 + idx,
+            w_m1_start + 1 + idx,
+            u32::try_from(size).expect("item sizes fit u32"),
+        );
+    }
+
+    let history = b.build().expect("reduction output is anomaly-free by construction");
+    WkavInstance::new(history, bp.capacity() + 2)
+}
+
+/// Recovers a bin assignment from a witness order for a reduced instance.
+///
+/// Long write `ℓ` is assigned to bin `min(#short writes before ℓ, m)`
+/// (1-based) — the paper's re-placement argument shows this respects every
+/// capacity whenever the witness respects `k = B + 2`.
+///
+/// Returns `None` if `order` does not cover the instance (wrong history).
+pub fn extract_packing(
+    bp: &BinPacking,
+    history: &History,
+    order: &[OpId],
+) -> Option<Vec<usize>> {
+    if order.len() != history.len() {
+        return None;
+    }
+    let m = bp.bins();
+    let mut assignment = vec![usize::MAX; bp.sizes().len()];
+    let mut shorts_before = 0usize;
+    for &id in order {
+        let op = history.op(id);
+        if !op.is_write() {
+            continue;
+        }
+        let v = op.value.as_u64();
+        if v >= 1000 {
+            // Long write for item v - 1000; bins are 1-based in the paper,
+            // 0-based here.
+            let bin = shorts_before.clamp(1, m) - 1;
+            assignment[(v - 1000) as usize] = bin;
+        } else {
+            shorts_before += 1;
+        }
+    }
+    assignment.iter().all(|&b| b != usize::MAX).then_some(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_core::Verdict;
+
+    fn equivalence(bp: &BinPacking) {
+        let feasible = bp.solve_exact().is_some();
+        let instance = reduce_bin_packing(bp);
+        match instance.decide(None) {
+            Verdict::KAtomic { witness } => {
+                assert!(
+                    feasible,
+                    "k-WAV solvable but bin packing infeasible: {bp:?}"
+                );
+                let assignment = extract_packing(bp, &instance.history, witness.as_slice())
+                    .expect("witness covers the instance");
+                assert!(
+                    bp.is_feasible_assignment(&assignment),
+                    "extracted packing infeasible for {bp:?}: {assignment:?}"
+                );
+            }
+            Verdict::NotKAtomic => {
+                assert!(!feasible, "bin packing feasible but k-WAV unsolvable: {bp:?}")
+            }
+            Verdict::Inconclusive => panic!("unbounded search cannot be inconclusive"),
+        }
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let bp = BinPacking::new(vec![3, 2], 2, 5).unwrap();
+        let instance = reduce_bin_packing(&bp);
+        // m+1 = 3 short writes, m = 2 short reads, n = 2 long writes.
+        assert_eq!(instance.history.len(), 3 + 2 + 2);
+        assert_eq!(instance.history.num_writes(), 5);
+        assert_eq!(instance.k, 7);
+    }
+
+    #[test]
+    fn feasible_instances_reduce_to_solvable_kwav() {
+        equivalence(&BinPacking::new(vec![3, 2, 2], 2, 5).unwrap());
+        equivalence(&BinPacking::new(vec![5, 5], 2, 5).unwrap());
+        equivalence(&BinPacking::new(vec![1, 1, 1, 1], 1, 4).unwrap());
+        equivalence(&BinPacking::new(vec![], 2, 3).unwrap());
+    }
+
+    #[test]
+    fn infeasible_instances_reduce_to_unsolvable_kwav() {
+        equivalence(&BinPacking::new(vec![3, 3, 3], 2, 5).unwrap());
+        equivalence(&BinPacking::new(vec![6], 3, 5).unwrap());
+        equivalence(&BinPacking::new(vec![2, 2, 1], 1, 4).unwrap());
+    }
+
+    #[test]
+    fn randomised_equivalence() {
+        for seed in 0..25 {
+            let bp = BinPacking::random(4, 2, 6, seed);
+            equivalence(&bp);
+        }
+        for seed in 100..115 {
+            let bp = BinPacking::random(5, 3, 4, seed);
+            equivalence(&bp);
+        }
+    }
+
+    #[test]
+    fn extract_rejects_mismatched_orders() {
+        let bp = BinPacking::new(vec![2], 1, 3).unwrap();
+        let instance = reduce_bin_packing(&bp);
+        assert_eq!(extract_packing(&bp, &instance.history, &[]), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! A concrete history realising the paper's Figure 3 zone structure.
+
+use kav_history::{History, HistoryBuilder};
+
+/// Builds a history whose zones reproduce Figure 3 of the paper: eight
+/// forward zones FZ1..FZ8 and seven backward zones BZ1..BZ7 arranged so
+/// that Stage 1 of FZF finds exactly three maximal chunks —
+/// `{FZ1, BZ1}`, `{FZ2, FZ3, FZ4, BZ3, BZ4}`, `{FZ5..FZ8, BZ6}` — and three
+/// dangling clusters `BZ2`, `BZ5`, `BZ7`.
+///
+/// Values 1..=8 head the forward clusters (a write `[l−4, l]` plus a read
+/// `[h, h+4]` realises a forward zone `[l, h]`); values 9..=15 are
+/// write-only backward clusters (a write `[l, h]` *is* its zone). The
+/// middle chunk exhibits the Lemma 4.2 "Case 1" overlap shape and the right
+/// chunk the "Case 2" shape, as in the figure.
+///
+/// Note the history itself is *not* 2-atomic: the write-only clusters BZ3
+/// and BZ4 are wedged between forward writes of the middle chunk, forcing
+/// FZ2's read at least two writes stale. Figure 3 illustrates chunking, not
+/// a YES instance — tests use [`figure3`] for both the Stage-1 census and
+/// as a nontrivial NO input on which all verifiers must agree.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::{clusters, zones, chunk_set, HistoryStats};
+/// use kav_workloads::figure3;
+///
+/// let h = figure3();
+/// let stats = HistoryStats::of(&h);
+/// assert_eq!(stats.chunks, 3);
+/// assert_eq!(stats.dangling_clusters, 3);
+/// ```
+pub fn figure3() -> History {
+    let mut b = HistoryBuilder::new();
+    // Forward clusters: (value, zone low, zone high).
+    let forward: [(u64, u64, u64); 8] = [
+        (1, 10, 110),  // FZ1
+        (2, 150, 210), // FZ2
+        (3, 190, 290), // FZ3 (Case 1 shape: FZ2 ends before FZ3 ends)
+        (4, 270, 350), // FZ4
+        (5, 390, 530), // FZ5 (Case 2 shape: FZ5 ends after FZ6 ends)
+        (6, 450, 490), // FZ6
+        (7, 510, 610), // FZ7
+        (8, 590, 670), // FZ8
+    ];
+    for (v, l, h) in forward {
+        b = b.write(v, l - 4, l).read(v, h, h + 4);
+    }
+    // Write-only backward clusters: (value, zone low, zone high).
+    let backward: [(u64, u64, u64); 7] = [
+        (9, 40, 70),    // BZ1 (inside chunk 1)
+        (10, 120, 140), // BZ2 (dangling, between chunks 1 and 2)
+        (11, 170, 200), // BZ3 (inside chunk 2)
+        (12, 280, 310), // BZ4 (inside chunk 2)
+        (13, 360, 380), // BZ5 (dangling, between chunks 2 and 3)
+        (14, 540, 570), // BZ6 (inside chunk 3)
+        (15, 710, 760), // BZ7 (dangling, after chunk 3)
+    ];
+    for (v, l, h) in backward {
+        b = b.write(v, l, h);
+    }
+    b.build().expect("figure 3 history is anomaly-free by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_core::{ExhaustiveSearch, Fzf, Verifier};
+    use kav_history::{chunk_set, clusters, zones, ZoneKind};
+
+    #[test]
+    fn zone_census_matches_figure3() {
+        let h = figure3();
+        let cs = clusters(&h);
+        let zs = zones(&h, &cs);
+        assert_eq!(zs.len(), 15);
+        let forward = zs.iter().filter(|z| z.kind() == ZoneKind::Forward).count();
+        assert_eq!(forward, 8, "eight forward zones");
+        assert_eq!(zs.len() - forward, 7, "seven backward zones");
+    }
+
+    #[test]
+    fn chunk_structure_matches_figure3_caption() {
+        let h = figure3();
+        let cs = clusters(&h);
+        let zs = zones(&h, &cs);
+        let chunked = chunk_set(&zs);
+
+        assert_eq!(chunked.chunks.len(), 3, "three maximal chunks");
+        assert_eq!(chunked.dangling.len(), 3, "three dangling clusters");
+
+        let sizes: Vec<(usize, usize)> = chunked
+            .chunks
+            .iter()
+            .map(|c| (c.forward.len(), c.backward.len()))
+            .collect();
+        assert_eq!(sizes, vec![(1, 1), (3, 2), (4, 1)]);
+
+        // Dangling clusters are exactly the writes of values 10, 13, 15.
+        let dangling_values: Vec<u64> = chunked
+            .dangling
+            .iter()
+            .map(|c| h.op(cs[c.index()].write).value.as_u64())
+            .collect();
+        assert_eq!(dangling_values, vec![10, 13, 15]);
+    }
+
+    #[test]
+    fn verifiers_agree_figure3_is_not_2_atomic() {
+        let h = figure3();
+        let fzf = Fzf.verify(&h);
+        let oracle = ExhaustiveSearch::new(2).verify(&h);
+        assert!(!fzf.is_k_atomic());
+        assert!(!oracle.is_k_atomic());
+    }
+}

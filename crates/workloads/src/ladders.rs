@@ -1,0 +1,135 @@
+//! Minimal staleness gadgets and serial baselines.
+
+use kav_history::{History, HistoryBuilder, Operation, RawHistory, Time, Value};
+
+/// The minimal exactly-k-atomic history: `k` sequential writes followed by
+/// a read of the *first* one. The read's separation is forced to `k`
+/// (its dictating write plus `k − 1` intervening writes), so the history is
+/// k-atomic but not (k−1)-atomic.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{smallest_k, Staleness};
+/// use kav_workloads::ladder;
+///
+/// assert_eq!(smallest_k(&ladder(3), None), Staleness::Exact(3));
+/// ```
+pub fn ladder(k: u64) -> History {
+    assert!(k >= 1, "ladder needs at least one write");
+    let mut b = HistoryBuilder::new();
+    for i in 0..k {
+        b = b.write(i + 1, 100 * i, 100 * i + 50);
+    }
+    b.read(1, 100 * k, 100 * k + 50)
+        .build()
+        .expect("ladders are anomaly-free by construction")
+}
+
+/// A serial (zero-concurrency) history of `n` operations alternating
+/// write/read on fresh values — trivially 1-atomic.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{GkOneAv, Verifier};
+/// use kav_workloads::serial;
+///
+/// assert!(GkOneAv.verify(&serial(100)).is_k_atomic());
+/// ```
+pub fn serial(n: usize) -> History {
+    let mut b = HistoryBuilder::new();
+    let mut value = 0u64;
+    for i in 0..n as u64 {
+        let (s, f) = (10 * i, 10 * i + 5);
+        if i % 2 == 0 {
+            value += 1;
+            b = b.write(value, s, f);
+        } else {
+            b = b.read(value, s, f);
+        }
+    }
+    b.build().expect("serial histories are anomaly-free")
+}
+
+/// Plants a `k + 1`-ladder *after* the last operation of `raw`, using values
+/// above any existing one, and returns the combined raw history.
+///
+/// The result is not k-atomic (the planted read is forced `k + 1` stale),
+/// making this the standard way to produce guaranteed-NO instances from
+/// arbitrary YES instances.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{Fzf, Verifier};
+/// use kav_workloads::{inject_ladder, serial};
+///
+/// let poisoned = inject_ladder(serial(40).to_raw(), 2).into_history()?;
+/// assert!(!Fzf.verify(&poisoned).is_k_atomic());
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+pub fn inject_ladder(mut raw: RawHistory, k: u64) -> RawHistory {
+    let max_time = raw
+        .iter()
+        .map(|op| op.finish.as_u64())
+        .max()
+        .unwrap_or(0);
+    let max_value = raw.iter().map(|op| op.value.as_u64()).max().unwrap_or(0);
+    let t0 = max_time + 100;
+    for i in 0..=k {
+        raw.push(Operation::write(
+            Value(max_value + i + 1),
+            Time(t0 + 100 * i),
+            Time(t0 + 100 * i + 50),
+        ));
+    }
+    raw.push(Operation::read(
+        Value(max_value + 1),
+        Time(t0 + 100 * (k + 1)),
+        Time(t0 + 100 * (k + 1) + 50),
+    ));
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_core::{smallest_k, Fzf, GkOneAv, Lbt, Staleness, Verifier};
+
+    #[test]
+    fn ladder_staleness_is_exact() {
+        for k in 1..=4 {
+            assert_eq!(smallest_k(&ladder(k), None), Staleness::Exact(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn serial_histories_are_atomic_at_every_size() {
+        for n in [0, 1, 2, 7, 100] {
+            let h = serial(n);
+            assert_eq!(h.len(), n);
+            assert!(GkOneAv.verify(&h).is_k_atomic(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn injected_ladder_breaks_2_atomicity() {
+        let poisoned = inject_ladder(serial(30).to_raw(), 2).into_history().unwrap();
+        assert!(!Fzf.verify(&poisoned).is_k_atomic());
+        assert!(!Lbt::new().verify(&poisoned).is_k_atomic());
+        // But it remains 3-atomic.
+        assert_eq!(smallest_k(&poisoned, None), Staleness::Exact(3));
+    }
+
+    #[test]
+    fn injecting_into_empty_history_works() {
+        let poisoned = inject_ladder(RawHistory::new(), 1).into_history().unwrap();
+        assert!(!GkOneAv.verify(&poisoned).is_k_atomic());
+        assert!(Fzf.verify(&poisoned).is_k_atomic());
+    }
+}

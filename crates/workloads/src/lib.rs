@@ -1,0 +1,34 @@
+//! Synthetic history generators for the k-atomicity workbench.
+//!
+//! Each generator targets a specific experiment from the paper
+//! (see `EXPERIMENTS.md` at the workspace root):
+//!
+//! * [`random_k_atomic`] — histories that are k-atomic **by construction**
+//!   (a hidden commit order realises the bound), with tunable concurrency;
+//!   the "common case" input of Theorem 3.2's practice claim.
+//! * [`staircase`] — the adversarial input family on which LBT's candidate
+//!   search degenerates to `Θ(n²)` while FZF stays quasilinear
+//!   (`c = Θ(n)` concurrent writes, Theorem 3.2 worst case vs Theorem 4.6).
+//! * [`figure3`] — a concrete history realising the zone/chunk structure of
+//!   the paper's Figure 3 (three maximal chunks, three dangling clusters).
+//! * [`ladder`] — the minimal exactly-k-atomic gadget (k sequential writes,
+//!   then a read of the first), and [`inject_ladder`] to plant staleness
+//!   violations inside larger histories.
+//! * [`serial`] — trivially 1-atomic baselines.
+//! * [`zone_twins`] — two histories with identical zone sets but different
+//!   2-AV verdicts: the §IV-A proof that zones alone cannot decide 2-AV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod figure;
+mod ladders;
+mod random;
+mod staircase;
+mod twins;
+
+pub use figure::figure3;
+pub use ladders::{inject_ladder, ladder, serial};
+pub use random::{random_k_atomic, RandomHistoryConfig};
+pub use staircase::staircase;
+pub use twins::zone_twins;

@@ -1,0 +1,205 @@
+//! Random histories that are k-atomic by construction.
+//!
+//! The generator first draws a hidden *commit order*: a sequence of
+//! operations with strictly increasing commit times, where each read's
+//! dictating write lies among the `k` most recent writes (staleness depth is
+//! geometrically distributed, so fresh reads dominate, like a mildly lagging
+//! replica). Each operation's interval is then widened around its commit
+//! point by random amounts, which creates concurrency without ever
+//! invalidating the hidden order: if `i < j` in commit order then
+//! `op_j.finish ≥ c_j > c_i ≥ op_i.start`, so `op_j` never precedes `op_i`.
+//! The hidden order is therefore a valid k-atomic witness, and the history
+//! is guaranteed k-atomic (it may, by chance, be even fresher).
+
+use kav_history::{History, Operation, RawHistory, Time, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_k_atomic`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomHistoryConfig {
+    /// Total number of operations to generate.
+    pub ops: usize,
+    /// Guaranteed staleness bound: every read observes one of the `k`
+    /// freshest values at its commit point. Must be at least 1.
+    pub k: u64,
+    /// Fraction of operations that are reads (the remainder are writes);
+    /// clamped to `[0, 1]`. The first operation is always a write.
+    pub read_fraction: f64,
+    /// Maximum one-sided widening of an interval around its commit point,
+    /// in commit-gap units. `0` yields a serial history; larger values
+    /// increase the number of concurrent operations (and the paper's `c`).
+    pub spread: u64,
+    /// RNG seed, for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for RandomHistoryConfig {
+    fn default() -> Self {
+        RandomHistoryConfig { ops: 100, k: 1, read_fraction: 0.5, spread: 3, seed: 0 }
+    }
+}
+
+/// Generates a history that is `config.k`-atomic by construction.
+///
+/// # Panics
+///
+/// Panics if `config.k == 0` or `config.ops == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{Verifier, Fzf};
+/// use kav_workloads::{random_k_atomic, RandomHistoryConfig};
+///
+/// let h = random_k_atomic(RandomHistoryConfig { ops: 200, k: 2, seed: 7, ..Default::default() });
+/// assert!(Fzf.verify(&h).is_k_atomic());
+/// ```
+pub fn random_k_atomic(config: RandomHistoryConfig) -> History {
+    assert!(config.k >= 1, "k must be positive");
+    assert!(config.ops >= 1, "ops must be positive");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let read_fraction = config.read_fraction.clamp(0.0, 1.0);
+
+    // Commit points sit on a coarse grid so widened intervals can overlap
+    // several neighbours when spread > 1.
+    const GAP: u64 = 16;
+
+    let mut ops: Vec<Operation> = Vec::with_capacity(config.ops);
+    let mut writes_so_far: Vec<Value> = Vec::new();
+    let mut next_value = 1u64;
+
+    for i in 0..config.ops {
+        let commit = (i as u64 + 1) * GAP;
+        let is_read = !writes_so_far.is_empty() && rng.gen_bool(read_fraction);
+        // Widen within the gap grid; jitter guarantees varied endpoints and
+        // make_endpoints_distinct below repairs any residual collisions.
+        let left = rng.gen_range(1..=GAP / 2 + config.spread * GAP);
+        let right = rng.gen_range(1..=GAP / 2 + config.spread * GAP);
+        let start = Time(commit.saturating_sub(left).max(1));
+        let finish = Time(commit + right);
+
+        if is_read {
+            // Geometric staleness depth: fresh (depth 0) with p = 1/2.
+            let max_depth = (config.k as usize).min(writes_so_far.len()) - 1;
+            let mut depth = 0;
+            while depth < max_depth && rng.gen_bool(0.5) {
+                depth += 1;
+            }
+            let value = writes_so_far[writes_so_far.len() - 1 - depth];
+            ops.push(Operation::read(value, start, finish));
+        } else {
+            let value = Value(next_value);
+            next_value += 1;
+            writes_so_far.push(value);
+            ops.push(Operation::write(value, start, finish));
+        }
+    }
+
+    let mut raw = RawHistory::from_ops(ops);
+    raw.make_endpoints_distinct();
+    raw.into_history().expect("constructed histories are anomaly-free")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_core::{check_witness, smallest_k, ExhaustiveSearch, Staleness, Verdict, Verifier};
+
+    #[test]
+    fn generated_histories_have_requested_size() {
+        let h = random_k_atomic(RandomHistoryConfig { ops: 50, ..Default::default() });
+        assert_eq!(h.len(), 50);
+        assert!(h.num_writes() >= 1);
+    }
+
+    #[test]
+    fn k1_histories_verify_atomic_via_oracle() {
+        for seed in 0..20 {
+            let h = random_k_atomic(RandomHistoryConfig {
+                ops: 12,
+                k: 1,
+                seed,
+                ..Default::default()
+            });
+            match ExhaustiveSearch::new(1).verify(&h) {
+                Verdict::KAtomic { witness } => check_witness(&h, &witness, 1).unwrap(),
+                v => panic!("k=1-by-construction history rejected: {v} (seed {seed})"),
+            }
+        }
+    }
+
+    #[test]
+    fn k2_histories_are_2_atomic() {
+        for seed in 0..20 {
+            let h = random_k_atomic(RandomHistoryConfig {
+                ops: 14,
+                k: 2,
+                seed,
+                ..Default::default()
+            });
+            assert!(
+                ExhaustiveSearch::new(2).verify(&h).is_k_atomic(),
+                "seed {seed} not 2-atomic"
+            );
+        }
+    }
+
+    #[test]
+    fn smallest_k_never_exceeds_construction_bound() {
+        for seed in 0..10 {
+            let k = 1 + seed % 3;
+            let h = random_k_atomic(RandomHistoryConfig {
+                ops: 12,
+                k,
+                seed,
+                read_fraction: 0.6,
+                ..Default::default()
+            });
+            match smallest_k(&h, Some(2_000_000)) {
+                Staleness::Exact(found) => {
+                    assert!(found <= k, "seed {seed}: found {found} > constructed {k}")
+                }
+                Staleness::AtLeast(lb) => assert!(lb <= k),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_spread_is_serial_and_atomic() {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops: 60,
+            k: 1,
+            spread: 0,
+            seed: 3,
+            ..Default::default()
+        });
+        assert_eq!(h.max_concurrent_writes(), 1);
+        assert!(kav_core::GkOneAv.verify(&h).is_k_atomic());
+    }
+
+    #[test]
+    fn spread_increases_concurrency() {
+        let tight = random_k_atomic(RandomHistoryConfig {
+            ops: 200,
+            spread: 0,
+            seed: 1,
+            ..Default::default()
+        });
+        let wide = random_k_atomic(RandomHistoryConfig {
+            ops: 200,
+            spread: 8,
+            seed: 1,
+            ..Default::default()
+        });
+        assert!(wide.max_concurrent_writes() > tight.max_concurrent_writes());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomHistoryConfig { ops: 30, seed: 42, ..Default::default() };
+        let a = random_k_atomic(cfg);
+        let b = random_k_atomic(cfg);
+        assert_eq!(a.to_raw(), b.to_raw());
+    }
+}

@@ -1,0 +1,111 @@
+//! Zone twins: the §IV-A impossibility witness.
+//!
+//! The paper (citing Golab, Li & Shah) notes that no 2-AV algorithm can
+//! decide from the zone structure alone: "it is possible to construct two
+//! histories, one 2-atomic and the other not, that have identical sets of
+//! zones". This module ships such a pair, found by randomized search over
+//! small histories (`find_zone_twins` in `kav-bench`) and checked into the
+//! test suite as a permanent regression artefact.
+//!
+//! Both histories have the zone multiset
+//! `{forward [3,9], forward [6,8], backward [4,5]}` on the normalised
+//! grid, yet the first is 2-atomic and the second is not.
+
+use kav_history::{History, HistoryBuilder};
+
+/// Returns `(yes, no)`: two histories with identical zone multisets where
+/// `yes` is 2-atomic and `no` is not.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{Fzf, Verifier};
+/// use kav_workloads::zone_twins;
+///
+/// let (yes, no) = zone_twins();
+/// assert!(Fzf.verify(&yes).is_k_atomic());
+/// assert!(!Fzf.verify(&no).is_k_atomic());
+/// ```
+pub fn zone_twins() -> (History, History) {
+    // Twin A — 2-atomic. Witness: w3, r3, w2, w1, r1, r2 (r2 is one write
+    // stale behind w1).
+    let yes = HistoryBuilder::new()
+        .write(1, 1, 6)
+        .write(2, 2, 3)
+        .write(3, 0, 5)
+        .read(2, 9, 11)
+        .read(3, 4, 7)
+        .read(1, 8, 10)
+        .build()
+        .expect("twin A is anomaly-free");
+
+    // Twin B — not 2-atomic: the late read of value 3 is forced at least
+    // two writes behind.
+    let no = HistoryBuilder::new()
+        .write(1, 4, 5)
+        .write(2, 2, 3)
+        .write(3, 0, 6)
+        .read(3, 8, 11)
+        .read(2, 9, 10)
+        .read(3, 1, 7)
+        .build()
+        .expect("twin B is anomaly-free");
+
+    (yes, no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_core::{ExhaustiveSearch, Fzf, Lbt, Verifier};
+    use kav_history::{clusters, zones, History, ZoneKind};
+
+    fn zone_signature(h: &History) -> Vec<(ZoneKind, u64, u64)> {
+        let cs = clusters(h);
+        let mut sig: Vec<(ZoneKind, u64, u64)> = zones(h, &cs)
+            .iter()
+            .map(|z| (z.kind(), z.low().as_u64(), z.high().as_u64()))
+            .collect();
+        sig.sort_unstable();
+        sig
+    }
+
+    #[test]
+    fn twins_have_identical_zone_sets() {
+        let (yes, no) = zone_twins();
+        assert_eq!(zone_signature(&yes), zone_signature(&no));
+        assert_eq!(
+            zone_signature(&yes),
+            vec![
+                (ZoneKind::Forward, 3, 9),
+                (ZoneKind::Forward, 6, 8),
+                (ZoneKind::Backward, 4, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn twins_differ_on_2_atomicity() {
+        let (yes, no) = zone_twins();
+        assert!(Fzf.verify(&yes).is_k_atomic());
+        assert!(!Fzf.verify(&no).is_k_atomic());
+        // All verifiers and the oracle agree on both twins.
+        assert!(Lbt::new().verify(&yes).is_k_atomic());
+        assert!(!Lbt::new().verify(&no).is_k_atomic());
+        assert!(ExhaustiveSearch::new(2).verify(&yes).is_k_atomic());
+        assert!(!ExhaustiveSearch::new(2).verify(&no).is_k_atomic());
+    }
+
+    #[test]
+    fn twins_are_distinguished_beyond_zones() {
+        // The pair certifies that no function of the zone multiset decides
+        // 2-AV — precisely the paper's justification for Stage 2 of FZF
+        // looking at the underlying operations.
+        let (yes, no) = zone_twins();
+        assert_eq!(zone_signature(&yes), zone_signature(&no));
+        assert_ne!(
+            Fzf.verify(&yes).is_k_atomic(),
+            Fzf.verify(&no).is_k_atomic()
+        );
+    }
+}

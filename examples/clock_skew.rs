@@ -1,0 +1,60 @@
+//! Why §II-C insists on accurate timestamps (TrueTime-style): verification
+//! consumes the *recorded* history, and skewed probe clocks manufacture
+//! anomalies and false staleness verdicts out of thin air.
+//!
+//! We run the same strict-quorum store three times — honest clocks, modest
+//! skew, heavy skew — and audit the recorded traces.
+//!
+//! ```sh
+//! cargo run --example clock_skew
+//! ```
+
+use k_atomicity::sim::{SimConfig, Simulation};
+use k_atomicity::verify::{smallest_k, Staleness};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("strict quorums (N=3, R=W=2), same workload, varying probe clock skew\n");
+    println!("skew bound | dirty traces | dropped ops | measured k (after repair)");
+
+    for skew_us in [0u64, 500, 50_000, 200_000] {
+        let mut dirty = 0;
+        let mut dropped = 0;
+        let mut worst_k = 1u64;
+        for seed in 0..6 {
+            let output = Simulation::new(SimConfig {
+                clients: 6,
+                ops_per_client: 30,
+                keys: 2,
+                clock_skew: skew_us,
+                seed,
+                ..SimConfig::default()
+            })?
+            .run();
+            for (_, raw) in &output.histories {
+                if !raw.validate().is_clean() {
+                    dirty += 1;
+                }
+            }
+            for (_, history, log) in output.into_repaired_histories()? {
+                dropped += log.dropped.len();
+                let k = match smallest_k(&history, Some(300_000)) {
+                    Staleness::Exact(k) | Staleness::AtLeast(k) => k,
+                };
+                worst_k = worst_k.max(k);
+            }
+        }
+        println!(
+            "{:>9}us | {dirty:>12} | {dropped:>11} | k <= {worst_k}",
+            skew_us
+        );
+    }
+
+    println!(
+        "\nWith honest clocks this deployment is atomic; skew first mislabels\n\
+         it stale, then breaks the recorded traces outright (reads apparently\n\
+         preceding their writes), which `repair` has to drop. The paper's\n\
+         assumption that operations (tens of ms) dwarf clock error (~us with\n\
+         TrueTime) is what makes verification verdicts trustworthy."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The paper's motivating scenario (§I): a social-network feed backed by a
+//! sloppy-quorum store. Users tolerate reads that are "at most a few
+//! updates behind" — k-atomicity is the property that makes this precise.
+//!
+//! We simulate a profile-status register replicated across 5 nodes with
+//! R = W = 1 (fast but sloppy) and replica lag, then measure how far behind
+//! reads actually get, per key.
+//!
+//! ```sh
+//! cargo run --example social_network
+//! ```
+
+use k_atomicity::sim::{LatencyModel, SimConfig, Simulation};
+use k_atomicity::verify::{smallest_k, GkOneAv, Staleness, Verifier};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SimConfig {
+        replicas: 5,
+        read_quorum: 1, // read from any single replica: lowest latency
+        write_quorum: 1, // ack after one replica: lowest latency
+        clients: 8,
+        ops_per_client: 25,
+        keys: 4, // four users' status registers
+        read_fraction: 0.7,
+        network: LatencyModel::Uniform { lo: 50, hi: 500 },
+        apply_lag: LatencyModel::Uniform { lo: 2_000, hi: 40_000 },
+        seed: 2013,
+        ..SimConfig::default()
+    };
+    println!(
+        "simulating a feed over N={} replicas, R={}, W={} (sloppy), with replica lag...\n",
+        config.replicas, config.read_quorum, config.write_quorum
+    );
+    let output = Simulation::new(config)?.run();
+    println!(
+        "{} reads / {} writes, mean read latency {:.0} us\n",
+        output.stats.reads,
+        output.stats.writes,
+        output.stats.mean_read_latency()
+    );
+
+    println!("user | ops | linearizable? | staleness bound (smallest k)");
+    for (key, history) in output.into_histories()? {
+        let atomic = GkOneAv.verify(&history).is_k_atomic();
+        let staleness = smallest_k(&history, Some(1_000_000));
+        let verdict = match staleness {
+            Staleness::Exact(1) => "fresh (atomic)".to_string(),
+            Staleness::Exact(k) => format!("at most {} updates behind", k - 1),
+            Staleness::AtLeast(k) => format!("at least {} updates behind", k - 1),
+        };
+        println!(
+            "{key:>4} | {:>3} | {:<13} | {verdict}",
+            history.len(),
+            if atomic { "yes" } else { "no" },
+        );
+    }
+    println!(
+        "\nInterpretation: with R + W <= N nothing bounds staleness a priori;\n\
+         the k-AV verifiers measure what the deployment actually delivered."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Important writes (§V): the weighted k-AV problem lets a store mark some
+//! writes as important — a read may skip many unimportant writes but only a
+//! few important ones. This example also walks the Figure-5 reduction to
+//! show why the weighted problem is NP-complete.
+//!
+//! ```sh
+//! cargo run --example weighted_writes
+//! ```
+
+use k_atomicity::history::HistoryBuilder;
+use k_atomicity::verify::Verdict;
+use k_atomicity::weighted::{reduce_bin_packing, BinPacking, WkavInstance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A profile register: frequent presence updates (weight 1) and one
+    // account-security update (weight 10). A feed read may lag presence
+    // freely but must not miss the security update by much.
+    let history = HistoryBuilder::new()
+        .weighted_write(1, 0, 10, 1) // presence
+        .weighted_write(2, 12, 20, 1) // presence
+        .weighted_write(3, 22, 30, 10) // SECURITY — important
+        .weighted_write(4, 32, 40, 1) // presence
+        .read(1, 42, 50) // a very stale read
+        .build()?;
+
+    // Skipping w2, w3, w4 costs 1 + 1 + 10 + 1 = 13 separation units.
+    for k in [4, 12, 13] {
+        let verdict = WkavInstance::new(history.clone(), k).decide(None);
+        println!("k = {k:>2}: {verdict}");
+    }
+    println!("-> the important write dominates the staleness budget\n");
+
+    // Theorem 5.1: deciding this in general is NP-complete. The reduction
+    // packs items into bins between consecutive short writes.
+    let bp = BinPacking::new(vec![4, 3, 3, 2], 2, 6)?;
+    println!(
+        "bin packing: items {:?} into {} bins of capacity {}",
+        bp.sizes(),
+        bp.bins(),
+        bp.capacity()
+    );
+    let instance = reduce_bin_packing(&bp);
+    println!(
+        "reduced to k-WAV: {} operations, k = B + 2 = {}",
+        instance.history.len(),
+        instance.k
+    );
+    match instance.decide(None) {
+        Verdict::KAtomic { .. } => {
+            println!("k-WAV solvable  <=>  packing feasible: {}", bp.solve_exact().is_some())
+        }
+        Verdict::NotKAtomic => {
+            println!("k-WAV unsolvable <=>  packing infeasible: {}", bp.solve_exact().is_none())
+        }
+        Verdict::Inconclusive => unreachable!("unbounded search"),
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! # k-atomicity
+//!
+//! A verification workbench for **k-atomicity** of read/write register
+//! histories — a full reproduction of *On the k-Atomicity-Verification
+//! Problem* (Golab, Hurwitz & Li, ICDCS 2013).
+//!
+//! A history is *k-atomic* iff some valid total order of its operations
+//! (one consistent with real-time precedence) lets every read return one of
+//! the `k` freshest values. `k = 1` is linearizability; modern quorum
+//! stores often only achieve `k ≥ 2`.
+//!
+//! This meta-crate re-exports the workspace:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`history`] | operation/history model, anomaly detection, zones & chunks |
+//! | [`verify`] | the LBT & FZF 2-AV verifiers, GK 1-AV, exact search, smallest-k |
+//! | [`weighted`] | the NP-complete weighted problem & bin-packing reduction |
+//! | [`sim`] | a Dynamo-style quorum-store simulator producing histories |
+//! | [`workloads`] | synthetic generators (adversarial staircase, ladders, …) |
+//!
+//! # Quick start
+//!
+//! ```
+//! use k_atomicity::history::HistoryBuilder;
+//! use k_atomicity::verify::{smallest_k, Fzf, GkOneAv, Staleness, Verifier};
+//!
+//! // A read one write stale: 2-atomic but not linearizable.
+//! let history = HistoryBuilder::new()
+//!     .write(1, 0, 10)
+//!     .write(2, 12, 20)
+//!     .read(1, 22, 30)
+//!     .build()?;
+//!
+//! assert!(!GkOneAv.verify(&history).is_k_atomic());
+//! assert!(Fzf.verify(&history).is_k_atomic());
+//! assert_eq!(smallest_k(&history, None), Staleness::Exact(2));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Verifying a simulated Dynamo-style store
+//!
+//! ```
+//! use k_atomicity::sim::{SimConfig, Simulation};
+//! use k_atomicity::verify::{smallest_k, Staleness};
+//!
+//! let output = Simulation::new(SimConfig {
+//!     replicas: 3,
+//!     read_quorum: 2,
+//!     write_quorum: 2,
+//!     ops_per_client: 25,
+//!     ..SimConfig::default()
+//! })?.run();
+//!
+//! for (key, history) in output.into_histories()? {
+//!     // Strict quorums: every key should verify at k <= 2.
+//!     assert!(smallest_k(&history, Some(100_000)).lower_bound() <= 2, "key {key}");
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The operation/history model (re-export of `kav-history`).
+pub mod history {
+    pub use kav_history::*;
+}
+
+/// The verification algorithms (re-export of `kav-core`).
+pub mod verify {
+    pub use kav_core::*;
+}
+
+/// The weighted problem and its NP-completeness artefacts (re-export of
+/// `kav-weighted`).
+pub mod weighted {
+    pub use kav_weighted::*;
+}
+
+/// The quorum-store simulator (re-export of `kav-sim`).
+pub mod sim {
+    pub use kav_sim::*;
+}
+
+/// Synthetic workload generators (re-export of `kav-workloads`).
+pub mod workloads {
+    pub use kav_workloads::*;
+}

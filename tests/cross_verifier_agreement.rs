@@ -1,0 +1,139 @@
+//! The central soundness property of the reproduction: on arbitrary
+//! anomaly-free histories, every polynomial verifier agrees with the
+//! exhaustive oracle, all four LBT configurations agree with FZF, and every
+//! YES verdict carries an independently checkable witness.
+
+use k_atomicity::history::{History, Operation, RawHistory, Time, Value};
+use k_atomicity::verify::{
+    check_witness, smallest_k, staleness_upper_bound, CandidateOrder, ExhaustiveSearch, Fzf,
+    GkOneAv, Lbt, LbtConfig, SearchStrategy, Staleness, Verdict, Verifier,
+};
+use proptest::prelude::*;
+
+/// Generates an arbitrary anomaly-free history: up to 7 writes with random
+/// intervals and up to 8 reads, each referencing some write and starting no
+/// earlier than that write starts (so no read precedes its dictating
+/// write). Endpoint collisions are repaired toward concurrency.
+fn arb_history() -> impl Strategy<Value = History> {
+    let writes = prop::collection::vec((0u64..500, 1u64..80), 1..7);
+    let reads = prop::collection::vec((any::<prop::sample::Index>(), 0u64..150, 1u64..60), 0..8);
+    (writes, reads).prop_map(|(writes, reads)| {
+        let mut raw = RawHistory::new();
+        for (i, &(start, len)) in writes.iter().enumerate() {
+            raw.push(Operation::write(
+                Value(i as u64 + 1),
+                Time(start),
+                Time(start + len),
+            ));
+        }
+        for (which, offset, len) in reads {
+            let w = which.index(writes.len());
+            let (wstart, _) = writes[w];
+            let start = wstart + offset;
+            raw.push(Operation::read(
+                Value(w as u64 + 1),
+                Time(start),
+                Time(start + len),
+            ));
+        }
+        raw.make_endpoints_distinct();
+        raw.into_history().expect("constructed histories are anomaly-free")
+    })
+}
+
+fn lbt_configs() -> Vec<Lbt> {
+    let mut out = Vec::new();
+    for strategy in [SearchStrategy::Naive, SearchStrategy::IterativeDeepening] {
+        for candidate_order in [CandidateOrder::IncreasingFinish, CandidateOrder::DecreasingFinish]
+        {
+            out.push(Lbt::with_config(LbtConfig { strategy, candidate_order }));
+        }
+    }
+    out
+}
+
+fn checked(history: &History, verdict: &Verdict, k: u64, who: &str) -> bool {
+    match verdict {
+        Verdict::KAtomic { witness } => {
+            check_witness(history, witness, k)
+                .unwrap_or_else(|e| panic!("{who} produced a bad witness: {e}"));
+            true
+        }
+        Verdict::NotKAtomic => false,
+        Verdict::Inconclusive => panic!("{who} must be decisive here"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn gk_matches_oracle_at_k1(h in arb_history()) {
+        let gk = checked(&h, &GkOneAv.verify(&h), 1, "gk");
+        let oracle = checked(&h, &ExhaustiveSearch::new(1).verify(&h), 1, "oracle-k1");
+        prop_assert_eq!(gk, oracle);
+    }
+
+    #[test]
+    fn lbt_fzf_and_oracle_agree_at_k2(h in arb_history()) {
+        let oracle = checked(&h, &ExhaustiveSearch::new(2).verify(&h), 2, "oracle-k2");
+        let fzf = checked(&h, &Fzf.verify(&h), 2, "fzf");
+        prop_assert_eq!(fzf, oracle, "FZF disagrees with the oracle");
+        for lbt in lbt_configs() {
+            let got = checked(&h, &lbt.verify(&h), 2, "lbt");
+            prop_assert_eq!(got, oracle, "LBT {:?} disagrees", lbt.config());
+        }
+    }
+
+    #[test]
+    fn monotonicity_in_k(h in arb_history()) {
+        // k-atomicity is monotone: YES at k implies YES at k+1.
+        let mut previous = false;
+        for k in 1..=4u64 {
+            let now = checked(&h, &ExhaustiveSearch::new(k).verify(&h), k, "oracle");
+            prop_assert!(!previous || now, "YES at k={} but NO at k={}", k - 1, k);
+            previous = now;
+        }
+    }
+
+    #[test]
+    fn smallest_k_is_the_oracle_threshold(h in arb_history()) {
+        let result = smallest_k(&h, None);
+        let Staleness::Exact(k) = result else {
+            return Err(TestCaseError::fail("unbounded smallest_k must be exact"));
+        };
+        prop_assert!(checked(&h, &ExhaustiveSearch::new(k).verify(&h), k, "oracle"));
+        if k > 1 {
+            prop_assert!(
+                !checked(&h, &ExhaustiveSearch::new(k - 1).verify(&h), k - 1, "oracle"),
+                "history already {}-atomic",
+                k - 1
+            );
+        }
+        prop_assert!(k <= staleness_upper_bound(&h), "upper bound must dominate");
+    }
+
+    #[test]
+    fn verdicts_survive_time_relabelling(h in arb_history(), scale in 2u64..7, shift in 0u64..1000) {
+        // Only the order of timestamps matters: an affine relabelling
+        // leaves every verdict unchanged.
+        let relabelled: RawHistory = h
+            .to_raw()
+            .into_iter()
+            .map(|mut op| {
+                op.start = Time(op.start.as_u64() * scale + shift);
+                op.finish = Time(op.finish.as_u64() * scale + shift);
+                op
+            })
+            .collect();
+        let h2 = relabelled.into_history().expect("relabelling preserves validity");
+        prop_assert_eq!(
+            Fzf.verify(&h).is_k_atomic(),
+            Fzf.verify(&h2).is_k_atomic()
+        );
+        prop_assert_eq!(
+            GkOneAv.verify(&h).is_k_atomic(),
+            GkOneAv.verify(&h2).is_k_atomic()
+        );
+    }
+}

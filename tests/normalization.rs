@@ -1,0 +1,142 @@
+//! The §II-C write-shortening normalisation is semantically free.
+//!
+//! `History` construction re-times every write with dictated reads so it
+//! finishes just below their earliest finish (the paper's WLOG step). To
+//! check that this never changes a verdict, this test implements an
+//! independent reference decision procedure that works directly on the
+//! *raw, unnormalised* operations — enumerating linear extensions of the
+//! raw "precedes" order with no shared code — and compares it against the
+//! production pipeline (validation + normalisation + oracle) for k = 1..3.
+
+use k_atomicity::history::{Operation, RawHistory, Time, Value};
+use k_atomicity::verify::{ExhaustiveSearch, Verdict, Verifier};
+use proptest::prelude::*;
+
+/// Reference decision: does some linear extension of the raw interval
+/// order place every read at separation <= k? Exponential; test-only.
+fn reference_k_atomic(ops: &[Operation], k: u64) -> bool {
+    fn precedes(a: &Operation, b: &Operation) -> bool {
+        a.finish < b.start
+    }
+    fn extend(
+        ops: &[Operation],
+        k: u64,
+        placed: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+    ) -> bool {
+        if placed.len() == ops.len() {
+            return true;
+        }
+        'candidates: for i in 0..ops.len() {
+            if used[i] {
+                continue;
+            }
+            // Minimal among the unplaced: nothing unplaced precedes it.
+            for j in 0..ops.len() {
+                if !used[j] && j != i && precedes(&ops[j], &ops[i]) {
+                    continue 'candidates;
+                }
+            }
+            // A read must follow its dictating write within weight k.
+            if ops[i].is_read() {
+                let mut separation = 0u64;
+                let mut found = false;
+                for &p in placed.iter().rev() {
+                    if ops[p].is_write() {
+                        separation += u64::from(ops[p].weight.as_u32());
+                        if ops[p].value == ops[i].value {
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+                if !found || separation > k {
+                    continue 'candidates;
+                }
+            }
+            used[i] = true;
+            placed.push(i);
+            if extend(ops, k, placed, used) {
+                return true;
+            }
+            placed.pop();
+            used[i] = false;
+        }
+        false
+    }
+    extend(ops, k, &mut Vec::new(), &mut vec![false; ops.len()])
+}
+
+/// Arbitrary small anomaly-free raw histories — including writes whose
+/// finishes extend far beyond their dictated reads (the case normalisation
+/// rewrites).
+fn arb_raw() -> impl Strategy<Value = RawHistory> {
+    let writes = prop::collection::vec((0u64..40, 1u64..60), 1..5);
+    let reads = prop::collection::vec((any::<prop::sample::Index>(), 0u64..30, 1u64..25), 0..5);
+    (writes, reads).prop_map(|(writes, reads)| {
+        let mut raw = RawHistory::new();
+        for (i, &(start, len)) in writes.iter().enumerate() {
+            raw.push(Operation::write(Value(i as u64 + 1), Time(start), Time(start + len)));
+        }
+        for (which, offset, len) in reads {
+            let w = which.index(writes.len());
+            let start = writes[w].0 + offset;
+            raw.push(Operation::read(Value(w as u64 + 1), Time(start), Time(start + len)));
+        }
+        raw.make_endpoints_distinct();
+        raw
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn pipeline_verdicts_match_the_unnormalized_reference(raw in arb_raw()) {
+        let history = raw.clone().into_history().expect("anomaly-free");
+        for k in 1..=3u64 {
+            let reference = reference_k_atomic(&raw.ops, k);
+            let pipeline = match ExhaustiveSearch::new(k).verify(&history) {
+                Verdict::KAtomic { .. } => true,
+                Verdict::NotKAtomic => false,
+                Verdict::Inconclusive => {
+                    return Err(TestCaseError::fail("oracle must be decisive"))
+                }
+            };
+            prop_assert_eq!(
+                pipeline,
+                reference,
+                "normalisation changed the k={} verdict for {:?}",
+                k,
+                raw
+            );
+        }
+    }
+}
+
+#[test]
+fn shortening_rewrites_overlong_writes() {
+    // A write spanning far past its only read's finish is re-timed to
+    // finish just below it; the verdict is unchanged.
+    let mut raw = RawHistory::new();
+    raw.write(Value(1), Time(0), Time(1_000));
+    raw.read(Value(1), Time(10), Time(20));
+    assert!(reference_k_atomic(&raw.ops, 1), "reference accepts the raw history");
+    let h = raw.into_history().unwrap();
+    let w = &h.ops()[0];
+    let r = &h.ops()[1];
+    assert!(w.finish < r.finish, "write must be shortened below the read finish");
+    assert!(ExhaustiveSearch::new(1).verify(&h).is_k_atomic());
+}
+
+#[test]
+fn shortening_is_idempotent() {
+    let h = kav_workloads::random_k_atomic(kav_workloads::RandomHistoryConfig {
+        ops: 300,
+        k: 2,
+        seed: 8,
+        ..Default::default()
+    });
+    let again = h.to_raw().into_history().unwrap();
+    assert_eq!(h.to_raw(), again.to_raw());
+}

@@ -1,0 +1,101 @@
+//! The witness checker is the trust anchor of the whole workbench: every
+//! YES verdict is only as good as `check_witness`. These tests attack it
+//! with malformed and mutated certificates.
+
+use k_atomicity::history::{History, OpId};
+use k_atomicity::verify::{check_witness, Fzf, TotalOrder, Verifier, WitnessError};
+use k_atomicity::workloads::{random_k_atomic, RandomHistoryConfig};
+use proptest::prelude::*;
+
+fn history_with_witness(seed: u64, ops: usize) -> (History, TotalOrder) {
+    let h = random_k_atomic(RandomHistoryConfig { ops, k: 2, seed, ..Default::default() });
+    let witness = Fzf
+        .verify(&h)
+        .witness()
+        .expect("k=2-by-construction histories are 2-atomic")
+        .clone();
+    (h, witness)
+}
+
+#[test]
+fn truncated_witnesses_are_rejected() {
+    let (h, witness) = history_with_witness(1, 30);
+    let mut short = witness.clone().into_inner();
+    short.pop();
+    assert_eq!(
+        check_witness(&h, &TotalOrder::new(short), 2),
+        Err(WitnessError::NotAPermutation)
+    );
+}
+
+#[test]
+fn duplicated_entries_are_rejected() {
+    let (h, witness) = history_with_witness(2, 30);
+    let mut dup = witness.clone().into_inner();
+    dup[0] = dup[1];
+    assert_eq!(
+        check_witness(&h, &TotalOrder::new(dup), 2),
+        Err(WitnessError::NotAPermutation)
+    );
+}
+
+#[test]
+fn out_of_range_ids_are_rejected() {
+    let (h, witness) = history_with_witness(3, 10);
+    let mut bad = witness.clone().into_inner();
+    bad[0] = OpId(999);
+    assert_eq!(
+        check_witness(&h, &TotalOrder::new(bad), 2),
+        Err(WitnessError::NotAPermutation)
+    );
+}
+
+#[test]
+fn reversed_witnesses_fail_for_nontrivial_histories() {
+    let (h, witness) = history_with_witness(4, 40);
+    let mut reversed = witness.clone().into_inner();
+    reversed.reverse();
+    // A 40-op history with reads must break either validity or the
+    // read-after-write rule when reversed.
+    assert!(check_witness(&h, &TotalOrder::new(reversed), 2).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary permutations never panic the checker, and the checker is
+    /// deterministic.
+    #[test]
+    fn shuffled_witnesses_never_panic(seed in 0u64..500, swaps in prop::collection::vec((0usize..30, 0usize..30), 0..12)) {
+        let (h, witness) = history_with_witness(seed, 30);
+        let mut order = witness.into_inner();
+        let len = order.len();
+        for (a, b) in swaps {
+            order.swap(a % len, b % len);
+        }
+        let order = TotalOrder::new(order);
+        let first = check_witness(&h, &order, 2);
+        let second = check_witness(&h, &order, 2);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Tightening k can only move a verdict from Ok towards rejection.
+    #[test]
+    fn witness_acceptance_is_monotone_in_k(seed in 0u64..200) {
+        let (h, witness) = history_with_witness(seed, 25);
+        for k in (1..=4u64).rev() {
+            if check_witness(&h, &witness, k).is_err() {
+                // Rejection at k implies rejection at every smaller bound.
+                for smaller in 1..k {
+                    prop_assert!(
+                        check_witness(&h, &witness, smaller).is_err(),
+                        "rejected at k={} but accepted at k={}", k, smaller
+                    );
+                }
+                break;
+            }
+        }
+        // The generating bound always certifies.
+        prop_assert!(check_witness(&h, &witness, 2).is_ok());
+    }
+}
