@@ -1,0 +1,63 @@
+//! Smoke test: every committed example must build and run to completion.
+//!
+//! `cargo test` already *builds* the examples; this harness additionally
+//! *runs* each one (via `cargo run --example`, so the target directory and
+//! profile are resolved by cargo itself) and asserts a clean exit. The
+//! examples print to stdout; output content is only spot-checked to keep
+//! the smoke test robust to wording tweaks.
+
+use std::process::{Command, Output};
+
+/// Every example under `examples/`, kept in sync with `Cargo.toml`.
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "audit_pipeline",
+    "clock_skew",
+    "quorum_tuning",
+    "social_network",
+    "weighted_writes",
+];
+
+fn run_example(name: &str) -> Output {
+    Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"))
+}
+
+#[test]
+fn all_examples_run_to_completion() {
+    for &name in EXAMPLES {
+        let out = run_example(name);
+        assert!(
+            out.status.success(),
+            "example `{name}` failed with {}:\n--- stderr ---\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr),
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "example `{name}` printed nothing — examples are meant to demonstrate output"
+        );
+    }
+}
+
+#[test]
+fn example_list_matches_directory() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/ exists")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_owned)
+        })
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(
+        listed, on_disk,
+        "EXAMPLES constant is out of sync with the examples/ directory"
+    );
+}

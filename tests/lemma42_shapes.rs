@@ -125,7 +125,6 @@ fn zone_overlapping_three_others_rejects() {
 #[test]
 fn mixed_chains_with_swept_probe_agree_with_oracle() {
     let mut yes = 0;
-    let mut no = 0;
     for probe_start in [13u64, 15, 17, 21, 26, 31, 41, 51] {
         let h = HistoryBuilder::new()
             .write(1, 0, 10)
@@ -138,15 +137,11 @@ fn mixed_chains_with_swept_probe_agree_with_oracle() {
             .read(2, probe_start, probe_start + 50)
             .build()
             .unwrap();
-        if agree(&h, &format!("probe@{probe_start}")) {
-            yes += 1;
-        } else {
-            no += 1;
-        }
+        yes += u32::from(agree(&h, &format!("probe@{probe_start}")));
     }
-    // The sweep must exercise both outcomes to be a meaningful test.
+    // The sweep must exercise a YES outcome to be a meaningful test; the
+    // exact verdict split is input-dependent — agreement is the point.
     assert!(yes > 0, "no YES case in the sweep");
-    assert!(no == 0 || no > 0); // verdict split is input-dependent; agreement is the point
 }
 
 /// The induction's base case: two-cluster chunks accept via TF or T'F

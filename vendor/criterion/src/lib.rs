@@ -1,0 +1,142 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-group API surface this workspace's benches use
+//! (`benchmark_group`, `sample_size`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) with straightforward median
+//! wall-clock timing instead of criterion's statistical machinery. Passing
+//! `--test` (as `cargo test --benches` does for custom harnesses) runs each
+//! benchmark body once, as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, test_mode: self.test_mode, _parent: self }
+    }
+}
+
+/// A named benchmark identifier, `function/parameter` style.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher { times: Vec::with_capacity(samples) };
+        for _ in 0..samples {
+            f(&mut bencher, input);
+        }
+        report(&self.name, &id.label, &mut bencher.times, self.test_mode);
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), move |b, ()| f(b))
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op hook).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, label: &str, times: &mut [Duration], test_mode: bool) {
+    if test_mode {
+        println!("test {group}/{label} ... ok");
+        return;
+    }
+    times.sort_unstable();
+    let median = times.get(times.len() / 2).copied().unwrap_or_default();
+    println!(
+        "{group}/{label}: median {:.3} ms over {} samples",
+        median.as_secs_f64() * 1e3,
+        times.len()
+    );
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once and records the timed sample. Unlike criterion
+    /// there is no adaptive iteration count: total runtime stays
+    /// proportional to `sample_size`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.times.push(start.elapsed());
+    }
+}
+
+/// Declares a function that runs the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,486 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`, integer-range and tuple strategies,
+//! `prop_map`, `prop::collection::vec`, `prop::sample::Index` and
+//! `any::<T>()`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed; rerunning is
+//!   deterministic, and the seed can be committed to the regression file.
+//! * **Deterministic by default.** Case `i` of test `t` always uses the
+//!   same derived seed, so CI runs are reproducible. Set `PROPTEST_CASES`
+//!   to override the case count.
+//! * **Seed persistence is compatible in spirit**: before the generated
+//!   cases, every `cc <hex-seed>` line of
+//!   `proptest-regressions/<source-file-stem>.txt` (relative to the crate
+//!   root cargo runs tests from) is replayed first.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Config, error type and the case-execution loop.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Execution parameters for one `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test (regression seeds run extra).
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property (from `prop_assert!` and friends).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// An assertion failure with a preformatted message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The RNG handed to strategies.
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        fn from_seed(seed: u64) -> Self {
+            TestRng { rng: StdRng::seed_from_u64(seed) }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Parses the regression-file format: lines of the form
+    /// `cc <16+ hex digits> [# comment]`; the first 16 digits are the case
+    /// seed. Other lines (comments, blanks) are ignored.
+    pub(crate) fn parse_seed_lines(text: &str) -> Vec<u64> {
+        text.lines()
+            .filter_map(|line| {
+                let hex = line.trim().strip_prefix("cc ")?.trim();
+                u64::from_str_radix(hex.get(..16)?, 16).ok()
+            })
+            .collect()
+    }
+
+    /// Seeds persisted in `proptest-regressions/<stem>.txt`, resolved
+    /// relative to the directory cargo runs the test binary from (the
+    /// owning package root).
+    fn persisted_seeds(source_file: &str) -> Vec<u64> {
+        let stem = std::path::Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        let path = format!("proptest-regressions/{stem}.txt");
+        match std::fs::read_to_string(path) {
+            Ok(text) => parse_seed_lines(&text),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Runs `case` over the persisted regression seeds, then `config.cases`
+    /// deterministically derived fresh seeds, panicking (with the seed) on
+    /// the first failure.
+    pub fn run<F>(config: &ProptestConfig, name: &str, source_file: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        let base = fnv1a(name.as_bytes()) ^ fnv1a(source_file.as_bytes()).rotate_left(32);
+
+        let mut seeds = persisted_seeds(source_file);
+        let persisted = seeds.len();
+        seeds.extend((0..u64::from(cases)).map(|i| {
+            base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }));
+
+        for (i, seed) in seeds.into_iter().enumerate() {
+            let mut rng = TestRng::from_seed(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                case(&mut rng)
+            }));
+            let origin = if i < persisted { "persisted regression" } else { "generated" };
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => panic!(
+                    "proptest case failed ({origin} seed): {e}\n\
+                     rerun by adding the line `cc {seed:016x}` to \
+                     proptest-regressions/<file>.txt"
+                ),
+                Err(panic_payload) => {
+                    eprintln!(
+                        "proptest case panicked ({origin} seed cc {seed:016x})"
+                    );
+                    std::panic::resume_unwind(panic_payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Types with a canonical ("any value") strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct ArbitraryStrategy<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for ArbitraryStrategy<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+        ArbitraryStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates a `Vec` whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helper types.
+
+    use crate::strategy::Arbitrary;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An index into a collection of unknown (at generation time) size.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Resolves against a concrete collection length.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.rng.gen())
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::sample::Index`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(
+                &config,
+                ::core::stringify!($name),
+                ::core::file!(),
+                |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let mut __case = ||
+                        -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    __case()
+                },
+            );
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the current property case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seed_lines_parse() {
+        let text = "# comment\n\
+                    cc 00000000000000ff # shrinks to whatever\n\
+                    cc deadbeefdeadbeef\n\
+                    not a seed line\n\
+                    cc tooshort\n";
+        assert_eq!(
+            crate::test_runner::parse_seed_lines(text),
+            vec![0xff, 0xdead_beef_dead_beef]
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline end-to-end: tuples, ranges, vec, prop_map,
+        /// any::<Index>.
+        #[test]
+        fn generated_values_respect_strategies(
+            x in 1u64..100,
+            (lo, len) in (0u32..50, 1u32..10),
+            v in prop::collection::vec(0usize..5, 2..6),
+            idx in any::<prop::sample::Index>(),
+            doubled in (1u64..10).prop_map(|n| n * 2),
+        ) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(lo < 50 && (1..10).contains(&len));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!(idx.index(7) < 7);
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(doubled, 1);
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no `syn`/`quote`), supporting exactly the container shapes this
+//! workspace uses:
+//!
+//! * tuple ("newtype") structs — serialized transparently as their inner
+//!   value, matching both `#[serde(transparent)]` and serde's default
+//!   newtype behaviour;
+//! * structs with named fields, honouring `#[serde(default)]` per field
+//!   (and `Option<T>` fields are implicitly optional, as in real serde);
+//! * enums with unit, one-element tuple, and named-field variants, in
+//!   serde's externally-tagged representation, honouring
+//!   `#[serde(rename_all = "snake_case")]`.
+//!
+//! Generics, lifetimes and other serde attributes are rejected with a
+//! compile-time panic naming the construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse(input);
+    gen_serialize(&container).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse(input);
+    gen_deserialize(&container).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Container {
+    name: String,
+    rename_all_snake: bool,
+    data: Data,
+}
+
+enum Data {
+    /// Tuple struct with the given arity (only 1 is supported).
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    rename_all_snake: bool,
+    has_default: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let attrs = parse_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in: generic type `{name}` is not supported");
+    }
+
+    let data = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Named(parse_named_fields(g.stream()))
+            }
+            other => panic!("serde stand-in: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stand-in: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde stand-in: cannot derive for `{other}` items"),
+    };
+
+    Container { name, rename_all_snake: attrs.rename_all_snake, data }
+}
+
+/// Parses leading attributes at `pos`, returning the serde-relevant facts
+/// and advancing past every attribute (doc comments, `#[derive(..)]`,
+/// `#[default]`, ... are skipped).
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+            panic!("serde stand-in: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            let Some(TokenTree::Group(args)) = inner.get(1) else {
+                panic!("serde stand-in: expected `#[serde(...)]`");
+            };
+            apply_serde_args(args.stream(), &mut attrs);
+        }
+        *pos += 2;
+    }
+    attrs
+}
+
+fn apply_serde_args(args: TokenStream, attrs: &mut SerdeAttrs) {
+    let items: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < items.len() {
+        match &items[i] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "transparent" => {
+                    // Newtype structs are always serialized transparently.
+                    i += 1;
+                }
+                "default" => {
+                    attrs.has_default = true;
+                    i += 1;
+                }
+                "rename_all" => {
+                    let value = match items.get(i + 2) {
+                        Some(TokenTree::Literal(lit)) => lit.to_string(),
+                        other => panic!("serde stand-in: malformed rename_all: {other:?}"),
+                    };
+                    if value != "\"snake_case\"" {
+                        panic!("serde stand-in: only rename_all = \"snake_case\" is supported, got {value}");
+                    }
+                    attrs.rename_all_snake = true;
+                    i += 3;
+                }
+                other => panic!("serde stand-in: unsupported serde attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde stand-in: unexpected token in #[serde(...)]: {other}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde stand-in: expected identifier, found {other:?}"),
+    }
+}
+
+/// Counts the comma-separated fields of a tuple-struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde stand-in: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(Field { name, has_default: attrs.has_default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        parse_attrs(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        let data = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantData::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantData::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantData::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn rename(name: &str, snake: bool) -> String {
+    if !snake {
+        return name.to_string();
+    }
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Tuple(n) => {
+            panic!("serde stand-in: tuple struct `{name}` with {n} fields is not supported")
+        }
+        Data::Named(fields) => {
+            let mut out = String::from(
+                "let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let key = rename(&f.name, c.rename_all_snake);
+                out.push_str(&format!(
+                    "__entries.push((::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name
+                ));
+            }
+            out.push_str("::serde::Value::Object(__entries)");
+            out
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = rename(&v.name, c.rename_all_snake);
+                match &v.data {
+                    VariantData::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{tag}\")),\n",
+                        v = v.name
+                    )),
+                    VariantData::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{tag}\"), ::serde::Serialize::to_value(__f0))]),\n",
+                        v = v.name
+                    )),
+                    VariantData::Tuple(n) => panic!(
+                        "serde stand-in: variant `{name}::{}` with {n} tuple fields is not supported",
+                        v.name
+                    ),
+                    VariantData::Named(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            let key = rename(&f.name, false);
+                            pushes.push_str(&format!(
+                                "__payload.push((::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value({})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __payload: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{tag}\"), ::serde::Value::Object(__payload))])\n\
+                             }},\n",
+                            v = v.name,
+                            binds = binders.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Generates the `field: ...` initializer for one named field read from the
+/// object `__v`.
+fn named_field_init(f: &Field, rename_all_snake: bool) -> String {
+    let key = rename(&f.name, rename_all_snake);
+    let missing = if f.has_default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!("::serde::Deserialize::missing_field(\"{key}\")?")
+    };
+    format!(
+        "{field}: match __v.get(\"{key}\") {{\n\
+         ::std::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }},\n",
+        field = f.name
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Data::Tuple(n) => {
+            panic!("serde stand-in: tuple struct `{name}` with {n} fields is not supported")
+        }
+        Data::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&named_field_init(f, c.rename_all_snake));
+            }
+            format!(
+                "if __v.as_object().is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::expected(\"struct {name}\", __v));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let tag = rename(&v.name, c.rename_all_snake);
+                match &v.data {
+                    VariantData::Unit => unit_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantData::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__payload)?)),\n",
+                        v = v.name
+                    )),
+                    VariantData::Tuple(n) => panic!(
+                        "serde stand-in: variant `{name}::{}` with {n} tuple fields is not supported",
+                        v.name
+                    ),
+                    VariantData::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            // Reuse the named-struct reader with `__payload`
+                            // in scope as `__v`.
+                            inits.push_str(&named_field_init(f, false));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                             let __v = __payload;\n\
+                             if __v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::expected(\"variant {name}::{v}\", __v));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n\
+                             }},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", __v)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
