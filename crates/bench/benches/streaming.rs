@@ -1,0 +1,72 @@
+//! Sustained-throughput benchmarks for the streaming verification
+//! pipeline: how many completed operations per second the sharded
+//! `StreamPipeline` absorbs, as a function of shard count and window
+//! size. The §II-B locality argument predicts near-linear scaling with
+//! shards until the (single-threaded) ingest side saturates; wider
+//! windows trade memory for fewer, larger offline segment verifications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kav_core::{Fzf, PipelineConfig, StreamPipeline};
+use kav_history::ndjson::StreamRecord;
+use kav_workloads::{streaming_workload, StreamingWorkloadConfig};
+
+/// A 64-key, 2-atomic-by-construction stream: 32k operations.
+fn stream_input() -> Vec<StreamRecord> {
+    streaming_workload(StreamingWorkloadConfig {
+        keys: 64,
+        ops_per_key: 500,
+        k: 2,
+        spread: 3,
+        seed: 42,
+        ..Default::default()
+    })
+}
+
+fn drive(records: &[StreamRecord], config: PipelineConfig) {
+    let mut pipeline = StreamPipeline::new(Fzf, config);
+    for record in records {
+        pipeline.push(record.key, record.op());
+    }
+    let output = pipeline.finish();
+    assert!(output.errors.is_empty());
+    assert_eq!(output.all_k_atomic(), Some(true));
+}
+
+/// Throughput vs shard count at a fixed window.
+fn bench_shard_scaling(c: &mut Criterion) {
+    let records = stream_input();
+    let mut group = c.benchmark_group("stream_shards");
+    group.sample_size(10);
+    for shards in [1, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &records,
+            |b, records| {
+                b.iter(|| drive(records, PipelineConfig { shards, window: 256 }))
+            },
+        );
+    }
+    group.finish();
+    println!("stream_shards: {} ops per iteration", records.len());
+}
+
+/// Throughput vs window width at a fixed shard count.
+fn bench_window_width(c: &mut Criterion) {
+    let records = stream_input();
+    let mut group = c.benchmark_group("stream_window");
+    group.sample_size(10);
+    for window in [64, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window),
+            &records,
+            |b, records| {
+                b.iter(|| drive(records, PipelineConfig { shards: 4, window }))
+            },
+        );
+    }
+    group.finish();
+    println!("stream_window: {} ops per iteration", records.len());
+}
+
+criterion_group!(benches, bench_shard_scaling, bench_window_width);
+criterion_main!(benches);

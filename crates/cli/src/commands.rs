@@ -2,10 +2,10 @@
 
 use crate::args::{ArgError, Args};
 use kav_core::{
-    check_witness, diagnose, smallest_k, ExhaustiveSearch, Fzf, GkOneAv, Lbt, Staleness, Verdict,
-    Verifier,
+    check_witness, diagnose, smallest_k, ExhaustiveSearch, Fzf, GkOneAv, Lbt, PipelineConfig,
+    PipelineOutput, Staleness, StreamPipeline, Verdict, Verifier,
 };
-use kav_history::{csv, json, render_timeline, repair, History, HistoryStats, RawHistory};
+use kav_history::{csv, json, ndjson, render_timeline, repair, History, HistoryStats, RawHistory};
 use kav_sim::{LatencyModel, SimConfig, Simulation};
 use kav_weighted::{reduce_bin_packing, BinPacking};
 use kav_workloads as workloads;
@@ -23,8 +23,11 @@ pub fn usage() -> &'static str {
      \x20 kav diagnose [--budget <nodes>] <history.json>\n\
      \x20 kav render [--width <cols>] <history.json>\n\
      \x20 kav repair <dirty.json> --out <clean.json>\n\
-     \x20 kav gen --workload <staircase|serial|ladder|random|figure3>\n\
+     \x20 kav gen --workload <staircase|serial|ladder|random|figure3|stream>\n\
      \x20        [--n <ops>] [--k <bound>] [--seed <s>] [--spread <w>] [--out <file>]\n\
+     \x20        [--keys <K>]                        (stream: NDJSON, --n ops per key)\n\
+     \x20 kav stream [--k <1|2>] [--algo gk|lbt|fzf] [--window <ops>] [--shards <N>]\n\
+     \x20        <ops.ndjson | ->                    (- reads NDJSON from stdin)\n\
      \x20 kav sim [--replicas N] [--read-quorum R] [--write-quorum W] [--fanout F]\n\
      \x20        [--clients C] [--ops N] [--keys K] [--lag lo:hi] [--net lo:hi]\n\
      \x20        [--drop p] [--seed s] [--budget nodes] [--out-prefix path]\n\
@@ -157,6 +160,28 @@ pub fn gen(args: &Args) -> CmdResult {
     let k: u64 = args.get_parsed("k", 2)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
     let spread: u64 = args.get_parsed("spread", 3)?;
+    if workload == "stream" {
+        let records = workloads::streaming_workload(workloads::StreamingWorkloadConfig {
+            keys: args.get_parsed::<u64>("keys", 4)?.max(1),
+            ops_per_key: n.max(1),
+            k,
+            spread,
+            seed,
+            ..Default::default()
+        });
+        match args.get("out") {
+            Some(path) => {
+                ndjson::write_stream(path, &records)?;
+                println!("wrote {} stream records to {path}", records.len());
+            }
+            None => {
+                for record in &records {
+                    println!("{}", ndjson::to_line(record));
+                }
+            }
+        }
+        return Ok(());
+    }
     let history = match workload {
         "staircase" => workloads::staircase(n.max(1) / 2),
         "serial" => workloads::serial(n),
@@ -223,6 +248,124 @@ pub fn sim(args: &Args) -> CmdResult {
         );
     }
     Ok(())
+}
+
+/// `kav stream` — online sliding-window verification of an NDJSON stream.
+pub fn stream(args: &Args) -> CmdResult {
+    let k: u64 = args.get_parsed("k", 2)?;
+    let algo = args.get("algo").unwrap_or(match k {
+        1 => "gk",
+        _ => "fzf",
+    });
+    let config = PipelineConfig {
+        window: args.get_parsed("window", 1024)?,
+        shards: args.get_parsed("shards", 4)?,
+    };
+    let path = args
+        .positional(1)
+        .ok_or_else(|| ArgError("stream requires an NDJSON file argument (or -)".into()))?;
+    let reader: Box<dyn std::io::BufRead> = if path == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        Box::new(std::io::BufReader::new(std::fs::File::open(path)?))
+    };
+    let (output, malformed, total_malformed) = match (algo, k) {
+        ("gk", 1) => drive_stream(GkOneAv, reader, config)?,
+        ("fzf", 2) => drive_stream(Fzf, reader, config)?,
+        ("lbt", 2) => drive_stream(Lbt::new(), reader, config)?,
+        (a, k) => {
+            return Err(ArgError(format!("algorithm {a:?} cannot decide k = {k}")).into());
+        }
+    };
+
+    println!(
+        "verified {} ops across {} keys ({algo}, k={k}, window {}, {} shards)",
+        output.total_ops(),
+        output.keys.len(),
+        config.window.max(1),
+        config.shards.max(1),
+    );
+    println!("key | ops | segments | reads | depth mean/max | breach/orphan | verdict");
+    for (key, report) in &output.keys {
+        let verdict = match report.k_atomic() {
+            Some(true) => "YES",
+            Some(false) => "NO",
+            None => "UNKNOWN",
+        };
+        println!(
+            "{key:>3} | {:>5} | {:>8} | {:>5} | {:>7.2}/{:<4} | {:>6}/{:<6} | {verdict}",
+            report.ops,
+            report.segments,
+            report.reads,
+            report.mean_read_depth,
+            report.max_read_depth,
+            report.horizon_breaches,
+            report.orphaned_reads,
+        );
+    }
+    for line in &malformed {
+        eprintln!("{line}");
+    }
+    if total_malformed > malformed.len() {
+        eprintln!("... and {} more malformed records", total_malformed - malformed.len());
+    }
+    for (key, error) in &output.errors {
+        eprintln!("key {key}: {error}");
+    }
+
+    if !output.errors.is_empty() {
+        return Err(format!("{} keys had unusable streams", output.errors.len()).into());
+    }
+    if total_malformed > 0 {
+        return Err(format!("{total_malformed} malformed records were skipped").into());
+    }
+    match output.all_k_atomic() {
+        Some(true) => {
+            println!("YES: every key is {k}-atomic");
+            Ok(())
+        }
+        Some(false) => {
+            let failed =
+                output.keys.iter().filter(|(_, r)| r.k_atomic() == Some(false)).count();
+            Err(format!("NO: {failed} keys are not {k}-atomic").into())
+        }
+        None => {
+            println!(
+                "UNKNOWN: no violation found, but some reads outlived the window; \
+                 rerun with a larger --window to certify"
+            );
+            Ok(())
+        }
+    }
+}
+
+/// Feeds the NDJSON reader into a pipeline. Malformed lines are skipped
+/// and counted, keeping only the first few messages (the run completes;
+/// the caller reports them and exits non-zero); genuine I/O failures
+/// abort. Returns the pipeline output, the sample messages, and the
+/// total malformed count.
+fn drive_stream<V: Verifier + Clone + Send + 'static>(
+    verifier: V,
+    reader: Box<dyn std::io::BufRead>,
+    config: PipelineConfig,
+) -> Result<(PipelineOutput, Vec<String>, usize), Box<dyn Error>> {
+    const MALFORMED_SAMPLES: usize = 10;
+    let mut pipeline = StreamPipeline::new(verifier, config);
+    let mut malformed = Vec::new();
+    let mut total_malformed = 0usize;
+    for record in ndjson::Reader::new(reader) {
+        match record {
+            Ok(record) => pipeline.push(record.key, record.op()),
+            Err(e @ ndjson::NdjsonError::Parse { .. }) => {
+                total_malformed += 1;
+                if malformed.len() < MALFORMED_SAMPLES {
+                    malformed.push(e.to_string());
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok((pipeline.finish(), malformed, total_malformed))
 }
 
 /// `kav reduce` — the Figure-5 bin-packing reduction.

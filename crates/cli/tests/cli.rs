@@ -138,6 +138,104 @@ fn malformed_input_is_reported() {
     assert!(stderr(&out).contains("requires a value"));
 }
 
+fn kav_with_stdin(args: &[&str], stdin: &str) -> Output {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_kav"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("kav binary spawns");
+    child.stdin.take().unwrap().write_all(stdin.as_bytes()).unwrap();
+    child.wait_with_output().expect("kav binary runs")
+}
+
+#[test]
+fn stream_pipeline_from_generated_file() {
+    let path = temp_file("ops.ndjson");
+    let out = kav(&[
+        "gen", "--workload", "stream", "--keys", "3", "--n", "80", "--seed", "2", "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("wrote 240 stream records"), "{}", stdout(&out));
+
+    let out = kav(&["stream", "--window", "64", "--shards", "2", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("verified 240 ops across 3 keys"), "{text}");
+    assert!(text.contains("key | ops | segments"), "{text}");
+    assert!(text.contains("YES: every key is 2-atomic"), "{text}");
+}
+
+#[test]
+fn stream_reads_ndjson_from_stdin() {
+    let gen = kav(&["gen", "--workload", "stream", "--keys", "2", "--n", "40"]);
+    assert!(gen.status.success(), "{}", stderr(&gen));
+    let ndjson = stdout(&gen);
+    assert!(ndjson.lines().count() == 80, "one record per line");
+
+    let out = kav_with_stdin(&["stream", "--window", "32", "-"], &ndjson);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("across 2 keys"), "{}", stdout(&out));
+}
+
+#[test]
+fn stream_exits_nonzero_on_violation() {
+    // ladder(3) is not 2-atomic: three writes, then a read of the first.
+    let ndjson = r#"
+        {"key":5,"kind":"write","value":1,"start":0,"finish":10}
+        {"key":5,"kind":"write","value":2,"start":12,"finish":20}
+        {"key":5,"kind":"write","value":3,"start":22,"finish":30}
+        {"key":5,"kind":"read","value":1,"start":32,"finish":40}
+    "#;
+    let out = kav_with_stdin(&["stream", "-"], ndjson);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("| NO"), "{}", stdout(&out));
+    assert!(stderr(&out).contains("NO: 1 keys are not 2-atomic"), "{}", stderr(&out));
+
+    // The same stream passes at k = 1... it must not: it is not 1-atomic
+    // either, and gk must also report the violation.
+    let out = kav_with_stdin(&["stream", "--k", "1", "-"], ndjson);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("not 1-atomic"), "{}", stderr(&out));
+}
+
+#[test]
+fn stream_rejects_bad_records() {
+    // Malformed JSON lines: skipped but reported with line numbers, and
+    // the run still completes (valid records verify) with nonzero exit.
+    let ndjson = "{\"kind\":\"write\"\n\
+        {\"kind\":\"write\",\"value\":1,\"start\":0,\"finish\":10}\n\
+        not json\n\
+        {\"kind\":\"read\",\"value\":1,\"start\":12,\"finish\":20}\n";
+    let out = kav_with_stdin(&["stream", "-"], ndjson);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("line 1"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("line 3"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("2 malformed records were skipped"), "{}", stderr(&out));
+    assert!(stdout(&out).contains("verified 2 ops across 1 keys"), "{}", stdout(&out));
+    assert!(stdout(&out).contains("| YES"), "{}", stdout(&out));
+
+    // Well-formed JSON violating the schema rules (out of completion
+    // order): the offending key is reported, exit is nonzero.
+    let ndjson = r#"
+        {"key":1,"kind":"write","value":1,"start":0,"finish":10}
+        {"key":1,"kind":"write","value":2,"start":2,"finish":8}
+    "#;
+    let out = kav_with_stdin(&["stream", "-"], ndjson);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("key 1"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("completion order"), "{}", stderr(&out));
+
+    // Missing input argument.
+    let out = kav(&["stream"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("NDJSON"), "{}", stderr(&out));
+}
+
 #[test]
 fn repair_salvages_a_dirty_trace() {
     let path = temp_file("dirty.json");

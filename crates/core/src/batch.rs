@@ -11,8 +11,13 @@ use kav_history::History;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Verifies every history in `batch` with `verifier`, using up to
-/// `threads` worker threads (clamped to at least 1). Results are returned
-/// in input order.
+/// `threads` worker threads. Results are returned in input order.
+///
+/// `threads` is a *request*, clamped to the useful range `1..=batch.len()`:
+/// `0` is treated as `1` (serial verification — there is no "auto-detect"
+/// mode), and anything above `batch.len()` is capped since a worker never
+/// handles less than one history. With an empty batch no threads are
+/// spawned at all. The verdicts are identical for every thread count.
 ///
 /// # Examples
 ///
@@ -109,6 +114,22 @@ mod tests {
         for (i, v) in verdicts.iter().enumerate() {
             assert_eq!(v.is_k_atomic(), i % 2 == 0, "index {i}");
         }
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_the_useful_range() {
+        let batch = mixed_batch();
+        let expected: Vec<bool> =
+            verify_batch(&Fzf, &batch, 1).iter().map(Verdict::is_k_atomic).collect();
+        // 0 clamps up to 1 (serial), oversubscription clamps down to the
+        // batch length; both produce the same position-stable verdicts.
+        for threads in [0, 1, batch.len() + 50] {
+            let verdicts: Vec<bool> =
+                verify_batch(&Fzf, &batch, threads).iter().map(Verdict::is_k_atomic).collect();
+            assert_eq!(verdicts, expected, "threads={threads}");
+        }
+        // 0 threads on an empty batch must not hang or panic either.
+        assert!(verify_batch(&Fzf, &[], 0).is_empty());
     }
 
     #[test]

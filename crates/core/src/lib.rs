@@ -12,7 +12,10 @@
 //! * [`ExhaustiveSearch`] — an exact, exponential-time oracle for any `k`
 //!   (and the weighted rule of §V) on small histories;
 //! * [`smallest_k`] — the §II-B search for the exact staleness bound of a
-//!   history.
+//!   history;
+//! * [`OnlineVerifier`] / [`StreamPipeline`] — the streaming path: online
+//!   sliding-window adapters over the verifiers above, and a sharded
+//!   multi-register pipeline for unbounded op streams.
 //!
 //! Every YES verdict carries a [`TotalOrder`] witness that can be
 //! re-validated independently with [`check_witness`].
@@ -49,6 +52,7 @@ mod gk;
 mod lbt;
 mod search;
 mod smallest_k;
+mod stream;
 mod verdict;
 mod witness;
 
@@ -59,5 +63,8 @@ pub use gk::{GkAnalysis, GkOneAv};
 pub use lbt::{CandidateOrder, Lbt, LbtConfig, LbtReport, SearchStrategy};
 pub use search::{ExhaustiveSearch, SearchReport, MAX_SEARCH_OPS};
 pub use smallest_k::{smallest_k, staleness_upper_bound, Staleness};
+pub use stream::{
+    OnlineError, OnlineVerifier, PipelineConfig, PipelineOutput, StreamPipeline, StreamReport,
+};
 pub use verdict::{Verdict, Verifier};
 pub use witness::{check_witness, TotalOrder, WitnessError};

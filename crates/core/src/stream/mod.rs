@@ -1,0 +1,422 @@
+//! Online (streaming) verification: sliding-window adapters over the
+//! offline verifiers, and a sharded multi-register pipeline.
+//!
+//! [`OnlineVerifier`] wraps any offline [`Verifier`] (typically [`Fzf`] for
+//! `k = 2` or [`GkOneAv`] for `k = 1`) behind a
+//! [`StreamBuilder`](kav_history::stream::StreamBuilder): operations are
+//! pushed in completion order, and whenever more than `window` operations
+//! are buffered the builder seals a prefix segment at a decomposition-safe
+//! cut and verifies it offline. The running verdict is the conjunction of
+//! the segment verdicts — exact (equal to offline verification of the full
+//! history) as long as no read arrives whose dictating write was already
+//! sealed away; such *horizon breaches* are counted and surfaced rather
+//! than silently mis-verified. See [`kav_history::stream`] for the
+//! decomposition argument.
+//!
+//! [`StreamPipeline`] fans a multi-register stream over worker threads
+//! (k-atomicity is per-register, §II-B, so keys shard freely), giving the
+//! service-shaped ingest path: `NDJSON → shard by key → per-key
+//! OnlineVerifier → per-key reports`.
+//!
+//! # Examples
+//!
+//! ```
+//! use kav_core::{Fzf, OnlineVerifier};
+//! use kav_history::{Operation, Time, Value};
+//!
+//! let mut online = OnlineVerifier::new(Fzf, 4);
+//! online.push(Operation::write(Value(1), Time(0), Time(10)))?;
+//! online.push(Operation::write(Value(2), Time(12), Time(20)))?;
+//! online.push(Operation::read(Value(1), Time(22), Time(30)))?; // 1 stale: fine for k=2
+//! let report = online.freeze()?;
+//! assert_eq!(report.k_atomic(), Some(true));
+//! # Ok::<(), kav_core::OnlineError>(())
+//! ```
+
+mod pipeline;
+
+pub use pipeline::{PipelineConfig, PipelineOutput, StreamPipeline};
+
+use crate::{Verdict, Verifier};
+use kav_history::stream::{Push, StreamBuilder, StreamError};
+use kav_history::{Operation, ValidationError};
+use std::error::Error;
+use std::fmt;
+
+/// Why the online verifier rejected an operation or a segment.
+#[derive(Debug)]
+pub enum OnlineError {
+    /// The operation itself was unacceptable (out of order, malformed);
+    /// it was discarded and the stream state is unchanged.
+    Record(StreamError),
+    /// A sealed segment failed §II validation (e.g. duplicate endpoints or
+    /// a read preceding its dictating write) — offline verification of the
+    /// same history would reject it identically.
+    Segment(ValidationError),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::Record(e) => write!(f, "bad stream record: {e}"),
+            OnlineError::Segment(e) => write!(f, "invalid segment: {e}"),
+        }
+    }
+}
+
+impl Error for OnlineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OnlineError::Record(e) => Some(e),
+            OnlineError::Segment(e) => Some(e),
+        }
+    }
+}
+
+impl From<StreamError> for OnlineError {
+    fn from(e: StreamError) -> Self {
+        OnlineError::Record(e)
+    }
+}
+
+impl From<ValidationError> for OnlineError {
+    fn from(e: ValidationError) -> Self {
+        OnlineError::Segment(e)
+    }
+}
+
+/// Final summary of one register's verified stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamReport {
+    /// The `k` the verdicts decide.
+    pub k: u64,
+    /// Operations accepted (including horizon-breach reads).
+    pub ops: u64,
+    /// Segments verified (sealed windows plus the final flush).
+    pub segments: usize,
+    /// Segments whose verdict was [`Verdict::NotKAtomic`].
+    pub violations: usize,
+    /// Segments whose verdict was [`Verdict::Inconclusive`].
+    pub inconclusive: usize,
+    /// Reads whose dictating write was sealed before they arrived.
+    pub horizon_breaches: u64,
+    /// Reads evicted as orphans: their dictating write never arrived
+    /// within the expiry horizon (e.g. lost upstream), so they were
+    /// excluded from segments to keep memory bounded.
+    pub orphaned_reads: u64,
+    /// Largest number of operations ever buffered at once.
+    pub peak_resident: usize,
+    /// Reads observed (including breaches).
+    pub reads: u64,
+    /// Mean arrival-order staleness depth (writes completed between a
+    /// read's dictating write and the read).
+    pub mean_read_depth: f64,
+    /// Maximum arrival-order staleness depth.
+    pub max_read_depth: u64,
+}
+
+impl StreamReport {
+    /// The stream's verdict:
+    ///
+    /// * `Some(false)` — some window was not k-atomic, so the full history
+    ///   is not k-atomic (sound regardless of window size or breaches);
+    /// * `Some(true)` — every window verified k-atomic and the
+    ///   decomposition was exact (no breaches, nothing inconclusive), so
+    ///   the full history is k-atomic. Like every streaming verdict this
+    ///   assumes the input obeys the stream schema; model violations whose
+    ///   operations span *different* windows (e.g. a duplicated endpoint)
+    ///   are only caught by offline validation — see
+    ///   [`kav_history::stream`];
+    /// * `None` — no violation found, but breaches or inconclusive
+    ///   segments mean the YES cannot be certified at this window size.
+    pub fn k_atomic(&self) -> Option<bool> {
+        if self.violations > 0 {
+            Some(false)
+        } else if self.exact() {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// True when the windowed decomposition lost no information, i.e. the
+    /// verdict is exactly offline verification's: no horizon breaches, no
+    /// orphaned reads, nothing inconclusive.
+    pub fn exact(&self) -> bool {
+        self.horizon_breaches == 0 && self.orphaned_reads == 0 && self.inconclusive == 0
+    }
+}
+
+impl fmt::Display for StreamReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = match self.k_atomic() {
+            Some(true) => "YES",
+            Some(false) => "NO",
+            None => "UNKNOWN",
+        };
+        write!(
+            f,
+            "{verdict} (k={}, {} ops, {} segments, {} violations, {} breaches, {} orphans, \
+             peak {} resident)",
+            self.k, self.ops, self.segments, self.violations, self.horizon_breaches,
+            self.orphaned_reads, self.peak_resident
+        )
+    }
+}
+
+/// A sliding-window online adapter for one register.
+///
+/// `window` bounds how many operations stay buffered before the adapter
+/// tries to seal and verify a prefix segment (clamped to at least 1). The
+/// buffer can exceed the window while no decomposition-safe cut exists,
+/// but not indefinitely: a read whose dictating write has not arrived
+/// within four windows of operations expires as an orphan
+/// ([`StreamReport::orphaned_reads`]), so residency stays proportional to
+/// the window even on streams with lost records —
+/// [`StreamReport::peak_resident`] records the high-water mark.
+#[derive(Clone, Debug)]
+pub struct OnlineVerifier<V> {
+    verifier: V,
+    builder: StreamBuilder,
+    window: usize,
+    /// Re-attempt sealing only once the buffer grows past this length —
+    /// hysteresis so a stalled cut search is not repeated on every push.
+    next_attempt: usize,
+    ops: u64,
+    segments: usize,
+    violations: usize,
+    inconclusive: usize,
+    horizon_breaches: u64,
+}
+
+impl<V: Verifier> OnlineVerifier<V> {
+    /// Wraps `verifier` with a sliding window of `window` operations
+    /// (clamped to at least 1).
+    pub fn new(verifier: V, window: usize) -> Self {
+        OnlineVerifier {
+            verifier,
+            builder: StreamBuilder::new(),
+            window: window.max(1),
+            next_attempt: 0,
+            ops: 0,
+            segments: 0,
+            violations: 0,
+            inconclusive: 0,
+            horizon_breaches: 0,
+        }
+    }
+
+    /// The window width in operations.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Operations currently buffered.
+    pub fn resident(&self) -> usize {
+        self.builder.resident()
+    }
+
+    /// The running verdict: `Some(false)` once any window fails, `None`
+    /// while the stream is still open and nothing failed.
+    pub fn verdict_so_far(&self) -> Option<bool> {
+        (self.violations > 0).then_some(false)
+    }
+
+    /// Pushes one completed operation, sealing and verifying a window when
+    /// the buffer outgrows the configured width.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Record`] when the operation is rejected (state
+    /// unchanged), [`OnlineError::Segment`] when a sealed window fails
+    /// validation.
+    pub fn push(&mut self, op: Operation) -> Result<(), OnlineError> {
+        match self.builder.push(op)? {
+            Push::Buffered => {}
+            Push::BeyondHorizon => {
+                self.ops += 1;
+                self.horizon_breaches += 1;
+                return Ok(());
+            }
+        }
+        self.ops += 1;
+        let resident = self.builder.resident();
+        if resident > self.window && resident >= self.next_attempt {
+            match self.builder.try_seal(self.window) {
+                Some(segment) => {
+                    self.next_attempt = 0;
+                    self.verify_segment(segment)?;
+                }
+                None => {
+                    // No valid cut yet: wait for the buffer to grow a bit
+                    // before scanning again.
+                    self.next_attempt = resident + (self.window / 8).max(1);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends the stream: verifies the final segment and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Segment`] when the remaining operations fail
+    /// validation (e.g. a read whose dictating write never arrived) — the
+    /// same condition under which offline verification would reject the
+    /// full history.
+    pub fn freeze(mut self) -> Result<StreamReport, OnlineError> {
+        let last = self.builder.flush();
+        if !last.is_empty() {
+            self.verify_segment(last)?;
+        }
+        Ok(StreamReport {
+            k: self.verifier.k(),
+            ops: self.ops,
+            segments: self.segments,
+            violations: self.violations,
+            inconclusive: self.inconclusive,
+            horizon_breaches: self.horizon_breaches,
+            orphaned_reads: self.builder.orphaned_reads(),
+            peak_resident: self.builder.peak_resident(),
+            reads: self.builder.reads_accepted(),
+            mean_read_depth: self.builder.mean_read_depth(),
+            max_read_depth: self.builder.max_read_depth(),
+        })
+    }
+
+    fn verify_segment(&mut self, segment: kav_history::RawHistory) -> Result<(), OnlineError> {
+        let history = segment.into_history()?;
+        self.segments += 1;
+        match self.verifier.verify(&history) {
+            Verdict::KAtomic { .. } => {}
+            Verdict::NotKAtomic => self.violations += 1,
+            Verdict::Inconclusive => self.inconclusive += 1,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fzf, GkOneAv};
+    use kav_history::{Time, Value};
+    use kav_workloads::{ladder, random_k_atomic, RandomHistoryConfig};
+
+    fn replay<V: Verifier>(
+        verifier: V,
+        history: &kav_history::History,
+        window: usize,
+    ) -> StreamReport {
+        let mut online = OnlineVerifier::new(verifier, window);
+        for id in history.sorted_by_finish() {
+            online.push(*history.op(*id)).unwrap();
+        }
+        online.freeze().unwrap()
+    }
+
+    #[test]
+    fn atomic_stream_verifies_with_tiny_window() {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops: 300,
+            k: 2,
+            seed: 9,
+            ..Default::default()
+        });
+        let report = replay(Fzf, &h, 32);
+        assert_eq!(report.k_atomic(), Some(true), "{report}");
+        assert!(report.segments > 1, "window must actually slide: {report}");
+        assert!(report.peak_resident < h.len(), "memory must stay windowed");
+    }
+
+    #[test]
+    fn violations_survive_windowing() {
+        // ladder(3) needs k=3. A window covering the read's dictation span
+        // keeps the stale read and its write in one segment, so the
+        // violation is caught; an undersized window degrades to UNKNOWN
+        // (with the breach counted), never to a wrong YES.
+        let h = ladder(3);
+        let caught = replay(Fzf, &h, 3);
+        assert_eq!(caught.k_atomic(), Some(false), "{caught}");
+        assert_eq!(caught.violations, 1);
+
+        let blind = replay(Fzf, &h, 1);
+        assert_eq!(blind.k_atomic(), None, "{blind}");
+        assert!(blind.horizon_breaches > 0);
+    }
+
+    #[test]
+    fn gk_one_av_streams_too() {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops: 200,
+            k: 1,
+            seed: 4,
+            ..Default::default()
+        });
+        let report = replay(GkOneAv, &h, 32);
+        assert_eq!(report.k, 1);
+        assert_eq!(report.k_atomic(), Some(true), "{report}");
+    }
+
+    #[test]
+    fn horizon_breach_degrades_to_unknown_not_wrong() {
+        let mut online = OnlineVerifier::new(Fzf, 1);
+        // Two writes seal away immediately; the late read of the first
+        // write becomes a breach, not a (wrong) YES or a spurious NO.
+        online.push(Operation::write(Value(1), Time(0), Time(10))).unwrap();
+        online.push(Operation::write(Value(2), Time(12), Time(20))).unwrap();
+        online.push(Operation::write(Value(3), Time(22), Time(30))).unwrap();
+        online.push(Operation::read(Value(1), Time(32), Time(40))).unwrap();
+        let report = online.freeze().unwrap();
+        assert_eq!(report.horizon_breaches, 1);
+        assert_eq!(report.k_atomic(), None, "{report}");
+        assert!(!report.exact());
+    }
+
+    #[test]
+    fn lost_write_expires_as_orphan_and_keeps_memory_bounded() {
+        let mut online = OnlineVerifier::new(Fzf, 4);
+        // A read whose write was lost upstream, then a long clean tail.
+        online.push(Operation::read(Value(999), Time(0), Time(5))).unwrap();
+        let mut t = 10;
+        for v in 1..=60u64 {
+            online.push(Operation::write(Value(v), Time(t), Time(t + 5))).unwrap();
+            online.push(Operation::read(Value(v), Time(t + 7), Time(t + 12))).unwrap();
+            t += 20;
+        }
+        let report = online.freeze().unwrap();
+        assert_eq!(report.orphaned_reads, 1);
+        assert!(report.peak_resident <= 5 * 4, "buffer must stay windowed: {report}");
+        // No violation, but the YES is not certifiable.
+        assert_eq!(report.k_atomic(), None, "{report}");
+        assert_eq!(report.violations, 0);
+    }
+
+    #[test]
+    fn record_errors_leave_the_stream_usable() {
+        let mut online = OnlineVerifier::new(Fzf, 8);
+        online.push(Operation::write(Value(1), Time(0), Time(10))).unwrap();
+        let err = online.push(Operation::write(Value(2), Time(2), Time(8))).unwrap_err();
+        assert!(matches!(err, OnlineError::Record(_)));
+        online.push(Operation::read(Value(1), Time(12), Time(20))).unwrap();
+        let report = online.freeze().unwrap();
+        assert_eq!(report.ops, 2);
+        assert_eq!(report.k_atomic(), Some(true));
+    }
+
+    #[test]
+    fn freeze_surfaces_validation_errors_like_offline() {
+        let mut online = OnlineVerifier::new(Fzf, 8);
+        online.push(Operation::read(Value(7), Time(0), Time(5))).unwrap();
+        assert!(matches!(online.freeze(), Err(OnlineError::Segment(_))));
+    }
+
+    #[test]
+    fn empty_stream_reports_trivially_atomic() {
+        let online = OnlineVerifier::new(Fzf, 8);
+        let report = online.freeze().unwrap();
+        assert_eq!(report.segments, 0);
+        assert_eq!(report.k_atomic(), Some(true));
+    }
+}

@@ -1,0 +1,292 @@
+//! Sharded multi-register streaming verification.
+//!
+//! k-atomicity is a local property (§II-B): each register verifies
+//! independently, so a multi-register stream shards by key. The pipeline
+//! spawns one worker thread per shard, each owning the
+//! [`OnlineVerifier`]s of the keys hashed to it; the ingest thread only
+//! hashes and forwards, so throughput scales with shard count until the
+//! ingest side saturates.
+
+use super::{OnlineVerifier, StreamReport};
+use crate::Verifier;
+use kav_history::Operation;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// Configuration of a [`StreamPipeline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Worker threads to shard keys over (clamped to at least 1).
+    pub shards: usize,
+    /// Per-key sliding-window width, in operations (clamped to at least 1).
+    pub window: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { shards: 4, window: 1024 }
+    }
+}
+
+/// Everything a finished pipeline knows, merged across shards.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineOutput {
+    /// Per-key reports, sorted by key.
+    pub keys: Vec<(u64, StreamReport)>,
+    /// Keys whose stream failed (bad records or invalid segments), with
+    /// the error message; such keys have no report. Sorted by key.
+    pub errors: Vec<(u64, String)>,
+}
+
+impl PipelineOutput {
+    /// The conjunction of all per-key verdicts, with `None` (undecided)
+    /// dominating `Some(true)` and any error or violation forcing
+    /// `Some(false)`.
+    pub fn all_k_atomic(&self) -> Option<bool> {
+        if !self.errors.is_empty()
+            || self.keys.iter().any(|(_, r)| r.k_atomic() == Some(false))
+        {
+            return Some(false);
+        }
+        if self.keys.iter().all(|(_, r)| r.k_atomic() == Some(true)) {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Total operations accepted across all keys.
+    pub fn total_ops(&self) -> u64 {
+        self.keys.iter().map(|(_, r)| r.ops).sum()
+    }
+}
+
+/// Per-key reports a worker accumulated.
+type KeyReports = Vec<(u64, StreamReport)>;
+/// Keys a worker gave up on, with the error message.
+type KeyErrors = Vec<(u64, String)>;
+
+struct Worker {
+    sender: mpsc::SyncSender<(u64, Operation)>,
+    handle: JoinHandle<(KeyReports, KeyErrors)>,
+}
+
+/// A running sharded verification pipeline.
+///
+/// Push operations with [`push`](Self::push) as they complete, then call
+/// [`finish`](Self::finish) to drain the workers and collect per-key
+/// reports. Per-key streams must arrive in completion order; different
+/// keys may interleave arbitrarily.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{Fzf, PipelineConfig, StreamPipeline};
+/// use kav_history::{Operation, Time, Value};
+///
+/// let mut pipeline =
+///     StreamPipeline::new(Fzf, PipelineConfig { shards: 2, window: 64 });
+/// pipeline.push(7, Operation::write(Value(1), Time(0), Time(10)));
+/// pipeline.push(9, Operation::write(Value(1), Time(0), Time(10)));
+/// pipeline.push(7, Operation::read(Value(1), Time(12), Time(20)));
+/// let output = pipeline.finish();
+/// assert_eq!(output.keys.len(), 2);
+/// assert_eq!(output.all_k_atomic(), Some(true));
+/// ```
+pub struct StreamPipeline {
+    workers: Vec<Worker>,
+}
+
+impl StreamPipeline {
+    /// Spawns `config.shards` workers, each verifying its keys with a
+    /// clone of `verifier`.
+    pub fn new<V: Verifier + Clone + Send + 'static>(
+        verifier: V,
+        config: PipelineConfig,
+    ) -> Self {
+        let shards = config.shards.max(1);
+        let window = config.window.max(1);
+        // Bounded channels apply backpressure: if ingest outpaces
+        // verification, `push` blocks instead of queueing the stream in
+        // memory — the in-flight backlog stays proportional to the window,
+        // which is the whole point of windowed verification.
+        let backlog = (4 * window).max(1024);
+        let workers = (0..shards)
+            .map(|_| {
+                let (sender, receiver) = mpsc::sync_channel::<(u64, Operation)>(backlog);
+                let verifier = verifier.clone();
+                let handle = std::thread::spawn(move || {
+                    let mut states: HashMap<u64, OnlineVerifier<V>> = HashMap::new();
+                    let mut errors: Vec<(u64, String)> = Vec::new();
+                    let mut failed: std::collections::HashSet<u64> =
+                        std::collections::HashSet::new();
+                    while let Ok((key, op)) = receiver.recv() {
+                        if failed.contains(&key) {
+                            continue;
+                        }
+                        let state = states
+                            .entry(key)
+                            .or_insert_with(|| OnlineVerifier::new(verifier.clone(), window));
+                        if let Err(e) = state.push(op) {
+                            errors.push((key, e.to_string()));
+                            failed.insert(key);
+                            states.remove(&key);
+                        }
+                    }
+                    let mut reports = Vec::with_capacity(states.len());
+                    for (key, state) in states {
+                        match state.freeze() {
+                            Ok(report) => reports.push((key, report)),
+                            Err(e) => errors.push((key, e.to_string())),
+                        }
+                    }
+                    (reports, errors)
+                });
+                Worker { sender, handle }
+            })
+            .collect();
+        StreamPipeline { workers }
+    }
+
+    /// Routes one completed operation to its key's shard, blocking when
+    /// that shard's backlog is full (backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard's worker thread has died (it only does so by
+    /// panicking itself, which [`finish`](Self::finish) would re-raise).
+    pub fn push(&mut self, key: u64, op: Operation) {
+        let shard = shard_of(key, self.workers.len());
+        self.workers[shard]
+            .sender
+            .send((key, op))
+            .expect("stream worker alive");
+    }
+
+    /// Closes the stream, waits for all workers and merges their reports.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any worker panic.
+    pub fn finish(self) -> PipelineOutput {
+        let mut output = PipelineOutput::default();
+        for worker in self.workers {
+            drop(worker.sender); // closes the channel; the worker drains and exits
+            let (reports, errors) =
+                worker.handle.join().expect("stream worker did not panic");
+            output.keys.extend(reports);
+            output.errors.extend(errors);
+        }
+        output.keys.sort_by_key(|(key, _)| *key);
+        output.errors.sort_by_key(|(key, _)| *key);
+        output
+    }
+}
+
+/// Maps a key to a shard with a multiplicative hash, so clustered key
+/// ranges still spread across workers.
+fn shard_of(key: u64, shards: usize) -> usize {
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fzf, Verdict};
+    use kav_history::stream::completion_order;
+    use kav_history::{Time, Value};
+    use kav_workloads::{ladder, random_k_atomic, RandomHistoryConfig};
+
+    fn keyed_corpus(keys: u64) -> Vec<(u64, kav_history::History)> {
+        (0..keys)
+            .map(|key| {
+                let h = random_k_atomic(RandomHistoryConfig {
+                    ops: 60,
+                    k: 1 + key % 2,
+                    seed: 100 + key,
+                    ..Default::default()
+                });
+                (key, h)
+            })
+            .collect()
+    }
+
+    fn interleave(corpus: &[(u64, kav_history::History)]) -> Vec<(u64, Operation)> {
+        let mut all: Vec<(u64, Operation)> = corpus
+            .iter()
+            .flat_map(|(key, h)| {
+                completion_order(&h.to_raw()).into_iter().map(move |op| (*key, op))
+            })
+            .collect();
+        all.sort_by_key(|(key, op)| (op.finish, *key));
+        all
+    }
+
+    #[test]
+    fn pipeline_matches_offline_per_key() {
+        let corpus = keyed_corpus(6);
+        for shards in [1, 3] {
+            let mut pipeline =
+                StreamPipeline::new(Fzf, PipelineConfig { shards, window: 32 });
+            for (key, op) in interleave(&corpus) {
+                pipeline.push(key, op);
+            }
+            let output = pipeline.finish();
+            assert!(output.errors.is_empty(), "{:?}", output.errors);
+            assert_eq!(output.keys.len(), corpus.len());
+            for ((key, report), (expected_key, h)) in output.keys.iter().zip(&corpus) {
+                assert_eq!(key, expected_key);
+                let offline = matches!(Fzf.verify(h), Verdict::KAtomic { .. });
+                assert_eq!(report.k_atomic(), Some(offline), "key {key}: {report}");
+            }
+            assert_eq!(output.all_k_atomic(), Some(true));
+            assert_eq!(output.total_ops(), 6 * 60);
+        }
+    }
+
+    #[test]
+    fn one_bad_key_does_not_poison_the_others() {
+        let mut pipeline =
+            StreamPipeline::new(Fzf, PipelineConfig { shards: 2, window: 16 });
+        // Key 1 violates completion order; key 2 is clean.
+        pipeline.push(1, Operation::write(Value(1), Time(0), Time(10)));
+        pipeline.push(1, Operation::write(Value(2), Time(1), Time(5)));
+        pipeline.push(2, Operation::write(Value(1), Time(0), Time(10)));
+        pipeline.push(2, Operation::read(Value(1), Time(12), Time(20)));
+        let output = pipeline.finish();
+        assert_eq!(output.errors.len(), 1);
+        assert_eq!(output.errors[0].0, 1);
+        assert_eq!(output.keys.len(), 1);
+        assert_eq!(output.keys[0].0, 2);
+        assert_eq!(output.all_k_atomic(), Some(false), "errors force NO");
+    }
+
+    #[test]
+    fn violating_key_fails_the_conjunction() {
+        let mut pipeline =
+            StreamPipeline::new(Fzf, PipelineConfig { shards: 2, window: 64 });
+        for (key, h) in [(0u64, ladder(2)), (1u64, ladder(3))] {
+            for op in completion_order(&h.to_raw()) {
+                pipeline.push(key, op);
+            }
+        }
+        let output = pipeline.finish();
+        assert!(output.errors.is_empty(), "{:?}", output.errors);
+        let verdicts: Vec<Option<bool>> =
+            output.keys.iter().map(|(_, r)| r.k_atomic()).collect();
+        assert_eq!(verdicts, vec![Some(true), Some(false)]);
+        assert_eq!(output.all_k_atomic(), Some(false));
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in 1..9 {
+            for key in 0..100 {
+                let s = shard_of(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(key, shards));
+            }
+        }
+    }
+}

@@ -10,7 +10,10 @@
 //! * the Gibbons–Korach *cluster*/*zone* machinery and FZF's Stage-1
 //!   *chunk* decomposition (§IV) — [`clusters`], [`zones`], [`chunk_set`];
 //! * a JSON on-disk format ([`json`]) and summary statistics
-//!   ([`HistoryStats`]).
+//!   ([`HistoryStats`]);
+//! * the streaming substrate — incremental, windowed history construction
+//!   ([`stream::StreamBuilder`]) and an NDJSON operation codec ([`ndjson`])
+//!   for unbounded completion-order op streams.
 //!
 //! # Quick start
 //!
@@ -43,12 +46,14 @@ pub mod csv;
 mod history;
 mod interval_tree;
 pub mod json;
+pub mod ndjson;
 mod normalize;
 mod op;
 mod raw;
 mod render;
 mod repair;
 mod stats;
+pub mod stream;
 mod time;
 pub mod transform;
 mod zone;

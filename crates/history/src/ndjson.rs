@@ -1,0 +1,273 @@
+//! Newline-delimited JSON (NDJSON) codec for operation streams.
+//!
+//! The streaming pipeline exchanges operations as one JSON object per
+//! line, each tagging the register (`key`) it acts on:
+//!
+//! ```text
+//! {"key":0,"kind":"write","value":1,"start":0,"finish":10,"weight":1}
+//! {"key":0,"kind":"read","value":1,"start":12,"finish":20}
+//! ```
+//!
+//! Field reference (see also the README's schema section):
+//!
+//! * `key` — register identifier; optional, defaults to `0`. Verification
+//!   is per key (§II-B locality), so records of different keys are fully
+//!   independent.
+//! * `kind` — `"read"` or `"write"`.
+//! * `value` — value written or returned. Every write of a key must store
+//!   a distinct value.
+//! * `start` / `finish` — invocation and response times, `start < finish`;
+//!   dimensionless ticks (only their order matters).
+//! * `weight` — positive k-WAV weight; optional, defaults to `1`.
+//!
+//! Records of the same key must appear in strictly increasing `finish`
+//! order (completion order); different keys may interleave arbitrarily.
+//! Blank lines are ignored.
+
+use crate::{OpKind, Operation, Time, Value, Weight};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::Path;
+
+/// One line of an NDJSON operation stream: an operation plus its register.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StreamRecord {
+    /// Register the operation acts on (defaults to `0`).
+    #[serde(default)]
+    pub key: u64,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Value written or returned.
+    pub value: Value,
+    /// Invocation time.
+    pub start: Time,
+    /// Response time; must be strictly greater than `start`.
+    pub finish: Time,
+    /// k-WAV weight (defaults to `1`).
+    #[serde(default)]
+    pub weight: Weight,
+}
+
+impl StreamRecord {
+    /// Tags `op` with the register `key`.
+    pub fn new(key: u64, op: Operation) -> Self {
+        StreamRecord {
+            key,
+            kind: op.kind,
+            value: op.value,
+            start: op.start,
+            finish: op.finish,
+            weight: op.weight,
+        }
+    }
+
+    /// The record's operation, without the key tag.
+    pub fn op(&self) -> Operation {
+        Operation {
+            kind: self.kind,
+            value: self.value,
+            start: self.start,
+            finish: self.finish,
+            weight: self.weight,
+        }
+    }
+}
+
+/// Error reading an NDJSON stream.
+#[derive(Debug)]
+pub enum NdjsonError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed record, with its 1-based line number.
+    Parse {
+        /// Line the record occupies in the input.
+        line: usize,
+        /// What was wrong with it.
+        source: serde_json::Error,
+    },
+}
+
+impl fmt::Display for NdjsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdjsonError::Io(e) => write!(f, "i/o error: {e}"),
+            NdjsonError::Parse { line, source } => {
+                write!(f, "line {line}: invalid stream record: {source}")
+            }
+        }
+    }
+}
+
+impl Error for NdjsonError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NdjsonError::Io(e) => Some(e),
+            NdjsonError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<std::io::Error> for NdjsonError {
+    fn from(e: std::io::Error) -> Self {
+        NdjsonError::Io(e)
+    }
+}
+
+/// Parses one NDJSON line.
+///
+/// # Errors
+///
+/// Returns the underlying JSON error on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::ndjson;
+/// use kav_history::Value;
+///
+/// let record =
+///     ndjson::parse_line(r#"{"kind":"write","value":7,"start":0,"finish":3}"#)?;
+/// assert_eq!(record.key, 0);
+/// assert_eq!(record.value, Value(7));
+/// # Ok::<(), serde_json::Error>(())
+/// ```
+pub fn parse_line(line: &str) -> Result<StreamRecord, serde_json::Error> {
+    serde_json::from_str(line)
+}
+
+/// Serialises one record as a single NDJSON line (no trailing newline).
+pub fn to_line(record: &StreamRecord) -> String {
+    serde_json::to_string(record).expect("StreamRecord serialisation is infallible")
+}
+
+/// Streaming reader over any [`BufRead`], yielding records with 1-based
+/// line numbers attached to errors. Blank lines are skipped.
+pub struct Reader<R> {
+    input: R,
+    line: usize,
+    buf: String,
+}
+
+impl<R: BufRead> Reader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(input: R) -> Self {
+        Reader { input, line: 0, buf: String::new() }
+    }
+}
+
+impl<R: BufRead> Iterator for Reader<R> {
+    type Item = Result<StreamRecord, NdjsonError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            match self.input.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(e.into())),
+            }
+            self.line += 1;
+            let text = self.buf.trim();
+            if text.is_empty() {
+                continue;
+            }
+            return Some(parse_line(text).map_err(|source| NdjsonError::Parse {
+                line: self.line,
+                source,
+            }));
+        }
+    }
+}
+
+/// Reads a whole NDJSON file into memory.
+///
+/// # Errors
+///
+/// Returns [`NdjsonError`] on I/O failure or the first malformed record.
+pub fn read_stream(path: impl AsRef<Path>) -> Result<Vec<StreamRecord>, NdjsonError> {
+    Reader::new(BufReader::new(fs::File::open(path)?)).collect()
+}
+
+/// Writes records as NDJSON, one per line.
+///
+/// # Errors
+///
+/// Returns [`NdjsonError::Io`] on I/O failure.
+pub fn write_stream<'a>(
+    path: impl AsRef<Path>,
+    records: impl IntoIterator<Item = &'a StreamRecord>,
+) -> Result<(), NdjsonError> {
+    let mut file = std::io::BufWriter::new(fs::File::create(path)?);
+    for record in records {
+        file.write_all(to_line(record).as_bytes())?;
+        file.write_all(b"\n")?;
+    }
+    file.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<StreamRecord> {
+        vec![
+            StreamRecord::new(0, Operation::write(Value(1), Time(0), Time(10))),
+            StreamRecord::new(3, Operation::read(Value(1), Time(12), Time(20))),
+            StreamRecord::new(
+                0,
+                Operation::weighted_write(Value(2), Time(14), Time(30), Weight(5)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn line_roundtrip_preserves_records() {
+        for record in sample() {
+            let line = to_line(&record);
+            assert_eq!(parse_line(&line).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn key_and_weight_default_when_omitted() {
+        let record =
+            parse_line(r#"{"kind":"read","value":9,"start":1,"finish":4}"#).unwrap();
+        assert_eq!(record.key, 0);
+        assert_eq!(record.weight, Weight::UNIT);
+        assert_eq!(record.op(), Operation::read(Value(9), Time(1), Time(4)));
+    }
+
+    #[test]
+    fn reader_skips_blanks_and_numbers_errors() {
+        let text = "\n{\"kind\":\"write\",\"value\":1,\"start\":0,\"finish\":2}\n\n{ bad\n";
+        let mut reader = Reader::new(text.as_bytes());
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        match err {
+            NdjsonError::Parse { line, .. } => assert_eq!(line, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("kav_history_ndjson_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ops.ndjson");
+        let records = sample();
+        write_stream(&path, &records).unwrap();
+        assert_eq!(read_stream(&path).unwrap(), records);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        assert!(parse_line(r#"{"kind":"write","value":1,"start":0}"#).is_err());
+        assert!(parse_line("").is_err());
+    }
+}

@@ -1,0 +1,612 @@
+//! Incremental history construction for the streaming verification path.
+//!
+//! Offline verification consumes a complete [`crate::History`]; the
+//! streaming pipeline instead observes operations one at a time, in
+//! **completion order** (strictly increasing `finish` — the order a
+//! store's audit log naturally emits them). [`StreamBuilder`] accepts that
+//! stream for a single register, validates it incrementally, and carves it
+//! into *sealed segments* at cut points where verification provably
+//! decomposes.
+//!
+//! # The decomposition invariant
+//!
+//! Split a history delivered in completion order into a prefix `P` and a
+//! suffix `S` such that no read in `S` is dictated by a write in `P`. Then
+//! `P · S` is k-atomic **iff** `P` and `S` are each k-atomic:
+//!
+//! * no `S` operation precedes a `P` operation in real time (completion
+//!   order guarantees `s.finish > p.finish > p.start`), so concatenating a
+//!   witness of `P` with a witness of `S` is a valid total order;
+//! * a read's separation from its dictating write only involves writes
+//!   ordered between them, and with no cross-segment dictation those all
+//!   lie in the read's own segment;
+//! * conversely, restricting a witness of `P · S` to either segment keeps
+//!   it valid and never increases any read's separation.
+//!
+//! [`StreamBuilder::try_seal`] finds such cut points among the buffered
+//! operations (reads and their dictating writes are kept in the same
+//! segment), so the *operation buffer* stays bounded by the window width
+//! rather than the history length whenever the workload's dictation spans
+//! fit the window. Exact duplicate-value and horizon-breach detection
+//! additionally retains one value id per sealed write — metadata that
+//! grows with the write count, not with buffered operations; bounding it
+//! by a breach horizon is a ROADMAP item.
+//!
+//! A read whose dictating write was already sealed away ("beyond the
+//! horizon") is reported as [`Push::BeyondHorizon`] and excluded from
+//! segments: dropping a read never turns a non-k-atomic history k-atomic,
+//! so violation verdicts stay sound, but a YES verdict is then only exact
+//! up to those reads (callers surface the breach count).
+//!
+//! # Examples
+//!
+//! ```
+//! use kav_history::stream::{Push, StreamBuilder};
+//! use kav_history::{Operation, Time, Value};
+//!
+//! let mut builder = StreamBuilder::new();
+//! builder.push(Operation::write(Value(1), Time(0), Time(10)))?;
+//! builder.push(Operation::read(Value(1), Time(12), Time(20)))?;
+//! builder.push(Operation::write(Value(2), Time(22), Time(30)))?;
+//! assert_eq!(builder.resident(), 3);
+//!
+//! // Keep at most one op buffered: the w(1)/r(1) pair seals together.
+//! let segment = builder.try_seal(1).expect("a valid cut exists");
+//! assert_eq!(segment.len(), 2);
+//! assert_eq!(builder.resident(), 1);
+//! # Ok::<(), kav_history::stream::StreamError>(())
+//! ```
+
+use crate::{Operation, RawHistory, Time, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Outcome of accepting one operation into a [`StreamBuilder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Push {
+    /// The operation was buffered and will be part of a future segment.
+    Buffered,
+    /// A read whose dictating write was already sealed into an earlier
+    /// segment. The read is **not** buffered; the caller should count it —
+    /// it marks staleness deeper than the retirement horizon.
+    BeyondHorizon,
+}
+
+/// A record the stream cannot accept. The builder's state is unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// The operation's finish is not strictly beyond the watermark —
+    /// completion-order delivery is violated.
+    OutOfOrder {
+        /// The offending operation.
+        op: Operation,
+        /// Largest finish time accepted so far.
+        watermark: Time,
+    },
+    /// `finish <= start`: not a proper interval.
+    EmptyInterval {
+        /// The offending operation.
+        op: Operation,
+    },
+    /// A write of a value already written earlier in the stream (the §II
+    /// model requires distinct write values).
+    DuplicateWriteValue {
+        /// The duplicated value.
+        value: Value,
+    },
+    /// An operation with weight zero (weights must be positive).
+    ZeroWeight {
+        /// The offending operation.
+        op: Operation,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::OutOfOrder { op, watermark } => write!(
+                f,
+                "operation {op} arrived out of completion order (watermark {watermark})"
+            ),
+            StreamError::EmptyInterval { op } => {
+                write!(f, "operation {op} has an empty interval")
+            }
+            StreamError::DuplicateWriteValue { value } => {
+                write!(f, "value {value} was already written earlier in the stream")
+            }
+            StreamError::ZeroWeight { op } => {
+                write!(f, "operation {op} has zero weight")
+            }
+        }
+    }
+}
+
+impl Error for StreamError {}
+
+/// Incremental, windowed construction of one register's history.
+///
+/// Operations are [pushed](StreamBuilder::push) in completion order;
+/// [`try_seal`](StreamBuilder::try_seal) extracts a prefix segment at a
+/// decomposition-safe cut point, and [`flush`](StreamBuilder::flush)
+/// drains whatever remains when the stream ends.
+///
+/// Incremental checks (rejected immediately): completion-order delivery,
+/// proper intervals, positive weights, and globally distinct write values.
+/// The remaining §II model assumptions (distinct endpoints, reads not
+/// preceding their dictating writes) are enforced *per segment* when the
+/// caller validates a sealed segment with [`RawHistory::into_history`];
+/// duplicate endpoints that land in different segments are not detected.
+#[derive(Clone, Debug, Default)]
+pub struct StreamBuilder {
+    /// Buffered operations in arrival order; `buffer[i]` has sequence
+    /// number `base + i`.
+    buffer: VecDeque<Operation>,
+    /// Sequence number of `buffer[0]`.
+    base: u64,
+    /// Largest finish time accepted (advances even for horizon breaches).
+    watermark: Option<Time>,
+    /// Buffered writes: value → (sequence number, writes arrived before it).
+    buffered_writes: HashMap<Value, (u64, u64)>,
+    /// Buffered reads still waiting for their dictating write: value → seqs.
+    pending_reads: HashMap<Value, Vec<u64>>,
+    /// Read/dictating-write partnerships among buffered ops, as `(lo, hi)`
+    /// sequence pairs; a cut may not separate a pair.
+    pairs: Vec<(u64, u64)>,
+    /// Values written by sealed-away writes, for horizon-breach detection.
+    retired_values: HashSet<Value>,
+    /// Buffered reads declared orphans (their write outstayed the expiry
+    /// horizon); skipped when their position drains.
+    orphaned: HashSet<u64>,
+    /// Total reads expired as orphans.
+    orphaned_reads: u64,
+    /// Total writes accepted (used for arrival-order staleness depths).
+    writes_accepted: u64,
+    /// Total reads accepted (including horizon breaches).
+    reads_accepted: u64,
+    /// Sum over reads of "writes that completed between my dictating
+    /// write's arrival and mine" (breach reads excluded).
+    depth_sum: u64,
+    /// Maximum such depth (breach reads excluded).
+    max_depth: u64,
+    /// Reads whose dictating write is known (depth statistics population).
+    depth_count_reads: u64,
+    segments_sealed: usize,
+    peak_resident: usize,
+}
+
+impl StreamBuilder {
+    /// Creates an empty builder with watermark at minus infinity.
+    pub fn new() -> Self {
+        StreamBuilder::default()
+    }
+
+    /// Number of operations currently buffered.
+    pub fn resident(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Largest buffer size ever reached.
+    pub fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Number of segments sealed so far (excluding [`flush`](Self::flush)).
+    pub fn segments_sealed(&self) -> usize {
+        self.segments_sealed
+    }
+
+    /// Largest finish time accepted so far, if any.
+    pub fn watermark(&self) -> Option<Time> {
+        self.watermark
+    }
+
+    /// Total reads accepted, including horizon breaches.
+    pub fn reads_accepted(&self) -> u64 {
+        self.reads_accepted
+    }
+
+    /// Reads expired as orphans: their dictating write never arrived
+    /// within the expiry horizon, so they were evicted (and excluded from
+    /// segments) to keep the buffer bounded. Like horizon breaches, a
+    /// non-zero count means a YES verdict cannot be certified.
+    pub fn orphaned_reads(&self) -> u64 {
+        self.orphaned_reads
+    }
+
+    /// Mean arrival-order staleness depth over reads with a known dictating
+    /// write: how many writes completed between the dictating write's
+    /// arrival and the read's. Horizon-breach reads and reads still waiting
+    /// for their write are excluded.
+    pub fn mean_read_depth(&self) -> f64 {
+        if self.depth_count_reads == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.depth_count_reads as f64
+        }
+    }
+
+    /// Maximum arrival-order staleness depth (same population as
+    /// [`mean_read_depth`](Self::mean_read_depth)).
+    pub fn max_read_depth(&self) -> u64 {
+        self.max_depth
+    }
+
+    /// Accepts one operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StreamError`] (leaving all state unchanged) when the
+    /// operation violates an incrementally-checkable model assumption.
+    pub fn push(&mut self, op: Operation) -> Result<Push, StreamError> {
+        if op.finish <= op.start {
+            return Err(StreamError::EmptyInterval { op });
+        }
+        if op.weight.as_u32() == 0 {
+            return Err(StreamError::ZeroWeight { op });
+        }
+        if let Some(watermark) = self.watermark {
+            if op.finish <= watermark {
+                return Err(StreamError::OutOfOrder { op, watermark });
+            }
+        }
+        let seq = self.base + self.buffer.len() as u64;
+        if op.is_write() {
+            if self.buffered_writes.contains_key(&op.value)
+                || self.retired_values.contains(&op.value)
+            {
+                return Err(StreamError::DuplicateWriteValue { value: op.value });
+            }
+            self.buffered_writes.insert(op.value, (seq, self.writes_accepted));
+            self.writes_accepted += 1;
+            // Reads that arrived before their dictating write resolve now
+            // with arrival-order depth 0 (no write completed in between
+            // that postdates the dictating write).
+            if let Some(waiting) = self.pending_reads.remove(&op.value) {
+                for read_seq in waiting {
+                    self.pairs.push((read_seq, seq));
+                    self.depth_count_reads += 1;
+                }
+            }
+        } else {
+            self.watermark = Some(op.finish);
+            self.reads_accepted += 1;
+            if let Some(&(write_seq, writes_before)) = self.buffered_writes.get(&op.value) {
+                let depth = self.writes_accepted - writes_before - 1;
+                self.depth_sum += depth;
+                self.max_depth = self.max_depth.max(depth);
+                self.depth_count_reads += 1;
+                self.pairs.push((write_seq, seq));
+            } else if self.retired_values.contains(&op.value) {
+                return Ok(Push::BeyondHorizon);
+            } else {
+                self.pending_reads.entry(op.value).or_default().push(seq);
+            }
+        }
+        self.watermark = Some(op.finish);
+        self.buffer.push_back(op);
+        self.peak_resident = self.peak_resident.max(self.buffer.len());
+        Ok(Push::Buffered)
+    }
+
+    /// Seals and returns a prefix of the buffer at a decomposition-safe cut
+    /// point, aiming to leave at most `max_resident` operations buffered.
+    ///
+    /// A cut is valid when it separates no read from its dictating write
+    /// (buffered or still unarrived). Among valid cuts the builder picks
+    /// the **smallest** one that reaches the target — retiring as little as
+    /// possible minimises the risk of future horizon breaches — falling
+    /// back to the largest valid cut when none reaches it. Returns `None`
+    /// when the buffer is already within the target or only the empty cut
+    /// is valid.
+    ///
+    /// A read still waiting for its dictating write blocks every cut past
+    /// it, but only for four windows (`4 * max_resident`) of arrivals: a
+    /// write lost upstream must not grow the buffer for the rest of the
+    /// stream, so older pending reads expire as
+    /// [orphans](Self::orphaned_reads) and are excluded from segments.
+    pub fn try_seal(&mut self, max_resident: usize) -> Option<RawHistory> {
+        let len = self.buffer.len();
+        if len <= max_resident {
+            return None;
+        }
+
+        // Expire orphan candidates: a pending read would otherwise block
+        // every future cut, growing the buffer for the rest of the stream.
+        // A read whose write has not arrived within four windows of ops is
+        // declared an orphan — evicted from the cut constraints, excluded
+        // from segments when its position drains, and counted (so the
+        // final verdict degrades to "not certifiable", never to a wrong
+        // YES; dropping a read cannot hide a violation among the rest).
+        let expiry = 4 * max_resident.max(1);
+        if len > expiry {
+            let cutoff = self.base + (len - expiry) as u64;
+            let orphaned = &mut self.orphaned;
+            let orphaned_reads = &mut self.orphaned_reads;
+            self.pending_reads.retain(|_, seqs| {
+                seqs.retain(|&seq| {
+                    if seq < cutoff {
+                        orphaned.insert(seq);
+                        *orphaned_reads += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                !seqs.is_empty()
+            });
+        }
+
+        // Mark cut positions blocked by a read/write pair or a pending
+        // read: a pair (lo, hi) blocks every cut c with lo < c <= hi
+        // (relative to `base`), a pending read at r blocks every c > r.
+        // Pairs never straddle a past cut (that is what makes cuts valid),
+        // and sealing prunes the ones it retires, so every pair is in range.
+        debug_assert!(self.pairs.iter().all(|&(lo, _)| lo >= self.base));
+        let mut diff = vec![0i64; len + 2];
+        for &(lo, hi) in &self.pairs {
+            let lo = (lo - self.base) as usize;
+            let hi = (hi - self.base) as usize;
+            diff[lo + 1] += 1;
+            diff[hi + 1] -= 1;
+        }
+        for seqs in self.pending_reads.values() {
+            for &r in seqs {
+                let r = (r - self.base) as usize;
+                diff[r + 1] += 1;
+                diff[len + 1] -= 1;
+            }
+        }
+
+        let target = len - max_resident;
+        let mut best: Option<usize> = None;
+        let mut blocked = 0i64;
+        for (c, delta) in diff.iter().enumerate().take(len + 1).skip(1) {
+            blocked += delta;
+            if blocked != 0 {
+                continue;
+            }
+            if c >= target {
+                best = Some(c);
+                break; // smallest cut reaching the target
+            }
+            best = Some(c); // largest valid cut below the target so far
+        }
+        let cut = best?;
+
+        let sealed = self.drain_prefix(cut);
+        self.pairs.retain(|&(lo, _)| lo >= self.base);
+        self.segments_sealed += 1;
+        Some(sealed)
+    }
+
+    /// Drains the first `count` buffered ops: orphan positions are
+    /// skipped, drained writes retire their values, `base` advances.
+    fn drain_prefix(&mut self, count: usize) -> RawHistory {
+        let mut sealed = RawHistory::new();
+        sealed.ops.reserve(count);
+        let base = self.base;
+        for (i, op) in self.buffer.drain(..count).enumerate() {
+            if self.orphaned.remove(&(base + i as u64)) {
+                continue; // expired orphan read: counted, not sealed
+            }
+            if op.is_write() {
+                self.buffered_writes.remove(&op.value);
+                self.retired_values.insert(op.value);
+            }
+            sealed.ops.push(op);
+        }
+        self.base += count as u64;
+        sealed
+    }
+
+    /// Drains every buffered operation as the stream's final segment.
+    ///
+    /// Reads still waiting for a dictating write are included; validating
+    /// the returned segment will report them as anomalies, exactly as
+    /// offline validation of the full history would.
+    pub fn flush(&mut self) -> RawHistory {
+        let sealed = self.drain_prefix(self.buffer.len());
+        self.pairs.clear();
+        self.pending_reads.clear();
+        sealed
+    }
+}
+
+/// Returns the operations of `raw` in completion order (by finish time),
+/// the delivery order [`StreamBuilder`] expects.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::stream::completion_order;
+/// use kav_history::{RawHistory, Time, Value};
+///
+/// let mut raw = RawHistory::new();
+/// raw.write(Value(1), Time(0), Time(30)); // finishes last
+/// raw.write(Value(2), Time(5), Time(10)); // finishes first
+/// let ordered = completion_order(&raw);
+/// assert_eq!(ordered[0].value, Value(2));
+/// assert_eq!(ordered[1].value, Value(1));
+/// ```
+pub fn completion_order(raw: &RawHistory) -> Vec<Operation> {
+    let mut ops = raw.ops.clone();
+    ops.sort_by_key(|op| op.finish);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(value: u64, start: u64, finish: u64) -> Operation {
+        Operation::write(Value(value), Time(start), Time(finish))
+    }
+
+    fn r(value: u64, start: u64, finish: u64) -> Operation {
+        Operation::read(Value(value), Time(start), Time(finish))
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_malformed_ops() {
+        let mut b = StreamBuilder::new();
+        b.push(w(1, 0, 10)).unwrap();
+        let err = b.push(w(2, 3, 9)).unwrap_err();
+        assert!(matches!(err, StreamError::OutOfOrder { .. }));
+        assert!(matches!(
+            b.push(w(3, 20, 20)).unwrap_err(),
+            StreamError::EmptyInterval { .. }
+        ));
+        assert!(matches!(
+            b.push(Operation::weighted_write(Value(3), Time(20), Time(25), crate::Weight(0)))
+                .unwrap_err(),
+            StreamError::ZeroWeight { .. }
+        ));
+        // Failed pushes left the builder untouched.
+        assert_eq!(b.resident(), 1);
+        assert_eq!(b.watermark(), Some(Time(10)));
+    }
+
+    #[test]
+    fn rejects_duplicate_write_values_across_segments() {
+        let mut b = StreamBuilder::new();
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(w(2, 12, 20)).unwrap();
+        b.try_seal(1).unwrap();
+        assert!(matches!(
+            b.push(w(1, 22, 30)).unwrap_err(),
+            StreamError::DuplicateWriteValue { value: Value(1) }
+        ));
+    }
+
+    #[test]
+    fn cut_never_separates_a_read_from_its_write() {
+        let mut b = StreamBuilder::new();
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(w(2, 12, 20)).unwrap();
+        b.push(r(2, 22, 30)).unwrap();
+        // Target resident 1: the smallest cut reaching it is after the
+        // w(2)/r(2) pair, i.e. the whole buffer — w(1) alone would do but
+        // leaves 2 resident; cut between w(2) and r(2) is blocked.
+        let sealed = b.try_seal(1).unwrap();
+        assert_eq!(sealed.len(), 3);
+        assert_eq!(b.resident(), 0);
+    }
+
+    #[test]
+    fn pending_read_blocks_sealing_past_it() {
+        let mut b = StreamBuilder::new();
+        // The read of value 2 finishes before its (overlapping) write.
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(r(2, 12, 20)).unwrap();
+        b.push(w(3, 22, 30)).unwrap();
+        // Only the cut after w(1) is valid; everything later is blocked by
+        // the read still waiting for its dictating write.
+        let sealed = b.try_seal(0).unwrap();
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(b.resident(), 2);
+        // Its write arrives; the pair can now seal together.
+        b.push(w(2, 14, 40)).unwrap();
+        let sealed = b.try_seal(0).unwrap();
+        assert_eq!(sealed.len(), 3);
+    }
+
+    #[test]
+    fn beyond_horizon_reads_are_reported_and_dropped() {
+        let mut b = StreamBuilder::new();
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(w(2, 12, 20)).unwrap();
+        b.try_seal(0).unwrap();
+        assert_eq!(b.push(r(1, 22, 30)).unwrap(), Push::BeyondHorizon);
+        assert_eq!(b.resident(), 0);
+        // The watermark still advanced, so earlier finishes stay rejected.
+        assert!(matches!(
+            b.push(w(3, 24, 28)).unwrap_err(),
+            StreamError::OutOfOrder { .. }
+        ));
+    }
+
+    #[test]
+    fn sealed_segments_concatenate_to_the_original_stream() {
+        let ops =
+            vec![w(1, 0, 10), r(1, 12, 20), w(2, 14, 30), r(2, 32, 40), w(3, 42, 50)];
+        let mut b = StreamBuilder::new();
+        let mut collected = Vec::new();
+        for op in &ops {
+            assert_eq!(b.push(*op).unwrap(), Push::Buffered);
+            if let Some(segment) = b.try_seal(2) {
+                collected.extend(segment.ops);
+            }
+        }
+        collected.extend(b.flush().ops);
+        assert_eq!(collected, ops);
+        assert!(b.resident() == 0);
+    }
+
+    #[test]
+    fn depth_statistics_track_arrival_order_staleness() {
+        let mut b = StreamBuilder::new();
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(w(2, 12, 20)).unwrap();
+        b.push(w(3, 22, 30)).unwrap();
+        b.push(r(1, 32, 40)).unwrap(); // two writes completed since w(1)
+        b.push(r(3, 42, 50)).unwrap(); // fresh
+        assert_eq!(b.max_read_depth(), 2);
+        assert!((b.mean_read_depth() - 1.0).abs() < 1e-9);
+        assert_eq!(b.reads_accepted(), 2);
+    }
+
+    #[test]
+    fn segments_validate_as_standalone_histories() {
+        let mut b = StreamBuilder::new();
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(r(1, 12, 20)).unwrap();
+        b.push(w(2, 22, 30)).unwrap();
+        b.push(r(2, 32, 40)).unwrap();
+        let sealed = b.try_seal(2).unwrap();
+        assert!(sealed.into_history().is_ok());
+        assert!(b.flush().into_history().is_ok());
+        assert_eq!(b.segments_sealed(), 1);
+    }
+
+    #[test]
+    fn orphan_read_cannot_block_cuts_forever() {
+        let mut b = StreamBuilder::new();
+        // A read whose write was lost upstream, then a long clean tail.
+        b.push(r(999, 0, 5)).unwrap();
+        let mut t = 10;
+        for v in 1..=40u64 {
+            b.push(w(v, t, t + 5)).unwrap();
+            b.push(r(v, t + 7, t + 12)).unwrap();
+            t += 20;
+            // Window of 4: the orphan expires after 16 resident ops and
+            // sealing resumes; the buffer must stay bounded.
+            b.try_seal(4);
+            assert!(b.resident() <= 4 * 4 + 4, "buffer grew to {}", b.resident());
+        }
+        assert_eq!(b.orphaned_reads(), 1);
+        // The orphan was excluded, so the remaining tail still validates.
+        assert!(b.flush().into_history().is_ok());
+    }
+
+    #[test]
+    fn flush_includes_unresolved_reads() {
+        let mut b = StreamBuilder::new();
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(r(9, 12, 20)).unwrap(); // its write never arrives
+        let last = b.flush();
+        assert_eq!(last.len(), 2);
+        assert!(last.into_history().is_err());
+    }
+
+    #[test]
+    fn completion_order_sorts_by_finish() {
+        let mut raw = RawHistory::new();
+        raw.write(Value(1), Time(0), Time(50));
+        raw.read(Value(1), Time(5), Time(9));
+        raw.write(Value(2), Time(2), Time(30));
+        let ordered = completion_order(&raw);
+        let finishes: Vec<Time> = ordered.iter().map(|op| op.finish).collect();
+        assert_eq!(finishes, vec![Time(9), Time(30), Time(50)]);
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`serial`] — trivially 1-atomic baselines.
 //! * [`zone_twins`] — two histories with identical zone sets but different
 //!   2-AV verdicts: the §IV-A proof that zones alone cannot decide 2-AV.
+//! * [`streaming_workload`] — a multi-register op stream in global
+//!   completion order, the input shape of the streaming pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,10 +27,12 @@ mod figure;
 mod ladders;
 mod random;
 mod staircase;
+mod stream;
 mod twins;
 
 pub use figure::figure3;
 pub use ladders::{inject_ladder, ladder, serial};
 pub use random::{random_k_atomic, RandomHistoryConfig};
 pub use staircase::staircase;
+pub use stream::{streaming_workload, StreamingWorkloadConfig};
 pub use twins::zone_twins;

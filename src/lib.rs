@@ -13,11 +13,15 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`history`] | operation/history model, anomaly detection, zones & chunks |
-//! | [`verify`] | the LBT & FZF 2-AV verifiers, GK 1-AV, exact search, smallest-k |
+//! | [`history`] | operation/history model, anomaly detection, zones & chunks, NDJSON streams |
+//! | [`verify`] | the LBT & FZF 2-AV verifiers, GK 1-AV, exact search, smallest-k, streaming adapters |
 //! | [`weighted`] | the NP-complete weighted problem & bin-packing reduction |
 //! | [`sim`] | a Dynamo-style quorum-store simulator producing histories |
-//! | [`workloads`] | synthetic generators (adversarial staircase, ladders, …) |
+//! | [`workloads`] | synthetic generators (adversarial staircase, ladders, op streams, …) |
+//!
+//! The streaming path (sliding-window online verification of unbounded
+//! multi-register op streams) is described in `docs/ARCHITECTURE.md`; see
+//! [`verify::OnlineVerifier`] and [`verify::StreamPipeline`].
 //!
 //! # Quick start
 //!

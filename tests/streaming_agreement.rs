@@ -1,0 +1,156 @@
+//! The streaming path must agree with offline verification: replaying any
+//! valid generated history through the sliding-window online adapters,
+//! window by window, yields the same final verdict as running `Fzf` /
+//! `GkOneAv` on the complete history. This suite is part of the
+//! acceptance gate for the streaming subsystem.
+
+use k_atomicity::history::stream::completion_order;
+use k_atomicity::history::History;
+use k_atomicity::verify::{
+    Fzf, GkOneAv, OnlineVerifier, PipelineConfig, StreamPipeline, StreamReport, Verifier,
+};
+use k_atomicity::workloads::{
+    inject_ladder, random_k_atomic, streaming_workload, RandomHistoryConfig,
+    StreamingWorkloadConfig,
+};
+use proptest::prelude::*;
+
+/// Replays `history` in completion order through an online adapter.
+fn replay<V: Verifier>(verifier: V, history: &History, window: usize) -> StreamReport {
+    let mut online = OnlineVerifier::new(verifier, window);
+    for id in history.sorted_by_finish() {
+        online.push(*history.op(*id)).expect("valid history replays cleanly");
+    }
+    online.freeze().expect("valid history freezes cleanly")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Window-by-window replay of k-atomic-by-construction histories:
+    /// verdicts decided by the streaming path equal offline verdicts, and
+    /// with a window covering the workload's dictation spans the
+    /// decomposition is exact (so the verdict *is* decided).
+    #[test]
+    fn fzf_streaming_agrees_with_offline(
+        seed in 0u64..5000,
+        ops in 10usize..150,
+        window in 32usize..96,
+    ) {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops,
+            k: 1 + seed % 3,
+            seed,
+            ..Default::default()
+        });
+        let offline = Fzf.verify(&h).is_k_atomic();
+        let report = replay(Fzf, &h, window);
+        prop_assert!(report.exact(), "window {window} too small: {report}");
+        prop_assert_eq!(report.k_atomic(), Some(offline), "{}", report);
+        prop_assert!(report.peak_resident <= h.len());
+    }
+
+    /// The same agreement for the GK 1-AV baseline.
+    #[test]
+    fn gk_streaming_agrees_with_offline(seed in 0u64..5000, ops in 10usize..120) {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops,
+            k: 1 + seed % 2, // k=2 histories exercise genuine NO verdicts
+            seed,
+            ..Default::default()
+        });
+        let offline = GkOneAv.verify(&h).is_k_atomic();
+        let report = replay(GkOneAv, &h, 48);
+        prop_assert!(report.exact(), "{}", report);
+        prop_assert_eq!(report.k_atomic(), Some(offline), "{}", report);
+    }
+
+    /// Planted violations are found by the windowed replay exactly when
+    /// offline finds them (the ladder gadget spans few arrivals, so a
+    /// modest window keeps the decomposition exact).
+    #[test]
+    fn injected_violations_stream_identically(seed in 0u64..2000, depth in 2u64..5) {
+        let base = random_k_atomic(RandomHistoryConfig {
+            ops: 60,
+            k: 2,
+            seed,
+            ..Default::default()
+        });
+        let h = inject_ladder(base.to_raw(), depth)
+            .into_history()
+            .expect("injected ladder stays valid");
+        let offline = Fzf.verify(&h).is_k_atomic();
+        let report = replay(Fzf, &h, 64);
+        prop_assert!(report.exact(), "{}", report);
+        prop_assert_eq!(report.k_atomic(), Some(offline), "{}", report);
+    }
+
+    /// A full history in one window degenerates to plain offline
+    /// verification — agreement must be unconditional.
+    #[test]
+    fn whole_history_window_is_offline_verification(seed in 0u64..3000) {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops: 40,
+            k: 1 + seed % 3,
+            seed,
+            read_fraction: 0.7,
+            ..Default::default()
+        });
+        let report = replay(Fzf, &h, h.len());
+        prop_assert!(report.exact());
+        prop_assert_eq!(report.segments, 1);
+        prop_assert_eq!(report.k_atomic(), Some(Fzf.verify(&h).is_k_atomic()));
+    }
+
+    /// The sharded pipeline agrees with offline verification per key, for
+    /// any shard count, and is deterministic across shard counts.
+    #[test]
+    fn pipeline_agrees_with_offline_per_key(
+        seed in 0u64..1000,
+        keys in 1u64..8,
+        shards in 1usize..6,
+    ) {
+        let stream = streaming_workload(StreamingWorkloadConfig {
+            keys,
+            ops_per_key: 50,
+            k: 2,
+            seed,
+            ..Default::default()
+        });
+        let mut pipeline = StreamPipeline::new(Fzf, PipelineConfig { shards, window: 48 });
+        for record in &stream {
+            pipeline.push(record.key, record.op());
+        }
+        let output = pipeline.finish();
+        prop_assert!(output.errors.is_empty(), "{:?}", output.errors);
+        prop_assert_eq!(output.keys.len(), keys as usize);
+        for (key, report) in &output.keys {
+            let raw: k_atomicity::history::RawHistory =
+                stream.iter().filter(|r| r.key == *key).map(|r| r.op()).collect();
+            let h = raw.into_history().expect("generated sub-streams are valid");
+            prop_assert!(report.exact(), "key {}: {}", key, report);
+            prop_assert_eq!(
+                report.k_atomic(),
+                Some(Fzf.verify(&h).is_k_atomic()),
+                "key {}: {}", key, report
+            );
+        }
+    }
+}
+
+/// Sealed segments must follow completion order end to end: a history
+/// replayed via `completion_order` reaches the same op count as offline.
+#[test]
+fn completion_order_covers_every_operation() {
+    let h = random_k_atomic(RandomHistoryConfig { ops: 80, k: 2, seed: 5, ..Default::default() });
+    let ordered = completion_order(&h.to_raw());
+    assert_eq!(ordered.len(), h.len());
+    let report = {
+        let mut online = OnlineVerifier::new(Fzf, 16);
+        for op in ordered {
+            online.push(op).unwrap();
+        }
+        online.freeze().unwrap()
+    };
+    assert_eq!(report.ops, h.len() as u64);
+}

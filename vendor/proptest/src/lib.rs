@@ -281,7 +281,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
