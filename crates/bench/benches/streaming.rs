@@ -1,9 +1,13 @@
 //! Sustained-throughput benchmarks for the streaming verification
 //! pipeline: how many completed operations per second the sharded
-//! `StreamPipeline` absorbs, as a function of shard count and window
-//! size. The §II-B locality argument predicts near-linear scaling with
-//! shards until the (single-threaded) ingest side saturates; wider
-//! windows trade memory for fewer, larger offline segment verifications.
+//! `StreamPipeline` absorbs, as a function of shard count, window size
+//! and ingest batch size. The §II-B locality argument predicts
+//! near-linear scaling with shards until ingest saturates; batched
+//! channel sends push that ingest ceiling far past the ~1.5M ops/s of
+//! per-operation sends (`batch = 1`), and wider windows trade memory for
+//! fewer, larger offline segment verifications. The
+//! `exp_stream_throughput` binary prints the same matrix as a table and
+//! records it as `BENCH_stream.json` for CI.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kav_core::{Fzf, PipelineConfig, StreamPipeline};
@@ -32,7 +36,7 @@ fn drive(records: &[StreamRecord], config: PipelineConfig) {
     assert_eq!(output.all_k_atomic(), Some(true));
 }
 
-/// Throughput vs shard count at a fixed window.
+/// Throughput vs shard count at a fixed window and batch.
 fn bench_shard_scaling(c: &mut Criterion) {
     let records = stream_input();
     let mut group = c.benchmark_group("stream_shards");
@@ -42,7 +46,12 @@ fn bench_shard_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(shards),
             &records,
             |b, records| {
-                b.iter(|| drive(records, PipelineConfig { shards, window: 256 }))
+                b.iter(|| {
+                    drive(
+                        records,
+                        PipelineConfig { shards, window: 256, ..Default::default() },
+                    )
+                })
             },
         );
     }
@@ -50,7 +59,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
     println!("stream_shards: {} ops per iteration", records.len());
 }
 
-/// Throughput vs window width at a fixed shard count.
+/// Throughput vs window width at a fixed shard count and batch.
 fn bench_window_width(c: &mut Criterion) {
     let records = stream_input();
     let mut group = c.benchmark_group("stream_window");
@@ -60,7 +69,12 @@ fn bench_window_width(c: &mut Criterion) {
             BenchmarkId::from_parameter(window),
             &records,
             |b, records| {
-                b.iter(|| drive(records, PipelineConfig { shards: 4, window }))
+                b.iter(|| {
+                    drive(
+                        records,
+                        PipelineConfig { shards: 4, window, ..Default::default() },
+                    )
+                })
             },
         );
     }
@@ -68,5 +82,29 @@ fn bench_window_width(c: &mut Criterion) {
     println!("stream_window: {} ops per iteration", records.len());
 }
 
-criterion_group!(benches, bench_shard_scaling, bench_window_width);
+/// Throughput vs ingest batch size; `batch = 1` is the old per-operation
+/// send path whose channel synchronisation capped ingest at ~1.5M ops/s.
+fn bench_batch_size(c: &mut Criterion) {
+    let records = stream_input();
+    let mut group = c.benchmark_group("stream_batch");
+    group.sample_size(10);
+    for batch in [1, 16, 256, 4096] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch),
+            &records,
+            |b, records| {
+                b.iter(|| {
+                    drive(
+                        records,
+                        PipelineConfig { shards: 4, window: 256, batch, ..Default::default() },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+    println!("stream_batch: {} ops per iteration", records.len());
+}
+
+criterion_group!(benches, bench_shard_scaling, bench_window_width, bench_batch_size);
 criterion_main!(benches);

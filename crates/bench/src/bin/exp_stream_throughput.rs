@@ -1,0 +1,219 @@
+//! exp_stream_throughput — the streaming ingest scaling matrix.
+//!
+//! Three measurements, each across shards × batch size (`batch = 1`
+//! reproduces the old per-operation channel sends, so each row's speed-up
+//! column is the before/after of the batched-ingest rework):
+//!
+//! * `fzf` — end-to-end pipeline throughput with the real FZF verifier;
+//! * `noop` — a verifier that accepts every segment unseen, leaving
+//!   builder bookkeeping + per-segment §II validation + channels;
+//! * `drain` — the **ingest ceiling**: workers receive and discard, so
+//!   only the ingest architecture (hash, batch, channel) is measured.
+//!   This is the number the ROADMAP's "~1.5M ops/s channel-bound ingest"
+//!   item referred to; batching is what moves it.
+//!
+//! On a single-core host the end-to-end rows are bounded by total
+//! verification work (threads cannot overlap), so the drain rows carry
+//! the ingest-scaling signal.
+//!
+//! Usage:
+//!
+//! ```text
+//! exp_stream_throughput [--preset smoke|full] [--out BENCH_stream.json]
+//! ```
+//!
+//! `--out` records the matrix as a small JSON document (used by CI's
+//! bench-smoke job to archive the performance trajectory).
+
+use kav_bench::{header, row};
+use kav_core::{Fzf, PipelineConfig, StreamPipeline, TotalOrder, Verdict, Verifier};
+use kav_history::ndjson::StreamRecord;
+use kav_history::History;
+use kav_workloads::{streaming_workload, StreamingWorkloadConfig};
+use std::time::Instant;
+
+/// Accepts every segment without looking: all remaining cost is the
+/// pipeline itself (hashing, batching, channel, builder bookkeeping), so
+/// this is the cheap-verifier workload that exposes the ingest ceiling.
+#[derive(Clone)]
+struct NoopVerifier;
+
+impl Verifier for NoopVerifier {
+    fn k(&self) -> u64 {
+        2
+    }
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+    fn verify(&self, _: &History) -> Verdict {
+        Verdict::KAtomic { witness: TotalOrder::new(vec![]) }
+    }
+}
+
+struct Measurement {
+    verifier: &'static str,
+    shards: usize,
+    window: usize,
+    batch: usize,
+    ops: usize,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.seconds
+    }
+}
+
+/// Measures the ingest architecture alone: the same shard hash, per-shard
+/// batch buffers and bounded channels as `StreamPipeline`, but workers
+/// that receive and discard. `batch = 1` is the old per-operation send
+/// path; the ratio between the two is the ingest-ceiling speed-up.
+fn measure_drain(records: &[StreamRecord], shards: usize, batch: usize) -> Measurement {
+    fn shard_of(key: u64, shards: usize) -> usize {
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % shards as u64) as usize
+    }
+    use kav_history::Operation;
+    use std::sync::mpsc;
+    let t0 = Instant::now();
+    let backlog = (4 * 256usize).div_ceil(batch).max(2);
+    let channels: Vec<_> = (0..shards)
+        .map(|_| {
+            let (tx, rx) = mpsc::sync_channel::<Vec<(u64, Operation)>>(backlog);
+            let handle = std::thread::spawn(move || {
+                let mut received = 0usize;
+                while let Ok(batch) = rx.recv() {
+                    received += batch.len();
+                }
+                received
+            });
+            (tx, handle)
+        })
+        .collect();
+    let mut buffers: Vec<Vec<(u64, Operation)>> =
+        (0..shards).map(|_| Vec::with_capacity(batch)).collect();
+    for r in records {
+        let s = shard_of(r.key, shards);
+        buffers[s].push((r.key, r.op()));
+        if buffers[s].len() >= batch {
+            let full = std::mem::replace(&mut buffers[s], Vec::with_capacity(batch));
+            channels[s].0.send(full).expect("drain worker alive");
+        }
+    }
+    for (s, buf) in buffers.into_iter().enumerate() {
+        if !buf.is_empty() {
+            channels[s].0.send(buf).expect("drain worker alive");
+        }
+    }
+    let mut received = 0usize;
+    for (tx, handle) in channels {
+        drop(tx);
+        received += handle.join().expect("drain worker exits cleanly");
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(received, records.len());
+    Measurement { verifier: "drain", shards, window: 256, batch, ops: records.len(), seconds }
+}
+
+fn measure<V: Verifier + Clone + Send + 'static>(
+    verifier: V,
+    records: &[StreamRecord],
+    config: PipelineConfig,
+) -> Measurement {
+    let t0 = Instant::now();
+    let mut pipeline = StreamPipeline::new(verifier.clone(), config);
+    for record in records {
+        pipeline.push(record.key, record.op());
+    }
+    let output = pipeline.finish();
+    let seconds = t0.elapsed().as_secs_f64();
+    assert!(output.errors.is_empty(), "bench stream must be clean");
+    assert_eq!(output.total_ops(), records.len() as u64);
+    Measurement {
+        verifier: verifier.name(),
+        shards: config.shards,
+        window: config.window,
+        batch: config.batch,
+        ops: records.len(),
+        seconds,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let preset = get("--preset").unwrap_or_else(|| "full".into());
+    let (keys, ops_per_key) = match preset.as_str() {
+        "smoke" => (16, 500),
+        "full" => (64, 2000),
+        other => {
+            eprintln!("unknown preset {other:?} (want smoke|full)");
+            std::process::exit(2);
+        }
+    };
+    let out = get("--out");
+
+    let records = streaming_workload(StreamingWorkloadConfig {
+        keys,
+        ops_per_key,
+        k: 2,
+        spread: 3,
+        seed: 42,
+        ..Default::default()
+    });
+    let window = 256;
+    println!(
+        "## stream ingest throughput ({} ops, {keys} keys, window {window})\n",
+        records.len()
+    );
+    header(&["verifier", "shards", "batch", "ops/s", "vs batch=1"]);
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for mode in ["fzf", "noop", "drain"] {
+        for shards in [1usize, 2, 4, 8] {
+            let mut baseline: Option<f64> = None;
+            for batch in [1usize, 64, 256] {
+                let config =
+                    PipelineConfig { shards, window, batch, ..Default::default() };
+                let m = match mode {
+                    "fzf" => measure(Fzf, &records, config),
+                    "noop" => measure(NoopVerifier, &records, config),
+                    _ => measure_drain(&records, shards, batch),
+                };
+                let speedup = m.ops_per_sec() / *baseline.get_or_insert(m.ops_per_sec());
+                row(&[
+                    m.verifier.to_string(),
+                    shards.to_string(),
+                    batch.to_string(),
+                    format!("{:.0}", m.ops_per_sec()),
+                    format!("{speedup:.2}x"),
+                ]);
+                results.push(m);
+            }
+        }
+    }
+
+    if let Some(path) = out {
+        let rows: Vec<String> = results
+            .iter()
+            .map(|m| {
+                format!(
+                    "    {{\"verifier\":\"{}\",\"shards\":{},\"window\":{},\"batch\":{},\
+                     \"ops\":{},\"seconds\":{:.6},\"ops_per_sec\":{:.0}}}",
+                    m.verifier, m.shards, m.window, m.batch, m.ops, m.seconds,
+                    m.ops_per_sec()
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"stream_throughput\",\n  \"preset\": \"{preset}\",\n  \
+             \"ops\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+            records.len(),
+            rows.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write bench artifact");
+        println!("\nwrote {} measurements to {path}", results.len());
+    }
+}

@@ -25,7 +25,7 @@ impl fmt::Display for ArgError {
 impl Error for ArgError {}
 
 /// Boolean flags (take no value) recognised by any subcommand.
-const BOOLEAN_FLAGS: &[&str] = &["witness", "help"];
+const BOOLEAN_FLAGS: &[&str] = &["witness", "help", "strict"];
 
 impl Args {
     /// Parses raw arguments. `--name value` becomes an option, bare words
@@ -133,6 +133,13 @@ mod tests {
         assert_eq!(args.get("k"), Some("2"));
         assert!(args.flag("witness"));
         assert!(!args.flag("help"));
+    }
+
+    #[test]
+    fn strict_is_a_boolean_flag() {
+        let args = parse(&["stream", "--strict", "-"]).unwrap();
+        assert!(args.flag("strict"));
+        assert_eq!(args.positional(1), Some("-"));
     }
 
     #[test]

@@ -13,6 +13,36 @@ use std::error::Error;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
+/// Exit code for a verified k-atomicity violation (`kav stream`).
+pub const EXIT_VIOLATION: u8 = 1;
+/// Exit code for unusable input: malformed records were skipped (or, with
+/// `--strict`, aborted on) or a key's stream broke the schema rules. The
+/// history's k-atomicity was *not* refuted.
+pub const EXIT_BAD_INPUT: u8 = 2;
+
+/// An error that carries a specific process exit code, so `main` can
+/// distinguish "the history is bad" from "the input is bad".
+#[derive(Debug)]
+pub struct ExitWith {
+    /// The process exit code to use.
+    pub code: u8,
+    message: String,
+}
+
+impl ExitWith {
+    fn new(code: u8, message: impl Into<String>) -> Box<Self> {
+        Box::new(ExitWith { code, message: message.into() })
+    }
+}
+
+impl std::fmt::Display for ExitWith {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ExitWith {}
+
 pub fn usage() -> &'static str {
     "kav — k-atomicity verification toolbox\n\
      \n\
@@ -27,7 +57,9 @@ pub fn usage() -> &'static str {
      \x20        [--n <ops>] [--k <bound>] [--seed <s>] [--spread <w>] [--out <file>]\n\
      \x20        [--keys <K>]                        (stream: NDJSON, --n ops per key)\n\
      \x20 kav stream [--k <1|2>] [--algo gk|lbt|fzf] [--window <ops>] [--shards <N>]\n\
+     \x20        [--horizon <writes>] [--batch <ops>] [--strict]\n\
      \x20        <ops.ndjson | ->                    (- reads NDJSON from stdin)\n\
+     \x20        exit codes: 0 = verified, 1 = violation, 2 = unusable input\n\
      \x20 kav sim [--replicas N] [--read-quorum R] [--write-quorum W] [--fanout F]\n\
      \x20        [--clients C] [--ops N] [--keys K] [--lag lo:hi] [--net lo:hi]\n\
      \x20        [--drop p] [--seed s] [--budget nodes] [--out-prefix path]\n\
@@ -251,7 +283,28 @@ pub fn sim(args: &Args) -> CmdResult {
 }
 
 /// `kav stream` — online sliding-window verification of an NDJSON stream.
+///
+/// Exit codes: `0` when every key verifies (or no violation was found but
+/// certification was lost to breaches/orphans — `UNKNOWN`),
+/// [`EXIT_VIOLATION`] when some key is provably not k-atomic, and
+/// [`EXIT_BAD_INPUT`] for everything that prevented or degraded
+/// verification (malformed lines, a key breaking the stream schema,
+/// unreadable files, bad flags) — so `1` *always* means "store is
+/// inconsistent" and never "tap is broken".
 pub fn stream(args: &Args) -> CmdResult {
+    stream_inner(args).map_err(|e| -> Box<dyn Error> {
+        if e.is::<ExitWith>() {
+            e
+        } else {
+            // Any other failure (I/O, arg parsing) verified nothing: give
+            // it the bad-input code rather than the generic 1, which
+            // auditing scripts read as a proven violation.
+            ExitWith::new(EXIT_BAD_INPUT, e.to_string())
+        }
+    })
+}
+
+fn stream_inner(args: &Args) -> CmdResult {
     let k: u64 = args.get_parsed("k", 2)?;
     let algo = args.get("algo").unwrap_or(match k {
         1 => "gk",
@@ -260,7 +313,13 @@ pub fn stream(args: &Args) -> CmdResult {
     let config = PipelineConfig {
         window: args.get_parsed("window", 1024)?,
         shards: args.get_parsed("shards", 4)?,
+        horizon: match args.get("horizon") {
+            Some(_) => Some(args.get_parsed("horizon", 0)?),
+            None => None, // default: DEFAULT_HORIZON_WINDOWS x window
+        },
+        batch: args.get_parsed("batch", PipelineConfig::default().batch)?,
     };
+    let strict = args.flag("strict");
     let path = args
         .positional(1)
         .ok_or_else(|| ArgError("stream requires an NDJSON file argument (or -)".into()))?;
@@ -270,9 +329,9 @@ pub fn stream(args: &Args) -> CmdResult {
         Box::new(std::io::BufReader::new(std::fs::File::open(path)?))
     };
     let (output, malformed, total_malformed) = match (algo, k) {
-        ("gk", 1) => drive_stream(GkOneAv, reader, config)?,
-        ("fzf", 2) => drive_stream(Fzf, reader, config)?,
-        ("lbt", 2) => drive_stream(Lbt::new(), reader, config)?,
+        ("gk", 1) => drive_stream(GkOneAv, reader, config, strict)?,
+        ("fzf", 2) => drive_stream(Fzf, reader, config, strict)?,
+        ("lbt", 2) => drive_stream(Lbt::new(), reader, config, strict)?,
         (a, k) => {
             return Err(ArgError(format!("algorithm {a:?} cannot decide k = {k}")).into());
         }
@@ -313,41 +372,57 @@ pub fn stream(args: &Args) -> CmdResult {
         eprintln!("key {key}: {error}");
     }
 
+    // A proven violation outranks input trouble: report it first (the
+    // input problems were already printed above). Bad input without a
+    // violation exits with its own distinct code — "the tap is broken" is
+    // not "the store is inconsistent".
+    let violating =
+        output.keys.iter().filter(|(_, r)| r.k_atomic() == Some(false)).count();
+    if violating > 0 {
+        return Err(ExitWith::new(
+            EXIT_VIOLATION,
+            format!("NO: {violating} keys are not {k}-atomic"),
+        ));
+    }
     if !output.errors.is_empty() {
-        return Err(format!("{} keys had unusable streams", output.errors.len()).into());
+        return Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!("{} keys had unusable streams", output.errors.len()),
+        ));
     }
     if total_malformed > 0 {
-        return Err(format!("{total_malformed} malformed records were skipped").into());
+        return Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!("{total_malformed} malformed records were skipped"),
+        ));
     }
     match output.all_k_atomic() {
         Some(true) => {
             println!("YES: every key is {k}-atomic");
-            Ok(())
         }
-        Some(false) => {
-            let failed =
-                output.keys.iter().filter(|(_, r)| r.k_atomic() == Some(false)).count();
-            Err(format!("NO: {failed} keys are not {k}-atomic").into())
-        }
+        Some(false) => unreachable!("violations and errors are handled above"),
         None => {
             println!(
-                "UNKNOWN: no violation found, but some reads outlived the window; \
-                 rerun with a larger --window to certify"
+                "UNKNOWN: no violation found, but some reads outlived the window or \
+                 the retirement horizon; rerun with a larger --window / --horizon \
+                 to certify"
             );
-            Ok(())
         }
     }
+    Ok(())
 }
 
 /// Feeds the NDJSON reader into a pipeline. Malformed lines are skipped
 /// and counted, keeping only the first few messages (the run completes;
-/// the caller reports them and exits non-zero); genuine I/O failures
-/// abort. Returns the pipeline output, the sample messages, and the
-/// total malformed count.
+/// the caller reports them and exits non-zero) — unless `strict`, which
+/// aborts on the first malformed line with [`EXIT_BAD_INPUT`]. Genuine
+/// I/O failures abort. Returns the pipeline output, the sample messages,
+/// and the total malformed count.
 fn drive_stream<V: Verifier + Clone + Send + 'static>(
     verifier: V,
     reader: Box<dyn std::io::BufRead>,
     config: PipelineConfig,
+    strict: bool,
 ) -> Result<(PipelineOutput, Vec<String>, usize), Box<dyn Error>> {
     const MALFORMED_SAMPLES: usize = 10;
     let mut pipeline = StreamPipeline::new(verifier, config);
@@ -357,6 +432,9 @@ fn drive_stream<V: Verifier + Clone + Send + 'static>(
         match record {
             Ok(record) => pipeline.push(record.key, record.op()),
             Err(e @ ndjson::NdjsonError::Parse { .. }) => {
+                if strict {
+                    return Err(ExitWith::new(EXIT_BAD_INPUT, format!("--strict: {e}")));
+                }
                 total_malformed += 1;
                 if malformed.len() < MALFORMED_SAMPLES {
                     malformed.push(e.to_string());

@@ -42,7 +42,13 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // Errors carrying a dedicated exit code (e.g. `kav stream`'s
+            // violation-vs-bad-input distinction) propagate it; everything
+            // else is the generic failure code.
+            match e.downcast_ref::<commands::ExitWith>() {
+                Some(exit) => ExitCode::from(exit.code),
+                None => ExitCode::FAILURE,
+            }
         }
     }
 }

@@ -183,7 +183,7 @@ fn stream_reads_ndjson_from_stdin() {
 }
 
 #[test]
-fn stream_exits_nonzero_on_violation() {
+fn stream_exits_one_on_violation() {
     // ladder(3) is not 2-atomic: three writes, then a read of the first.
     let ndjson = r#"
         {"key":5,"kind":"write","value":1,"start":0,"finish":10}
@@ -192,27 +192,28 @@ fn stream_exits_nonzero_on_violation() {
         {"key":5,"kind":"read","value":1,"start":32,"finish":40}
     "#;
     let out = kav_with_stdin(&["stream", "-"], ndjson);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "violations exit 1: {}", stderr(&out));
     assert!(stdout(&out).contains("| NO"), "{}", stdout(&out));
     assert!(stderr(&out).contains("NO: 1 keys are not 2-atomic"), "{}", stderr(&out));
 
     // The same stream passes at k = 1... it must not: it is not 1-atomic
     // either, and gk must also report the violation.
     let out = kav_with_stdin(&["stream", "--k", "1", "-"], ndjson);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
     assert!(stderr(&out).contains("not 1-atomic"), "{}", stderr(&out));
 }
 
 #[test]
-fn stream_rejects_bad_records() {
+fn stream_exits_two_on_bad_records() {
     // Malformed JSON lines: skipped but reported with line numbers, and
-    // the run still completes (valid records verify) with nonzero exit.
+    // the run still completes (valid records verify) — exit code 2 says
+    // "input was unusable", distinct from a verified violation's 1.
     let ndjson = "{\"kind\":\"write\"\n\
         {\"kind\":\"write\",\"value\":1,\"start\":0,\"finish\":10}\n\
         not json\n\
         {\"kind\":\"read\",\"value\":1,\"start\":12,\"finish\":20}\n";
     let out = kav_with_stdin(&["stream", "-"], ndjson);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "bad input exits 2: {}", stderr(&out));
     assert!(stderr(&out).contains("line 1"), "{}", stderr(&out));
     assert!(stderr(&out).contains("line 3"), "{}", stderr(&out));
     assert!(stderr(&out).contains("2 malformed records were skipped"), "{}", stderr(&out));
@@ -220,13 +221,13 @@ fn stream_rejects_bad_records() {
     assert!(stdout(&out).contains("| YES"), "{}", stdout(&out));
 
     // Well-formed JSON violating the schema rules (out of completion
-    // order): the offending key is reported, exit is nonzero.
+    // order): the offending key is reported — still an input problem, 2.
     let ndjson = r#"
         {"key":1,"kind":"write","value":1,"start":0,"finish":10}
         {"key":1,"kind":"write","value":2,"start":2,"finish":8}
     "#;
     let out = kav_with_stdin(&["stream", "-"], ndjson);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
     assert!(stderr(&out).contains("key 1"), "{}", stderr(&out));
     assert!(stderr(&out).contains("completion order"), "{}", stderr(&out));
 
@@ -234,6 +235,72 @@ fn stream_rejects_bad_records() {
     let out = kav(&["stream"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("NDJSON"), "{}", stderr(&out));
+}
+
+#[test]
+fn stream_never_reports_io_or_usage_trouble_as_a_violation() {
+    // Exit 1 is reserved for proven violations: an unreadable file and an
+    // unparseable flag both verified nothing, so they take the bad-input
+    // code instead of the generic 1.
+    let out = kav(&["stream", "/nonexistent/ops.ndjson"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+
+    let out = kav(&["stream", "--window", "many", "-"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("window"), "{}", stderr(&out));
+}
+
+#[test]
+fn stream_violation_outranks_bad_records() {
+    // Both a malformed line AND a genuine violation: the violation wins
+    // the exit code (1), while the malformed line is still reported.
+    let ndjson = "not json\n\
+        {\"key\":5,\"kind\":\"write\",\"value\":1,\"start\":0,\"finish\":10}\n\
+        {\"key\":5,\"kind\":\"write\",\"value\":2,\"start\":12,\"finish\":20}\n\
+        {\"key\":5,\"kind\":\"write\",\"value\":3,\"start\":22,\"finish\":30}\n\
+        {\"key\":5,\"kind\":\"read\",\"value\":1,\"start\":32,\"finish\":40}\n";
+    let out = kav_with_stdin(&["stream", "-"], ndjson);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("line 1"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("NO: 1 keys are not 2-atomic"), "{}", stderr(&out));
+}
+
+#[test]
+fn stream_strict_fails_fast_on_first_malformed_line() {
+    let ndjson = "{\"kind\":\"write\",\"value\":1,\"start\":0,\"finish\":10}\n\
+        not json\n\
+        {\"kind\":\"read\",\"value\":1,\"start\":12,\"finish\":20}\n";
+    let out = kav_with_stdin(&["stream", "--strict", "-"], ndjson);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--strict"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("line 2"), "{}", stderr(&out));
+    // Fail-fast: no verification summary was printed.
+    assert!(!stdout(&out).contains("verified"), "{}", stdout(&out));
+
+    // The same input without --strict completes and verifies the good key.
+    let out = kav_with_stdin(&["stream", "-"], ndjson);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stdout(&out).contains("verified 2 ops"), "{}", stdout(&out));
+}
+
+#[test]
+fn stream_honours_horizon_and_batch_flags() {
+    // Window 1 with a huge horizon: the late read of value 1 is a certain
+    // breach (its write sealed away) — UNKNOWN, but a *successful* run.
+    let ndjson = r#"
+        {"key":9,"kind":"write","value":1,"start":0,"finish":10}
+        {"key":9,"kind":"write","value":2,"start":12,"finish":20}
+        {"key":9,"kind":"write","value":3,"start":22,"finish":30}
+        {"key":9,"kind":"read","value":1,"start":32,"finish":40}
+        {"key":9,"kind":"write","value":4,"start":42,"finish":50}
+    "#;
+    let out = kav_with_stdin(
+        &["stream", "--window", "1", "--horizon", "1000", "--batch", "2", "-"],
+        ndjson,
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("UNKNOWN"), "{}", stdout(&out));
+    assert!(stdout(&out).contains("--horizon"), "{}", stdout(&out));
 }
 
 #[test]

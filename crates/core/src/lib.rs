@@ -65,6 +65,7 @@ pub use search::{ExhaustiveSearch, SearchReport, MAX_SEARCH_OPS};
 pub use smallest_k::{smallest_k, staleness_upper_bound, Staleness};
 pub use stream::{
     OnlineError, OnlineVerifier, PipelineConfig, PipelineOutput, StreamPipeline, StreamReport,
+    DEFAULT_HORIZON_WINDOWS,
 };
 pub use verdict::{Verdict, Verifier};
 pub use witness::{check_witness, TotalOrder, WitnessError};

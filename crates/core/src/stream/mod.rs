@@ -4,9 +4,9 @@
 //! [`OnlineVerifier`] wraps any offline [`Verifier`] (typically [`Fzf`] for
 //! `k = 2` or [`GkOneAv`] for `k = 1`) behind a
 //! [`StreamBuilder`](kav_history::stream::StreamBuilder): operations are
-//! pushed in completion order, and whenever more than `window` operations
-//! are buffered the builder seals a prefix segment at a decomposition-safe
-//! cut and verifies it offline. The running verdict is the conjunction of
+//! pushed in completion order, and once the buffer outgrows two windows
+//! the builder seals a prefix segment at a decomposition-safe cut
+//! (leaving about one window buffered) and verifies it offline. The running verdict is the conjunction of
 //! the segment verdicts — exact (equal to offline verification of the full
 //! history) as long as no read arrives whose dictating write was already
 //! sealed away; such *horizon breaches* are counted and surfaced rather
@@ -38,10 +38,18 @@ mod pipeline;
 pub use pipeline::{PipelineConfig, PipelineOutput, StreamPipeline};
 
 use crate::{Verdict, Verifier};
-use kav_history::stream::{Push, StreamBuilder, StreamError};
+use kav_history::stream::{Push, StreamBuilder, StreamConfig, StreamError};
 use kav_history::{Operation, ValidationError};
 use std::error::Error;
 use std::fmt;
+
+/// Default retirement horizon, in windows: an [`OnlineVerifier`] built
+/// without an explicit horizon retains the value ids of the last
+/// `16 × window` sealed writes for breach and duplicate detection. Memory
+/// stays bounded by `O(window)` while streams up to 16 windows of sealed
+/// writes keep exact (certifiable) verdicts; longer streams degrade YES to
+/// `UNKNOWN` rather than growing — raise the horizon to certify deeper.
+pub const DEFAULT_HORIZON_WINDOWS: usize = 16;
 
 /// Why the online verifier rejected an operation or a segment.
 #[derive(Debug)]
@@ -106,6 +114,9 @@ pub struct StreamReport {
     pub orphaned_reads: u64,
     /// Largest number of operations ever buffered at once.
     pub peak_resident: usize,
+    /// Largest number of retired value ids ever retained at once — bounded
+    /// by the configured retirement horizon, independent of stream length.
+    pub peak_retired: usize,
     /// Reads observed (including breaches).
     pub reads: u64,
     /// Mean arrival-order staleness depth (writes completed between a
@@ -174,6 +185,14 @@ impl fmt::Display for StreamReport {
 /// ([`StreamReport::orphaned_reads`]), so residency stays proportional to
 /// the window even on streams with lost records —
 /// [`StreamReport::peak_resident`] records the high-water mark.
+///
+/// Retired-value metadata is likewise bounded: the adapter retains value
+/// ids for the last `horizon` sealed writes (default
+/// [`DEFAULT_HORIZON_WINDOWS`]` × window`), so **total** memory is
+/// `O(window + horizon)` regardless of stream length. A horizon too small
+/// for the workload costs certifiability, never soundness: extra
+/// [`StreamReport::horizon_breaches`] degrade YES to `UNKNOWN`, while NO
+/// verdicts hold at any horizon (see [`kav_history::stream`]).
 #[derive(Clone, Debug)]
 pub struct OnlineVerifier<V> {
     verifier: V,
@@ -191,11 +210,22 @@ pub struct OnlineVerifier<V> {
 
 impl<V: Verifier> OnlineVerifier<V> {
     /// Wraps `verifier` with a sliding window of `window` operations
-    /// (clamped to at least 1).
+    /// (clamped to at least 1) and the default retirement horizon of
+    /// [`DEFAULT_HORIZON_WINDOWS`] windows.
     pub fn new(verifier: V, window: usize) -> Self {
+        let window = window.max(1);
+        Self::with_horizon(verifier, window, window.saturating_mul(DEFAULT_HORIZON_WINDOWS))
+    }
+
+    /// Wraps `verifier` with an explicit retirement horizon: value ids of
+    /// the last `horizon` sealed writes are retained for breach and
+    /// duplicate detection. Larger horizons keep long streams certifiable
+    /// at the cost of memory (one value id per retained write); any
+    /// horizon is sound.
+    pub fn with_horizon(verifier: V, window: usize, horizon: usize) -> Self {
         OnlineVerifier {
             verifier,
-            builder: StreamBuilder::new(),
+            builder: StreamBuilder::with_config(StreamConfig { horizon: Some(horizon) }),
             window: window.max(1),
             next_attempt: 0,
             ops: 0,
@@ -211,6 +241,11 @@ impl<V: Verifier> OnlineVerifier<V> {
         self.window
     }
 
+    /// The retirement horizon, in sealed writes.
+    pub fn horizon(&self) -> usize {
+        self.builder.horizon().expect("online builders always have a bounded horizon")
+    }
+
     /// Operations currently buffered.
     pub fn resident(&self) -> usize {
         self.builder.resident()
@@ -222,8 +257,15 @@ impl<V: Verifier> OnlineVerifier<V> {
         (self.violations > 0).then_some(false)
     }
 
-    /// Pushes one completed operation, sealing and verifying a window when
-    /// the buffer outgrows the configured width.
+    /// Pushes one completed operation, sealing and verifying a segment
+    /// once the buffer outgrows twice the configured width.
+    ///
+    /// Sealing waits for the buffer to reach two windows and then cuts
+    /// back down to one: each `O(buffer)` cut scan retires about a
+    /// window's worth of operations instead of a single one, making the
+    /// scan `O(1)` amortised per operation. Residency therefore oscillates
+    /// between one and two windows (plus the orphan-expiry slack) — still
+    /// window-proportional, as [`StreamReport::peak_resident`] records.
     ///
     /// # Errors
     ///
@@ -241,7 +283,7 @@ impl<V: Verifier> OnlineVerifier<V> {
         }
         self.ops += 1;
         let resident = self.builder.resident();
-        if resident > self.window && resident >= self.next_attempt {
+        if resident > 2 * self.window && resident >= self.next_attempt {
             match self.builder.try_seal(self.window) {
                 Some(segment) => {
                     self.next_attempt = 0;
@@ -257,6 +299,21 @@ impl<V: Verifier> OnlineVerifier<V> {
         Ok(())
     }
 
+    /// Abandons the stream *without* verifying the buffered tail,
+    /// returning the report accumulated so far. For error paths where the
+    /// stream turned unusable mid-flight: verdict evidence already proven
+    /// (violated windows) must not be discarded with the broken tail. Any
+    /// operations still buffered are counted as one inconclusive segment,
+    /// so an aborted stream can never certify YES — its verdict is
+    /// `Some(false)` when a window already failed, `None` otherwise.
+    pub fn abort(mut self) -> StreamReport {
+        if self.builder.resident() > 0 {
+            self.inconclusive += 1;
+            self.segments += 1;
+        }
+        self.report()
+    }
+
     /// Ends the stream: verifies the final segment and returns the report.
     ///
     /// # Errors
@@ -270,7 +327,11 @@ impl<V: Verifier> OnlineVerifier<V> {
         if !last.is_empty() {
             self.verify_segment(last)?;
         }
-        Ok(StreamReport {
+        Ok(self.report())
+    }
+
+    fn report(self) -> StreamReport {
+        StreamReport {
             k: self.verifier.k(),
             ops: self.ops,
             segments: self.segments,
@@ -279,10 +340,11 @@ impl<V: Verifier> OnlineVerifier<V> {
             horizon_breaches: self.horizon_breaches,
             orphaned_reads: self.builder.orphaned_reads(),
             peak_resident: self.builder.peak_resident(),
+            peak_retired: self.builder.peak_retired(),
             reads: self.builder.reads_accepted(),
             mean_read_depth: self.builder.mean_read_depth(),
             max_read_depth: self.builder.max_read_depth(),
-        })
+        }
     }
 
     fn verify_segment(&mut self, segment: kav_history::RawHistory) -> Result<(), OnlineError> {
@@ -391,6 +453,30 @@ mod tests {
         // No violation, but the YES is not certifiable.
         assert_eq!(report.k_atomic(), None, "{report}");
         assert_eq!(report.violations, 0);
+    }
+
+    #[test]
+    fn abort_keeps_proven_violations_and_never_certifies() {
+        // A proven violation survives an abort: the ladder(3) gadget seals
+        // into one verified (failing) window, then the stream is cut off.
+        let mut online = OnlineVerifier::new(Fzf, 2);
+        online.push(Operation::write(Value(1), Time(0), Time(10))).unwrap();
+        online.push(Operation::write(Value(2), Time(12), Time(20))).unwrap();
+        online.push(Operation::write(Value(3), Time(22), Time(30))).unwrap();
+        online.push(Operation::read(Value(1), Time(32), Time(40))).unwrap();
+        online.push(Operation::write(Value(4), Time(42), Time(50))).unwrap();
+        assert_eq!(online.verdict_so_far(), Some(false));
+        let report = online.abort();
+        assert_eq!(report.k_atomic(), Some(false), "{report}");
+
+        // A clean-so-far stream aborts to UNKNOWN, never YES: the
+        // unverified tail counts as an inconclusive segment.
+        let mut online = OnlineVerifier::new(Fzf, 8);
+        online.push(Operation::write(Value(1), Time(0), Time(10))).unwrap();
+        online.push(Operation::read(Value(1), Time(12), Time(20))).unwrap();
+        let report = online.abort();
+        assert_eq!(report.k_atomic(), None, "{report}");
+        assert_eq!(report.inconclusive, 1);
     }
 
     #[test]

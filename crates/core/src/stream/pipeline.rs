@@ -3,14 +3,20 @@
 //! k-atomicity is a local property (§II-B): each register verifies
 //! independently, so a multi-register stream shards by key. The pipeline
 //! spawns one worker thread per shard, each owning the
-//! [`OnlineVerifier`]s of the keys hashed to it; the ingest thread only
-//! hashes and forwards, so throughput scales with shard count until the
-//! ingest side saturates.
+//! [`OnlineVerifier`]s of the keys hashed to it.
+//!
+//! The ingest side only hashes and buffers: operations accumulate in a
+//! per-shard batch ([`PipelineConfig::batch`]) and cross the channel as
+//! one `Vec` per flush, so the per-operation cost of ingest is a hash and
+//! a vector push — channel synchronisation (the ~1.5M ops/s ceiling of
+//! per-operation sends) is amortised over the whole batch. Workers
+//! likewise receive a batch per `recv`. Throughput then scales with shard
+//! count until the work itself (not the channel) saturates the cores.
 
 use super::{OnlineVerifier, StreamReport};
 use crate::Verifier;
 use kav_history::Operation;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
@@ -21,11 +27,21 @@ pub struct PipelineConfig {
     pub shards: usize,
     /// Per-key sliding-window width, in operations (clamped to at least 1).
     pub window: usize,
+    /// Per-key retirement horizon, in sealed writes: how many retired
+    /// value ids each key retains for breach and duplicate detection.
+    /// `None` uses the default of
+    /// [`DEFAULT_HORIZON_WINDOWS`](super::DEFAULT_HORIZON_WINDOWS)
+    /// windows. Any horizon is sound; smaller horizons trade
+    /// certifiability of long streams for memory.
+    pub horizon: Option<usize>,
+    /// Operations buffered per shard before a batch crosses the channel
+    /// (clamped to at least 1; `1` reproduces per-operation sends).
+    pub batch: usize,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { shards: 4, window: 1024 }
+        PipelineConfig { shards: 4, window: 1024, horizon: None, batch: 256 }
     }
 }
 
@@ -35,7 +51,11 @@ pub struct PipelineOutput {
     /// Per-key reports, sorted by key.
     pub keys: Vec<(u64, StreamReport)>,
     /// Keys whose stream failed (bad records or invalid segments), with
-    /// the error message; such keys have no report. Sorted by key.
+    /// the error message. Sorted by key. Such a key normally has no
+    /// report; if a violation was already proven before the failure, its
+    /// [aborted](OnlineVerifier::abort) report is kept in
+    /// [`keys`](Self::keys) too, so the violation is not masked by the
+    /// bad input.
     pub errors: Vec<(u64, String)>,
 }
 
@@ -66,10 +86,14 @@ impl PipelineOutput {
 type KeyReports = Vec<(u64, StreamReport)>;
 /// Keys a worker gave up on, with the error message.
 type KeyErrors = Vec<(u64, String)>;
+/// What crosses the channel: a batch of keyed operations.
+type Batch = Vec<(u64, Operation)>;
 
 struct Worker {
-    sender: mpsc::SyncSender<(u64, Operation)>,
-    handle: JoinHandle<(KeyReports, KeyErrors)>,
+    sender: mpsc::SyncSender<Batch>,
+    /// `Some` until the worker is joined; taken early (before `finish`)
+    /// only to propagate a panic discovered through a failed send.
+    handle: Option<JoinHandle<(KeyReports, KeyErrors)>>,
 }
 
 /// A running sharded verification pipeline.
@@ -85,8 +109,10 @@ struct Worker {
 /// use kav_core::{Fzf, PipelineConfig, StreamPipeline};
 /// use kav_history::{Operation, Time, Value};
 ///
-/// let mut pipeline =
-///     StreamPipeline::new(Fzf, PipelineConfig { shards: 2, window: 64 });
+/// let mut pipeline = StreamPipeline::new(
+///     Fzf,
+///     PipelineConfig { shards: 2, window: 64, ..Default::default() },
+/// );
 /// pipeline.push(7, Operation::write(Value(1), Time(0), Time(10)));
 /// pipeline.push(9, Operation::write(Value(1), Time(0), Time(10)));
 /// pipeline.push(7, Operation::read(Value(1), Time(12), Time(20)));
@@ -96,6 +122,9 @@ struct Worker {
 /// ```
 pub struct StreamPipeline {
     workers: Vec<Worker>,
+    /// Per-shard ingest buffers, flushed at `batch` operations.
+    buffers: Vec<Batch>,
+    batch: usize,
 }
 
 impl StreamPipeline {
@@ -107,61 +136,121 @@ impl StreamPipeline {
     ) -> Self {
         let shards = config.shards.max(1);
         let window = config.window.max(1);
+        let horizon = config
+            .horizon
+            .unwrap_or_else(|| window.saturating_mul(super::DEFAULT_HORIZON_WINDOWS));
+        let batch = config.batch.max(1);
         // Bounded channels apply backpressure: if ingest outpaces
         // verification, `push` blocks instead of queueing the stream in
-        // memory — the in-flight backlog stays proportional to the window,
-        // which is the whole point of windowed verification.
-        let backlog = (4 * window).max(1024);
+        // memory. The bound is measured in batches but sized so the
+        // in-flight backlog stays at roughly four windows of operations —
+        // windowed verification must keep windowed memory.
+        let backlog = (4 * window).div_ceil(batch).max(2);
         let workers = (0..shards)
             .map(|_| {
-                let (sender, receiver) = mpsc::sync_channel::<(u64, Operation)>(backlog);
+                let (sender, receiver) = mpsc::sync_channel::<Batch>(backlog);
                 let verifier = verifier.clone();
                 let handle = std::thread::spawn(move || {
+                    // Keyed by *untrusted* input keys and unbounded in
+                    // size, so these two stay on the standard library's
+                    // DoS-resistant hasher (unlike the builder-internal
+                    // maps, which are bounded by window/horizon — see
+                    // `kav_history::fxhash`).
                     let mut states: HashMap<u64, OnlineVerifier<V>> = HashMap::new();
                     let mut errors: Vec<(u64, String)> = Vec::new();
-                    let mut failed: std::collections::HashSet<u64> =
-                        std::collections::HashSet::new();
-                    while let Ok((key, op)) = receiver.recv() {
-                        if failed.contains(&key) {
-                            continue;
-                        }
-                        let state = states
-                            .entry(key)
-                            .or_insert_with(|| OnlineVerifier::new(verifier.clone(), window));
-                        if let Err(e) = state.push(op) {
-                            errors.push((key, e.to_string()));
-                            failed.insert(key);
-                            states.remove(&key);
+                    let mut failed: HashSet<u64> = HashSet::new();
+                    let mut reports: KeyReports = Vec::new();
+                    // One recv per batch, not per op: the worker's channel
+                    // cost is amortised exactly like the ingest side's.
+                    while let Ok(batch) = receiver.recv() {
+                        for (key, op) in batch {
+                            if failed.contains(&key) {
+                                continue;
+                            }
+                            let state = states.entry(key).or_insert_with(|| {
+                                OnlineVerifier::with_horizon(verifier.clone(), window, horizon)
+                            });
+                            if let Err(e) = state.push(op) {
+                                errors.push((key, e.to_string()));
+                                failed.insert(key);
+                                let state =
+                                    states.remove(&key).expect("state was just pushed to");
+                                // A violation already proven on this key
+                                // must survive the stream error: keep the
+                                // aborted report (which can never certify
+                                // YES) alongside the error.
+                                if state.verdict_so_far() == Some(false) {
+                                    reports.push((key, state.abort()));
+                                }
+                            }
                         }
                     }
-                    let mut reports = Vec::with_capacity(states.len());
                     for (key, state) in states {
+                        // As on the push-error path: if the final flush
+                        // fails validation, a violation already proven on
+                        // this key must still surface (clone only on that
+                        // rare path — freeze consumes the state).
+                        let proven =
+                            (state.verdict_so_far() == Some(false)).then(|| state.clone());
                         match state.freeze() {
                             Ok(report) => reports.push((key, report)),
-                            Err(e) => errors.push((key, e.to_string())),
+                            Err(e) => {
+                                errors.push((key, e.to_string()));
+                                if let Some(violated) = proven {
+                                    reports.push((key, violated.abort()));
+                                }
+                            }
                         }
                     }
                     (reports, errors)
                 });
-                Worker { sender, handle }
+                Worker { sender, handle: Some(handle) }
             })
             .collect();
-        StreamPipeline { workers }
+        StreamPipeline {
+            workers,
+            buffers: (0..shards).map(|_| Vec::with_capacity(batch)).collect(),
+            batch,
+        }
     }
 
-    /// Routes one completed operation to its key's shard, blocking when
-    /// that shard's backlog is full (backpressure).
+    /// Routes one completed operation to its key's shard buffer, flushing
+    /// the buffer across the channel once it holds a full batch (and
+    /// blocking while that shard's backlog is full — backpressure).
     ///
     /// # Panics
     ///
-    /// Panics if the shard's worker thread has died (it only does so by
-    /// panicking itself, which [`finish`](Self::finish) would re-raise).
+    /// Re-raises the worker's own panic if the shard's worker thread has
+    /// died (workers only exit early by panicking).
     pub fn push(&mut self, key: u64, op: Operation) {
         let shard = shard_of(key, self.workers.len());
-        self.workers[shard]
-            .sender
-            .send((key, op))
-            .expect("stream worker alive");
+        self.buffers[shard].push((key, op));
+        if self.buffers[shard].len() >= self.batch {
+            self.flush_shard(shard);
+        }
+    }
+
+    /// Sends shard `shard`'s buffered batch, propagating the worker's
+    /// panic if it died.
+    fn flush_shard(&mut self, shard: usize) {
+        if self.buffers[shard].is_empty() {
+            return;
+        }
+        let batch =
+            std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(self.batch));
+        if self.workers[shard].sender.send(batch).is_err() {
+            // The receiver is gone, so the worker exited; it only does so
+            // early by panicking. Join it and re-raise the original panic
+            // instead of masking the root cause with our own.
+            let handle = self.workers[shard]
+                .handle
+                .take()
+                .expect("a dead worker is joined at most once");
+            match handle.join() {
+                Err(panic) => std::panic::resume_unwind(panic),
+                Ok(_) => unreachable!("worker exited cleanly while its channel was open"),
+            }
+        }
     }
 
     /// Closes the stream, waits for all workers and merges their reports.
@@ -169,14 +258,21 @@ impl StreamPipeline {
     /// # Panics
     ///
     /// Re-raises any worker panic.
-    pub fn finish(self) -> PipelineOutput {
+    pub fn finish(mut self) -> PipelineOutput {
+        for shard in 0..self.workers.len() {
+            self.flush_shard(shard);
+        }
         let mut output = PipelineOutput::default();
         for worker in self.workers {
             drop(worker.sender); // closes the channel; the worker drains and exits
-            let (reports, errors) =
-                worker.handle.join().expect("stream worker did not panic");
-            output.keys.extend(reports);
-            output.errors.extend(errors);
+            let handle = worker.handle.expect("flush_shard diverges when it takes a handle");
+            match handle.join() {
+                Ok((reports, errors)) => {
+                    output.keys.extend(reports);
+                    output.errors.extend(errors);
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
         }
         output.keys.sort_by_key(|(key, _)| *key);
         output.errors.sort_by_key(|(key, _)| *key);
@@ -226,9 +322,11 @@ mod tests {
     #[test]
     fn pipeline_matches_offline_per_key() {
         let corpus = keyed_corpus(6);
-        for shards in [1, 3] {
-            let mut pipeline =
-                StreamPipeline::new(Fzf, PipelineConfig { shards, window: 32 });
+        for (shards, batch) in [(1, 1), (3, 1), (1, 64), (3, 64)] {
+            let mut pipeline = StreamPipeline::new(
+                Fzf,
+                PipelineConfig { shards, window: 32, batch, ..Default::default() },
+            );
             for (key, op) in interleave(&corpus) {
                 pipeline.push(key, op);
             }
@@ -247,8 +345,10 @@ mod tests {
 
     #[test]
     fn one_bad_key_does_not_poison_the_others() {
-        let mut pipeline =
-            StreamPipeline::new(Fzf, PipelineConfig { shards: 2, window: 16 });
+        let mut pipeline = StreamPipeline::new(
+            Fzf,
+            PipelineConfig { shards: 2, window: 16, ..Default::default() },
+        );
         // Key 1 violates completion order; key 2 is clean.
         pipeline.push(1, Operation::write(Value(1), Time(0), Time(10)));
         pipeline.push(1, Operation::write(Value(2), Time(1), Time(5)));
@@ -263,9 +363,63 @@ mod tests {
     }
 
     #[test]
+    fn proven_violation_survives_a_later_stream_error() {
+        let mut pipeline = StreamPipeline::new(
+            Fzf,
+            PipelineConfig { shards: 1, window: 4, batch: 1, ..Default::default() },
+        );
+        // ladder(3) shape — not 2-atomic — followed by filler writes so a
+        // window seals and proves the violation...
+        pipeline.push(8, Operation::write(Value(1), Time(0), Time(10)));
+        pipeline.push(8, Operation::write(Value(2), Time(12), Time(20)));
+        pipeline.push(8, Operation::write(Value(3), Time(22), Time(30)));
+        pipeline.push(8, Operation::read(Value(1), Time(32), Time(40)));
+        for v in 4..=8u64 {
+            pipeline.push(8, Operation::write(Value(v), Time(10 * v + 2), Time(10 * v + 10)));
+        }
+        // ...then the stream breaks (out of completion order). The key
+        // must surface BOTH the error and the already-proven violation.
+        pipeline.push(8, Operation::write(Value(99), Time(1), Time(5)));
+        let output = pipeline.finish();
+        assert_eq!(output.errors.len(), 1, "{:?}", output.errors);
+        assert!(output.errors[0].1.contains("completion order"), "{:?}", output.errors);
+        assert_eq!(output.keys.len(), 1);
+        let report = &output.keys[0].1;
+        assert_eq!(report.k_atomic(), Some(false), "{report}");
+        assert!(report.violations >= 1);
+        assert_eq!(output.all_k_atomic(), Some(false));
+    }
+
+    #[test]
+    fn proven_violation_survives_a_failing_final_flush() {
+        let mut pipeline = StreamPipeline::new(
+            Fzf,
+            PipelineConfig { shards: 1, window: 4, batch: 1, ..Default::default() },
+        );
+        // Same proven violation as above...
+        pipeline.push(8, Operation::write(Value(1), Time(0), Time(10)));
+        pipeline.push(8, Operation::write(Value(2), Time(12), Time(20)));
+        pipeline.push(8, Operation::write(Value(3), Time(22), Time(30)));
+        pipeline.push(8, Operation::read(Value(1), Time(32), Time(40)));
+        for v in 4..=8u64 {
+            pipeline.push(8, Operation::write(Value(v), Time(10 * v + 2), Time(10 * v + 10)));
+        }
+        // ...but the stream *ends* with a read whose write never arrives,
+        // so the final flush segment fails validation in freeze().
+        pipeline.push(8, Operation::read(Value(777), Time(92), Time(100)));
+        let output = pipeline.finish();
+        assert_eq!(output.errors.len(), 1, "{:?}", output.errors);
+        assert_eq!(output.keys.len(), 1, "violation must not vanish with the bad tail");
+        assert_eq!(output.keys[0].1.k_atomic(), Some(false), "{}", output.keys[0].1);
+        assert_eq!(output.all_k_atomic(), Some(false));
+    }
+
+    #[test]
     fn violating_key_fails_the_conjunction() {
-        let mut pipeline =
-            StreamPipeline::new(Fzf, PipelineConfig { shards: 2, window: 64 });
+        let mut pipeline = StreamPipeline::new(
+            Fzf,
+            PipelineConfig { shards: 2, window: 64, ..Default::default() },
+        );
         for (key, h) in [(0u64, ladder(2)), (1u64, ladder(3))] {
             for op in completion_order(&h.to_raw()) {
                 pipeline.push(key, op);
@@ -277,6 +431,108 @@ mod tests {
             output.keys.iter().map(|(_, r)| r.k_atomic()).collect();
         assert_eq!(verdicts, vec![Some(true), Some(false)]);
         assert_eq!(output.all_k_atomic(), Some(false));
+    }
+
+    #[test]
+    fn partial_batches_flush_at_finish() {
+        // Batch far larger than the stream: every op is still delivered.
+        let mut pipeline = StreamPipeline::new(
+            Fzf,
+            PipelineConfig { shards: 3, window: 8, batch: 4096, ..Default::default() },
+        );
+        for (key, op) in interleave(&keyed_corpus(5)) {
+            pipeline.push(key, op);
+        }
+        let output = pipeline.finish();
+        assert!(output.errors.is_empty(), "{:?}", output.errors);
+        assert_eq!(output.total_ops(), 5 * 60);
+    }
+
+    #[test]
+    fn pipeline_threads_a_custom_horizon() {
+        // Horizon 0 retains no retirees: the late read degrades the key to
+        // UNKNOWN (a breach), proving the knob reaches the builders.
+        let run = |horizon: Option<usize>| {
+            let mut pipeline = StreamPipeline::new(
+                Fzf,
+                PipelineConfig { shards: 1, window: 1, horizon, batch: 1 },
+            );
+            pipeline.push(3, Operation::write(Value(1), Time(0), Time(10)));
+            pipeline.push(3, Operation::write(Value(2), Time(12), Time(20)));
+            pipeline.push(3, Operation::write(Value(3), Time(22), Time(30)));
+            pipeline.push(3, Operation::read(Value(2), Time(32), Time(40)));
+            pipeline.finish()
+        };
+        let bounded = run(Some(0));
+        assert_eq!(bounded.keys[0].1.horizon_breaches, 1, "{}", bounded.keys[0].1);
+        assert_eq!(bounded.all_k_atomic(), None);
+        // The default horizon (16 windows = 16) still recognises value 2.
+        let default = run(None);
+        assert_eq!(default.keys[0].1.horizon_breaches, 1, "window 1 seals v2 away");
+    }
+
+    /// A verifier that panics on its first segment, to exercise worker
+    /// death during an open stream.
+    #[derive(Clone)]
+    struct ExplodingVerifier;
+
+    impl Verifier for ExplodingVerifier {
+        fn k(&self) -> u64 {
+            2
+        }
+        fn name(&self) -> &'static str {
+            "exploding"
+        }
+        fn verify(&self, _: &kav_history::History) -> Verdict {
+            panic!("worker exploded on purpose");
+        }
+    }
+
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+        payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string panic>")
+    }
+
+    #[test]
+    fn push_propagates_the_workers_own_panic() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut pipeline = StreamPipeline::new(
+                ExplodingVerifier,
+                PipelineConfig { shards: 1, window: 1, batch: 1, ..Default::default() },
+            );
+            // The worker panics verifying the first sealed segment; the
+            // ingest side keeps pushing until a send fails and must then
+            // surface the *worker's* panic, not a generic send error.
+            for v in 0..10_000u64 {
+                pipeline.push(
+                    1,
+                    Operation::write(Value(v + 1), Time(2 * v + 1), Time(2 * v + 2)),
+                );
+            }
+            pipeline.finish();
+        }));
+        let payload = result.expect_err("worker panic must propagate");
+        assert_eq!(panic_message(payload.as_ref()), "worker exploded on purpose");
+    }
+
+    #[test]
+    fn finish_propagates_the_workers_own_panic() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut pipeline = StreamPipeline::new(
+                ExplodingVerifier,
+                PipelineConfig { shards: 2, window: 1024, ..Default::default() },
+            );
+            // Too few ops to seal a window: the panic fires in freeze(),
+            // after the channel closes, and finish must re-raise it.
+            pipeline.push(1, Operation::write(Value(1), Time(0), Time(10)));
+            pipeline.push(1, Operation::read(Value(1), Time(12), Time(20)));
+            pipeline.finish();
+        }));
+        let payload = result.expect_err("worker panic must propagate");
+        assert_eq!(panic_message(payload.as_ref()), "worker exploded on purpose");
     }
 
     #[test]

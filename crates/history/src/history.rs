@@ -61,6 +61,8 @@ impl History {
         raw.validate().into_result()?;
 
         // Dictating map on raw indices (write values are unique once valid).
+        // Untrusted-keyed and unbounded, like validate()'s map: standard
+        // hasher (see `crate::fxhash`'s usage rule).
         let mut write_of_value: HashMap<crate::Value, usize> = HashMap::new();
         for (i, op) in raw.ops.iter().enumerate() {
             if op.is_write() {

@@ -107,6 +107,9 @@ impl RawHistory {
         }
 
         // Distinct write values; remember the first write of each value.
+        // Keyed by untrusted input values and unbounded (one entry per
+        // write in an arbitrary capture), so this stays on the standard
+        // DoS-resistant hasher — see `crate::fxhash`'s usage rule.
         let mut dictating: HashMap<Value, OpId> = HashMap::new();
         for (i, op) in self.ops.iter().enumerate() {
             if op.is_write() {

@@ -27,10 +27,42 @@
 //! operations (reads and their dictating writes are kept in the same
 //! segment), so the *operation buffer* stays bounded by the window width
 //! rather than the history length whenever the workload's dictation spans
-//! fit the window. Exact duplicate-value and horizon-breach detection
-//! additionally retains one value id per sealed write — metadata that
-//! grows with the write count, not with buffered operations; bounding it
-//! by a breach horizon is a ROADMAP item.
+//! fit the window.
+//!
+//! # The retirement horizon
+//!
+//! Duplicate-value and breach detection need to recognise the values of
+//! *sealed-away* writes. Retaining one value id per sealed write forever
+//! would grow linearly with stream length, so the builder instead keeps a
+//! **retirement horizon** ([`StreamConfig::horizon`]): only the values of
+//! the most recent `horizon` sealed writes are retained. The metadata is
+//! then bounded by `horizon`, independent of stream length
+//! ([`StreamBuilder::peak_retired`] records the high-water mark).
+//!
+//! The price is ambiguity beyond the horizon. A read whose value matches
+//! a *retained* retiree is a certain breach ([`Push::BeyondHorizon`]). A
+//! read whose value is unknown is, while no retiree has been forgotten
+//! yet, certainly waiting for a future write and is buffered as pending;
+//! once retirees *have* been forgotten it might instead be dictated by a
+//! forgotten write, so it is conservatively classified as
+//! [`Push::BeyondHorizon`] too. Likewise a write duplicating a forgotten
+//! value is accepted — duplicate-write detection beyond the horizon is
+//! explicitly **best-effort** (the §II model forbids duplicate values, so
+//! this only affects input that already breaks the model).
+//!
+//! Verdict semantics are unchanged in one direction and degrade gracefully
+//! in the other, at **any** horizon (including 0):
+//!
+//! * **NO stays sound.** The horizon only ever *excludes reads* from
+//!   segments (breach-classified reads are dropped). Removing reads from a
+//!   history never turns a non-k-atomic remainder k-atomic — restricting a
+//!   witness of the full history to the remaining operations keeps it
+//!   valid and never increases a read's separation — so a violation found
+//!   in any sealed segment is a violation of the full history.
+//! * **YES weakens to "not certifiable".** Every conservative
+//!   classification increments the breach count, and callers certify YES
+//!   only on breach-free streams; a horizon too small for the workload
+//!   yields `UNKNOWN`, never a wrong `YES`.
 //!
 //! A read whose dictating write was already sealed away ("beyond the
 //! horizon") is reported as [`Push::BeyondHorizon`] and excluded from
@@ -57,8 +89,9 @@
 //! # Ok::<(), kav_history::stream::StreamError>(())
 //! ```
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::{Operation, RawHistory, Time, Value};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -68,9 +101,28 @@ pub enum Push {
     /// The operation was buffered and will be part of a future segment.
     Buffered,
     /// A read whose dictating write was already sealed into an earlier
-    /// segment. The read is **not** buffered; the caller should count it —
-    /// it marks staleness deeper than the retirement horizon.
+    /// segment — or, once retirees older than the
+    /// [horizon](StreamConfig::horizon) have been forgotten, a read whose
+    /// value is unknown and therefore *might* be (conservative
+    /// classification). The read is **not** buffered; the caller should
+    /// count it — it marks staleness deeper than the retirement horizon.
     BeyondHorizon,
+}
+
+/// Tuning knobs for a [`StreamBuilder`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Retirement horizon: how many of the most recently sealed writes
+    /// keep their value ids retained for duplicate-write and breach
+    /// detection. `None` retains every retired value forever (exact
+    /// detection, memory grows with the write count — the pre-horizon
+    /// behaviour); `Some(h)` bounds the metadata by `h` value ids at the
+    /// cost of conservative [`Push::BeyondHorizon`] classification and
+    /// best-effort duplicate detection once older retirees are forgotten.
+    /// Verdict soundness does not depend on the choice (see the module
+    /// docs); pick a comfortable multiple of the window — online adapters
+    /// default to 16 windows.
+    pub horizon: Option<usize>,
 }
 
 /// A record the stream cannot accept. The builder's state is unchanged.
@@ -132,7 +184,9 @@ impl Error for StreamError {}
 /// drains whatever remains when the stream ends.
 ///
 /// Incremental checks (rejected immediately): completion-order delivery,
-/// proper intervals, positive weights, and globally distinct write values.
+/// proper intervals, positive weights, and distinct write values (exact
+/// among buffered and horizon-retained writes; best-effort for values
+/// forgotten past the [horizon](StreamConfig::horizon)).
 /// The remaining §II model assumptions (distinct endpoints, reads not
 /// preceding their dictating writes) are enforced *per segment* when the
 /// caller validates a sealed segment with [`RawHistory::into_history`];
@@ -147,17 +201,28 @@ pub struct StreamBuilder {
     /// Largest finish time accepted (advances even for horizon breaches).
     watermark: Option<Time>,
     /// Buffered writes: value → (sequence number, writes arrived before it).
-    buffered_writes: HashMap<Value, (u64, u64)>,
+    buffered_writes: FxHashMap<Value, (u64, u64)>,
     /// Buffered reads still waiting for their dictating write: value → seqs.
-    pending_reads: HashMap<Value, Vec<u64>>,
+    pending_reads: FxHashMap<Value, Vec<u64>>,
     /// Read/dictating-write partnerships among buffered ops, as `(lo, hi)`
     /// sequence pairs; a cut may not separate a pair.
     pairs: Vec<(u64, u64)>,
-    /// Values written by sealed-away writes, for horizon-breach detection.
-    retired_values: HashSet<Value>,
+    /// Retirement horizon (see [`StreamConfig::horizon`]).
+    horizon: Option<usize>,
+    /// Values of the most recent retired writes, oldest first; evicted
+    /// past the horizon.
+    retired_recent: VecDeque<Value>,
+    /// Set view of `retired_recent` for O(1) membership. A value appears
+    /// at most once in the ring: a duplicate write is rejected while its
+    /// value is retained, so it can only re-enter after eviction.
+    retired_set: FxHashSet<Value>,
+    /// Writes ever retired, including those forgotten past the horizon.
+    retired_total: u64,
+    /// Largest `retired_recent` size ever reached.
+    peak_retired: usize,
     /// Buffered reads declared orphans (their write outstayed the expiry
     /// horizon); skipped when their position drains.
-    orphaned: HashSet<u64>,
+    orphaned: FxHashSet<u64>,
     /// Total reads expired as orphans.
     orphaned_reads: u64,
     /// Total writes accepted (used for arrival-order staleness depths).
@@ -176,9 +241,20 @@ pub struct StreamBuilder {
 }
 
 impl StreamBuilder {
-    /// Creates an empty builder with watermark at minus infinity.
+    /// Creates an empty builder with watermark at minus infinity and an
+    /// unbounded retirement horizon.
     pub fn new() -> Self {
         StreamBuilder::default()
+    }
+
+    /// Creates an empty builder with the given configuration.
+    pub fn with_config(config: StreamConfig) -> Self {
+        StreamBuilder { horizon: config.horizon, ..StreamBuilder::default() }
+    }
+
+    /// The retirement horizon this builder was configured with.
+    pub fn horizon(&self) -> Option<usize> {
+        self.horizon
     }
 
     /// Number of operations currently buffered.
@@ -189,6 +265,32 @@ impl StreamBuilder {
     /// Largest buffer size ever reached.
     pub fn peak_resident(&self) -> usize {
         self.peak_resident
+    }
+
+    /// Retired value ids currently retained for breach and duplicate
+    /// detection (at most the horizon).
+    pub fn retired_resident(&self) -> usize {
+        self.retired_recent.len()
+    }
+
+    /// Largest number of retired value ids ever retained at once — the
+    /// metadata the horizon bounds ([`StreamConfig::horizon`]).
+    pub fn peak_retired(&self) -> usize {
+        self.peak_retired
+    }
+
+    /// Writes ever retired into sealed segments, including those whose
+    /// value ids were since forgotten past the horizon.
+    pub fn retired_total(&self) -> u64 {
+        self.retired_total
+    }
+
+    /// True once at least one retiree's value id has been forgotten:
+    /// unknown-value reads are then classified conservatively as
+    /// [`Push::BeyondHorizon`] and duplicate-write detection is
+    /// best-effort.
+    pub fn horizon_exceeded(&self) -> bool {
+        self.retired_total > self.retired_recent.len() as u64
     }
 
     /// Number of segments sealed so far (excluding [`flush`](Self::flush)).
@@ -250,13 +352,20 @@ impl StreamBuilder {
                 return Err(StreamError::OutOfOrder { op, watermark });
             }
         }
+        if op.is_write()
+            && (self.buffered_writes.contains_key(&op.value)
+                || self.retired_set.contains(&op.value))
+        {
+            // Best-effort past the horizon: a duplicate of a *forgotten*
+            // retiree is not caught here (such input already violates the
+            // §II distinct-values assumption).
+            return Err(StreamError::DuplicateWriteValue { value: op.value });
+        }
+        // Every error path is above; the watermark advances exactly once
+        // per accepted operation, horizon-breach reads included.
+        self.watermark = Some(op.finish);
         let seq = self.base + self.buffer.len() as u64;
         if op.is_write() {
-            if self.buffered_writes.contains_key(&op.value)
-                || self.retired_values.contains(&op.value)
-            {
-                return Err(StreamError::DuplicateWriteValue { value: op.value });
-            }
             self.buffered_writes.insert(op.value, (seq, self.writes_accepted));
             self.writes_accepted += 1;
             // Reads that arrived before their dictating write resolve now
@@ -269,7 +378,6 @@ impl StreamBuilder {
                 }
             }
         } else {
-            self.watermark = Some(op.finish);
             self.reads_accepted += 1;
             if let Some(&(write_seq, writes_before)) = self.buffered_writes.get(&op.value) {
                 let depth = self.writes_accepted - writes_before - 1;
@@ -277,13 +385,19 @@ impl StreamBuilder {
                 self.max_depth = self.max_depth.max(depth);
                 self.depth_count_reads += 1;
                 self.pairs.push((write_seq, seq));
-            } else if self.retired_values.contains(&op.value) {
+            } else if self.retired_set.contains(&op.value) {
+                return Ok(Push::BeyondHorizon);
+            } else if self.horizon_exceeded() {
+                // The value is unknown, but retirees have been forgotten:
+                // the dictating write may lie beyond the horizon, so the
+                // read is conservatively a breach rather than a pending
+                // read (see the module docs — NO stays sound, YES degrades
+                // to "not certifiable").
                 return Ok(Push::BeyondHorizon);
             } else {
                 self.pending_reads.entry(op.value).or_default().push(seq);
             }
         }
-        self.watermark = Some(op.finish);
         self.buffer.push_back(op);
         self.peak_resident = self.peak_resident.max(self.buffer.len());
         Ok(Push::Buffered)
@@ -381,7 +495,8 @@ impl StreamBuilder {
     }
 
     /// Drains the first `count` buffered ops: orphan positions are
-    /// skipped, drained writes retire their values, `base` advances.
+    /// skipped, drained writes retire their values (evicting retirees past
+    /// the horizon), `base` advances.
     fn drain_prefix(&mut self, count: usize) -> RawHistory {
         let mut sealed = RawHistory::new();
         sealed.ops.reserve(count);
@@ -392,10 +507,21 @@ impl StreamBuilder {
             }
             if op.is_write() {
                 self.buffered_writes.remove(&op.value);
-                self.retired_values.insert(op.value);
+                self.retired_total += 1;
+                if self.horizon != Some(0) {
+                    self.retired_recent.push_back(op.value);
+                    self.retired_set.insert(op.value);
+                }
             }
             sealed.ops.push(op);
         }
+        if let Some(horizon) = self.horizon {
+            while self.retired_recent.len() > horizon {
+                let old = self.retired_recent.pop_front().expect("len > horizon >= 0");
+                self.retired_set.remove(&old);
+            }
+        }
+        self.peak_retired = self.peak_retired.max(self.retired_recent.len());
         self.base += count as u64;
         sealed
     }
@@ -524,6 +650,95 @@ mod tests {
             b.push(w(3, 24, 28)).unwrap_err(),
             StreamError::OutOfOrder { .. }
         ));
+    }
+
+    #[test]
+    fn breach_reads_advance_the_watermark() {
+        let mut b = StreamBuilder::new();
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(w(2, 12, 20)).unwrap();
+        b.try_seal(0).unwrap();
+        assert_eq!(b.watermark(), Some(Time(20)));
+        // The breach read is dropped, but its finish still advances the
+        // watermark — exactly once, to the read's own finish.
+        assert_eq!(b.push(r(1, 22, 30)).unwrap(), Push::BeyondHorizon);
+        assert_eq!(b.watermark(), Some(Time(30)));
+        assert!(matches!(
+            b.push(w(3, 24, 28)).unwrap_err(),
+            StreamError::OutOfOrder { watermark: Time(30), .. }
+        ));
+        // Buffered pushes advance it identically.
+        b.push(w(4, 32, 40)).unwrap();
+        assert_eq!(b.watermark(), Some(Time(40)));
+    }
+
+    #[test]
+    fn horizon_bounds_retired_metadata() {
+        let mut b = StreamBuilder::with_config(StreamConfig { horizon: Some(3) });
+        assert_eq!(b.horizon(), Some(3));
+        let mut t = 0;
+        for v in 1..=20u64 {
+            b.push(w(v, t, t + 5)).unwrap();
+            t += 10;
+            b.try_seal(0);
+            assert!(b.retired_resident() <= 3, "ring grew to {}", b.retired_resident());
+        }
+        assert_eq!(b.peak_retired(), 3);
+        assert_eq!(b.retired_total(), 20);
+        assert!(b.horizon_exceeded());
+        // The three freshest retirees are still recognised...
+        assert_eq!(b.push(r(19, t, t + 5)).unwrap(), Push::BeyondHorizon);
+        // ...and an unknown value is conservatively a breach, not pending.
+        assert_eq!(b.push(r(999, t + 7, t + 12)).unwrap(), Push::BeyondHorizon);
+        assert_eq!(b.resident(), 0);
+    }
+
+    #[test]
+    fn unknown_reads_stay_pending_while_horizon_not_exceeded() {
+        let mut b = StreamBuilder::with_config(StreamConfig { horizon: Some(8) });
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(w(2, 12, 20)).unwrap();
+        b.try_seal(0).unwrap();
+        assert!(!b.horizon_exceeded());
+        // Nothing has been forgotten, so an unknown value can only belong
+        // to a future write: the read waits instead of breaching.
+        assert_eq!(b.push(r(3, 22, 30)).unwrap(), Push::Buffered);
+        b.push(w(3, 24, 40)).unwrap();
+        let sealed = b.try_seal(0).unwrap();
+        assert_eq!(sealed.len(), 2);
+        assert!(sealed.into_history().is_ok());
+    }
+
+    #[test]
+    fn duplicate_detection_is_best_effort_beyond_horizon() {
+        let mut b = StreamBuilder::with_config(StreamConfig { horizon: Some(1) });
+        let mut t = 0;
+        for v in 1..=4u64 {
+            b.push(w(v, t, t + 5)).unwrap();
+            t += 10;
+            b.try_seal(0);
+        }
+        // Value 4 is still within the horizon: exact detection.
+        assert!(matches!(
+            b.push(w(4, t, t + 5)).unwrap_err(),
+            StreamError::DuplicateWriteValue { value: Value(4) }
+        ));
+        // Value 1 was forgotten: the duplicate is accepted (best-effort).
+        assert_eq!(b.push(w(1, t, t + 5)).unwrap(), Push::Buffered);
+    }
+
+    #[test]
+    fn zero_horizon_retains_nothing_and_stays_sound() {
+        let mut b = StreamBuilder::with_config(StreamConfig { horizon: Some(0) });
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(w(2, 12, 20)).unwrap();
+        b.try_seal(0).unwrap();
+        assert_eq!(b.retired_resident(), 0);
+        assert_eq!(b.peak_retired(), 0);
+        // Every unknown read is a breach (never a wrong pairing), and
+        // duplicate writes pass unnoticed — documented best-effort.
+        assert_eq!(b.push(r(1, 22, 30)).unwrap(), Push::BeyondHorizon);
+        assert_eq!(b.push(w(1, 32, 40)).unwrap(), Push::Buffered);
     }
 
     #[test]

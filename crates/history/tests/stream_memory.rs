@@ -1,0 +1,130 @@
+//! The streaming subsystem's central memory claim, as properties: on
+//! arbitrarily long multi-segment streams, a [`StreamBuilder`]'s retained
+//! metadata is bounded by a function of the window and the retirement
+//! horizon alone — **independent of stream length** — and starving either
+//! bound degrades verdict information, never soundness.
+
+use kav_history::stream::{Push, StreamBuilder, StreamConfig};
+use kav_history::{Operation, Time, Value};
+use proptest::prelude::*;
+
+/// A tiny deterministic generator (xorshift64*), so stream shape depends
+/// only on the seed — the length-independence test replays a prefix.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Drives a fresh builder through `len` operations of a mixed read/write
+/// stream (reads target recently written values), sealing at `window`
+/// after every push like the online adapters do. Returns the builder.
+fn drive(window: usize, horizon: usize, seed: u64, len: usize) -> StreamBuilder {
+    let mut b = StreamBuilder::with_config(StreamConfig { horizon: Some(horizon) });
+    let mut rng = Rng(seed | 1);
+    let mut written: Vec<u64> = Vec::new();
+    let mut next_value = 1u64;
+    for i in 0..len {
+        let t = 2 * (i as u64 + 1);
+        let op = if !written.is_empty() && rng.next().is_multiple_of(2) {
+            // Read one of the ~8 freshest values: usually buffered, past
+            // the window sometimes retired (a breach) — both must keep
+            // metadata bounded.
+            let back = (rng.next() as usize % written.len().min(8)) + 1;
+            Operation::read(Value(written[written.len() - back]), Time(t - 1), Time(t))
+        } else {
+            written.push(next_value);
+            next_value += 1;
+            Operation::write(Value(next_value - 1), Time(t - 1), Time(t))
+        };
+        match b.push(op).expect("generated stream obeys completion order") {
+            Push::Buffered | Push::BeyondHorizon => {}
+        }
+        b.try_seal(window);
+        assert!(
+            b.retired_resident() <= horizon,
+            "retired ring {} exceeded horizon {horizon}",
+            b.retired_resident(),
+        );
+    }
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Peak retired-value metadata never exceeds the horizon, and the op
+    /// buffer stays proportional to the window, on streams 120 windows
+    /// long (well past the 100x mark where the old unbounded set would
+    /// hold ~60 value ids per window of stream).
+    #[test]
+    fn retired_metadata_is_bounded_by_the_horizon(
+        window in 2usize..8,
+        multiple in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let horizon = multiple * window;
+        let len = 120 * window;
+        let b = drive(window, horizon, seed, len);
+        prop_assert!(b.peak_retired() <= horizon, "{} > {horizon}", b.peak_retired());
+        // Orphan expiry caps residency at four windows (+ the overshoot
+        // of the final arrivals); no pending read survives this workload.
+        prop_assert!(
+            b.peak_resident() <= 5 * window + 5,
+            "resident {} for window {window}",
+            b.peak_resident()
+        );
+        // The builder really did slide: far more writes retired than the
+        // ring ever held.
+        prop_assert!(b.retired_total() >= (len / 4) as u64);
+    }
+
+    /// The bound is a function of (window, horizon) only: the same
+    /// generator run 100 and 300 windows deep reports the same peak.
+    #[test]
+    fn peak_retired_is_independent_of_stream_length(
+        window in 2usize..6,
+        multiple in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let horizon = multiple * window;
+        let short = drive(window, horizon, seed, 100 * window);
+        let long = drive(window, horizon, seed, 300 * window);
+        prop_assert_eq!(short.peak_retired(), long.peak_retired());
+        prop_assert!(long.peak_retired() <= horizon);
+        // ...even though the long run retired ~3x the writes.
+        prop_assert!(long.retired_total() >= 2 * short.retired_total());
+    }
+}
+
+/// The explicit before/after: an unbounded builder's retired metadata
+/// grows with the stream; a horizon-bounded one's does not.
+#[test]
+fn unbounded_horizon_grows_where_bounded_does_not() {
+    let window = 4;
+    let len = 150 * window;
+    let unbounded = {
+        let mut b = StreamBuilder::new();
+        let mut t = 0u64;
+        for v in 1..=(len as u64) {
+            t += 2;
+            b.push(Operation::write(Value(v), Time(t - 1), Time(t))).unwrap();
+            b.try_seal(window);
+        }
+        b
+    };
+    assert!(
+        unbounded.peak_retired() >= len - 2 * window,
+        "unbounded peak {} must track stream length",
+        unbounded.peak_retired()
+    );
+    let bounded = drive(window, 2 * window, 7, len);
+    assert!(bounded.peak_retired() <= 2 * window);
+}

@@ -8,6 +8,7 @@ use k_atomicity::history::stream::completion_order;
 use k_atomicity::history::History;
 use k_atomicity::verify::{
     Fzf, GkOneAv, OnlineVerifier, PipelineConfig, StreamPipeline, StreamReport, Verifier,
+    DEFAULT_HORIZON_WINDOWS,
 };
 use k_atomicity::workloads::{
     inject_ladder, random_k_atomic, streaming_workload, RandomHistoryConfig,
@@ -85,6 +86,50 @@ proptest! {
         prop_assert_eq!(report.k_atomic(), Some(offline), "{}", report);
     }
 
+    /// Starving the adapter of retirement horizon must never manufacture
+    /// a violation: on k-atomic-by-construction input, any horizon —
+    /// including zero — yields YES or UNKNOWN, never NO, and the retained
+    /// retiree metadata stays within the horizon. (Exactness under the
+    /// *default* horizon is covered by the agreement tests above.)
+    #[test]
+    fn tiny_horizons_degrade_to_unknown_never_to_no(
+        seed in 0u64..3000,
+        horizon in 0usize..12,
+    ) {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops: 120,
+            k: 2,
+            seed,
+            ..Default::default()
+        });
+        let mut online = OnlineVerifier::with_horizon(Fzf, 16, horizon);
+        prop_assert_eq!(online.horizon(), horizon);
+        for id in h.sorted_by_finish() {
+            online.push(*h.op(*id)).expect("valid history replays cleanly");
+        }
+        let report = online.freeze().expect("valid history freezes cleanly");
+        prop_assert!(report.k_atomic() != Some(false), "{}", report);
+        prop_assert!(report.peak_retired <= horizon, "{}", report);
+    }
+
+    /// The default horizon is DEFAULT_HORIZON_WINDOWS windows: streams
+    /// whose sealed writes fit inside it verify exactly.
+    #[test]
+    fn default_horizon_keeps_short_streams_exact(seed in 0u64..2000) {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops: 100,
+            k: 2,
+            seed,
+            ..Default::default()
+        });
+        let window = 32;
+        let online = OnlineVerifier::new(Fzf, window);
+        prop_assert_eq!(online.horizon(), window * DEFAULT_HORIZON_WINDOWS);
+        let report = replay(Fzf, &h, window);
+        prop_assert!(report.exact(), "{}", report);
+        prop_assert!(report.peak_retired <= window * DEFAULT_HORIZON_WINDOWS);
+    }
+
     /// A full history in one window degenerates to plain offline
     /// verification — agreement must be unconditional.
     #[test]
@@ -117,7 +162,10 @@ proptest! {
             seed,
             ..Default::default()
         });
-        let mut pipeline = StreamPipeline::new(Fzf, PipelineConfig { shards, window: 48 });
+        let mut pipeline = StreamPipeline::new(
+            Fzf,
+            PipelineConfig { shards, window: 48, ..Default::default() },
+        );
         for record in &stream {
             pipeline.push(record.key, record.op());
         }
