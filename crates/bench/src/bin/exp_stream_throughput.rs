@@ -16,6 +16,16 @@
 //! verification work (threads cannot overlap), so the drain rows carry
 //! the ingest-scaling signal.
 //!
+//! A fourth section measures the **checkpoint axis**: the same fzf
+//! pipeline with `checkpoint_every` snapshots written through
+//! `CheckpointWriter` (temp-file + rename, like `kav stream
+//! --checkpoint`). The run uses a cadence scaled to the preset so several
+//! checkpoints actually happen, then reports both the measured overhead
+//! at that cadence and the *implied* overhead at the production default
+//! cadence (`DEFAULT_CHECKPOINT_EVERY`), computed from the measured
+//! per-checkpoint cost — the number the <10% operations budget is judged
+//! against (see docs/OPERATIONS.md).
+//!
 //! Usage:
 //!
 //! ```text
@@ -26,7 +36,10 @@
 //! bench-smoke job to archive the performance trajectory).
 
 use kav_bench::{header, row};
-use kav_core::{Fzf, PipelineConfig, StreamPipeline, TotalOrder, Verdict, Verifier};
+use kav_core::{
+    CheckpointWriter, Fzf, PipelineConfig, SourcePosition, StreamPipeline, TotalOrder,
+    Verdict, Verifier, DEFAULT_CHECKPOINT_EVERY,
+};
 use kav_history::ndjson::StreamRecord;
 use kav_history::History;
 use kav_workloads::{streaming_workload, StreamingWorkloadConfig};
@@ -57,11 +70,56 @@ struct Measurement {
     batch: usize,
     ops: usize,
     seconds: f64,
+    /// Checkpoint cadence in ops (0 = no checkpointing).
+    checkpoint_every: u64,
+    /// Checkpoints actually written.
+    checkpoints: u64,
 }
 
 impl Measurement {
     fn ops_per_sec(&self) -> f64 {
         self.ops as f64 / self.seconds
+    }
+}
+
+/// Measures the fzf pipeline with checkpoints written at `every` ops, the
+/// exact `kav stream --checkpoint` path (snapshot probe + JSON + atomic
+/// replace).
+fn measure_checkpointed(records: &[StreamRecord], shards: usize, every: u64) -> Measurement {
+    let dir = std::env::temp_dir().join("kav_bench_checkpoints");
+    std::fs::create_dir_all(&dir).expect("temp dir for bench checkpoints");
+    let path = dir.join(format!("bench_{shards}_{every}.ckpt"));
+    let config = PipelineConfig {
+        shards,
+        window: 256,
+        batch: 256,
+        checkpoint_every: every,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let mut pipeline = StreamPipeline::new(Fzf, config);
+    let mut writer = CheckpointWriter::new(&path);
+    for (i, record) in records.iter().enumerate() {
+        pipeline.push(record.key, record.op());
+        if pipeline.checkpoint_due() {
+            let snapshot = pipeline.snapshot();
+            let source = SourcePosition { lines: i as u64 + 1, ..Default::default() };
+            writer.write(source, snapshot).expect("bench checkpoint writes");
+        }
+    }
+    let output = pipeline.finish();
+    let seconds = t0.elapsed().as_secs_f64();
+    assert!(output.errors.is_empty(), "bench stream must be clean");
+    std::fs::remove_file(&path).ok();
+    Measurement {
+        verifier: "fzf+ckpt",
+        shards,
+        window: 256,
+        batch: 256,
+        ops: records.len(),
+        seconds,
+        checkpoint_every: every,
+        checkpoints: writer.version(),
     }
 }
 
@@ -112,7 +170,16 @@ fn measure_drain(records: &[StreamRecord], shards: usize, batch: usize) -> Measu
     }
     let seconds = t0.elapsed().as_secs_f64();
     assert_eq!(received, records.len());
-    Measurement { verifier: "drain", shards, window: 256, batch, ops: records.len(), seconds }
+    Measurement {
+        verifier: "drain",
+        shards,
+        window: 256,
+        batch,
+        ops: records.len(),
+        seconds,
+        checkpoint_every: 0,
+        checkpoints: 0,
+    }
 }
 
 fn measure<V: Verifier + Clone + Send + 'static>(
@@ -136,6 +203,8 @@ fn measure<V: Verifier + Clone + Send + 'static>(
         batch: config.batch,
         ops: records.len(),
         seconds,
+        checkpoint_every: 0,
+        checkpoints: 0,
     }
 }
 
@@ -195,23 +264,79 @@ fn main() {
         }
     }
 
+    // Checkpoint axis: the cost of making the audit crash-resumable. The
+    // cadence is scaled so the run writes several checkpoints regardless
+    // of preset size; the production-default cadence is then judged from
+    // the measured per-checkpoint cost.
+    let cadence = (records.len() as u64 / 4).max(1);
+    println!("\n## checkpoint overhead (fzf, window {window}, batch 256, cadence {cadence})\n");
+    header(&["shards", "ckpts", "ops/s", "overhead", "implied @ default cadence"]);
+    let mut checkpoint_rows: Vec<String> = Vec::new();
+    for shards in [1usize, 4] {
+        let base = measure(
+            Fzf,
+            &records,
+            PipelineConfig { shards, window, batch: 256, ..Default::default() },
+        );
+        let ckpt = measure_checkpointed(&records, shards, cadence);
+        let overhead = ckpt.seconds / base.seconds - 1.0;
+        // Per-checkpoint cost amortised over the default cadence's worth
+        // of baseline ingest: what `kav stream --checkpoint` pays with no
+        // flags beyond the path.
+        let per_checkpoint = (ckpt.seconds - base.seconds) / ckpt.checkpoints.max(1) as f64;
+        let default_window_seconds = DEFAULT_CHECKPOINT_EVERY as f64 / base.ops_per_sec();
+        let implied_default = per_checkpoint.max(0.0) / default_window_seconds;
+        row(&[
+            shards.to_string(),
+            ckpt.checkpoints.to_string(),
+            format!("{:.0}", ckpt.ops_per_sec()),
+            format!("{:+.1}%", overhead * 100.0),
+            format!("{:.2}%", implied_default * 100.0),
+        ]);
+        checkpoint_rows.push(format!(
+            "    {{\"shards\":{},\"checkpoint_every\":{},\"checkpoints\":{},\
+             \"base_ops_per_sec\":{:.0},\"ckpt_ops_per_sec\":{:.0},\
+             \"overhead_pct\":{:.2},\"default_cadence\":{},\
+             \"implied_default_overhead_pct\":{:.3}}}",
+            shards,
+            cadence,
+            ckpt.checkpoints,
+            base.ops_per_sec(),
+            ckpt.ops_per_sec(),
+            overhead * 100.0,
+            DEFAULT_CHECKPOINT_EVERY,
+            implied_default * 100.0,
+        ));
+        results.push(base);
+        results.push(ckpt);
+    }
+
     if let Some(path) = out {
         let rows: Vec<String> = results
             .iter()
             .map(|m| {
                 format!(
                     "    {{\"verifier\":\"{}\",\"shards\":{},\"window\":{},\"batch\":{},\
-                     \"ops\":{},\"seconds\":{:.6},\"ops_per_sec\":{:.0}}}",
-                    m.verifier, m.shards, m.window, m.batch, m.ops, m.seconds,
-                    m.ops_per_sec()
+                     \"ops\":{},\"seconds\":{:.6},\"ops_per_sec\":{:.0},\
+                     \"checkpoint_every\":{},\"checkpoints\":{}}}",
+                    m.verifier,
+                    m.shards,
+                    m.window,
+                    m.batch,
+                    m.ops,
+                    m.seconds,
+                    m.ops_per_sec(),
+                    m.checkpoint_every,
+                    m.checkpoints,
                 )
             })
             .collect();
         let json = format!(
             "{{\n  \"bench\": \"stream_throughput\",\n  \"preset\": \"{preset}\",\n  \
-             \"ops\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+             \"ops\": {},\n  \"results\": [\n{}\n  ],\n  \"checkpoint_overhead\": [\n{}\n  ]\n}}\n",
             records.len(),
-            rows.join(",\n")
+            rows.join(",\n"),
+            checkpoint_rows.join(",\n"),
         );
         std::fs::write(&path, json).expect("write bench artifact");
         println!("\nwrote {} measurements to {path}", results.len());

@@ -2,10 +2,13 @@
 
 use crate::args::{ArgError, Args};
 use kav_core::{
-    check_witness, diagnose, smallest_k, ExhaustiveSearch, Fzf, GkOneAv, Lbt, PipelineConfig,
-    PipelineOutput, Staleness, StreamPipeline, Verdict, Verifier,
+    check_witness, diagnose, read_checkpoint, smallest_k, Checkpoint, CheckpointWriter,
+    ExhaustiveSearch, Fzf, GkOneAv, Lbt, PipelineConfig, PipelineOutput, ShardProgress,
+    SourcePosition, Staleness, StreamPipeline, Verdict, Verifier, DEFAULT_CHECKPOINT_EVERY,
 };
+use kav_history::fxhash::Fingerprint;
 use kav_history::{csv, json, ndjson, render_timeline, repair, History, HistoryStats, RawHistory};
+use serde::Serialize;
 use kav_sim::{LatencyModel, SimConfig, Simulation};
 use kav_weighted::{reduce_bin_packing, BinPacking};
 use kav_workloads as workloads;
@@ -58,8 +61,11 @@ pub fn usage() -> &'static str {
      \x20        [--keys <K>]                        (stream: NDJSON, --n ops per key)\n\
      \x20 kav stream [--k <1|2>] [--algo gk|lbt|fzf] [--window <ops>] [--shards <N>]\n\
      \x20        [--horizon <writes>] [--batch <ops>] [--strict]\n\
+     \x20        [--checkpoint <file>] [--checkpoint-every <ops>]\n\
+     \x20        [--resume <file>] [--progress-every <records>]\n\
      \x20        <ops.ndjson | ->                    (- reads NDJSON from stdin)\n\
      \x20        exit codes: 0 = verified, 1 = violation, 2 = unusable input\n\
+     \x20        (see docs/OPERATIONS.md for the checkpoint/resume lifecycle)\n\
      \x20 kav sim [--replicas N] [--read-quorum R] [--write-quorum W] [--fanout F]\n\
      \x20        [--clients C] [--ops N] [--keys K] [--lag lo:hi] [--net lo:hi]\n\
      \x20        [--drop p] [--seed s] [--budget nodes] [--out-prefix path]\n\
@@ -304,34 +310,93 @@ pub fn stream(args: &Args) -> CmdResult {
     })
 }
 
+/// Rejects a flag that contradicts what a resumed checkpoint recorded:
+/// silently switching parameters mid-chain would change what the resumed
+/// counters mean.
+fn reject_resume_conflict(args: &Args, name: &str, recorded: &str) -> CmdResult {
+    match args.get(name) {
+        Some(given) if given != recorded => Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!(
+                "--{name} {given} conflicts with the checkpoint's {name} = {recorded}; \
+                 drop the flag to continue the audit, or start a fresh one"
+            ),
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// Everything one `kav stream` run needs beyond the verifier itself.
+struct StreamSession<'a> {
+    config: PipelineConfig,
+    strict: bool,
+    /// Emit an NDJSON progress record to stderr every this many records
+    /// (0 = never).
+    progress_every: u64,
+    /// Where to write checkpoints, if anywhere.
+    checkpoint_path: Option<&'a str>,
+    /// The checkpoint this run resumes, if any.
+    resume: Option<Checkpoint>,
+    /// Input path, or `-` for stdin.
+    input: &'a str,
+}
+
 fn stream_inner(args: &Args) -> CmdResult {
-    let k: u64 = args.get_parsed("k", 2)?;
-    let algo = args.get("algo").unwrap_or(match k {
-        1 => "gk",
-        _ => "fzf",
-    });
+    let resume = match args.get("resume") {
+        Some(path) => Some(read_checkpoint(path).map_err(|e| {
+            ExitWith::new(EXIT_BAD_INPUT, format!("--resume {path}: {e}"))
+        })?),
+        None => None,
+    };
+    // Verification parameters come from the flags on a fresh audit, and
+    // from the checkpoint on a resumed one (where contradicting flags are
+    // rejected; shards/batch remain free — keys re-shard safely).
+    let (k, algo, window, horizon) = match &resume {
+        Some(checkpoint) => {
+            let p = &checkpoint.pipeline;
+            reject_resume_conflict(args, "k", &p.k.to_string())?;
+            reject_resume_conflict(args, "algo", &p.algo)?;
+            reject_resume_conflict(args, "window", &p.window.to_string())?;
+            reject_resume_conflict(args, "horizon", &p.horizon.to_string())?;
+            (p.k, p.algo.clone(), p.window, Some(p.horizon))
+        }
+        None => {
+            let k: u64 = args.get_parsed("k", 2)?;
+            let algo = args
+                .get("algo")
+                .unwrap_or(match k {
+                    1 => "gk",
+                    _ => "fzf",
+                })
+                .to_string();
+            let horizon = match args.get("horizon") {
+                Some(_) => Some(args.get_parsed("horizon", 0)?),
+                None => None, // default: DEFAULT_HORIZON_WINDOWS x window
+            };
+            (k, algo, args.get_parsed("window", 1024)?, horizon)
+        }
+    };
     let config = PipelineConfig {
-        window: args.get_parsed("window", 1024)?,
+        window,
         shards: args.get_parsed("shards", 4)?,
-        horizon: match args.get("horizon") {
-            Some(_) => Some(args.get_parsed("horizon", 0)?),
-            None => None, // default: DEFAULT_HORIZON_WINDOWS x window
-        },
+        horizon,
         batch: args.get_parsed("batch", PipelineConfig::default().batch)?,
+        checkpoint_every: args.get_parsed("checkpoint-every", DEFAULT_CHECKPOINT_EVERY)?,
     };
-    let strict = args.flag("strict");
-    let path = args
-        .positional(1)
-        .ok_or_else(|| ArgError("stream requires an NDJSON file argument (or -)".into()))?;
-    let reader: Box<dyn std::io::BufRead> = if path == "-" {
-        Box::new(std::io::stdin().lock())
-    } else {
-        Box::new(std::io::BufReader::new(std::fs::File::open(path)?))
+    let session = StreamSession {
+        config,
+        strict: args.flag("strict"),
+        progress_every: args.get_parsed("progress-every", 0)?,
+        checkpoint_path: args.get("checkpoint"),
+        resume,
+        input: args
+            .positional(1)
+            .ok_or_else(|| ArgError("stream requires an NDJSON file argument (or -)".into()))?,
     };
-    let (output, malformed, total_malformed) = match (algo, k) {
-        ("gk", 1) => drive_stream(GkOneAv, reader, config, strict)?,
-        ("fzf", 2) => drive_stream(Fzf, reader, config, strict)?,
-        ("lbt", 2) => drive_stream(Lbt::new(), reader, config, strict)?,
+    let (output, malformed, total_malformed) = match (algo.as_str(), k) {
+        ("gk", 1) => drive_stream(GkOneAv, session)?,
+        ("fzf", 2) => drive_stream(Fzf, session)?,
+        ("lbt", 2) => drive_stream(Lbt::new(), session)?,
         (a, k) => {
             return Err(ArgError(format!("algorithm {a:?} cannot decide k = {k}")).into());
         }
@@ -365,8 +430,11 @@ fn stream_inner(args: &Args) -> CmdResult {
     for line in &malformed {
         eprintln!("{line}");
     }
-    if total_malformed > malformed.len() {
-        eprintln!("... and {} more malformed records", total_malformed - malformed.len());
+    if total_malformed > malformed.len() as u64 {
+        eprintln!(
+            "... and {} more malformed records",
+            total_malformed - malformed.len() as u64
+        );
     }
     for (key, error) in &output.errors {
         eprintln!("key {key}: {error}");
@@ -402,37 +470,168 @@ fn stream_inner(args: &Args) -> CmdResult {
         }
         Some(false) => unreachable!("violations and errors are handled above"),
         None => {
-            println!(
-                "UNKNOWN: no violation found, but some reads outlived the window or \
-                 the retirement horizon; rerun with a larger --window / --horizon \
-                 to certify"
-            );
+            if output.keys.iter().any(|(_, r)| r.resumed_uncertified) {
+                println!(
+                    "UNKNOWN: no violation found, but the resume chain could not be \
+                     verified (non-seekable input); re-run the audit end to end, or \
+                     resume from a file, to certify"
+                );
+            } else {
+                println!(
+                    "UNKNOWN: no violation found, but some reads outlived the window or \
+                     the retirement horizon; rerun with a larger --window / --horizon \
+                     to certify"
+                );
+            }
         }
     }
     Ok(())
 }
 
-/// Feeds the NDJSON reader into a pipeline. Malformed lines are skipped
-/// and counted, keeping only the first few messages (the run completes;
-/// the caller reports them and exits non-zero) — unless `strict`, which
-/// aborts on the first malformed line with [`EXIT_BAD_INPUT`]. Genuine
-/// I/O failures abort. Returns the pipeline output, the sample messages,
-/// and the total malformed count.
+/// One NDJSON progress record, written to stderr every
+/// `--progress-every` records: machine-readable observability for audits
+/// that run for hours (schema documented in docs/OPERATIONS.md).
+#[derive(Serialize)]
+struct ProgressLine {
+    /// Always `"progress"` — distinguishes these records on a shared
+    /// stderr stream.
+    record: &'static str,
+    /// Raw input lines consumed so far.
+    lines: u64,
+    /// Version of the last checkpoint written (0 before the first).
+    checkpoint_version: u64,
+    /// Operations pushed into the pipeline.
+    ops_routed: u64,
+    /// Operations accepted across all keys.
+    ops: u64,
+    /// Malformed records skipped.
+    malformed: u64,
+    /// Keys seen.
+    keys: usize,
+    /// Segments sealed and verified.
+    segments: u64,
+    /// Keys with a proven violation so far.
+    violating_keys: usize,
+    /// Keys whose stream failed.
+    errored_keys: usize,
+    /// Horizon-breach reads.
+    horizon_breaches: u64,
+    /// Orphaned reads.
+    orphaned_reads: u64,
+    /// Operations currently buffered.
+    resident: u64,
+    /// Retired-metadata high-water mark (largest of any key).
+    peak_retired: usize,
+    /// Staleness-depth histogram (bucket 0 = depth 0, bucket i covers
+    /// depths [2^(i-1), 2^i)).
+    depth_hist: Vec<u64>,
+    /// Per-shard breakdown.
+    shards: Vec<ShardProgress>,
+}
+
+/// Feeds the session's NDJSON input into a (fresh or resumed) pipeline,
+/// checkpointing and emitting progress at the configured cadences.
+/// Malformed lines are skipped and counted, keeping only the first few
+/// messages (the run completes; the caller reports them and exits
+/// non-zero) — unless `strict`, which aborts on the first malformed line
+/// with [`EXIT_BAD_INPUT`]. Genuine I/O failures abort. Returns the
+/// pipeline output, the sample messages, and the total malformed count.
 fn drive_stream<V: Verifier + Clone + Send + 'static>(
     verifier: V,
-    reader: Box<dyn std::io::BufRead>,
-    config: PipelineConfig,
-    strict: bool,
-) -> Result<(PipelineOutput, Vec<String>, usize), Box<dyn Error>> {
+    session: StreamSession<'_>,
+) -> Result<(PipelineOutput, Vec<String>, u64), Box<dyn Error>> {
     const MALFORMED_SAMPLES: usize = 10;
-    let mut pipeline = StreamPipeline::new(verifier, config);
-    let mut malformed = Vec::new();
-    let mut total_malformed = 0usize;
-    for record in ndjson::Reader::new(reader) {
+    let from_stdin = session.input == "-";
+    let raw: Box<dyn std::io::BufRead> = if from_stdin {
+        Box::new(std::io::stdin().lock())
+    } else {
+        Box::new(std::io::BufReader::new(std::fs::File::open(session.input)?))
+    };
+    // Fingerprint whenever checkpoints are written (so they can later be
+    // verified) or verified (a resume).
+    let mut reader = if session.checkpoint_path.is_some() || session.resume.is_some() {
+        ndjson::Reader::with_fingerprint(raw, Fingerprint::new())
+    } else {
+        ndjson::Reader::new(raw)
+    };
+
+    let mut malformed: Vec<String> = Vec::new();
+    let mut total_malformed: u64 = 0;
+    let mut pipeline = match &session.resume {
+        Some(checkpoint) => {
+            let prefix_verified = if from_stdin {
+                // A non-seekable source cannot re-prove the prefix: the
+                // operator feeds the remaining records, the audit
+                // continues, and YES degrades to UNKNOWN (NO stays
+                // sound). Lines and fingerprint restart with this run's
+                // input, consistent with any checkpoint written from it.
+                eprintln!(
+                    "warning: resuming from stdin skips prefix verification — \
+                     a YES verdict will degrade to UNKNOWN"
+                );
+                false
+            } else {
+                // Re-read the prefix the checkpoint summarised and prove
+                // it is byte-identical before trusting its verdicts.
+                let skipped = reader.skip_raw_lines(checkpoint.source.lines)?;
+                if skipped < checkpoint.source.lines {
+                    return Err(ExitWith::new(
+                        EXIT_BAD_INPUT,
+                        format!(
+                            "--resume: input ends after {skipped} lines but the \
+                             checkpoint covers {}; wrong input file?",
+                            checkpoint.source.lines
+                        ),
+                    ));
+                }
+                if reader.fingerprint() != Some(checkpoint.source.fingerprint) {
+                    return Err(ExitWith::new(
+                        EXIT_BAD_INPUT,
+                        format!(
+                            "--resume: the first {} input lines differ from the ones \
+                             the checkpoint summarised (fingerprint mismatch); \
+                             resuming would silently corrupt the audit",
+                            checkpoint.source.lines
+                        ),
+                    ));
+                }
+                true
+            };
+            total_malformed = checkpoint.source.malformed;
+            malformed = checkpoint.source.malformed_samples.clone();
+            let pipeline = StreamPipeline::resume(
+                verifier,
+                session.config,
+                &checkpoint.pipeline,
+                prefix_verified,
+            )
+            .map_err(|e| ExitWith::new(EXIT_BAD_INPUT, e.to_string()))?;
+            println!(
+                "resumed from checkpoint v{} ({} ops, {} lines{})",
+                checkpoint.version,
+                checkpoint.pipeline.ops_routed,
+                checkpoint.source.lines,
+                if prefix_verified { ", prefix verified" } else { ", prefix unverified" },
+            );
+            pipeline
+        }
+        None => StreamPipeline::new(verifier, session.config),
+    };
+    let mut writer = session.checkpoint_path.map(|path| {
+        CheckpointWriter::starting_at(
+            path,
+            session.resume.as_ref().map_or(0, |checkpoint| checkpoint.version),
+        )
+    });
+
+    let mut records: u64 = 0;
+    // `while let` rather than `for`: the loop body needs the reader back
+    // each iteration (line counts, fingerprints) for checkpoint metadata.
+    while let Some(record) = reader.next() {
         match record {
             Ok(record) => pipeline.push(record.key, record.op()),
             Err(e @ ndjson::NdjsonError::Parse { .. }) => {
-                if strict {
+                if session.strict {
                     return Err(ExitWith::new(EXIT_BAD_INPUT, format!("--strict: {e}")));
                 }
                 total_malformed += 1;
@@ -441,6 +640,46 @@ fn drive_stream<V: Verifier + Clone + Send + 'static>(
                 }
             }
             Err(e) => return Err(e.into()),
+        }
+        records += 1;
+        if let Some(writer) = &mut writer {
+            if pipeline.checkpoint_due() {
+                let snapshot = pipeline.snapshot();
+                let source = SourcePosition {
+                    lines: reader.lines_read(),
+                    fingerprint: reader
+                        .fingerprint()
+                        .expect("checkpointing sessions always fingerprint"),
+                    malformed: total_malformed,
+                    malformed_samples: malformed.clone(),
+                };
+                writer.write(source, snapshot)?;
+            }
+        }
+        if session.progress_every > 0 && records.is_multiple_of(session.progress_every) {
+            let progress = pipeline.progress();
+            let line = ProgressLine {
+                record: "progress",
+                lines: reader.lines_read(),
+                checkpoint_version: writer.as_ref().map_or(0, CheckpointWriter::version),
+                ops_routed: progress.ops_routed,
+                ops: progress.ops,
+                malformed: total_malformed,
+                keys: progress.keys,
+                segments: progress.segments,
+                violating_keys: progress.violating_keys,
+                errored_keys: progress.errored_keys,
+                horizon_breaches: progress.horizon_breaches,
+                orphaned_reads: progress.orphaned_reads,
+                resident: progress.resident,
+                peak_retired: progress.peak_retired,
+                depth_hist: progress.depth_hist,
+                shards: progress.shards,
+            };
+            eprintln!(
+                "{}",
+                serde_json::to_string(&line).expect("progress records serialize")
+            );
         }
     }
     Ok((pipeline.finish(), malformed, total_malformed))

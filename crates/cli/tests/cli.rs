@@ -303,6 +303,186 @@ fn stream_honours_horizon_and_batch_flags() {
     assert!(stdout(&out).contains("--horizon"), "{}", stdout(&out));
 }
 
+/// Generates a clean 3-key stream file and returns its path.
+fn stream_fixture(name: &str) -> PathBuf {
+    let path = temp_file(name);
+    let out = kav(&[
+        "gen", "--workload", "stream", "--keys", "3", "--n", "80", "--seed", "7", "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    path
+}
+
+/// Extracts the `"lines"` field of a checkpoint file (flat JSON scrape —
+/// enough for tests).
+fn checkpoint_lines(path: &PathBuf) -> usize {
+    let text = std::fs::read_to_string(path).unwrap();
+    let at = text.find("\"lines\":").expect("checkpoint records lines") + 8;
+    text[at..].chars().take_while(char::is_ascii_digit).collect::<String>().parse().unwrap()
+}
+
+#[test]
+fn stream_checkpointed_run_resumes_to_the_same_verdicts() {
+    let input = stream_fixture("resume_ops.ndjson");
+    let ckpt = temp_file("resume_ops.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+
+    let uninterrupted = kav(&["stream", "--window", "32", input.to_str().unwrap()]);
+    assert!(uninterrupted.status.success(), "{}", stderr(&uninterrupted));
+
+    // A checkpointing run writes a monotonically versioned file and does
+    // not change the verdicts.
+    let checkpointed = kav(&[
+        "stream", "--window", "32", "--checkpoint", ckpt.to_str().unwrap(),
+        "--checkpoint-every", "50", input.to_str().unwrap(),
+    ]);
+    assert!(checkpointed.status.success(), "{}", stderr(&checkpointed));
+    assert_eq!(stdout(&checkpointed), stdout(&uninterrupted));
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    assert!(text.contains("\"format\":1"), "{text}");
+    assert!(text.contains("\"version\":4"), "240 records / 50 = 4 checkpoints: {text}");
+
+    // Resuming from the checkpoint re-verifies the prefix fingerprint and
+    // lands on exactly the uninterrupted verdicts.
+    let resumed = kav(&["stream", "--resume", ckpt.to_str().unwrap(), input.to_str().unwrap()]);
+    assert!(resumed.status.success(), "{}", stderr(&resumed));
+    let resumed_out = stdout(&resumed);
+    assert!(resumed_out.contains("resumed from checkpoint v4"), "{resumed_out}");
+    assert!(resumed_out.contains("prefix verified"), "{resumed_out}");
+    let tail = resumed_out.lines().skip(1).collect::<Vec<_>>().join("\n");
+    let expected = stdout(&uninterrupted);
+    assert_eq!(tail.trim_end(), expected.trim_end(), "verdicts must not depend on resume");
+}
+
+#[test]
+fn stream_resume_rejects_a_diverged_prefix_and_conflicting_flags() {
+    let input = stream_fixture("tamper_ops.ndjson");
+    let ckpt = temp_file("tamper_ops.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let out = kav(&[
+        "stream", "--window", "32", "--checkpoint", ckpt.to_str().unwrap(),
+        "--checkpoint-every", "50", input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Changing an already-audited record breaks the fingerprint: resume
+    // must refuse rather than silently continue a different audit.
+    let original = std::fs::read_to_string(&input).unwrap();
+    let tampered_input = temp_file("tampered_ops.ndjson");
+    let mut lines: Vec<&str> = original.lines().collect();
+    let swapped = lines[0].replace("\"start\":", "\"start\": ");
+    lines[0] = &swapped;
+    std::fs::write(&tampered_input, lines.join("\n") + "\n").unwrap();
+    let out = kav(&[
+        "stream", "--resume", ckpt.to_str().unwrap(), tampered_input.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("fingerprint mismatch"), "{}", stderr(&out));
+
+    // Contradicting a checkpointed parameter is rejected, not silently
+    // adopted.
+    let out = kav(&[
+        "stream", "--resume", ckpt.to_str().unwrap(), "--window", "64",
+        input.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("conflicts with the checkpoint"), "{}", stderr(&out));
+
+    // A checkpoint that is not a checkpoint.
+    let garbled = temp_file("garbled.ckpt");
+    std::fs::write(&garbled, "{ nope").unwrap();
+    let out = kav(&["stream", "--resume", garbled.to_str().unwrap(), input.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("not a valid checkpoint"), "{}", stderr(&out));
+}
+
+#[test]
+fn stream_resume_from_stdin_degrades_yes_to_unknown() {
+    let input = stream_fixture("stdin_resume_ops.ndjson");
+    let ckpt = temp_file("stdin_resume_ops.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let out = kav(&[
+        "stream", "--window", "32", "--checkpoint", ckpt.to_str().unwrap(),
+        "--checkpoint-every", "50", input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // Feed exactly the unaudited remainder on stdin: the audit completes,
+    // but without prefix verification YES degrades to UNKNOWN (exit 0 —
+    // nothing is wrong with store or tap).
+    let lines_done = checkpoint_lines(&ckpt);
+    let remainder: String = std::fs::read_to_string(&input)
+        .unwrap()
+        .lines()
+        .skip(lines_done)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let out = kav_with_stdin(&["stream", "--resume", ckpt.to_str().unwrap(), "-"], &remainder);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("prefix unverified"), "{}", stdout(&out));
+    assert!(stdout(&out).contains("UNKNOWN"), "{}", stdout(&out));
+    assert!(stdout(&out).contains("resume chain"), "{}", stdout(&out));
+    assert!(stderr(&out).contains("resuming from stdin"), "{}", stderr(&out));
+}
+
+#[test]
+fn stream_violation_after_resume_still_exits_one() {
+    // The violating read arrives only after the checkpoint: the resumed
+    // audit must still prove NO — even over an unverified (stdin) chain.
+    let input = temp_file("violation_tail.ndjson");
+    std::fs::write(
+        &input,
+        "{\"key\":5,\"kind\":\"write\",\"value\":1,\"start\":0,\"finish\":10}\n\
+         {\"key\":5,\"kind\":\"write\",\"value\":2,\"start\":12,\"finish\":20}\n\
+         {\"key\":5,\"kind\":\"write\",\"value\":3,\"start\":22,\"finish\":30}\n\
+         {\"key\":5,\"kind\":\"write\",\"value\":4,\"start\":32,\"finish\":40}\n\
+         {\"key\":5,\"kind\":\"read\",\"value\":1,\"start\":42,\"finish\":50}\n",
+    )
+    .unwrap();
+    let ckpt = temp_file("violation_tail.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let out = kav(&[
+        "stream", "--checkpoint", ckpt.to_str().unwrap(), "--checkpoint-every", "2",
+        input.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let lines_done = checkpoint_lines(&ckpt);
+    assert!((2..5).contains(&lines_done), "checkpoint predates the read");
+
+    let out = kav(&["stream", "--resume", ckpt.to_str().unwrap(), input.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("not 2-atomic"), "{}", stderr(&out));
+
+    let remainder: String = std::fs::read_to_string(&input)
+        .unwrap()
+        .lines()
+        .skip(lines_done)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let out = kav_with_stdin(&["stream", "--resume", ckpt.to_str().unwrap(), "-"], &remainder);
+    assert_eq!(out.status.code(), Some(1), "NO is sound even unverified: {}", stderr(&out));
+}
+
+#[test]
+fn stream_emits_ndjson_progress_records() {
+    let input = stream_fixture("progress_ops.ndjson");
+    let out = kav(&[
+        "stream", "--window", "32", "--progress-every", "60", input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    let progress: Vec<&str> =
+        err.lines().filter(|l| l.starts_with("{\"record\":\"progress\"")).collect();
+    assert_eq!(progress.len(), 4, "240 records / 60: {err}");
+    let last = progress.last().unwrap();
+    assert!(last.contains("\"ops_routed\":240"), "{last}");
+    assert!(last.contains("\"keys\":3"), "{last}");
+    assert!(last.contains("\"violating_keys\":0"), "{last}");
+    assert!(last.contains("\"depth_hist\":["), "{last}");
+    assert!(last.contains("\"shards\":["), "{last}");
+}
+
 #[test]
 fn repair_salvages_a_dirty_trace() {
     let path = temp_file("dirty.json");

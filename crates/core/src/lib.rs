@@ -15,7 +15,9 @@
 //!   history;
 //! * [`OnlineVerifier`] / [`StreamPipeline`] — the streaming path: online
 //!   sliding-window adapters over the verifiers above, and a sharded
-//!   multi-register pipeline for unbounded op streams.
+//!   multi-register pipeline for unbounded op streams, checkpointable
+//!   mid-flight for crash-resumable audits ([`StreamPipeline::snapshot`],
+//!   [`CheckpointWriter`]).
 //!
 //! Every YES verdict carries a [`TotalOrder`] witness that can be
 //! re-validated independently with [`check_witness`].
@@ -64,7 +66,10 @@ pub use lbt::{CandidateOrder, Lbt, LbtConfig, LbtReport, SearchStrategy};
 pub use search::{ExhaustiveSearch, SearchReport, MAX_SEARCH_OPS};
 pub use smallest_k::{smallest_k, staleness_upper_bound, Staleness};
 pub use stream::{
-    OnlineError, OnlineVerifier, PipelineConfig, PipelineOutput, StreamPipeline, StreamReport,
+    read_checkpoint, Checkpoint, CheckpointError, CheckpointWriter, KeyError, KeyReport,
+    KeySnapshot, OnlineError, OnlineSnapshot, OnlineVerifier, PipelineConfig, PipelineOutput,
+    PipelineProgress, PipelineSnapshot, ShardProgress, SnapshotError, SourcePosition,
+    StreamPipeline, StreamReport, CHECKPOINT_FORMAT, DEFAULT_CHECKPOINT_EVERY,
     DEFAULT_HORIZON_WINDOWS,
 };
 pub use verdict::{Verdict, Verifier};

@@ -1,0 +1,294 @@
+//! Atomic, versioned checkpoint files for long-running audits.
+//!
+//! A checkpoint is one JSON document: a [`PipelineSnapshot`] (the complete
+//! verification state) wrapped in a [`Checkpoint`] envelope that records
+//! *where in the input* the snapshot was taken — the number of consumed
+//! lines, a running [fingerprint](kav_history::fxhash::Fingerprint) of
+//! those lines, and the malformed-record tally. On resume the driver
+//! re-reads the input prefix, recomputes the fingerprint and compares: a
+//! match proves the resumed audit continues exactly the stream the
+//! checkpoint summarised (the *unbroken chain* a certified YES requires —
+//! see [`StreamReport::resumed_uncertified`](super::StreamReport::resumed_uncertified)).
+//!
+//! [`CheckpointWriter`] overwrites a single path **atomically** — the new
+//! checkpoint is written to a sibling temp file, synced, then renamed over
+//! the previous one — so a crash mid-write leaves the last complete
+//! checkpoint intact, never a torn file. Versions are monotone: every
+//! write embeds a strictly increasing `version`, and resuming hands the
+//! last version back to [`CheckpointWriter::starting_at`] so the chain
+//! keeps counting across processes.
+//!
+//! # Examples
+//!
+//! ```
+//! use kav_core::{Checkpoint, CheckpointWriter, Fzf, PipelineConfig, SourcePosition,
+//!                StreamPipeline};
+//! use kav_history::{Operation, Time, Value};
+//!
+//! let dir = std::env::temp_dir().join("kav_checkpoint_doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("audit.ckpt");
+//!
+//! let mut pipeline = StreamPipeline::new(Fzf, PipelineConfig::default());
+//! pipeline.push(7, Operation::write(Value(1), Time(0), Time(10)));
+//!
+//! let mut writer = CheckpointWriter::new(&path);
+//! let source = SourcePosition { lines: 1, fingerprint: 42, ..Default::default() };
+//! let version = writer.write(source, pipeline.snapshot()).unwrap();
+//! assert_eq!(version, 1);
+//!
+//! let checkpoint: Checkpoint = kav_core::read_checkpoint(&path).unwrap();
+//! assert_eq!(checkpoint.version, 1);
+//! assert_eq!(checkpoint.source.lines, 1);
+//! assert_eq!(checkpoint.pipeline.ops_routed, 1);
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+use super::pipeline::PipelineSnapshot;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Version of the checkpoint file format itself (not of any one file):
+/// bumped when the schema changes incompatibly, so a reader can reject
+/// files written by a different era instead of mis-parsing them.
+pub const CHECKPOINT_FORMAT: u32 = 1;
+
+/// Default checkpoint cadence, in ingested operations. Chosen so that at
+/// typical single-core end-to-end throughput (~1-2M ops/s) the audit
+/// checkpoints about every half second to a second, keeping the
+/// stop-the-world snapshot cost well under 10% of ingest — see
+/// `exp_stream_throughput`'s checkpoint axis and `docs/OPERATIONS.md`.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1_000_000;
+
+/// Where in the input stream a checkpoint was taken.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SourcePosition {
+    /// Raw input lines consumed (blank and malformed lines included).
+    pub lines: u64,
+    /// Running fingerprint of those lines
+    /// ([`kav_history::fxhash::Fingerprint`], one chunk per line).
+    pub fingerprint: u64,
+    /// Malformed records skipped so far.
+    pub malformed: u64,
+    /// Sample messages for the first few malformed records.
+    #[serde(default)]
+    pub malformed_samples: Vec<String>,
+}
+
+/// One complete, self-describing checkpoint file.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Always [`CHECKPOINT_FORMAT`] for files this build writes.
+    pub format: u32,
+    /// Monotonically increasing version of this audit's checkpoint chain,
+    /// starting at 1.
+    pub version: u64,
+    /// Input position the snapshot corresponds to.
+    pub source: SourcePosition,
+    /// The verification state itself.
+    pub pipeline: PipelineSnapshot,
+}
+
+/// A checkpoint file that cannot be used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading the file failed.
+    Io(io::Error),
+    /// The file is not a checkpoint (or is torn despite atomic replace —
+    /// e.g. copied while being written).
+    Parse(String),
+    /// The file was written by an incompatible format era.
+    Format(u32),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "cannot read checkpoint: {e}"),
+            CheckpointError::Parse(e) => write!(f, "not a valid checkpoint: {e}"),
+            CheckpointError::Format(v) => write!(
+                f,
+                "checkpoint format {v} is not supported (this build reads format \
+                 {CHECKPOINT_FORMAT})"
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Reads and validates a checkpoint file.
+///
+/// # Errors
+///
+/// [`CheckpointError`] when the file is unreadable, unparseable, from an
+/// incompatible format era, or carries version 0 (never written).
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+    let text = fs::read_to_string(path)?;
+    let checkpoint: Checkpoint =
+        serde_json::from_str(&text).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    if checkpoint.format != CHECKPOINT_FORMAT {
+        return Err(CheckpointError::Format(checkpoint.format));
+    }
+    if checkpoint.version == 0 {
+        return Err(CheckpointError::Parse("checkpoint version 0".into()));
+    }
+    Ok(checkpoint)
+}
+
+/// Writes an audit's checkpoint chain to a single path, atomically and
+/// with monotone versions (see the module docs).
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    path: PathBuf,
+    tmp: PathBuf,
+    version: u64,
+}
+
+impl CheckpointWriter {
+    /// A writer for a fresh audit: the first write produces version 1.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointWriter::starting_at(path, 0)
+    }
+
+    /// A writer continuing an existing chain: the next write produces
+    /// `last_version + 1`. Pass the version of the checkpoint the audit
+    /// resumed from.
+    pub fn starting_at(path: impl Into<PathBuf>, last_version: u64) -> Self {
+        let path = path.into();
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        CheckpointWriter { path, tmp: PathBuf::from(tmp), version: last_version }
+    }
+
+    /// The version of the last checkpoint written (0 before the first).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The path checkpoints are written to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persists one checkpoint: serialize, write to the sibling temp file,
+    /// sync, rename over `path`. Returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the previous checkpoint (if any) is still
+    /// intact on every error path.
+    pub fn write(
+        &mut self,
+        source: SourcePosition,
+        pipeline: PipelineSnapshot,
+    ) -> io::Result<u64> {
+        let version = self.version + 1;
+        let checkpoint = Checkpoint { format: CHECKPOINT_FORMAT, version, source, pipeline };
+        let json = serde_json::to_string(&checkpoint)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut file = fs::File::create(&self.tmp)?;
+        file.write_all(json.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&self.tmp, &self.path)?;
+        self.version = version;
+        Ok(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{PipelineConfig, StreamPipeline};
+    use crate::Fzf;
+    use kav_history::{Operation, Time, Value};
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("kav_checkpoint_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn small_snapshot() -> PipelineSnapshot {
+        let mut pipeline = StreamPipeline::new(
+            Fzf,
+            PipelineConfig { shards: 1, window: 4, ..Default::default() },
+        );
+        pipeline.push(1, Operation::write(Value(1), Time(0), Time(10)));
+        pipeline.push(1, Operation::read(Value(1), Time(12), Time(20)));
+        pipeline.snapshot()
+    }
+
+    #[test]
+    fn versions_are_monotone_and_roundtrip() {
+        let path = temp_path("monotone.ckpt");
+        let mut writer = CheckpointWriter::new(&path);
+        assert_eq!(writer.version(), 0);
+        let snapshot = small_snapshot();
+        assert_eq!(writer.write(SourcePosition::default(), snapshot.clone()).unwrap(), 1);
+        assert_eq!(
+            writer
+                .write(SourcePosition { lines: 2, ..Default::default() }, snapshot.clone())
+                .unwrap(),
+            2
+        );
+        let read = read_checkpoint(&path).unwrap();
+        assert_eq!(read.version, 2);
+        assert_eq!(read.source.lines, 2);
+        assert_eq!(read.pipeline, snapshot);
+        // Continuing the chain after a resume keeps counting.
+        let mut resumed = CheckpointWriter::starting_at(&path, read.version);
+        assert_eq!(resumed.write(read.source, read.pipeline).unwrap(), 3);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replace_is_atomic_no_temp_file_left_behind() {
+        let path = temp_path("atomic.ckpt");
+        let mut writer = CheckpointWriter::new(&path);
+        writer.write(SourcePosition::default(), small_snapshot()).unwrap();
+        assert!(path.exists());
+        assert!(!writer.tmp.exists(), "temp file must be renamed away");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unusable_files_are_rejected() {
+        assert!(matches!(
+            read_checkpoint(temp_path("missing.ckpt")),
+            Err(CheckpointError::Io(_))
+        ));
+        let garbled = temp_path("garbled.ckpt");
+        fs::write(&garbled, "{ not a checkpoint").unwrap();
+        assert!(matches!(read_checkpoint(&garbled), Err(CheckpointError::Parse(_))));
+        let future = temp_path("future.ckpt");
+        let mut writer = CheckpointWriter::new(&future);
+        writer.write(SourcePosition::default(), small_snapshot()).unwrap();
+        let bumped = fs::read_to_string(&future)
+            .unwrap()
+            .replacen("\"format\":1", "\"format\":999", 1);
+        fs::write(&future, bumped).unwrap();
+        assert!(matches!(read_checkpoint(&future), Err(CheckpointError::Format(999))));
+        fs::remove_file(&garbled).ok();
+        fs::remove_file(&future).ok();
+    }
+}

@@ -18,6 +18,35 @@
 //! service-shaped ingest path: `NDJSON → shard by key → per-key
 //! OnlineVerifier → per-key reports`.
 //!
+//! # Checkpoint and resume
+//!
+//! Long audits must survive process death. Every layer snapshots:
+//! [`OnlineVerifier::snapshot`] captures one register's adapter (its
+//! [`StreamBuilder`] plus verdict counters) as a serde-serializable
+//! [`OnlineSnapshot`], and [`StreamPipeline::snapshot`] drains all in-flight
+//! batches, pauses the workers at a consistent cut and merges their per-key
+//! snapshots into a [`PipelineSnapshot`]. The matching `resume`
+//! constructors rebuild the exact state, so a resumed audit is a
+//! *bisimulation* of the uninterrupted one (the snapshot layer validates
+//! itself — see [`kav_history::stream`]).
+//!
+//! Verdict semantics across a snapshot/resume cycle:
+//!
+//! * **NO stays sound** — a violation proven in any sealed window, before
+//!   or after the cut, is a violation of the full history;
+//! * **YES additionally requires an unbroken chain** — every operation must
+//!   have passed through the chain of resumed verifiers exactly once.
+//!   Drivers prove this by fingerprinting the input prefix (see `kav
+//!   stream --resume`); when the chain cannot be verified they resume with
+//!   `prefix_verified = false`, which taints every report
+//!   ([`StreamReport::resumed_uncertified`]) and degrades YES to `UNKNOWN`
+//!   — never to a wrong YES.
+//!
+//! [`CheckpointWriter`] persists snapshots as monotonically versioned,
+//! atomically replaced (temp-file + rename) checkpoint files, and
+//! [`StreamPipeline::progress`] probes the live workers for an NDJSON-able
+//! [`PipelineProgress`] summary without stopping the audit.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,16 +61,48 @@
 //! assert_eq!(report.k_atomic(), Some(true));
 //! # Ok::<(), kav_core::OnlineError>(())
 //! ```
+//!
+//! Snapshot an adapter mid-stream, serialize it, and resume where it left
+//! off:
+//!
+//! ```
+//! use kav_core::{Fzf, OnlineSnapshot, OnlineVerifier};
+//! use kav_history::{Operation, Time, Value};
+//!
+//! let mut online = OnlineVerifier::new(Fzf, 4);
+//! online.push(Operation::write(Value(1), Time(0), Time(10)))?;
+//! let json = serde_json::to_string(&online.snapshot()).expect("snapshots serialize");
+//! drop(online); // the process dies...
+//!
+//! // ...and a new one picks the audit up from the checkpoint.
+//! let snapshot: OnlineSnapshot = serde_json::from_str(&json).expect("checkpoint parses");
+//! let mut resumed = OnlineVerifier::resume(Fzf, &snapshot).expect("snapshot is consistent");
+//! resumed.push(Operation::read(Value(1), Time(12), Time(20)))?;
+//! let report = resumed.freeze()?;
+//! assert_eq!(report.k_atomic(), Some(true));
+//! # Ok::<(), kav_core::OnlineError>(())
+//! ```
 
+mod checkpoint;
 mod pipeline;
 
-pub use pipeline::{PipelineConfig, PipelineOutput, StreamPipeline};
+pub use checkpoint::{
+    read_checkpoint, Checkpoint, CheckpointError, CheckpointWriter, SourcePosition,
+    CHECKPOINT_FORMAT, DEFAULT_CHECKPOINT_EVERY,
+};
+pub use pipeline::{
+    KeyError, KeyReport, KeySnapshot, PipelineConfig, PipelineOutput, PipelineProgress,
+    PipelineSnapshot, ShardProgress, StreamPipeline,
+};
 
 use crate::{Verdict, Verifier};
 use kav_history::stream::{Push, StreamBuilder, StreamConfig, StreamError};
 use kav_history::{Operation, ValidationError};
+use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+
+pub use kav_history::stream::SnapshotError;
 
 /// Default retirement horizon, in windows: an [`OnlineVerifier`] built
 /// without an explicit horizon retains the value ids of the last
@@ -94,7 +155,7 @@ impl From<ValidationError> for OnlineError {
 }
 
 /// Final summary of one register's verified stream.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StreamReport {
     /// The `k` the verdicts decide.
     pub k: u64,
@@ -124,6 +185,18 @@ pub struct StreamReport {
     pub mean_read_depth: f64,
     /// Maximum arrival-order staleness depth.
     pub max_read_depth: u64,
+    /// Histogram of those depths
+    /// ([`kav_history::stream::DEPTH_BUCKETS`] buckets: bucket 0 is depth
+    /// 0, bucket `i >= 1` covers `[2^(i-1), 2^i)`).
+    #[serde(default)]
+    pub depth_hist: Vec<u64>,
+    /// True when this stream was resumed from a snapshot whose input
+    /// prefix could **not** be verified (e.g. a non-seekable source): the
+    /// already-audited prefix might differ from what the checkpoint
+    /// summarised, so YES degrades to `UNKNOWN`. NO verdicts are
+    /// unaffected — the violating window was genuinely observed.
+    #[serde(default)]
+    pub resumed_uncertified: bool,
 }
 
 impl StreamReport {
@@ -152,9 +225,13 @@ impl StreamReport {
 
     /// True when the windowed decomposition lost no information, i.e. the
     /// verdict is exactly offline verification's: no horizon breaches, no
-    /// orphaned reads, nothing inconclusive.
+    /// orphaned reads, nothing inconclusive, and no unverified resume in
+    /// the stream's snapshot chain.
     pub fn exact(&self) -> bool {
-        self.horizon_breaches == 0 && self.orphaned_reads == 0 && self.inconclusive == 0
+        self.horizon_breaches == 0
+            && self.orphaned_reads == 0
+            && self.inconclusive == 0
+            && !self.resumed_uncertified
     }
 }
 
@@ -168,9 +245,15 @@ impl fmt::Display for StreamReport {
         write!(
             f,
             "{verdict} (k={}, {} ops, {} segments, {} violations, {} breaches, {} orphans, \
-             peak {} resident)",
-            self.k, self.ops, self.segments, self.violations, self.horizon_breaches,
-            self.orphaned_reads, self.peak_resident
+             peak {} resident{})",
+            self.k,
+            self.ops,
+            self.segments,
+            self.violations,
+            self.horizon_breaches,
+            self.orphaned_reads,
+            self.peak_resident,
+            if self.resumed_uncertified { ", uncertified resume" } else { "" }
         )
     }
 }
@@ -206,6 +289,42 @@ pub struct OnlineVerifier<V> {
     violations: usize,
     inconclusive: usize,
     horizon_breaches: u64,
+    /// Resumed from a snapshot whose input prefix was not verified.
+    resumed_uncertified: bool,
+}
+
+/// Serializable state of an [`OnlineVerifier`], produced by
+/// [`OnlineVerifier::snapshot`] and consumed by [`OnlineVerifier::resume`].
+///
+/// The verifier itself is not serialized — only its identity (`algo`,
+/// `k`), which resume checks against the verifier it is handed: resuming
+/// an FZF audit with a GK verifier would silently change what the
+/// accumulated counters mean.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OnlineSnapshot {
+    /// [`Verifier::name`] of the wrapped verifier.
+    pub algo: String,
+    /// The `k` the verdicts decide.
+    pub k: u64,
+    /// Sliding-window width, in operations.
+    pub window: usize,
+    /// Sealing hysteresis state (see [`OnlineVerifier::push`]).
+    pub next_attempt: usize,
+    /// Operations accepted so far.
+    pub ops: u64,
+    /// Segments verified so far.
+    pub segments: usize,
+    /// Segments that verified [`Verdict::NotKAtomic`].
+    pub violations: usize,
+    /// Segments that verified [`Verdict::Inconclusive`].
+    pub inconclusive: usize,
+    /// Horizon-breach reads so far.
+    pub horizon_breaches: u64,
+    /// Whether an earlier resume in this stream's chain was unverified.
+    #[serde(default)]
+    pub resumed_uncertified: bool,
+    /// The underlying incremental builder.
+    pub builder: kav_history::stream::BuilderSnapshot,
 }
 
 impl<V: Verifier> OnlineVerifier<V> {
@@ -233,7 +352,105 @@ impl<V: Verifier> OnlineVerifier<V> {
             violations: 0,
             inconclusive: 0,
             horizon_breaches: 0,
+            resumed_uncertified: false,
         }
+    }
+
+    /// Captures the adapter's complete state as a serializable snapshot —
+    /// a bisimulation point: the resumed adapter seals, verifies and
+    /// counts exactly as this one would (see the module docs).
+    pub fn snapshot(&self) -> OnlineSnapshot {
+        OnlineSnapshot {
+            algo: self.verifier.name().to_string(),
+            k: self.verifier.k(),
+            window: self.window,
+            next_attempt: self.next_attempt,
+            ops: self.ops,
+            segments: self.segments,
+            violations: self.violations,
+            inconclusive: self.inconclusive,
+            horizon_breaches: self.horizon_breaches,
+            resumed_uncertified: self.resumed_uncertified,
+            builder: self.builder.snapshot(),
+        }
+    }
+
+    /// Rebuilds an adapter from a [`snapshot`](Self::snapshot), wrapping
+    /// `verifier` (which must match the snapshot's recorded `algo`/`k`).
+    ///
+    /// The caller asserts, by calling this, that the stream will be
+    /// re-fed from exactly the point the snapshot was taken; when that
+    /// cannot be verified, follow up with
+    /// [`mark_uncertified`](Self::mark_uncertified) so YES degrades to
+    /// `UNKNOWN` instead of silently trusting an unproven prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] on verifier identity mismatch, counter
+    /// inconsistency, or a corrupt builder snapshot.
+    pub fn resume(verifier: V, snapshot: &OnlineSnapshot) -> Result<Self, SnapshotError> {
+        if verifier.name() != snapshot.algo {
+            return Err(SnapshotError::new(format!(
+                "snapshot was taken with algorithm {:?}, resuming with {:?}",
+                snapshot.algo,
+                verifier.name()
+            )));
+        }
+        if verifier.k() != snapshot.k {
+            return Err(SnapshotError::new(format!(
+                "snapshot decides k = {}, resuming verifier decides k = {}",
+                snapshot.k,
+                verifier.k()
+            )));
+        }
+        if snapshot.window == 0 {
+            return Err(SnapshotError::new("window of zero operations".to_string()));
+        }
+        // Saturating: untrusted counters near usize::MAX must reject, not
+        // overflow-panic (debug) or wrap past the comparison (release).
+        if snapshot.violations.saturating_add(snapshot.inconclusive) > snapshot.segments {
+            return Err(SnapshotError::new(
+                "more failed segments than segments verified".to_string(),
+            ));
+        }
+        let builder = StreamBuilder::resume(&snapshot.builder)?;
+        if snapshot.ops < builder.resident() as u64 {
+            return Err(SnapshotError::new(
+                "fewer operations accepted than currently buffered".to_string(),
+            ));
+        }
+        // The hysteresis threshold is only ever 0 or "resident at the last
+        // stalled scan + window/8", and resident never shrinks between a
+        // stalled scan and a snapshot — so anything beyond resident +
+        // window is corruption, and accepting it would let the buffer
+        // grow unboundedly (sealing would never re-arm).
+        if snapshot.next_attempt > builder.resident().saturating_add(snapshot.window) {
+            return Err(SnapshotError::new(format!(
+                "seal hysteresis threshold {} is beyond the buffer ({} resident, window {})",
+                snapshot.next_attempt,
+                builder.resident(),
+                snapshot.window
+            )));
+        }
+        Ok(OnlineVerifier {
+            verifier,
+            builder,
+            window: snapshot.window,
+            next_attempt: snapshot.next_attempt,
+            ops: snapshot.ops,
+            segments: snapshot.segments,
+            violations: snapshot.violations,
+            inconclusive: snapshot.inconclusive,
+            horizon_breaches: snapshot.horizon_breaches,
+            resumed_uncertified: snapshot.resumed_uncertified,
+        })
+    }
+
+    /// Marks the stream's snapshot chain as unverified: the final report
+    /// can still prove NO but will never certify YES
+    /// ([`StreamReport::resumed_uncertified`]).
+    pub fn mark_uncertified(&mut self) {
+        self.resumed_uncertified = true;
     }
 
     /// The window width in operations.
@@ -249,6 +466,47 @@ impl<V: Verifier> OnlineVerifier<V> {
     /// Operations currently buffered.
     pub fn resident(&self) -> usize {
         self.builder.resident()
+    }
+
+    /// Operations accepted so far (including horizon-breach reads).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Segments verified so far.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Segments that verified as violations so far.
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// Segments that verified inconclusive so far.
+    pub fn inconclusive(&self) -> usize {
+        self.inconclusive
+    }
+
+    /// Horizon-breach reads so far.
+    pub fn horizon_breaches(&self) -> u64 {
+        self.horizon_breaches
+    }
+
+    /// Reads expired as orphans so far.
+    pub fn orphaned_reads(&self) -> u64 {
+        self.builder.orphaned_reads()
+    }
+
+    /// High-water mark of retained retired-value metadata.
+    pub fn peak_retired(&self) -> usize {
+        self.builder.peak_retired()
+    }
+
+    /// Histogram of arrival-order staleness depths so far (see
+    /// [`kav_history::stream::StreamBuilder::depth_histogram`]).
+    pub fn depth_histogram(&self) -> [u64; kav_history::stream::DEPTH_BUCKETS] {
+        self.builder.depth_histogram()
     }
 
     /// The running verdict: `Some(false)` once any window fails, `None`
@@ -302,15 +560,14 @@ impl<V: Verifier> OnlineVerifier<V> {
     /// Abandons the stream *without* verifying the buffered tail,
     /// returning the report accumulated so far. For error paths where the
     /// stream turned unusable mid-flight: verdict evidence already proven
-    /// (violated windows) must not be discarded with the broken tail. Any
-    /// operations still buffered are counted as one inconclusive segment,
-    /// so an aborted stream can never certify YES — its verdict is
-    /// `Some(false)` when a window already failed, `None` otherwise.
+    /// (violated windows) must not be discarded with the broken tail. The
+    /// abandoned tail — buffered operations and whatever the stream would
+    /// have delivered next — counts as one inconclusive segment, so an
+    /// aborted stream can never certify YES: its verdict is `Some(false)`
+    /// when a window already failed, `None` otherwise.
     pub fn abort(mut self) -> StreamReport {
-        if self.builder.resident() > 0 {
-            self.inconclusive += 1;
-            self.segments += 1;
-        }
+        self.inconclusive += 1;
+        self.segments += 1;
         self.report()
     }
 
@@ -344,6 +601,8 @@ impl<V: Verifier> OnlineVerifier<V> {
             reads: self.builder.reads_accepted(),
             mean_read_depth: self.builder.mean_read_depth(),
             max_read_depth: self.builder.max_read_depth(),
+            depth_hist: self.builder.depth_histogram().to_vec(),
+            resumed_uncertified: self.resumed_uncertified,
         }
     }
 
@@ -477,6 +736,103 @@ mod tests {
         let report = online.abort();
         assert_eq!(report.k_atomic(), None, "{report}");
         assert_eq!(report.inconclusive, 1);
+    }
+
+    #[test]
+    fn snapshot_resume_is_transparent_at_any_cut() {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops: 160,
+            k: 2,
+            seed: 11,
+            ..Default::default()
+        });
+        let ops: Vec<Operation> =
+            h.sorted_by_finish().iter().map(|id| *h.op(*id)).collect();
+        let baseline = replay(Fzf, &h, 16);
+        for cut in [0, 1, ops.len() / 3, ops.len() / 2, ops.len() - 1, ops.len()] {
+            let mut first = OnlineVerifier::new(Fzf, 16);
+            for op in &ops[..cut] {
+                first.push(*op).unwrap();
+            }
+            let json = serde_json::to_string(&first.snapshot()).unwrap();
+            drop(first); // the "crash"
+            let snapshot: OnlineSnapshot = serde_json::from_str(&json).unwrap();
+            let mut resumed = OnlineVerifier::resume(Fzf, &snapshot).unwrap();
+            for op in &ops[cut..] {
+                resumed.push(*op).unwrap();
+            }
+            let report = resumed.freeze().unwrap();
+            assert_eq!(report, baseline, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn unverified_resume_degrades_yes_to_unknown_never_no() {
+        // A clean stream resumed without prefix verification: UNKNOWN.
+        let mut online = OnlineVerifier::new(Fzf, 8);
+        online.push(Operation::write(Value(1), Time(0), Time(10))).unwrap();
+        let snapshot = online.snapshot();
+        let mut resumed = OnlineVerifier::resume(Fzf, &snapshot).unwrap();
+        resumed.mark_uncertified();
+        resumed.push(Operation::read(Value(1), Time(12), Time(20))).unwrap();
+        let report = resumed.freeze().unwrap();
+        assert!(report.resumed_uncertified);
+        assert!(!report.exact());
+        assert_eq!(report.k_atomic(), None, "{report}");
+
+        // The taint survives a further (even verified) snapshot hop.
+        let mut online = OnlineVerifier::new(Fzf, 8);
+        online.mark_uncertified();
+        let again = OnlineVerifier::resume(Fzf, &online.snapshot()).unwrap();
+        assert!(again.freeze().unwrap().resumed_uncertified);
+
+        // A violation proven after an unverified resume is still NO.
+        let h = ladder(3);
+        let ops: Vec<Operation> =
+            h.sorted_by_finish().iter().map(|id| *h.op(*id)).collect();
+        let mut online = OnlineVerifier::new(Fzf, 3);
+        online.push(ops[0]).unwrap();
+        let mut resumed = OnlineVerifier::resume(Fzf, &online.snapshot()).unwrap();
+        resumed.mark_uncertified();
+        for op in &ops[1..] {
+            resumed.push(*op).unwrap();
+        }
+        let report = resumed.freeze().unwrap();
+        assert_eq!(report.k_atomic(), Some(false), "{report}");
+    }
+
+    #[test]
+    fn resume_rejects_mismatches_and_corruption() {
+        let mut online = OnlineVerifier::new(Fzf, 8);
+        online.push(Operation::write(Value(1), Time(0), Time(10))).unwrap();
+        let good = online.snapshot();
+        assert_eq!(good.algo, "fzf");
+        assert_eq!(good.k, 2);
+
+        // Wrong verifier identity (name and k both differ).
+        assert!(OnlineVerifier::resume(GkOneAv, &good).is_err());
+        // Tampered adapter state.
+        let mut bad = good.clone();
+        bad.window = 0;
+        assert!(OnlineVerifier::resume(Fzf, &bad).is_err());
+        let mut bad = good.clone();
+        bad.violations = bad.segments + 1;
+        assert!(OnlineVerifier::resume(Fzf, &bad).is_err());
+        // Counters near the numeric limits must reject, never overflow.
+        let mut bad = good.clone();
+        bad.violations = usize::MAX;
+        bad.inconclusive = 1;
+        assert!(OnlineVerifier::resume(Fzf, &bad).is_err());
+        let mut bad = good.clone();
+        bad.next_attempt = usize::MAX;
+        assert!(OnlineVerifier::resume(Fzf, &bad).is_err());
+        let mut bad = good.clone();
+        bad.ops = 0; // one op is buffered
+        assert!(OnlineVerifier::resume(Fzf, &bad).is_err());
+        // Tampered builder state is caught by the builder's own validation.
+        let mut bad = good.clone();
+        bad.builder.writes_accepted += 1;
+        assert!(OnlineVerifier::resume(Fzf, &bad).is_err());
     }
 
     #[test]

@@ -83,6 +83,73 @@ impl Hasher for FxHasher {
     }
 }
 
+/// An order-sensitive running fingerprint of a chunked byte stream, built
+/// on the same Fx mixer. Checkpoint/resume uses it to verify that the
+/// input prefix a resumed audit skips over is byte-identical to the one
+/// the checkpoint summarised (see `kav stream --resume`).
+///
+/// The digest depends on the chunk boundaries as well as the bytes (each
+/// [`update`](Fingerprint::update) folds in the chunk length), so callers
+/// must feed identical chunks on both sides — the NDJSON reader feeds one
+/// chunk per input line. Like [`FxHasher`], this is **not** cryptographic:
+/// it detects accidental divergence (a rotated log, a truncated copy, an
+/// edited record), not a deliberate forgery.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::fxhash::Fingerprint;
+///
+/// let mut a = Fingerprint::new();
+/// a.update(b"line one\n");
+/// a.update(b"line two\n");
+///
+/// let mut b = Fingerprint::new();
+/// b.update(b"line one\n");
+/// assert_ne!(a.value(), b.value());
+/// b.update(b"line two\n");
+/// assert_eq!(a.value(), b.value());
+/// assert_eq!(a.bytes(), 18);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    state: u64,
+    bytes: u64,
+}
+
+impl Fingerprint {
+    /// A fingerprint of the empty stream.
+    pub fn new() -> Self {
+        Fingerprint { state: SEED, bytes: 0 }
+    }
+
+    /// Folds one chunk (for stream audits: one input line) into the digest.
+    pub fn update(&mut self, chunk: &[u8]) {
+        use std::hash::Hasher as _;
+        let mut hasher = FxHasher { state: self.state };
+        hasher.write_u64(chunk.len() as u64);
+        hasher.write(chunk);
+        self.state = hasher.finish();
+        self.bytes += chunk.len() as u64;
+    }
+
+    /// The current 64-bit digest.
+    pub fn value(&self) -> u64 {
+        self.state
+    }
+
+    /// Total bytes folded in so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +182,23 @@ mod tests {
             low_bits.insert(build.hash_one(i) & 0xFF);
         }
         assert!(low_bits.len() > 128, "only {} distinct buckets", low_bits.len());
+    }
+
+    #[test]
+    fn fingerprint_is_chunk_and_order_sensitive() {
+        let digest = |chunks: &[&[u8]]| {
+            let mut fp = Fingerprint::new();
+            for c in chunks {
+                fp.update(c);
+            }
+            fp.value()
+        };
+        // Same bytes, different chunking or order: different digests.
+        assert_ne!(digest(&[b"ab", b"c"]), digest(&[b"abc"]));
+        assert_ne!(digest(&[b"a", b"b"]), digest(&[b"b", b"a"]));
+        // Deterministic, and the empty chunk still advances the state.
+        assert_eq!(digest(&[b"x", b"y"]), digest(&[b"x", b"y"]));
+        assert_ne!(digest(&[b"x"]), digest(&[b"x", b""]));
     }
 
     #[test]

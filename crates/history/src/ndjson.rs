@@ -24,6 +24,7 @@
 //! order (completion order); different keys may interleave arbitrarily.
 //! Blank lines are ignored.
 
+use crate::fxhash::Fingerprint;
 use crate::{OpKind, Operation, Time, Value, Weight};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -145,16 +146,68 @@ pub fn to_line(record: &StreamRecord) -> String {
 
 /// Streaming reader over any [`BufRead`], yielding records with 1-based
 /// line numbers attached to errors. Blank lines are skipped.
+///
+/// For checkpointable audits the reader can also maintain a running
+/// [`Fingerprint`] of every *raw line* it consumes (including blank and
+/// malformed ones): a resumed audit re-reads the already-processed prefix
+/// with [`skip_raw_lines`](Reader::skip_raw_lines) and compares digests to
+/// prove it is continuing the same input.
 pub struct Reader<R> {
     input: R,
-    line: usize,
+    line: u64,
     buf: String,
+    fingerprint: Option<Fingerprint>,
 }
 
 impl<R: BufRead> Reader<R> {
-    /// Wraps a buffered reader.
+    /// Wraps a buffered reader (no fingerprinting).
     pub fn new(input: R) -> Self {
-        Reader { input, line: 0, buf: String::new() }
+        Reader { input, line: 0, buf: String::new(), fingerprint: None }
+    }
+
+    /// Wraps a buffered reader and fingerprints every consumed line —
+    /// pass [`Fingerprint::new`] for a fresh stream, or a digest carried
+    /// over from a checkpoint to continue its chain.
+    pub fn with_fingerprint(input: R, fingerprint: Fingerprint) -> Self {
+        Reader { input, line: 0, buf: String::new(), fingerprint: Some(fingerprint) }
+    }
+
+    /// Lines consumed so far (blank and malformed lines included).
+    pub fn lines_read(&self) -> u64 {
+        self.line
+    }
+
+    /// The running digest of all consumed lines, when fingerprinting.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint.as_ref().map(Fingerprint::value)
+    }
+
+    /// Consumes up to `n` raw lines without parsing them (they still count
+    /// toward [`lines_read`](Reader::lines_read) and the fingerprint).
+    /// Returns how many lines were actually available before end of input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying reader.
+    pub fn skip_raw_lines(&mut self, n: u64) -> std::io::Result<u64> {
+        let mut skipped = 0;
+        while skipped < n {
+            self.buf.clear();
+            if self.input.read_line(&mut self.buf)? == 0 {
+                break;
+            }
+            self.consume_line();
+            skipped += 1;
+        }
+        Ok(skipped)
+    }
+
+    /// Counts and fingerprints the line currently in `buf`.
+    fn consume_line(&mut self) {
+        self.line += 1;
+        if let Some(fp) = &mut self.fingerprint {
+            fp.update(self.buf.as_bytes());
+        }
     }
 }
 
@@ -169,13 +222,13 @@ impl<R: BufRead> Iterator for Reader<R> {
                 Ok(_) => {}
                 Err(e) => return Some(Err(e.into())),
             }
-            self.line += 1;
+            self.consume_line();
             let text = self.buf.trim();
             if text.is_empty() {
                 continue;
             }
             return Some(parse_line(text).map_err(|source| NdjsonError::Parse {
-                line: self.line,
+                line: self.line as usize,
                 source,
             }));
         }
@@ -252,6 +305,33 @@ mod tests {
             other => panic!("expected parse error, got {other:?}"),
         }
         assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn fingerprinted_skip_matches_fingerprinted_read() {
+        let text = "\n{\"kind\":\"write\",\"value\":1,\"start\":0,\"finish\":2}\n{ bad\n";
+        // Read everything, fingerprinting as we go.
+        let mut full = Reader::with_fingerprint(text.as_bytes(), Fingerprint::new());
+        assert!(full.next().unwrap().is_ok());
+        assert!(full.next().unwrap().is_err());
+        assert!(full.next().is_none());
+        assert_eq!(full.lines_read(), 3);
+        // Skipping the same three raw lines yields the same digest.
+        let mut skip = Reader::with_fingerprint(text.as_bytes(), Fingerprint::new());
+        assert_eq!(skip.skip_raw_lines(3).unwrap(), 3);
+        assert_eq!(skip.lines_read(), 3);
+        assert_eq!(skip.fingerprint(), full.fingerprint());
+        assert!(skip.fingerprint().is_some());
+        // A diverging prefix yields a different digest.
+        let other = "\n{\"kind\":\"write\",\"value\":9,\"start\":0,\"finish\":2}\n{ bad\n";
+        let mut diverged = Reader::with_fingerprint(other.as_bytes(), Fingerprint::new());
+        diverged.skip_raw_lines(3).unwrap();
+        assert_ne!(diverged.fingerprint(), full.fingerprint());
+        // Skipping past the end reports the shortfall; plain readers have
+        // no fingerprint at all.
+        let mut short = Reader::with_fingerprint(text.as_bytes(), Fingerprint::new());
+        assert_eq!(short.skip_raw_lines(10).unwrap(), 3);
+        assert_eq!(Reader::new(text.as_bytes()).fingerprint(), None);
     }
 
     #[test]

@@ -70,6 +70,32 @@
 //! so violation verdicts stay sound, but a YES verdict is then only exact
 //! up to those reads (callers surface the breach count).
 //!
+//! # Snapshots and resume
+//!
+//! Long audits checkpoint: [`StreamBuilder::snapshot`] captures the whole
+//! builder — buffered window, watermark, retirement ring, orphan marks and
+//! every accumulated counter — as a serde-serializable [`BuilderSnapshot`],
+//! and [`StreamBuilder::resume`] rebuilds an equivalent builder from one.
+//! Resume *validates* the snapshot (completion order, horizon bound,
+//! distinct values, counter consistency) and re-derives the internal
+//! read/write pairing indexes by replaying the buffered operations, so a
+//! corrupted or hand-edited snapshot is rejected with a [`SnapshotError`]
+//! instead of silently mis-verifying.
+//!
+//! The soundness argument extends across a snapshot/resume cycle:
+//!
+//! * **NO stays sound.** A resumed builder seals exactly the segments the
+//!   uninterrupted builder would have sealed (the snapshot is a *bisimulation
+//!   point*: every subsequent push observes identical state), so a violation
+//!   found after resume is a violation of the full history, and a violation
+//!   found before the snapshot was already reported.
+//! * **YES requires an unbroken chain.** A YES is only exact if every
+//!   operation of the stream passed through *some* builder in the chain —
+//!   i.e. the resumed run re-feeds the stream from precisely the point the
+//!   snapshot was taken. Callers that cannot verify this (e.g. resuming a
+//!   non-seekable source) must degrade YES to UNKNOWN; see
+//!   `kav_core::stream` for how the online adapters surface that.
+//!
 //! # Examples
 //!
 //! ```
@@ -91,9 +117,24 @@
 
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::{Operation, RawHistory, Time, Value};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+
+/// Buckets of the arrival-order staleness-depth histogram: bucket 0 holds
+/// depth 0 (fresh reads), bucket `i >= 1` holds depths in
+/// `[2^(i-1), 2^i)`, and the last bucket absorbs everything deeper.
+pub const DEPTH_BUCKETS: usize = 16;
+
+/// The histogram bucket a staleness depth falls into.
+fn depth_bucket(depth: u64) -> usize {
+    if depth == 0 {
+        0
+    } else {
+        ((64 - depth.leading_zeros()) as usize).min(DEPTH_BUCKETS - 1)
+    }
+}
 
 /// Outcome of accepting one operation into a [`StreamBuilder`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -176,6 +217,75 @@ impl fmt::Display for StreamError {
 
 impl Error for StreamError {}
 
+/// A checkpoint snapshot that cannot be resumed: it is internally
+/// inconsistent (corrupted, truncated, hand-edited) or does not match the
+/// configuration it is being resumed under. Resume never "repairs" such a
+/// snapshot — verdicts derived from guessed state would be unsound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotError(String);
+
+impl SnapshotError {
+    /// An error carrying a preformatted message.
+    pub fn new(message: impl Into<String>) -> Self {
+        SnapshotError(message.into())
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot resume snapshot: {}", self.0)
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// Serializable state of a [`StreamBuilder`], produced by
+/// [`StreamBuilder::snapshot`] and consumed by [`StreamBuilder::resume`].
+///
+/// Only the irreducible state is stored: the buffered operations, the
+/// retirement ring and the accumulated counters. The derived pairing
+/// indexes (buffered-write map, pending reads, read/write pairs) are
+/// rebuilt — and thereby cross-checked — by replaying the buffer on
+/// resume. Snapshots are deterministic: the same builder state always
+/// serializes to the same JSON, so checkpoint files can be compared.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BuilderSnapshot {
+    /// Retirement horizon the builder was configured with.
+    pub horizon: Option<usize>,
+    /// Sequence number of the first buffered operation.
+    pub base: u64,
+    /// Largest finish time accepted, if any.
+    pub watermark: Option<Time>,
+    /// Buffered operations in arrival order.
+    pub buffer: Vec<Operation>,
+    /// Values of the retained retired writes, oldest first.
+    pub retired_recent: Vec<Value>,
+    /// Writes ever retired, including forgotten ones.
+    pub retired_total: u64,
+    /// High-water mark of the retirement ring.
+    pub peak_retired: usize,
+    /// Sequence numbers of buffered reads expired as orphans, ascending.
+    pub orphaned: Vec<u64>,
+    /// Total reads expired as orphans.
+    pub orphaned_reads: u64,
+    /// Total writes accepted.
+    pub writes_accepted: u64,
+    /// Total reads accepted (including horizon breaches).
+    pub reads_accepted: u64,
+    /// Sum of arrival-order staleness depths.
+    pub depth_sum: u64,
+    /// Maximum arrival-order staleness depth.
+    pub max_depth: u64,
+    /// Reads contributing to the depth statistics.
+    pub depth_count_reads: u64,
+    /// Depth histogram ([`DEPTH_BUCKETS`] buckets).
+    pub depth_hist: Vec<u64>,
+    /// Segments sealed so far.
+    pub segments_sealed: usize,
+    /// High-water mark of the operation buffer.
+    pub peak_resident: usize,
+}
+
 /// Incremental, windowed construction of one register's history.
 ///
 /// Operations are [pushed](StreamBuilder::push) in completion order;
@@ -236,6 +346,8 @@ pub struct StreamBuilder {
     max_depth: u64,
     /// Reads whose dictating write is known (depth statistics population).
     depth_count_reads: u64,
+    /// Histogram of those depths, in [`depth_bucket`] buckets.
+    depth_hist: [u64; DEPTH_BUCKETS],
     segments_sealed: usize,
     peak_resident: usize,
 }
@@ -334,6 +446,14 @@ impl StreamBuilder {
         self.max_depth
     }
 
+    /// Histogram of arrival-order staleness depths over the
+    /// [`mean_read_depth`](Self::mean_read_depth) population: bucket 0 is
+    /// depth 0, bucket `i >= 1` covers `[2^(i-1), 2^i)`, the last bucket
+    /// absorbs deeper reads ([`DEPTH_BUCKETS`] buckets).
+    pub fn depth_histogram(&self) -> [u64; DEPTH_BUCKETS] {
+        self.depth_hist
+    }
+
     /// Accepts one operation.
     ///
     /// # Errors
@@ -375,6 +495,7 @@ impl StreamBuilder {
                 for read_seq in waiting {
                     self.pairs.push((read_seq, seq));
                     self.depth_count_reads += 1;
+                    self.depth_hist[0] += 1;
                 }
             }
         } else {
@@ -384,6 +505,7 @@ impl StreamBuilder {
                 self.depth_sum += depth;
                 self.max_depth = self.max_depth.max(depth);
                 self.depth_count_reads += 1;
+                self.depth_hist[depth_bucket(depth)] += 1;
                 self.pairs.push((write_seq, seq));
             } else if self.retired_set.contains(&op.value) {
                 return Ok(Push::BeyondHorizon);
@@ -536,6 +658,219 @@ impl StreamBuilder {
         self.pairs.clear();
         self.pending_reads.clear();
         sealed
+    }
+
+    /// Captures the builder's complete state as a serializable snapshot.
+    ///
+    /// The snapshot is a *bisimulation point*: a builder
+    /// [resumed](Self::resume) from it reacts to every future push and
+    /// seal exactly as this builder would, so checkpoint/resume is
+    /// invisible to verdicts (see the module docs).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kav_history::stream::StreamBuilder;
+    /// use kav_history::{Operation, Time, Value};
+    ///
+    /// let mut builder = StreamBuilder::new();
+    /// builder.push(Operation::write(Value(1), Time(0), Time(10)))?;
+    /// let snapshot = builder.snapshot();
+    ///
+    /// // ...process crashes; later, a new process picks up the audit...
+    /// let mut resumed = StreamBuilder::resume(&snapshot).expect("snapshot is consistent");
+    /// resumed.push(Operation::read(Value(1), Time(12), Time(20)))?;
+    /// assert_eq!(resumed.resident(), 2);
+    /// # Ok::<(), kav_history::stream::StreamError>(())
+    /// ```
+    pub fn snapshot(&self) -> BuilderSnapshot {
+        let mut orphaned: Vec<u64> = self.orphaned.iter().copied().collect();
+        orphaned.sort_unstable();
+        BuilderSnapshot {
+            horizon: self.horizon,
+            base: self.base,
+            watermark: self.watermark,
+            buffer: self.buffer.iter().copied().collect(),
+            retired_recent: self.retired_recent.iter().copied().collect(),
+            retired_total: self.retired_total,
+            peak_retired: self.peak_retired,
+            orphaned,
+            orphaned_reads: self.orphaned_reads,
+            writes_accepted: self.writes_accepted,
+            reads_accepted: self.reads_accepted,
+            depth_sum: self.depth_sum,
+            max_depth: self.max_depth,
+            depth_count_reads: self.depth_count_reads,
+            depth_hist: self.depth_hist.to_vec(),
+            segments_sealed: self.segments_sealed,
+            peak_resident: self.peak_resident,
+        }
+    }
+
+    /// Rebuilds a builder from a [`snapshot`](Self::snapshot).
+    ///
+    /// The snapshot is validated — completion order and interval sanity of
+    /// the buffer, the horizon bound on the retirement ring, value
+    /// distinctness across buffer and ring, orphan marks pointing at
+    /// buffered reads, and counter consistency — and the derived pairing
+    /// indexes are re-derived by replaying the buffered operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] naming the first inconsistency; nothing
+    /// about such a snapshot is trusted.
+    pub fn resume(snapshot: &BuilderSnapshot) -> Result<StreamBuilder, SnapshotError> {
+        let s = snapshot;
+        let err = |msg: String| Err(SnapshotError::new(msg));
+        if s.depth_hist.len() != DEPTH_BUCKETS {
+            return err(format!(
+                "depth histogram has {} buckets, expected {DEPTH_BUCKETS}",
+                s.depth_hist.len()
+            ));
+        }
+        if let Some(h) = s.horizon {
+            if s.retired_recent.len() > h {
+                return err(format!(
+                    "{} retained retirees exceed the horizon {h}",
+                    s.retired_recent.len()
+                ));
+            }
+        }
+        if s.peak_retired < s.retired_recent.len() || s.peak_resident < s.buffer.len() {
+            return err("high-water marks below current occupancy".into());
+        }
+        if s.retired_total < s.retired_recent.len() as u64 {
+            return err("more retained retirees than writes ever retired".into());
+        }
+
+        // The buffer must itself be a legal completion-order stream.
+        let mut prev: Option<Time> = None;
+        for op in &s.buffer {
+            if op.finish <= op.start {
+                return err(format!("buffered operation {op} has an empty interval"));
+            }
+            if op.weight.as_u32() == 0 {
+                return err(format!("buffered operation {op} has zero weight"));
+            }
+            if let Some(p) = prev {
+                if op.finish <= p {
+                    return err(format!("buffered operation {op} breaks completion order"));
+                }
+            }
+            prev = Some(op.finish);
+        }
+        match (prev, s.watermark) {
+            (Some(last), Some(mark)) if last > mark => {
+                return err("watermark behind the buffered operations".into());
+            }
+            (Some(_), None) => return err("non-empty buffer without a watermark".into()),
+            _ => {}
+        }
+
+        let mut retired_set: FxHashSet<Value> = FxHashSet::default();
+        for v in &s.retired_recent {
+            if !retired_set.insert(*v) {
+                return err(format!("value {v} retired twice in the retained ring"));
+            }
+        }
+
+        let len = s.buffer.len() as u64;
+        // All arithmetic below is on untrusted fields: prove it cannot
+        // overflow once, up front, so a corrupt checkpoint is rejected
+        // instead of panicking (debug) or wrapping into accepted
+        // nonsense (release).
+        if s.base.checked_add(len).is_none() {
+            return err(format!("sequence base {} overflows past the buffer", s.base));
+        }
+        if s.retired_total.checked_add(len).is_none() {
+            return err(format!("retired-write total {} is implausible", s.retired_total));
+        }
+        let mut orphaned: FxHashSet<u64> = FxHashSet::default();
+        for &seq in &s.orphaned {
+            if seq < s.base || seq >= s.base + len {
+                return err(format!("orphan sequence {seq} outside the buffer"));
+            }
+            if !s.buffer[(seq - s.base) as usize].is_read() {
+                return err(format!("orphan sequence {seq} marks a write"));
+            }
+            if !orphaned.insert(seq) {
+                return err(format!("orphan sequence {seq} listed twice"));
+            }
+        }
+        if s.orphaned_reads < orphaned.len() as u64 {
+            return err("orphan total below the marked orphans".into());
+        }
+
+        // Replay the buffer to re-derive (and cross-check) the pairing
+        // indexes. Counters are restored, not recomputed: they summarise
+        // arrivals that predate the buffer.
+        let mut buffered_writes: FxHashMap<Value, (u64, u64)> = FxHashMap::default();
+        let mut pending_reads: FxHashMap<Value, Vec<u64>> = FxHashMap::default();
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut buffered_write_count = 0u64;
+        for (i, op) in s.buffer.iter().enumerate() {
+            let seq = s.base + i as u64;
+            if op.is_write() {
+                if retired_set.contains(&op.value) {
+                    return err(format!("buffered write duplicates retained value {}", op.value));
+                }
+                let writes_before = s.retired_total + buffered_write_count;
+                if buffered_writes.insert(op.value, (seq, writes_before)).is_some() {
+                    return err(format!("value {} written twice in the buffer", op.value));
+                }
+                buffered_write_count += 1;
+                if let Some(waiting) = pending_reads.remove(&op.value) {
+                    for read_seq in waiting {
+                        pairs.push((read_seq, seq));
+                    }
+                }
+            } else if orphaned.contains(&seq) {
+                // Expired orphan: excluded from the cut constraints.
+            } else if let Some(&(write_seq, _)) = buffered_writes.get(&op.value) {
+                pairs.push((write_seq, seq));
+            } else if retired_set.contains(&op.value) {
+                // Such a read would have been classified BeyondHorizon and
+                // never buffered.
+                return err(format!("buffered read of retired value {}", op.value));
+            } else {
+                pending_reads.entry(op.value).or_default().push(seq);
+            }
+        }
+        if s.writes_accepted != s.retired_total + buffered_write_count {
+            return err(format!(
+                "{} writes accepted but {} retired + {} buffered",
+                s.writes_accepted, s.retired_total, buffered_write_count
+            ));
+        }
+        if s.depth_count_reads > s.reads_accepted {
+            return err("depth population exceeds reads accepted".into());
+        }
+
+        let mut depth_hist = [0u64; DEPTH_BUCKETS];
+        depth_hist.copy_from_slice(&s.depth_hist);
+        Ok(StreamBuilder {
+            buffer: s.buffer.iter().copied().collect(),
+            base: s.base,
+            watermark: s.watermark,
+            buffered_writes,
+            pending_reads,
+            pairs,
+            horizon: s.horizon,
+            retired_recent: s.retired_recent.iter().copied().collect(),
+            retired_set,
+            retired_total: s.retired_total,
+            peak_retired: s.peak_retired,
+            orphaned,
+            orphaned_reads: s.orphaned_reads,
+            writes_accepted: s.writes_accepted,
+            reads_accepted: s.reads_accepted,
+            depth_sum: s.depth_sum,
+            max_depth: s.max_depth,
+            depth_count_reads: s.depth_count_reads,
+            depth_hist,
+            segments_sealed: s.segments_sealed,
+            peak_resident: s.peak_resident,
+        })
     }
 }
 
@@ -812,6 +1147,143 @@ mod tests {
         let last = b.flush();
         assert_eq!(last.len(), 2);
         assert!(last.into_history().is_err());
+    }
+
+    #[test]
+    fn depth_histogram_buckets_by_power_of_two() {
+        assert_eq!(depth_bucket(0), 0);
+        assert_eq!(depth_bucket(1), 1);
+        assert_eq!(depth_bucket(2), 2);
+        assert_eq!(depth_bucket(3), 2);
+        assert_eq!(depth_bucket(4), 3);
+        assert_eq!(depth_bucket(u64::MAX), DEPTH_BUCKETS - 1);
+
+        let mut b = StreamBuilder::new();
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(w(2, 12, 20)).unwrap();
+        b.push(w(3, 22, 30)).unwrap();
+        b.push(r(1, 32, 40)).unwrap(); // depth 2 -> bucket 2
+        b.push(r(3, 42, 50)).unwrap(); // depth 0 -> bucket 0
+        let hist = b.depth_histogram();
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[2], 1);
+        assert_eq!(hist.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn pending_read_resolution_counts_as_depth_zero_in_histogram() {
+        let mut b = StreamBuilder::new();
+        b.push(r(5, 0, 10)).unwrap(); // waits for its write
+        b.push(w(5, 2, 20)).unwrap(); // resolves it at depth 0
+        assert_eq!(b.depth_histogram()[0], 1);
+    }
+
+    /// Pushes `ops` through builder `b`, sealing with `target` after each
+    /// push, and returns everything sealed plus every push outcome.
+    fn drive(
+        b: &mut StreamBuilder,
+        ops: &[Operation],
+        target: usize,
+    ) -> (Vec<Operation>, Vec<Push>) {
+        let mut sealed = Vec::new();
+        let mut outcomes = Vec::new();
+        for op in ops {
+            outcomes.push(b.push(*op).unwrap());
+            if let Some(segment) = b.try_seal(target) {
+                sealed.extend(segment.ops);
+            }
+        }
+        (sealed, outcomes)
+    }
+
+    #[test]
+    fn resumed_builder_bisimulates_the_uninterrupted_one() {
+        // A workload exercising pairs, pending reads, retirement and
+        // breaches, split at every possible point: the resumed builder
+        // must seal identical segments and report identical statistics.
+        let mut ops = Vec::new();
+        let mut t = 0;
+        for v in 1..=12u64 {
+            ops.push(w(v, t, t + 5));
+            if v % 2 == 0 {
+                ops.push(r(v - 1, t + 6, t + 9)); // one write stale
+            }
+            t += 10;
+        }
+        ops.push(r(1, t, t + 5)); // deep read: breaches at small horizons
+        let config = StreamConfig { horizon: Some(4) };
+
+        for cut in 0..=ops.len() {
+            let mut uninterrupted = StreamBuilder::with_config(config);
+            let (sealed_a, outcomes_a) = drive(&mut uninterrupted, &ops, 2);
+
+            let mut first = StreamBuilder::with_config(config);
+            let (mut sealed_b, mut outcomes_b) = drive(&mut first, &ops[..cut], 2);
+            let snapshot = first.snapshot();
+            drop(first); // the "crash"
+            let mut resumed = StreamBuilder::resume(&snapshot).expect("snapshot resumes");
+            let (tail_sealed, tail_outcomes) = drive(&mut resumed, &ops[cut..], 2);
+            sealed_b.extend(tail_sealed);
+            outcomes_b.extend(tail_outcomes);
+
+            assert_eq!(outcomes_a, outcomes_b, "cut {cut}");
+            assert_eq!(sealed_a, sealed_b, "cut {cut}");
+            assert_eq!(uninterrupted.flush().ops, resumed.flush().ops, "cut {cut}");
+            assert_eq!(uninterrupted.retired_total(), resumed.retired_total());
+            assert_eq!(uninterrupted.peak_retired(), resumed.peak_retired());
+            assert_eq!(uninterrupted.reads_accepted(), resumed.reads_accepted());
+            assert_eq!(uninterrupted.orphaned_reads(), resumed.orphaned_reads());
+            assert_eq!(uninterrupted.max_read_depth(), resumed.max_read_depth());
+            assert_eq!(uninterrupted.depth_histogram(), resumed.depth_histogram());
+            assert_eq!(uninterrupted.watermark(), resumed.watermark());
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut b = StreamBuilder::with_config(StreamConfig { horizon: Some(3) });
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(r(1, 12, 20)).unwrap();
+        b.push(w(2, 14, 30)).unwrap();
+        b.try_seal(1);
+        let snapshot = b.snapshot();
+        let json = serde_json::to_string(&snapshot).expect("snapshot serializes");
+        let back: BuilderSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        assert_eq!(back, snapshot);
+        // Determinism: identical state, identical bytes.
+        assert_eq!(json, serde_json::to_string(&b.snapshot()).unwrap());
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected() {
+        let mut b = StreamBuilder::with_config(StreamConfig { horizon: Some(2) });
+        b.push(w(1, 0, 10)).unwrap();
+        b.push(w(2, 12, 20)).unwrap();
+        b.try_seal(0);
+        b.push(r(3, 22, 30)).unwrap();
+        b.push(w(4, 32, 40)).unwrap();
+        let good = b.snapshot();
+        assert!(StreamBuilder::resume(&good).is_ok());
+
+        let tamper = |mutate: &dyn Fn(&mut BuilderSnapshot)| {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            StreamBuilder::resume(&bad).expect_err("tampered snapshot must be rejected")
+        };
+        tamper(&|s| s.retired_recent.push(Value(9))); // ring outgrows the horizon
+        tamper(&|s| s.writes_accepted += 1);
+        tamper(&|s| s.buffer.reverse());
+        tamper(&|s| s.watermark = None);
+        tamper(&|s| {
+            s.depth_hist.pop();
+        });
+        tamper(&|s| s.orphaned.push(999));
+        tamper(&|s| s.peak_resident = 0);
+        // Adversarial numeric fields must reject, never overflow.
+        tamper(&|s| s.base = u64::MAX);
+        tamper(&|s| s.retired_total = u64::MAX);
+        let err = tamper(&|s| s.buffer[0] = w(2, 21, 29));
+        assert!(err.to_string().contains("cannot resume"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Kill-and-resume must be invisible to verdicts: a streaming audit that
+//! is checkpointed at an arbitrary point, "crashed" (all in-flight state
+//! discarded), serialized through JSON and resumed must finish with
+//! reports identical to the uninterrupted audit — on property-generated
+//! multi-key streams, at any shard count, across multi-hop snapshot
+//! chains. This suite is part of the acceptance gate for the
+//! checkpoint/resume subsystem.
+
+use k_atomicity::history::ndjson::StreamRecord;
+use k_atomicity::verify::{
+    Fzf, PipelineConfig, PipelineOutput, PipelineSnapshot, StreamPipeline,
+};
+use k_atomicity::workloads::{streaming_workload, StreamingWorkloadConfig};
+use proptest::prelude::*;
+
+fn push_all(pipeline: &mut StreamPipeline, records: &[StreamRecord]) {
+    for record in records {
+        pipeline.push(record.key, record.op());
+    }
+}
+
+fn uninterrupted(records: &[StreamRecord], config: PipelineConfig) -> PipelineOutput {
+    let mut pipeline = StreamPipeline::new(Fzf, config);
+    push_all(&mut pipeline, records);
+    pipeline.finish()
+}
+
+/// Snapshots after `cut` records, "crashes", and resumes through a JSON
+/// roundtrip (the exact on-disk path) with `resume_shards` workers.
+fn kill_and_resume(
+    records: &[StreamRecord],
+    config: PipelineConfig,
+    cut: usize,
+    resume_shards: usize,
+    prefix_verified: bool,
+) -> PipelineOutput {
+    let mut first = StreamPipeline::new(Fzf, config);
+    push_all(&mut first, &records[..cut]);
+    let json = serde_json::to_string(&first.snapshot()).expect("snapshots serialize");
+    drop(first); // the crash: worker threads and buffers are discarded
+    let snapshot: PipelineSnapshot =
+        serde_json::from_str(&json).expect("checkpoints parse back");
+    let resume_config = PipelineConfig { shards: resume_shards, ..config };
+    let mut resumed = StreamPipeline::resume(Fzf, resume_config, &snapshot, prefix_verified)
+        .expect("own snapshots resume");
+    push_all(&mut resumed, &records[cut..]);
+    resumed.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline guarantee: killing an audit at any point and resuming
+    /// from its checkpoint yields byte-for-byte the uninterrupted per-key
+    /// reports — counters, statistics and verdicts — even when the resumed
+    /// pipeline uses a different shard count.
+    #[test]
+    fn kill_and_resume_agrees_with_uninterrupted(
+        seed in 0u64..2000,
+        keys in 1u64..6,
+        shards in 1usize..4,
+        resume_shards in 1usize..4,
+        window in 8usize..48,
+        cut_permille in 0usize..=1000,
+    ) {
+        let records = streaming_workload(StreamingWorkloadConfig {
+            keys,
+            ops_per_key: 40,
+            k: 2,
+            seed,
+            ..Default::default()
+        });
+        let config = PipelineConfig { shards, window, ..Default::default() };
+        let baseline = uninterrupted(&records, config);
+        let cut = records.len() * cut_permille / 1000;
+        let output = kill_and_resume(&records, config, cut, resume_shards, true);
+        prop_assert_eq!(&output.keys, &baseline.keys);
+        prop_assert_eq!(&output.errors, &baseline.errors);
+    }
+
+    /// Snapshot chains compose: two kill/resume hops land on the same
+    /// reports as zero or one.
+    #[test]
+    fn snapshot_chains_compose(
+        seed in 0u64..1000,
+        first_cut in 0usize..=100,
+        second_cut in 0usize..=100,
+    ) {
+        let records = streaming_workload(StreamingWorkloadConfig {
+            keys: 3,
+            ops_per_key: 50,
+            k: 2,
+            seed,
+            ..Default::default()
+        });
+        let config = PipelineConfig { shards: 2, window: 16, ..Default::default() };
+        let baseline = uninterrupted(&records, config);
+
+        let a = records.len() * first_cut / 100;
+        let b = a + (records.len() - a) * second_cut / 100;
+        let mut pipeline = StreamPipeline::new(Fzf, config);
+        push_all(&mut pipeline, &records[..a]);
+        let hop1 = serde_json::to_string(&pipeline.snapshot()).unwrap();
+        drop(pipeline);
+        let snapshot: PipelineSnapshot = serde_json::from_str(&hop1).unwrap();
+        let mut pipeline = StreamPipeline::resume(Fzf, config, &snapshot, true).unwrap();
+        push_all(&mut pipeline, &records[a..b]);
+        let hop2 = serde_json::to_string(&pipeline.snapshot()).unwrap();
+        drop(pipeline);
+        let snapshot: PipelineSnapshot = serde_json::from_str(&hop2).unwrap();
+        let mut pipeline = StreamPipeline::resume(Fzf, config, &snapshot, true).unwrap();
+        push_all(&mut pipeline, &records[b..]);
+        let output = pipeline.finish();
+        prop_assert_eq!(&output.keys, &baseline.keys);
+        prop_assert_eq!(&output.errors, &baseline.errors);
+    }
+
+    /// An unverified resume (e.g. from a non-seekable source) never
+    /// upgrades or downgrades soundness the wrong way: every key that
+    /// would certify YES reports UNKNOWN instead, and no key changes its
+    /// violation status.
+    #[test]
+    fn unverified_resume_degrades_yes_keys_to_unknown(
+        seed in 0u64..1000,
+        cut_percent in 0usize..=100,
+    ) {
+        let records = streaming_workload(StreamingWorkloadConfig {
+            keys: 4,
+            ops_per_key: 40,
+            k: 2,
+            seed,
+            ..Default::default()
+        });
+        let config = PipelineConfig { shards: 2, window: 16, ..Default::default() };
+        let baseline = uninterrupted(&records, config);
+        let cut = records.len() * cut_percent / 100;
+        let output = kill_and_resume(&records, config, cut, 2, false);
+        prop_assert_eq!(output.keys.len(), baseline.keys.len());
+        for ((key, tainted), (base_key, clean)) in output.keys.iter().zip(&baseline.keys) {
+            prop_assert_eq!(key, base_key);
+            prop_assert!(tainted.resumed_uncertified, "key {}: {}", key, tainted);
+            match clean.k_atomic() {
+                Some(true) | None => prop_assert_eq!(
+                    tainted.k_atomic(), None, "key {}: {}", key, tainted
+                ),
+                Some(false) => prop_assert_eq!(
+                    tainted.k_atomic(), Some(false), "key {}: {}", key, tainted
+                ),
+            }
+            // Everything except certifiability is untouched.
+            prop_assert_eq!(tainted.ops, clean.ops);
+            prop_assert_eq!(tainted.violations, clean.violations);
+            prop_assert_eq!(tainted.horizon_breaches, clean.horizon_breaches);
+        }
+    }
+}
+
+/// Deterministic spot check that a snapshot is stable: snapshotting twice
+/// without pushes yields identical bytes, and resume restores ops_routed.
+#[test]
+fn snapshots_are_deterministic_and_restore_position() {
+    let records = streaming_workload(StreamingWorkloadConfig {
+        keys: 3,
+        ops_per_key: 30,
+        k: 2,
+        seed: 9,
+        ..Default::default()
+    });
+    let config = PipelineConfig { shards: 2, window: 16, ..Default::default() };
+    let mut pipeline = StreamPipeline::new(Fzf, config);
+    push_all(&mut pipeline, &records[..records.len() / 2]);
+    let first = serde_json::to_string(&pipeline.snapshot()).unwrap();
+    let second = serde_json::to_string(&pipeline.snapshot()).unwrap();
+    assert_eq!(first, second, "probing must not perturb state");
+    let snapshot: PipelineSnapshot = serde_json::from_str(&first).unwrap();
+    assert_eq!(snapshot.ops_routed, (records.len() / 2) as u64);
+    assert_eq!(snapshot.algo, "fzf");
+    assert_eq!(snapshot.k, 2);
+    let resumed = StreamPipeline::resume(Fzf, config, &snapshot, true).unwrap();
+    assert_eq!(resumed.ops_routed(), (records.len() / 2) as u64);
+    resumed.finish();
+    pipeline.finish();
+}

@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "audit_pipeline",
     "clock_skew",
     "quorum_tuning",
+    "resume_audit",
     "social_network",
     "weighted_writes",
 ];
