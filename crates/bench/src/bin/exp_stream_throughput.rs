@@ -26,6 +26,12 @@
 //! per-checkpoint cost — the number the <10% operations budget is judged
 //! against (see docs/OPERATIONS.md).
 //!
+//! A fifth section measures the **general-k axis**: deep-stale workloads
+//! (true staleness exactly `k`) streamed at `k ∈ {2, 3, 4}` through the
+//! `GenK` bound sandwich and through a budgeted `ExhaustiveSearch` on the
+//! same windows — genk's edge over raw search *is* the gap residue it
+//! avoids, so the ratio column tracks how often the bounds close.
+//!
 //! Usage:
 //!
 //! ```text
@@ -37,12 +43,14 @@
 
 use kav_bench::{header, row};
 use kav_core::{
-    CheckpointWriter, Fzf, PipelineConfig, SourcePosition, StreamPipeline, TotalOrder,
-    Verdict, Verifier, DEFAULT_CHECKPOINT_EVERY,
+    CheckpointWriter, ExhaustiveSearch, Fzf, GenK, PipelineConfig, SourcePosition,
+    StreamPipeline, TotalOrder, Verdict, Verifier, DEFAULT_CHECKPOINT_EVERY,
 };
 use kav_history::ndjson::StreamRecord;
 use kav_history::History;
-use kav_workloads::{streaming_workload, StreamingWorkloadConfig};
+use kav_workloads::{
+    deep_stale_stream, streaming_workload, DeepStaleConfig, StreamingWorkloadConfig,
+};
 use std::time::Instant;
 
 /// Accepts every segment without looking: all remaining cost is the
@@ -65,6 +73,9 @@ impl Verifier for NoopVerifier {
 
 struct Measurement {
     verifier: &'static str,
+    /// The `k` the verifier decides (the general-k axis varies it; every
+    /// other section runs at the historical k = 2).
+    k: u64,
     shards: usize,
     window: usize,
     batch: usize,
@@ -113,6 +124,7 @@ fn measure_checkpointed(records: &[StreamRecord], shards: usize, every: u64) -> 
     std::fs::remove_file(&path).ok();
     Measurement {
         verifier: "fzf+ckpt",
+        k: 2,
         shards,
         window: 256,
         batch: 256,
@@ -172,6 +184,7 @@ fn measure_drain(records: &[StreamRecord], shards: usize, batch: usize) -> Measu
     assert_eq!(received, records.len());
     Measurement {
         verifier: "drain",
+        k: 2,
         shards,
         window: 256,
         batch,
@@ -198,6 +211,7 @@ fn measure<V: Verifier + Clone + Send + 'static>(
     assert_eq!(output.total_ops(), records.len() as u64);
     Measurement {
         verifier: verifier.name(),
+        k: verifier.k(),
         shards: config.shards,
         window: config.window,
         batch: config.batch,
@@ -264,6 +278,45 @@ fn main() {
         }
     }
 
+    // General-k axis: deep-stale workloads (true staleness exactly k)
+    // through the GenK bound sandwich vs a node-budgeted exhaustive
+    // search on the same windows. Window 64 keeps sealed segments within
+    // MAX_SEARCH_OPS so the search rows measure real search effort, not
+    // instant give-ups; the smaller record count bounds the search rows'
+    // worst case.
+    let genk_keys = (keys / 2).max(2);
+    let genk_ops_per_key = (ops_per_key / 2).max(100);
+    println!(
+        "\n## general-k verification (deep-stale workload, {} ops/key x {genk_keys} keys, \
+         window 64)\n",
+        genk_ops_per_key
+    );
+    header(&["k", "verifier", "shards", "ops/s", "vs genk"]);
+    for k in [2u64, 3, 4] {
+        let records = deep_stale_stream(DeepStaleConfig {
+            keys: genk_keys,
+            ops_per_key: genk_ops_per_key,
+            k,
+            seed: 7,
+            ..Default::default()
+        });
+        let config = PipelineConfig { shards: 4, window: 64, batch: 256, ..Default::default() };
+        let genk = measure(GenK::new(k), &records, config);
+        let search =
+            measure(ExhaustiveSearch::with_node_budget(k, 20_000), &records, config);
+        let baseline = genk.ops_per_sec();
+        for m in [genk, search] {
+            row(&[
+                k.to_string(),
+                m.verifier.to_string(),
+                m.shards.to_string(),
+                format!("{:.0}", m.ops_per_sec()),
+                format!("{:.2}x", m.ops_per_sec() / baseline),
+            ]);
+            results.push(m);
+        }
+    }
+
     // Checkpoint axis: the cost of making the audit crash-resumable. The
     // cadence is scaled so the run writes several checkpoints regardless
     // of preset size; the production-default cadence is then judged from
@@ -316,10 +369,11 @@ fn main() {
             .iter()
             .map(|m| {
                 format!(
-                    "    {{\"verifier\":\"{}\",\"shards\":{},\"window\":{},\"batch\":{},\
+                    "    {{\"verifier\":\"{}\",\"k\":{},\"shards\":{},\"window\":{},\"batch\":{},\
                      \"ops\":{},\"seconds\":{:.6},\"ops_per_sec\":{:.0},\
                      \"checkpoint_every\":{},\"checkpoints\":{}}}",
                     m.verifier,
+                    m.k,
                     m.shards,
                     m.window,
                     m.batch,

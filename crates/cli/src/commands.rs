@@ -3,8 +3,9 @@
 use crate::args::{ArgError, Args};
 use kav_core::{
     check_witness, diagnose, read_checkpoint, smallest_k, Checkpoint, CheckpointWriter,
-    ExhaustiveSearch, Fzf, GkOneAv, Lbt, PipelineConfig, PipelineOutput, ShardProgress,
+    ExhaustiveSearch, Fzf, GenK, GkOneAv, Lbt, PipelineConfig, PipelineOutput, ShardProgress,
     SourcePosition, Staleness, StreamPipeline, Verdict, Verifier, DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_GAP_BUDGET,
 };
 use kav_history::fxhash::Fingerprint;
 use kav_history::{csv, json, ndjson, render_timeline, repair, History, HistoryStats, RawHistory};
@@ -50,17 +51,19 @@ pub fn usage() -> &'static str {
     "kav — k-atomicity verification toolbox\n\
      \n\
      USAGE:\n\
-     \x20 kav verify --k <1|2|N> [--algo gk|lbt|fzf|search] [--witness] <history.json>\n\
+     \x20 kav verify --k <1|2|N> [--algo gk|lbt|fzf|genk|search] [--witness] <history.json>\n\
+     \x20        (genk: any k, bound-sandwich + budgeted escalation — see --budget)\n\
      \x20 kav smallest-k [--budget <nodes>] <history.json>\n\
      \x20 kav stats <history.json>\n\
      \x20 kav diagnose [--budget <nodes>] <history.json>\n\
      \x20 kav render [--width <cols>] <history.json>\n\
      \x20 kav repair <dirty.json> --out <clean.json>\n\
-     \x20 kav gen --workload <staircase|serial|ladder|random|figure3|stream>\n\
+     \x20 kav gen --workload <staircase|serial|ladder|random|figure3|stream|deep-stale>\n\
      \x20        [--n <ops>] [--k <bound>] [--seed <s>] [--spread <w>] [--out <file>]\n\
-     \x20        [--keys <K>]                        (stream: NDJSON, --n ops per key)\n\
-     \x20 kav stream [--k <1|2>] [--algo gk|lbt|fzf] [--window <ops>] [--shards <N>]\n\
-     \x20        [--horizon <writes>] [--batch <ops>] [--strict]\n\
+     \x20        [--keys <K>]             (stream/deep-stale: NDJSON, --n ops per key;\n\
+     \x20                                  deep-stale: true staleness exactly --k)\n\
+     \x20 kav stream [--k <1|2|N>] [--algo gk|lbt|fzf|genk] [--window <ops>] [--shards <N>]\n\
+     \x20        [--horizon <writes>] [--batch <ops>] [--strict] [--gap-budget <nodes>]\n\
      \x20        [--checkpoint <file>] [--checkpoint-every <ops>]\n\
      \x20        [--resume <file>] [--progress-every <records>]\n\
      \x20        <ops.ndjson | ->                    (- reads NDJSON from stdin)\n\
@@ -88,6 +91,46 @@ fn load(args: &Args, position: usize) -> Result<History, Box<dyn Error>> {
     Ok(load_raw(path)?.into_history()?)
 }
 
+/// The `(algo, k)` grid the CLI supports, spelled out for error messages.
+const ALGO_RANGES: &str =
+    "supported: --algo gk (k = 1), --algo fzf or lbt (k = 2), --algo genk (any k >= 1)";
+
+/// `--algo` aliases: a resumed checkpoint records [`Verifier::name`],
+/// which for the GK baseline (`"gk-zones"`) differs from the flag
+/// spelling (`"gk"`). Both spellings mean the same verifier.
+fn canonical_algo(algo: &str) -> &str {
+    match algo {
+        "gk-zones" => "gk",
+        other => other,
+    }
+}
+
+/// An unusable `(algo, k)` combination: a clear message naming the
+/// supported range per algorithm, with the bad-input exit code — never a
+/// panic, never a silent clamp to a default.
+fn bad_algo_k(algo: &str, k: u64, extra: &str) -> Box<dyn Error> {
+    let message = match canonical_algo(algo) {
+        _ if k == 0 => format!("--k 0 is out of range: k must be at least 1; {ALGO_RANGES}{extra}"),
+        "gk" => format!(
+            "--k {k} is out of range for algorithm \"gk\", which decides k = 1 only; \
+             {ALGO_RANGES}{extra}"
+        ),
+        "fzf" | "lbt" => format!(
+            "--k {k} is out of range for algorithm {algo:?}, which decides k = 2 only; \
+             {ALGO_RANGES}{extra}"
+        ),
+        // Only `kav stream` reaches this arm: `kav verify` dispatches
+        // search itself for every k >= 1.
+        "search" => format!(
+            "algorithm \"search\" is offline-only (`kav verify`); for streaming use \
+             --algo genk, which runs the same exact search only on bound-gap windows; \
+             {ALGO_RANGES}{extra}"
+        ),
+        other => format!("unknown algorithm {other:?}; {ALGO_RANGES}{extra}"),
+    };
+    ExitWith::new(EXIT_BAD_INPUT, message)
+}
+
 /// `kav verify` — decide k-atomicity with a chosen algorithm.
 pub fn verify(args: &Args) -> CmdResult {
     let k: u64 = args.get_parsed("k", 2)?;
@@ -95,18 +138,17 @@ pub fn verify(args: &Args) -> CmdResult {
     let algo = args.get("algo").unwrap_or(match k {
         1 => "gk",
         2 => "fzf",
-        _ => "search",
+        _ => "genk",
     });
-    let verdict = match (algo, k) {
+    let budget: u64 = args.get_parsed("budget", 10_000_000u64)?;
+    let verdict = match (canonical_algo(algo), k) {
         ("gk", 1) => GkOneAv.verify(&history),
         ("lbt", 2) => Lbt::new().verify(&history),
         ("fzf", 2) => Fzf.verify(&history),
-        ("search", _) => {
-            let budget: u64 = args.get_parsed("budget", 10_000_000u64)?;
-            ExhaustiveSearch::with_node_budget(k, budget).verify(&history)
-        }
+        ("genk", k) if k >= 1 => GenK::with_gap_budget(k, Some(budget)).verify(&history),
+        ("search", k) if k >= 1 => ExhaustiveSearch::with_node_budget(k, budget).verify(&history),
         (a, k) => {
-            return Err(ArgError(format!("algorithm {a:?} cannot decide k = {k}")).into());
+            return Err(bad_algo_k(a, k, ", or --algo search (any k >= 1, exponential)"));
         }
     };
     match &verdict {
@@ -198,15 +240,30 @@ pub fn gen(args: &Args) -> CmdResult {
     let k: u64 = args.get_parsed("k", 2)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
     let spread: u64 = args.get_parsed("spread", 3)?;
-    if workload == "stream" {
-        let records = workloads::streaming_workload(workloads::StreamingWorkloadConfig {
-            keys: args.get_parsed::<u64>("keys", 4)?.max(1),
-            ops_per_key: n.max(1),
-            k,
-            spread,
-            seed,
-            ..Default::default()
-        });
+    if workload == "stream" || workload == "deep-stale" {
+        let keys = args.get_parsed::<u64>("keys", 4)?.max(1);
+        let records = if workload == "stream" {
+            workloads::streaming_workload(workloads::StreamingWorkloadConfig {
+                keys,
+                ops_per_key: n.max(1),
+                k,
+                spread,
+                seed,
+                ..Default::default()
+            })
+        } else {
+            if k == 0 {
+                return Err(ArgError("deep-stale requires --k >= 1".into()).into());
+            }
+            workloads::deep_stale_stream(workloads::DeepStaleConfig {
+                keys,
+                ops_per_key: n.max(1),
+                k,
+                spread,
+                seed,
+                ..Default::default()
+            })
+        };
         match args.get("out") {
             Some(path) => {
                 ndjson::write_stream(path, &records)?;
@@ -315,7 +372,9 @@ pub fn stream(args: &Args) -> CmdResult {
 /// counters mean.
 fn reject_resume_conflict(args: &Args, name: &str, recorded: &str) -> CmdResult {
     match args.get(name) {
-        Some(given) if given != recorded => Err(ExitWith::new(
+        // `canonical_algo` lets `--algo gk` match a checkpoint that
+        // recorded the verifier's own name, "gk-zones".
+        Some(given) if canonical_algo(given) != canonical_algo(recorded) => Err(ExitWith::new(
             EXIT_BAD_INPUT,
             format!(
                 "--{name} {given} conflicts with the checkpoint's {name} = {recorded}; \
@@ -366,7 +425,8 @@ fn stream_inner(args: &Args) -> CmdResult {
                 .get("algo")
                 .unwrap_or(match k {
                     1 => "gk",
-                    _ => "fzf",
+                    2 => "fzf",
+                    _ => "genk",
                 })
                 .to_string();
             let horizon = match args.get("horizon") {
@@ -393,13 +453,19 @@ fn stream_inner(args: &Args) -> CmdResult {
             .positional(1)
             .ok_or_else(|| ArgError("stream requires an NDJSON file argument (or -)".into()))?,
     };
-    let (output, malformed, total_malformed) = match (algo.as_str(), k) {
+    // The gap-escalation budget for genk segments (search nodes per
+    // sealed window that reaches the bound gap). Not pinned by
+    // checkpoints: it trades UNKNOWNs for latency but never changes what
+    // a counted verdict means — see docs/OPERATIONS.md.
+    let gap_budget: u64 = args.get_parsed("gap-budget", DEFAULT_GAP_BUDGET)?;
+    let (output, malformed, total_malformed) = match (canonical_algo(&algo), k) {
         ("gk", 1) => drive_stream(GkOneAv, session)?,
         ("fzf", 2) => drive_stream(Fzf, session)?,
         ("lbt", 2) => drive_stream(Lbt::new(), session)?,
-        (a, k) => {
-            return Err(ArgError(format!("algorithm {a:?} cannot decide k = {k}")).into());
+        ("genk", k) if k >= 1 => {
+            drive_stream(GenK::with_gap_budget(k, Some(gap_budget)), session)?
         }
+        (a, k) => return Err(bad_algo_k(a, k, "")),
     };
 
     println!(

@@ -148,7 +148,9 @@ fn kav_with_stdin(args: &[&str], stdin: &str) -> Output {
         .stderr(Stdio::piped())
         .spawn()
         .expect("kav binary spawns");
-    child.stdin.take().unwrap().write_all(stdin.as_bytes()).unwrap();
+    // A write error (EPIPE) is fine: kav exits without draining stdin
+    // when its flags are rejected up front.
+    let _ = child.stdin.take().unwrap().write_all(stdin.as_bytes());
     child.wait_with_output().expect("kav binary runs")
 }
 
@@ -481,6 +483,136 @@ fn stream_emits_ndjson_progress_records() {
     assert!(last.contains("\"violating_keys\":0"), "{last}");
     assert!(last.contains("\"depth_hist\":["), "{last}");
     assert!(last.contains("\"shards\":["), "{last}");
+}
+
+#[test]
+fn stream_rejects_out_of_range_k_per_algo_with_exit_two() {
+    // Every algorithm × bad-k combination must exit 2 (unusable input)
+    // with a message naming the algorithm's supported range — never
+    // panic, never silently clamp to a default k.
+    let ndjson = "{\"kind\":\"write\",\"value\":1,\"start\":0,\"finish\":10}\n";
+    let cases: &[(&[&str], &str)] = &[
+        (&["--algo", "gk", "--k", "0"], "k must be at least 1"),
+        (&["--algo", "gk", "--k", "2"], "decides k = 1 only"),
+        (&["--algo", "gk", "--k", "3"], "decides k = 1 only"),
+        (&["--algo", "fzf", "--k", "0"], "k must be at least 1"),
+        (&["--algo", "fzf", "--k", "1"], "decides k = 2 only"),
+        (&["--algo", "fzf", "--k", "3"], "decides k = 2 only"),
+        (&["--algo", "lbt", "--k", "0"], "k must be at least 1"),
+        (&["--algo", "lbt", "--k", "1"], "decides k = 2 only"),
+        (&["--algo", "lbt", "--k", "4"], "decides k = 2 only"),
+        (&["--algo", "genk", "--k", "0"], "k must be at least 1"),
+        (&["--k", "0"], "k must be at least 1"),
+        (&["--algo", "frobnicate", "--k", "2"], "unknown algorithm"),
+    ];
+    for (flags, needle) in cases {
+        let mut args = vec!["stream"];
+        args.extend_from_slice(flags);
+        args.push("-");
+        let out = kav_with_stdin(&args, ndjson);
+        assert_eq!(out.status.code(), Some(2), "{flags:?}: {}", stderr(&out));
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{flags:?}: missing {needle:?} in {err}");
+        assert!(err.contains("supported:"), "{flags:?}: range listing missing in {err}");
+    }
+}
+
+#[test]
+fn stream_genk_verifies_deep_stale_at_k_three() {
+    // The acceptance path: a deep-stale workload (true staleness 3)
+    // verifies YES at k = 3 via genk — the default algorithm for k >= 3 —
+    // and proves NO at k = 2.
+    let path = temp_file("deep3.ndjson");
+    let out = kav(&[
+        "gen", "--workload", "deep-stale", "--keys", "3", "--n", "100", "--k", "3",
+        "--seed", "9", "--out", path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = kav(&["stream", "--k", "3", "--window", "64", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("(genk, k=3"), "genk is the k >= 3 default: {text}");
+    assert!(text.contains("YES: every key is 3-atomic"), "{text}");
+
+    let out = kav(&["stream", "--k", "2", "--window", "64", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "deep-stale is not 2-atomic: {}", stderr(&out));
+    assert!(stderr(&out).contains("not 2-atomic"), "{}", stderr(&out));
+}
+
+#[test]
+fn stream_genk_checkpoint_resume_round_trip() {
+    // Soundness across snapshot/resume holds at general k: a genk audit
+    // checkpointed mid-stream resumes to the uninterrupted verdicts, and
+    // a conflicting --k or --algo on resume is rejected.
+    let input = temp_file("genk_resume.ndjson");
+    let out = kav(&[
+        "gen", "--workload", "deep-stale", "--keys", "2", "--n", "120", "--k", "3",
+        "--seed", "4", "--out", input.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let ckpt = temp_file("genk_resume.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+
+    let uninterrupted =
+        kav(&["stream", "--k", "3", "--window", "32", input.to_str().unwrap()]);
+    assert_eq!(uninterrupted.status.code(), Some(0), "{}", stderr(&uninterrupted));
+
+    let checkpointed = kav(&[
+        "stream", "--k", "3", "--window", "32", "--checkpoint", ckpt.to_str().unwrap(),
+        "--checkpoint-every", "60", input.to_str().unwrap(),
+    ]);
+    assert_eq!(checkpointed.status.code(), Some(0), "{}", stderr(&checkpointed));
+    assert_eq!(stdout(&checkpointed), stdout(&uninterrupted));
+    assert!(std::fs::read_to_string(&ckpt).unwrap().contains("\"algo\":\"genk\""));
+
+    let resumed = kav(&["stream", "--resume", ckpt.to_str().unwrap(), input.to_str().unwrap()]);
+    assert_eq!(resumed.status.code(), Some(0), "{}", stderr(&resumed));
+    let resumed_out = stdout(&resumed);
+    assert!(resumed_out.contains("prefix verified"), "{resumed_out}");
+    let tail = resumed_out.lines().skip(1).collect::<Vec<_>>().join("\n");
+    assert_eq!(tail.trim_end(), stdout(&uninterrupted).trim_end());
+
+    // A mismatched k (or algo) on resume is a conflict, not a silent
+    // parameter switch.
+    let out = kav(&[
+        "stream", "--resume", ckpt.to_str().unwrap(), "--k", "4", input.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("conflicts with the checkpoint"), "{}", stderr(&out));
+    let out = kav(&[
+        "stream", "--resume", ckpt.to_str().unwrap(), "--algo", "fzf", input.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("conflicts with the checkpoint"), "{}", stderr(&out));
+}
+
+#[test]
+fn verify_genk_is_the_general_k_default() {
+    let path = temp_file("ladder4.json");
+    let out =
+        kav(&["gen", "--workload", "ladder", "--k", "4", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = kav(&["verify", "--k", "4", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("YES"), "{text}");
+    assert!(text.contains("genk"), "genk is the k >= 3 default: {text}");
+
+    let out = kav(&["verify", "--k", "3", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("NO"), "{}", stdout(&out));
+
+    // The exact oracle stays reachable.
+    let out = kav(&["verify", "--k", "4", "--algo", "search", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("YES"), "{}", stdout(&out));
+
+    // Out-of-range combinations fail with the range message there too.
+    let out = kav(&["verify", "--k", "3", "--algo", "fzf", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("decides k = 2 only"), "{}", stderr(&out));
 }
 
 #[test]

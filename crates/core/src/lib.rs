@@ -11,8 +11,13 @@
 //!   (linearizability), the solved `k = 1` baseline;
 //! * [`ExhaustiveSearch`] — an exact, exponential-time oracle for any `k`
 //!   (and the weighted rule of §V) on small histories;
+//! * [`GenK`] — bound-and-certify verification for **general** `k`: a
+//!   forced-separation lower bound and a constructive witness upper bound
+//!   decide the common cases polynomially, and only the (rare) bound gap
+//!   escalates to a budgeted [`ExhaustiveSearch`] — `Inconclusive` past
+//!   the budget, never an unsound YES/NO;
 //! * [`smallest_k`] — the §II-B search for the exact staleness bound of a
-//!   history;
+//!   history, sandwiched by the [`GenK`] bounds from `k = 3` up;
 //! * [`OnlineVerifier`] / [`StreamPipeline`] — the streaming path: online
 //!   sliding-window adapters over the verifiers above, and a sharded
 //!   multi-register pipeline for unbounded op streams, checkpointable
@@ -50,6 +55,7 @@
 mod batch;
 mod diagnose;
 mod fzf;
+mod genk;
 mod gk;
 mod lbt;
 mod search;
@@ -61,6 +67,7 @@ mod witness;
 pub use batch::verify_batch;
 pub use diagnose::{diagnose, AtomicityViolation, Diagnosis};
 pub use fzf::{Fzf, FzfReport};
+pub use genk::{staleness_lower_bound, GenK, GenKReport, DEFAULT_GAP_BUDGET};
 pub use gk::{GkAnalysis, GkOneAv};
 pub use lbt::{CandidateOrder, Lbt, LbtConfig, LbtReport, SearchStrategy};
 pub use search::{ExhaustiveSearch, SearchReport, MAX_SEARCH_OPS};

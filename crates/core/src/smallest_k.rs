@@ -7,11 +7,15 @@
 //! write-shortening normalisation), so some `k` always works.
 //!
 //! The procedure uses the best verifier per level — the Gibbons–Korach
-//! zone test for `k = 1`, FZF for `k = 2` — and falls back to the
-//! exhaustive oracle from `k = 3` up, since no polynomial algorithm is
-//! known there (the paper's open problem).
+//! zone test for `k = 1`, FZF for `k = 2` — and from `k = 3` up runs the
+//! [`GenK`](crate::GenK) bound sandwich (forced-separation lower bound,
+//! constructive witness upper bound) before any exhaustive-search call,
+//! so the exponential oracle is only consulted on the bound gap.
 
-use crate::{ExhaustiveSearch, Fzf, GkOneAv, Verdict, Verifier};
+use crate::genk::{
+    base_candidates, escalate_gap, max_separation, refined_witness, staleness_lower_bound,
+};
+use crate::{Fzf, GkOneAv, Verdict, Verifier};
 use kav_history::{History, OpId};
 use std::fmt;
 
@@ -69,34 +73,44 @@ impl fmt::Display for Staleness {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn staleness_upper_bound(history: &History) -> u64 {
-    if history.num_reads() == 0 {
-        return 1;
-    }
-    let order = history.sorted_by_finish();
-    let mut prefix = vec![0u64; order.len() + 1];
-    let mut position = vec![0usize; history.len()];
-    for (i, &id) in order.iter().enumerate() {
-        let op = history.op(id);
-        position[id.index()] = i;
-        prefix[i + 1] =
-            prefix[i] + if op.is_write() { u64::from(op.weight.as_u32()) } else { 0 };
-    }
-    let mut bound = 1u64;
-    for &id in history.reads() {
-        let w: OpId = history.dictating_write(id).expect("validated read");
-        let (rp, wp) = (position[id.index()], position[w.index()]);
-        debug_assert!(wp < rp, "normalisation places writes before their reads in finish order");
-        bound = bound.max(prefix[rp] - prefix[wp]);
-    }
-    bound
+    // `max_separation` carries the wp < rp invariant: normalisation
+    // places a write's finish strictly below its dictated reads', and
+    // the explicit tie-break in `finish_order_writes_first` covers any
+    // input where the two rank equal.
+    max_separation(history, &finish_order_writes_first(history)).max(1)
+}
+
+/// The finish-time total order with an **explicit** tie-break: writes
+/// before reads at equal finish time, then by operation id. Validated
+/// histories have pairwise distinct (re-ranked) endpoints, so the
+/// tie-break never fires on them — but it makes the invariant "a
+/// dictating write sorts before its dictated reads" hold by construction
+/// rather than by the accident of a sort's stability, so debug asserts
+/// downstream cannot panic even if an unnormalised history slips through.
+pub(crate) fn finish_order_writes_first(history: &History) -> Vec<OpId> {
+    let mut order: Vec<OpId> = history.ids().collect();
+    order.sort_unstable_by_key(|id| {
+        let op = history.op(*id);
+        (op.finish, op.is_read(), id.index())
+    });
+    order
 }
 
 /// Computes the smallest `k` for which `history` is k-atomic.
 ///
-/// `node_budget` bounds each exhaustive-search call for `k ≥ 3`; pass
-/// `None` for an unbounded (potentially exponential) search. Histories
-/// larger than [`crate::MAX_SEARCH_OPS`] operations that are not 2-atomic
-/// yield [`Staleness::AtLeast`].
+/// From `k = 3` up the search is sandwiched by the
+/// [`GenK`](crate::GenK) bounds: the forced-separation lower bound and
+/// the best constructive witness order pin an interval `[lower, upper]`
+/// of candidate levels, every level below `lower` is already refuted, and
+/// `upper` is certified by an explicit witness — so the exponential
+/// oracle only runs on levels inside the bound gap.
+///
+/// `node_budget` bounds each gap-escalation search; pass `None` for
+/// unbounded (potentially exponential) searches. When a budgeted search
+/// gives up at level `k`, the result is [`Staleness::AtLeast`]`(k)` —
+/// exactly the last *proven* non-atomic level plus one, never an
+/// over-claim. Histories larger than [`crate::MAX_SEARCH_OPS`] whose
+/// bounds do not close yield [`Staleness::AtLeast`] likewise.
 ///
 /// # Examples
 ///
@@ -119,22 +133,31 @@ pub fn smallest_k(history: &History, node_budget: Option<u64>) -> Staleness {
     if Fzf.verify(history).is_k_atomic() {
         return Staleness::Exact(2);
     }
-    let upper = staleness_upper_bound(history).max(3);
-    let mut k = 3;
-    while k <= upper {
-        let search = match node_budget {
-            Some(b) => ExhaustiveSearch::with_node_budget(k, b),
-            None => ExhaustiveSearch::new(k),
-        };
-        match search.verify(history) {
+    // Not 2-atomic: every level below max(3, lower bound) is refuted —
+    // by FZF below 3, and by the forced separation up to the lower bound.
+    let lower = staleness_lower_bound(history).max(3);
+    // The k-independent half of the sandwich is computed once and shared
+    // across levels; the base witness certifies `upper`-atomicity.
+    let base = base_candidates(history);
+    let upper = base.sep.max(lower);
+    for k in lower..upper {
+        let (_, sep) = refined_witness(history, &base, k);
+        if sep <= k {
+            // The refined witness certifies k; every level below was
+            // already refuted.
+            return Staleness::Exact(k);
+        }
+        match escalate_gap(history, k, node_budget).0 {
             Verdict::KAtomic { .. } => return Staleness::Exact(k),
-            Verdict::NotKAtomic => k += 1,
+            Verdict::NotKAtomic => {}
+            // Give up at the first undecided level: everything below k is
+            // proven non-atomic, so "at least k" is exactly what is known.
             Verdict::Inconclusive => return Staleness::AtLeast(k),
         }
     }
-    // The finish-order witness proves `upper`-atomicity, so the loop can
-    // only exit by exceeding it if searches were cut short.
-    Staleness::AtLeast(k)
+    // Every level in lower..upper was refuted and `upper` carries a
+    // checkable witness: the smallest k is exactly `upper`.
+    Staleness::Exact(upper)
 }
 
 #[cfg(test)]
@@ -180,11 +203,103 @@ mod tests {
     }
 
     #[test]
-    fn budget_exhaustion_reports_lower_bound() {
+    fn ladders_are_bound_decided_even_with_no_budget() {
+        // The sandwich closes on a ladder (forced lower bound == witness
+        // upper bound), so even a 1-node search budget yields an exact
+        // answer — the search is never needed.
         let result = smallest_k(&ladder(4), Some(1));
-        assert_eq!(result, Staleness::AtLeast(3));
-        assert_eq!(result.lower_bound(), 3);
-        assert_eq!(result.exact(), None);
+        assert_eq!(result, Staleness::Exact(4));
+        assert_eq!(result.lower_bound(), 4);
+        assert_eq!(result.exact(), Some(4));
+    }
+
+    /// A history whose bounds straddle its true k: concurrent writes
+    /// defeat the forced lower bound while the candidate orders miss the
+    /// optimum, so a level escalates to the search. Under a starved
+    /// budget, the result must be [`Staleness::AtLeast`] at the *first
+    /// undecided* level — the last proven non-atomic level + 1, never a
+    /// number merely reached by a loop counter.
+    #[test]
+    fn budget_exhaustion_pins_at_least_vs_exact() {
+        let h = gapped_history();
+        // On this shape the sandwich straddles: forced lower bound 2,
+        // witness upper bound 4, true k = 4, so level 3 must escalate.
+        assert_eq!(smallest_k(&h, Some(10_000_000)), Staleness::Exact(4));
+        // A starved budget gives up at level 3 — the result is "at least
+        // 3" (the last *proven* non-atomic level, 2, plus one), never an
+        // over-claim like AtLeast(4) or a fabricated Exact.
+        let starved = smallest_k(&h, Some(1));
+        assert_eq!(starved, Staleness::AtLeast(3));
+        assert_eq!(starved.lower_bound(), 3);
+        assert_eq!(starved.exact(), None);
+    }
+
+    /// A history that needs the escalation search at some level: see
+    /// `budget_exhaustion_pins_at_least_vs_exact`.
+    fn gapped_history() -> History {
+        // Three mutually concurrent heavy-ish writes, then interleaved
+        // stale reads whose optimal placements conflict: the greedy
+        // witness orders overshoot while no single read's separation is
+        // forced high.
+        HistoryBuilder::new()
+            .write(1, 0, 100)
+            .write(2, 2, 102)
+            .write(3, 4, 104)
+            .write(4, 110, 120)
+            .read(1, 122, 130)
+            .read(3, 132, 140)
+            .read(2, 142, 150)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tied_raw_finish_times_never_panic() {
+        // A write and its dictated read tying on *raw* finish time (and a
+        // reader tying with an unrelated write) exercise the explicit
+        // writes-before-reads tie-break: after endpoint repair and
+        // normalisation the upper bound must come out without tripping
+        // the wp < rp debug assertion.
+        let mut raw = kav_history::RawHistory::new();
+        raw.write(kav_history::Value(1), kav_history::Time(0), kav_history::Time(10));
+        raw.read(kav_history::Value(1), kav_history::Time(5), kav_history::Time(10));
+        raw.write(kav_history::Value(2), kav_history::Time(3), kav_history::Time(5));
+        raw.make_endpoints_distinct();
+        let h = raw.into_history().unwrap();
+        let bound = staleness_upper_bound(&h);
+        assert!(bound >= 1);
+        assert!(matches!(smallest_k(&h, None), Staleness::Exact(_)));
+
+        // Same shape with the read declared *before* its write, so the
+        // repair ranks the read's endpoints first at each tie.
+        let mut raw = kav_history::RawHistory::new();
+        raw.read(kav_history::Value(1), kav_history::Time(5), kav_history::Time(10));
+        raw.write(kav_history::Value(1), kav_history::Time(0), kav_history::Time(10));
+        raw.make_endpoints_distinct();
+        let h = raw.into_history().unwrap();
+        assert_eq!(staleness_upper_bound(&h), 1);
+        assert_eq!(smallest_k(&h, None), Staleness::Exact(1));
+    }
+
+    #[test]
+    fn finish_order_places_writes_before_dictated_reads() {
+        for seed in 0..10u64 {
+            let h = kav_workloads::random_k_atomic(kav_workloads::RandomHistoryConfig {
+                ops: 40,
+                k: 2,
+                seed,
+                ..Default::default()
+            });
+            let order = finish_order_writes_first(&h);
+            let mut position = vec![0usize; h.len()];
+            for (i, id) in order.iter().enumerate() {
+                position[id.index()] = i;
+            }
+            for r in h.reads() {
+                let w = h.dictating_write(*r).unwrap();
+                assert!(position[w.index()] < position[r.index()]);
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Online (streaming) verification: sliding-window adapters over the
 //! offline verifiers, and a sharded multi-register pipeline.
 //!
-//! [`OnlineVerifier`] wraps any offline [`Verifier`] (typically [`Fzf`] for
-//! `k = 2` or [`GkOneAv`] for `k = 1`) behind a
+//! [`OnlineVerifier`] wraps any offline [`Verifier`] (typically
+//! [`Fzf`](crate::Fzf) for `k = 2`, [`GkOneAv`](crate::GkOneAv) for
+//! `k = 1`, or [`GenK`](crate::GenK) for general `k` — whose
+//! budget-exhausted gap escalations surface as inconclusive segments and
+//! degrade YES to UNKNOWN, never to a guess) behind a
 //! [`StreamBuilder`](kav_history::stream::StreamBuilder): operations are
 //! pushed in completion order, and once the buffer outgrows two windows
 //! the builder seals a prefix segment at a decomposition-safe cut

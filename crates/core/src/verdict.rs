@@ -15,8 +15,10 @@ pub enum Verdict {
     },
     /// The history is not k-atomic.
     NotKAtomic,
-    /// A budgeted search gave up before deciding (only produced by
-    /// [`crate::ExhaustiveSearch`] when its node budget is exhausted).
+    /// A budgeted search gave up before deciding — produced by
+    /// [`crate::ExhaustiveSearch`] when its node budget is exhausted, and
+    /// by [`crate::GenK`] when its bound gap outlives the escalation
+    /// budget (or the history exceeds [`crate::MAX_SEARCH_OPS`]).
     Inconclusive,
 }
 

@@ -1,0 +1,285 @@
+//! Deep-stale workloads: histories whose **true** staleness is a
+//! configurable `k` — the input family that actually exercises the
+//! general-k (`k ≥ 3`) verification path.
+//!
+//! [`random_k_atomic`](crate::random_k_atomic) guarantees staleness *at
+//! most* `k`; in practice its histories are usually much fresher, so at
+//! `k ≥ 3` they rarely leave the cheap certification path. A deep-stale
+//! history interleaves that benign traffic with **forced-k gadgets**: `k`
+//! strictly sequential writes followed by a read of the first one. Every
+//! write of a gadget after the first lies entirely between the dictated
+//! write's finish and the read's start, so the read's separation is `k`
+//! in *every* valid total order — the history is provably not
+//! `(k−1)`-atomic. A hidden commit order (filler reads stay within the
+//! freshest `k` values; gadget reads are exactly `k` deep) simultaneously
+//! witnesses `k`-atomicity, so the smallest k is **exactly** the
+//! configured `k`.
+
+use kav_history::ndjson::StreamRecord;
+use kav_history::{History, Operation, RawHistory, Time, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Commit-point grid pitch, as in the random generator.
+const GAP: u64 = 16;
+
+/// Parameters for [`deep_stale`] and [`deep_stale_stream`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeepStaleConfig {
+    /// Registers in the stream ([`deep_stale_stream`] only).
+    pub keys: u64,
+    /// Approximate operations per register (a final gadget may push a
+    /// register slightly past this).
+    pub ops_per_key: usize,
+    /// Target exact staleness: the generated history is `k`-atomic but
+    /// **not** `(k−1)`-atomic. Must be at least 1.
+    pub k: u64,
+    /// Filler operations between two staleness gadgets.
+    pub gadget_every: usize,
+    /// Fraction of filler operations that are reads.
+    pub read_fraction: f64,
+    /// Maximum one-sided widening of filler intervals, in commit-gap
+    /// units (as in [`crate::RandomHistoryConfig::spread`]); widening is
+    /// clamped so concurrency never crosses a gadget boundary.
+    pub spread: u64,
+    /// RNG seed; each key derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for DeepStaleConfig {
+    fn default() -> Self {
+        DeepStaleConfig {
+            keys: 4,
+            ops_per_key: 100,
+            k: 3,
+            gadget_every: 24,
+            read_fraction: 0.5,
+            spread: 3,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a single-register history whose smallest k is **exactly**
+/// `config.k` (see the module docs for the argument).
+///
+/// # Panics
+///
+/// Panics if `config.k == 0` or `config.ops_per_key == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{smallest_k, Staleness};
+/// use kav_workloads::{deep_stale, DeepStaleConfig};
+///
+/// let h = deep_stale(DeepStaleConfig { ops_per_key: 60, k: 3, ..Default::default() });
+/// assert_eq!(smallest_k(&h, Some(1_000_000)), Staleness::Exact(3));
+/// ```
+pub fn deep_stale(config: DeepStaleConfig) -> History {
+    deep_stale_raw(config, config.seed)
+        .into_history()
+        .expect("deep-stale histories are anomaly-free by construction")
+}
+
+/// Generates a completion-ordered multi-register deep-stale stream: every
+/// key's sub-stream has true staleness exactly `config.k`, keys
+/// interleave by finish time (the arrival shape of a live audit tap).
+///
+/// # Panics
+///
+/// Panics if `config.keys == 0`, `config.k == 0` or
+/// `config.ops_per_key == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use kav_workloads::{deep_stale_stream, DeepStaleConfig};
+///
+/// let stream = deep_stale_stream(DeepStaleConfig {
+///     keys: 2,
+///     ops_per_key: 40,
+///     k: 4,
+///     ..Default::default()
+/// });
+/// assert!(stream.windows(2).all(|w| w[0].finish <= w[1].finish));
+/// ```
+pub fn deep_stale_stream(config: DeepStaleConfig) -> Vec<StreamRecord> {
+    assert!(config.keys >= 1, "keys must be positive");
+    let mut records: Vec<StreamRecord> =
+        Vec::with_capacity(config.keys as usize * config.ops_per_key);
+    for key in 0..config.keys {
+        let raw =
+            deep_stale_raw(config, config.seed.wrapping_add(key.wrapping_mul(0x9E37_79B9)));
+        let history = raw.into_history().expect("deep-stale histories are anomaly-free");
+        records.extend(history.ops().iter().map(|op| StreamRecord::new(key, *op)));
+    }
+    // Per-key finish times are distinct; break cross-key ties by key so
+    // the global order is total and deterministic.
+    records.sort_by_key(|r| (r.finish, r.key));
+    records
+}
+
+/// One register's raw deep-stale history: filler blocks and gadget blocks
+/// on disjoint time spans, so block-local witnesses concatenate.
+fn deep_stale_raw(config: DeepStaleConfig, seed: u64) -> RawHistory {
+    assert!(config.k >= 1, "k must be positive");
+    assert!(config.ops_per_key >= 1, "ops_per_key must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let read_fraction = config.read_fraction.clamp(0.0, 1.0);
+    let gadget_every = config.gadget_every.max(1);
+
+    let mut ops: Vec<Operation> = Vec::with_capacity(config.ops_per_key + config.k as usize + 1);
+    let mut writes_so_far: Vec<Value> = Vec::new();
+    let mut next_value = 1u64;
+    // Block-disjoint time cursor: every block starts past everything
+    // emitted before, so concurrency (and the §II structure) stays local.
+    let mut t = GAP;
+    let mut since_gadget = 0usize;
+    let mut gadgets = 0usize;
+
+    while ops.len() < config.ops_per_key || gadgets == 0 {
+        if since_gadget >= gadget_every || (ops.len() >= config.ops_per_key && gadgets == 0) {
+            // Gadget block: k strictly sequential writes, then a read of
+            // the first — the read's separation is forced to exactly k.
+            let first = Value(next_value);
+            for _ in 0..config.k {
+                let value = Value(next_value);
+                next_value += 1;
+                writes_so_far.push(value);
+                ops.push(Operation::write(value, Time(t), Time(t + GAP / 2)));
+                t += GAP;
+            }
+            ops.push(Operation::read(first, Time(t), Time(t + GAP / 2)));
+            t += 2 * GAP;
+            since_gadget = 0;
+            gadgets += 1;
+            continue;
+        }
+        // Filler block: hidden-commit-order traffic, widened for
+        // concurrency but clamped inside the block.
+        let block = gadget_every.min(config.ops_per_key.saturating_sub(ops.len()).max(1));
+        let block_lo = t;
+        let block_hi = t + (block as u64 + 2) * GAP * (config.spread + 2);
+        for i in 0..block {
+            let commit = block_lo + (i as u64 + 1) * GAP * (config.spread + 1);
+            let left = rng.gen_range(1..=GAP / 2 + config.spread * GAP);
+            let right = rng.gen_range(1..=GAP / 2 + config.spread * GAP);
+            let start = Time(commit.saturating_sub(left).max(block_lo));
+            let finish = Time((commit + right).min(block_hi));
+            let is_read = !writes_so_far.is_empty() && rng.gen_bool(read_fraction);
+            if is_read {
+                // Geometric staleness depth within the freshest k values.
+                let max_depth = (config.k as usize).min(writes_so_far.len()) - 1;
+                let mut depth = 0;
+                while depth < max_depth && rng.gen_bool(0.5) {
+                    depth += 1;
+                }
+                let value = writes_so_far[writes_so_far.len() - 1 - depth];
+                ops.push(Operation::read(value, start, finish));
+            } else {
+                let value = Value(next_value);
+                next_value += 1;
+                writes_so_far.push(value);
+                ops.push(Operation::write(value, start, finish));
+            }
+        }
+        t = block_hi + GAP;
+        since_gadget += block;
+    }
+
+    let mut raw = RawHistory::from_ops(ops);
+    raw.make_endpoints_distinct();
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_core::{smallest_k, staleness_lower_bound, ExhaustiveSearch, Staleness, Verifier};
+
+    #[test]
+    fn staleness_is_exactly_k() {
+        for k in 1..=5u64 {
+            let h = deep_stale(DeepStaleConfig {
+                ops_per_key: 50,
+                k,
+                seed: 11 + k,
+                ..Default::default()
+            });
+            assert_eq!(
+                smallest_k(&h, Some(2_000_000)),
+                Staleness::Exact(k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_reaches_the_gadget() {
+        for k in 2..=5u64 {
+            let h = deep_stale(DeepStaleConfig {
+                ops_per_key: 40,
+                k,
+                seed: k,
+                ..Default::default()
+            });
+            assert_eq!(staleness_lower_bound(&h), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn oracle_confirms_small_instances() {
+        for k in 2..=4u64 {
+            let h = deep_stale(DeepStaleConfig {
+                ops_per_key: 16,
+                k,
+                gadget_every: 8,
+                seed: 3 * k,
+                ..Default::default()
+            });
+            assert!(h.len() <= kav_core::MAX_SEARCH_OPS);
+            assert!(!ExhaustiveSearch::new(k - 1).verify(&h).is_k_atomic(), "k={k}");
+            assert!(ExhaustiveSearch::new(k).verify(&h).is_k_atomic(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn tiny_requests_still_contain_a_gadget() {
+        let h = deep_stale(DeepStaleConfig {
+            ops_per_key: 1,
+            k: 4,
+            seed: 0,
+            ..Default::default()
+        });
+        assert!(h.len() >= 5, "one gadget = k writes + 1 read");
+        assert_eq!(smallest_k(&h, Some(1_000_000)), Staleness::Exact(4));
+    }
+
+    #[test]
+    fn streams_interleave_and_each_key_is_exactly_k() {
+        let config = DeepStaleConfig {
+            keys: 3,
+            ops_per_key: 40,
+            k: 3,
+            seed: 5,
+            ..Default::default()
+        };
+        let stream = deep_stale_stream(config);
+        assert!(stream.windows(2).all(|w| (w[0].finish, w[0].key) < (w[1].finish, w[1].key)));
+        for key in 0..3 {
+            let raw: RawHistory =
+                stream.iter().filter(|r| r.key == key).map(|r| r.op()).collect();
+            let h = raw.into_history().expect("sub-streams validate");
+            assert_eq!(smallest_k(&h, Some(2_000_000)), Staleness::Exact(3), "key {key}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = DeepStaleConfig { ops_per_key: 30, seed: 42, ..Default::default() };
+        assert_eq!(deep_stale(config).to_raw(), deep_stale(config).to_raw());
+        let s = DeepStaleConfig { keys: 2, ops_per_key: 20, seed: 7, ..Default::default() };
+        assert_eq!(deep_stale_stream(s), deep_stale_stream(s));
+    }
+}

@@ -14,6 +14,10 @@
 //! * [`ladder`] — the minimal exactly-k-atomic gadget (k sequential writes,
 //!   then a read of the first), and [`inject_ladder`] to plant staleness
 //!   violations inside larger histories.
+//! * [`deep_stale`] / [`deep_stale_stream`] — histories and streams whose
+//!   *true* staleness is a configurable `k` (forced-k gadgets inside
+//!   benign traffic): the input family for the general-k (`k ≥ 3`)
+//!   verification path.
 //! * [`serial`] — trivially 1-atomic baselines.
 //! * [`zone_twins`] — two histories with identical zone sets but different
 //!   2-AV verdicts: the §IV-A proof that zones alone cannot decide 2-AV.
@@ -23,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod deep_stale;
 mod figure;
 mod ladders;
 mod random;
@@ -30,6 +35,7 @@ mod staircase;
 mod stream;
 mod twins;
 
+pub use deep_stale::{deep_stale, deep_stale_stream, DeepStaleConfig};
 pub use figure::figure3;
 pub use ladders::{inject_ladder, ladder, serial};
 pub use random::{random_k_atomic, RandomHistoryConfig};

@@ -14,7 +14,7 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`history`] | operation/history model, anomaly detection, zones & chunks, NDJSON streams |
-//! | [`verify`] | the LBT & FZF 2-AV verifiers, GK 1-AV, exact search, smallest-k, streaming adapters |
+//! | [`verify`] | the LBT & FZF 2-AV verifiers, GK 1-AV, the general-k GenK bound sandwich, exact search, smallest-k, streaming adapters |
 //! | [`weighted`] | the NP-complete weighted problem & bin-packing reduction |
 //! | [`sim`] | a Dynamo-style quorum-store simulator producing histories |
 //! | [`workloads`] | synthetic generators (adversarial staircase, ladders, op streams, …) |

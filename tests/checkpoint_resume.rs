@@ -8,9 +8,11 @@
 
 use k_atomicity::history::ndjson::StreamRecord;
 use k_atomicity::verify::{
-    Fzf, PipelineConfig, PipelineOutput, PipelineSnapshot, StreamPipeline,
+    Fzf, GenK, PipelineConfig, PipelineOutput, PipelineSnapshot, StreamPipeline,
 };
-use k_atomicity::workloads::{streaming_workload, StreamingWorkloadConfig};
+use k_atomicity::workloads::{
+    deep_stale_stream, streaming_workload, DeepStaleConfig, StreamingWorkloadConfig,
+};
 use proptest::prelude::*;
 
 fn push_all(pipeline: &mut StreamPipeline, records: &[StreamRecord]) {
@@ -152,6 +154,79 @@ proptest! {
             prop_assert_eq!(tainted.violations, clean.violations);
             prop_assert_eq!(tainted.horizon_breaches, clean.horizon_breaches);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Kill-and-resume at general k: a genk audit of a deep-stale stream
+    /// (true staleness 3) checkpointed at any cut resumes to byte-identical
+    /// per-key reports, at k = 3 and across the staleness cliff at k = 2.
+    #[test]
+    fn kill_and_resume_at_k_three(
+        seed in 0u64..500,
+        cut_percent in 0usize..=100,
+        resume_shards in 1usize..4,
+        k in 2u64..=3,
+    ) {
+        let records = deep_stale_stream(DeepStaleConfig {
+            keys: 3,
+            ops_per_key: 40,
+            k: 3,
+            seed,
+            ..Default::default()
+        });
+        let config = PipelineConfig { shards: 2, window: 24, ..Default::default() };
+        let verifier = GenK::new(k);
+
+        let mut pipeline = StreamPipeline::new(verifier, config);
+        push_all(&mut pipeline, &records);
+        let baseline = pipeline.finish();
+
+        let cut = records.len() * cut_percent / 100;
+        let mut first = StreamPipeline::new(verifier, config);
+        push_all(&mut first, &records[..cut]);
+        let json = serde_json::to_string(&first.snapshot()).expect("snapshots serialize");
+        drop(first);
+        let snapshot: PipelineSnapshot = serde_json::from_str(&json).expect("checkpoints parse");
+        prop_assert_eq!(&snapshot.algo, "genk");
+        prop_assert_eq!(snapshot.k, k);
+        let resume_config = PipelineConfig { shards: resume_shards, ..config };
+        let mut resumed = StreamPipeline::resume(verifier, resume_config, &snapshot, true)
+            .expect("own snapshots resume");
+        push_all(&mut resumed, &records[cut..]);
+        let output = resumed.finish();
+        prop_assert_eq!(&output.keys, &baseline.keys);
+        prop_assert_eq!(&output.errors, &baseline.errors);
+        // And the verdicts themselves honour the cliff: NO at k = 2
+        // survives any cut, YES at k = 3 only ever degrades to UNKNOWN.
+        for (key, report) in &output.keys {
+            match k {
+                2 => prop_assert_eq!(report.k_atomic(), Some(false), "key {}: {}", key, report),
+                _ => prop_assert!(report.k_atomic() != Some(false), "key {}: {}", key, report),
+            }
+        }
+    }
+
+    /// A genk snapshot must not resume under a different verifier or k.
+    #[test]
+    fn genk_snapshots_reject_mismatched_resumes(seed in 0u64..200) {
+        let records = deep_stale_stream(DeepStaleConfig {
+            keys: 2,
+            ops_per_key: 30,
+            k: 3,
+            seed,
+            ..Default::default()
+        });
+        let config = PipelineConfig { shards: 2, window: 16, ..Default::default() };
+        let mut pipeline = StreamPipeline::new(GenK::new(3), config);
+        push_all(&mut pipeline, &records[..records.len() / 2]);
+        let snapshot = pipeline.snapshot();
+        prop_assert!(StreamPipeline::resume(GenK::new(4), config, &snapshot, true).is_err());
+        prop_assert!(StreamPipeline::resume(Fzf, config, &snapshot, true).is_err());
+        prop_assert!(StreamPipeline::resume(GenK::new(3), config, &snapshot, true).is_ok());
+        pipeline.finish();
     }
 }
 

@@ -5,9 +5,11 @@
 
 use k_atomicity::history::{History, Operation, RawHistory, Time, Value};
 use k_atomicity::verify::{
-    check_witness, smallest_k, staleness_upper_bound, CandidateOrder, ExhaustiveSearch, Fzf,
-    GkOneAv, Lbt, LbtConfig, SearchStrategy, Staleness, Verdict, Verifier,
+    check_witness, smallest_k, staleness_lower_bound, staleness_upper_bound, CandidateOrder,
+    ExhaustiveSearch, Fzf, GenK, GkOneAv, Lbt, LbtConfig, SearchStrategy, Staleness, Verdict,
+    Verifier,
 };
+use k_atomicity::workloads::{deep_stale, DeepStaleConfig};
 use proptest::prelude::*;
 
 /// Generates an arbitrary anomaly-free history: up to 7 writes with random
@@ -83,6 +85,55 @@ proptest! {
             let got = checked(&h, &lbt.verify(&h), 2, "lbt");
             prop_assert_eq!(got, oracle, "LBT {:?} disagrees", lbt.config());
         }
+    }
+
+    /// The general-k gate: with an unbounded escalation budget, the GenK
+    /// bound sandwich must agree with the exhaustive oracle at every
+    /// level — on arbitrary anomaly-free histories — and its YES verdicts
+    /// must carry checkable witnesses.
+    #[test]
+    fn genk_matches_oracle_for_k_one_to_five(h in arb_history()) {
+        for k in 1..=5u64 {
+            let genk = checked(&h, &GenK::with_gap_budget(k, None).verify(&h), k, "genk");
+            let oracle = checked(&h, &ExhaustiveSearch::new(k).verify(&h), k, "oracle");
+            prop_assert_eq!(genk, oracle, "genk disagrees at k = {}", k);
+        }
+    }
+
+    /// GenK's bounds are individually sound on arbitrary histories: the
+    /// forced-separation lower bound never exceeds the true smallest k,
+    /// and the constructive upper bound never undercuts it.
+    #[test]
+    fn genk_bounds_sandwich_the_true_k(h in arb_history()) {
+        let Staleness::Exact(true_k) = smallest_k(&h, None) else {
+            return Err(TestCaseError::fail("unbounded smallest_k must be exact"));
+        };
+        prop_assert!(staleness_lower_bound(&h) <= true_k, "lower bound over-claims");
+        prop_assert!(staleness_upper_bound(&h) >= true_k, "upper bound under-claims");
+    }
+
+    /// Deep-stale workloads (true staleness forced to k) are the shapes
+    /// that actually exercise the k >= 3 path: genk must agree with the
+    /// oracle around the staleness cliff.
+    #[test]
+    fn genk_matches_oracle_on_deep_stale_histories(
+        seed in 0u64..500,
+        k in 1u64..=5,
+    ) {
+        let h = deep_stale(DeepStaleConfig {
+            ops_per_key: 20,
+            k,
+            gadget_every: 8,
+            seed,
+            ..Default::default()
+        });
+        prop_assert!(h.len() <= k_atomicity::verify::MAX_SEARCH_OPS);
+        for probe in [k.saturating_sub(1).max(1), k, k + 1] {
+            let genk = checked(&h, &GenK::with_gap_budget(probe, None).verify(&h), probe, "genk");
+            let oracle = checked(&h, &ExhaustiveSearch::new(probe).verify(&h), probe, "oracle");
+            prop_assert_eq!(genk, oracle, "k = {}, probe = {}", k, probe);
+        }
+        prop_assert_eq!(smallest_k(&h, None), Staleness::Exact(k));
     }
 
     #[test]
