@@ -32,6 +32,14 @@
 //! same windows — genk's edge over raw search *is* the gap residue it
 //! avoids, so the ratio column tracks how often the bounds close.
 //!
+//! A sixth section measures the **escalation axis** (`escalation[]` in
+//! the JSON artifact): deep-stale streams at `k ∈ {3, 4, 5}` through genk
+//! at the *default* gap budget, recording sealed segments, UNKNOWN
+//! segments and the UNKNOWN rate — the ROADMAP's "~0 UNKNOWN residue"
+//! success metric — plus a 201-op straddling gap segment that the old
+//! 128-op escalator could only shrug at, now decided by the constrained
+//! search with its node count recorded.
+//!
 //! Usage:
 //!
 //! ```text
@@ -45,9 +53,10 @@ use kav_bench::{header, row};
 use kav_core::{
     CheckpointWriter, ExhaustiveSearch, Fzf, GenK, PipelineConfig, SourcePosition,
     StreamPipeline, TotalOrder, Verdict, Verifier, DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_GAP_BUDGET,
 };
 use kav_history::ndjson::StreamRecord;
-use kav_history::History;
+use kav_history::{History, HistoryBuilder};
 use kav_workloads::{
     deep_stale_stream, streaming_workload, DeepStaleConfig, StreamingWorkloadConfig,
 };
@@ -317,6 +326,101 @@ fn main() {
         }
     }
 
+    // Escalation axis: the UNKNOWN residue of the constrained escalation
+    // tier. Deep-stale streams at k in {3, 4, 5} run genk at the DEFAULT
+    // gap budget (exactly what `kav stream --algo genk` does with no
+    // budget flag); the success metric is an UNKNOWN rate of ~0 across
+    // sealed segments. A final row streams a 201-op straddling gap
+    // segment — past the retired 128-op oracle ceiling — and records the
+    // constrained-search effort that decides it.
+    println!(
+        "\n## escalation residue (genk @ default gap budget {DEFAULT_GAP_BUDGET})\n"
+    );
+    header(&["workload", "k", "segments", "unknown", "unknown rate", "ops/s"]);
+    let mut escalation_rows: Vec<String> = Vec::new();
+    for k in [3u64, 4, 5] {
+        let records = deep_stale_stream(DeepStaleConfig {
+            keys: genk_keys,
+            ops_per_key: genk_ops_per_key,
+            k,
+            seed: 11,
+            ..Default::default()
+        });
+        let config =
+            PipelineConfig { shards: 4, window: 64, batch: 256, ..Default::default() };
+        let t0 = Instant::now();
+        let mut pipeline = StreamPipeline::new(GenK::new(k), config);
+        for record in &records {
+            pipeline.push(record.key, record.op());
+        }
+        let output = pipeline.finish();
+        let seconds = t0.elapsed().as_secs_f64();
+        assert!(output.errors.is_empty(), "bench stream must be clean");
+        let segments: usize = output.keys.iter().map(|(_, r)| r.segments).sum();
+        let unknown_segments: usize =
+            output.keys.iter().map(|(_, r)| r.inconclusive).sum();
+        let unknown_keys =
+            output.keys.iter().filter(|(_, r)| r.k_atomic().is_none()).count();
+        let unknown_rate = unknown_segments as f64 / segments.max(1) as f64;
+        let ops_per_sec = records.len() as f64 / seconds;
+        row(&[
+            "deep-stale".into(),
+            k.to_string(),
+            segments.to_string(),
+            unknown_segments.to_string(),
+            format!("{unknown_rate:.4}"),
+            format!("{ops_per_sec:.0}"),
+        ]);
+        escalation_rows.push(format!(
+            "    {{\"workload\":\"deep-stale\",\"k\":{k},\"gap_budget\":{DEFAULT_GAP_BUDGET},\
+             \"ops\":{},\"segments\":{segments},\"unknown_segments\":{unknown_segments},\
+             \"unknown_keys\":{unknown_keys},\"unknown_rate\":{unknown_rate:.4},\
+             \"ops_per_sec\":{ops_per_sec:.0}}}",
+            records.len(),
+        ));
+    }
+    {
+        // The straddle row: a bound-gap gadget (true k = 4) padded with 97
+        // serial write/read pairs to 201 ops — one segment, no 128-op out.
+        let mut b = HistoryBuilder::new()
+            .write(1, 0, 100)
+            .write(2, 2, 102)
+            .write(3, 4, 104)
+            .write(4, 110, 120)
+            .read(1, 122, 130)
+            .read(3, 132, 140)
+            .read(2, 142, 150);
+        let mut t = 1000u64;
+        for v in 10..107u64 {
+            b = b.write(v, t, t + 5).read(v, t + 10, t + 15);
+            t += 20;
+        }
+        let straddle = b.build().expect("straddle history is anomaly-free");
+        let t0 = Instant::now();
+        let (verdict, report) = GenK::new(3).verify_detailed(&straddle);
+        let seconds = t0.elapsed().as_secs_f64();
+        assert!(report.escalated, "the straddle must reach the search");
+        let decided = verdict.decided().is_some();
+        row(&[
+            "straddle-201".into(),
+            "3".into(),
+            "1".into(),
+            if decided { "0".into() } else { "1".into() },
+            if decided { "0.0000".into() } else { "1.0000".into() },
+            format!("{:.0}", straddle.len() as f64 / seconds),
+        ]);
+        escalation_rows.push(format!(
+            "    {{\"workload\":\"straddle-201\",\"k\":3,\"gap_budget\":{DEFAULT_GAP_BUDGET},\
+             \"ops\":{},\"segments\":1,\"unknown_segments\":{},\"unknown_keys\":{},\
+             \"unknown_rate\":{:.4},\"search_nodes\":{},\"decided\":{decided}}}",
+            straddle.len(),
+            u8::from(!decided),
+            u8::from(!decided),
+            f64::from(u8::from(!decided)),
+            report.search_nodes,
+        ));
+    }
+
     // Checkpoint axis: the cost of making the audit crash-resumable. The
     // cadence is scaled so the run writes several checkpoints regardless
     // of preset size; the production-default cadence is then judged from
@@ -387,9 +491,11 @@ fn main() {
             .collect();
         let json = format!(
             "{{\n  \"bench\": \"stream_throughput\",\n  \"preset\": \"{preset}\",\n  \
-             \"ops\": {},\n  \"results\": [\n{}\n  ],\n  \"checkpoint_overhead\": [\n{}\n  ]\n}}\n",
+             \"ops\": {},\n  \"results\": [\n{}\n  ],\n  \"escalation\": [\n{}\n  ],\n  \
+             \"checkpoint_overhead\": [\n{}\n  ]\n}}\n",
             records.len(),
             rows.join(",\n"),
+            escalation_rows.join(",\n"),
             checkpoint_rows.join(",\n"),
         );
         std::fs::write(&path, json).expect("write bench artifact");

@@ -3,9 +3,9 @@
 use crate::args::{ArgError, Args};
 use kav_core::{
     check_witness, diagnose, read_checkpoint, smallest_k, Checkpoint, CheckpointWriter,
-    ExhaustiveSearch, Fzf, GenK, GkOneAv, Lbt, PipelineConfig, PipelineOutput, ShardProgress,
-    SourcePosition, Staleness, StreamPipeline, Verdict, Verifier, DEFAULT_CHECKPOINT_EVERY,
-    DEFAULT_GAP_BUDGET,
+    ConstrainedSearch, ExhaustiveSearch, Fzf, GenK, GkOneAv, Lbt, PipelineConfig,
+    PipelineOutput, ShardProgress, SourcePosition, Staleness, StreamPipeline, Verdict,
+    Verifier, DEFAULT_CHECKPOINT_EVERY, DEFAULT_GAP_BUDGET,
 };
 use kav_history::fxhash::Fingerprint;
 use kav_history::{csv, json, ndjson, render_timeline, repair, History, HistoryStats, RawHistory};
@@ -51,9 +51,11 @@ pub fn usage() -> &'static str {
     "kav — k-atomicity verification toolbox\n\
      \n\
      USAGE:\n\
-     \x20 kav verify --k <1|2|N> [--algo gk|lbt|fzf|genk|search] [--witness] <history.json>\n\
-     \x20        (genk: any k, bound-sandwich + budgeted escalation — see --budget)\n\
-     \x20 kav smallest-k [--budget <nodes>] <history.json>\n\
+     \x20 kav verify --k <1|2|N> [--algo gk|lbt|fzf|genk|constrained|search] [--witness]\n\
+     \x20        [--gap-budget <nodes|unbounded>] <history.json>\n\
+     \x20        (genk: any k, bound-sandwich + budgeted constrained escalation;\n\
+     \x20         --budget is a deprecated alias of --gap-budget)\n\
+     \x20 kav smallest-k [--gap-budget <nodes|unbounded>] <history.json>\n\
      \x20 kav stats <history.json>\n\
      \x20 kav diagnose [--budget <nodes>] <history.json>\n\
      \x20 kav render [--width <cols>] <history.json>\n\
@@ -63,7 +65,8 @@ pub fn usage() -> &'static str {
      \x20        [--keys <K>]             (stream/deep-stale: NDJSON, --n ops per key;\n\
      \x20                                  deep-stale: true staleness exactly --k)\n\
      \x20 kav stream [--k <1|2|N>] [--algo gk|lbt|fzf|genk] [--window <ops>] [--shards <N>]\n\
-     \x20        [--horizon <writes>] [--batch <ops>] [--strict] [--gap-budget <nodes>]\n\
+     \x20        [--horizon <writes>] [--batch <ops>] [--strict]\n\
+     \x20        [--gap-budget <nodes|unbounded>]\n\
      \x20        [--checkpoint <file>] [--checkpoint-every <ops>]\n\
      \x20        [--resume <file>] [--progress-every <records>]\n\
      \x20        <ops.ndjson | ->                    (- reads NDJSON from stdin)\n\
@@ -119,16 +122,60 @@ fn bad_algo_k(algo: &str, k: u64, extra: &str) -> Box<dyn Error> {
             "--k {k} is out of range for algorithm {algo:?}, which decides k = 2 only; \
              {ALGO_RANGES}{extra}"
         ),
-        // Only `kav stream` reaches this arm: `kav verify` dispatches
-        // search itself for every k >= 1.
+        // Only `kav stream` reaches these arms: `kav verify` dispatches
+        // search and constrained itself for every k >= 1.
         "search" => format!(
             "algorithm \"search\" is offline-only (`kav verify`); for streaming use \
-             --algo genk, which runs the same exact search only on bound-gap windows; \
+             --algo genk, which escalates only bound-gap windows to an exact search; \
              {ALGO_RANGES}{extra}"
+        ),
+        "constrained" => format!(
+            "algorithm \"constrained\" is offline-only (`kav verify`); for streaming use \
+             --algo genk, which escalates bound-gap windows to the same constrained \
+             search; {ALGO_RANGES}{extra}"
         ),
         other => format!("unknown algorithm {other:?}; {ALGO_RANGES}{extra}"),
     };
     ExitWith::new(EXIT_BAD_INPUT, message)
+}
+
+/// Resolves the gap-escalation budget from `--gap-budget` (canonical on
+/// every subcommand) or `--budget` (deprecated alias, kept for old
+/// scripts). `"unbounded"` lifts the budget entirely (`None`); `0` is
+/// rejected with exit 2 — it would mark every escalated window UNKNOWN
+/// without searching, which is never what an operator wants.
+fn gap_budget_flag(args: &Args, default: u64) -> Result<Option<u64>, Box<dyn Error>> {
+    let (flag, value) = match (args.get("gap-budget"), args.get("budget")) {
+        (Some(_), Some(_)) => {
+            return Err(ExitWith::new(
+                EXIT_BAD_INPUT,
+                "--gap-budget and --budget are the same flag (--budget is the \
+                 deprecated alias); pass only one",
+            ));
+        }
+        (Some(v), None) => ("gap-budget", v),
+        (None, Some(v)) => ("budget", v),
+        (None, None) => return Ok(Some(default)),
+    };
+    if value == "unbounded" {
+        return Ok(None);
+    }
+    let nodes: u64 = value.parse().map_err(|_| {
+        ArgError(format!(
+            "--{flag}: cannot parse {value:?} (expected a node count or \"unbounded\")"
+        ))
+    })?;
+    if nodes == 0 {
+        return Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!(
+                "--{flag} 0 would mark every bound-gap window UNKNOWN without \
+                 searching; pass a positive node budget (default {DEFAULT_GAP_BUDGET}) \
+                 or \"unbounded\""
+            ),
+        ));
+    }
+    Ok(Some(nodes))
 }
 
 /// `kav verify` — decide k-atomicity with a chosen algorithm.
@@ -140,15 +187,26 @@ pub fn verify(args: &Args) -> CmdResult {
         2 => "fzf",
         _ => "genk",
     });
-    let budget: u64 = args.get_parsed("budget", 10_000_000u64)?;
+    let gap_budget = gap_budget_flag(args, 10_000_000)?;
     let verdict = match (canonical_algo(algo), k) {
         ("gk", 1) => GkOneAv.verify(&history),
         ("lbt", 2) => Lbt::new().verify(&history),
         ("fzf", 2) => Fzf.verify(&history),
-        ("genk", k) if k >= 1 => GenK::with_gap_budget(k, Some(budget)).verify(&history),
-        ("search", k) if k >= 1 => ExhaustiveSearch::with_node_budget(k, budget).verify(&history),
+        ("genk", k) if k >= 1 => GenK::with_gap_budget(k, gap_budget).verify(&history),
+        ("constrained", k) if k >= 1 => match gap_budget {
+            Some(budget) => ConstrainedSearch::with_node_budget(k, budget).verify(&history),
+            None => ConstrainedSearch::new(k).verify(&history),
+        },
+        ("search", k) if k >= 1 => match gap_budget {
+            Some(budget) => ExhaustiveSearch::with_node_budget(k, budget).verify(&history),
+            None => ExhaustiveSearch::new(k).verify(&history),
+        },
         (a, k) => {
-            return Err(bad_algo_k(a, k, ", or --algo search (any k >= 1, exponential)"));
+            return Err(bad_algo_k(
+                a,
+                k,
+                ", or --algo constrained / search (any k >= 1, exact)",
+            ));
         }
     };
     match &verdict {
@@ -170,8 +228,8 @@ pub fn verify(args: &Args) -> CmdResult {
 /// `kav smallest-k` — the §II-B exact staleness bound.
 pub fn smallest_k_cmd(args: &Args) -> CmdResult {
     let history = load(args, 1)?;
-    let budget: u64 = args.get_parsed("budget", 10_000_000u64)?;
-    match smallest_k(&history, Some(budget)) {
+    let budget = gap_budget_flag(args, 10_000_000)?;
+    match smallest_k(&history, budget) {
         Staleness::Exact(k) => println!("smallest k = {k}"),
         Staleness::AtLeast(k) => println!("smallest k >= {k} (budget exhausted)"),
     }
@@ -457,13 +515,13 @@ fn stream_inner(args: &Args) -> CmdResult {
     // sealed window that reaches the bound gap). Not pinned by
     // checkpoints: it trades UNKNOWNs for latency but never changes what
     // a counted verdict means — see docs/OPERATIONS.md.
-    let gap_budget: u64 = args.get_parsed("gap-budget", DEFAULT_GAP_BUDGET)?;
+    let gap_budget = gap_budget_flag(args, DEFAULT_GAP_BUDGET)?;
     let (output, malformed, total_malformed) = match (canonical_algo(&algo), k) {
         ("gk", 1) => drive_stream(GkOneAv, session)?,
         ("fzf", 2) => drive_stream(Fzf, session)?,
         ("lbt", 2) => drive_stream(Lbt::new(), session)?,
         ("genk", k) if k >= 1 => {
-            drive_stream(GenK::with_gap_budget(k, Some(gap_budget)), session)?
+            drive_stream(GenK::with_gap_budget(k, gap_budget), session)?
         }
         (a, k) => return Err(bad_algo_k(a, k, "")),
     };

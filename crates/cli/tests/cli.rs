@@ -638,3 +638,94 @@ fn repair_salvages_a_dirty_trace() {
     let out = kav(&["verify", "--k", "1", clean.to_str().unwrap()]);
     assert!(stdout(&out).contains("YES"), "{}", stdout(&out));
 }
+
+#[test]
+fn gap_budget_flag_is_unified_across_subcommands() {
+    // A ladder(3) history: NO at k = 2, YES at k = 3, smallest k = 3.
+    let path = temp_file("gap_budget_ladder.json");
+    let out = kav(&["gen", "--workload", "ladder", "--k", "3", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let path = path.to_str().unwrap();
+
+    // --gap-budget is the canonical spelling on verify...
+    let out = kav(&["verify", "--k", "3", "--gap-budget", "100000", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("YES"), "{}", stdout(&out));
+
+    // ... and --budget still works as the deprecated alias.
+    let out = kav(&["verify", "--k", "3", "--budget", "100000", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("YES"), "{}", stdout(&out));
+
+    // smallest-k takes both spellings too.
+    let out = kav(&["smallest-k", "--gap-budget", "100000", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("smallest k = 3"), "{}", stdout(&out));
+
+    // Passing both is ambiguous: exit 2 with a pointer to the alias.
+    let out = kav(&["verify", "--k", "3", "--gap-budget", "5", "--budget", "5", path]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("deprecated alias"), "{}", stderr(&out));
+}
+
+#[test]
+fn gap_budget_zero_is_rejected_with_exit_two() {
+    let path = temp_file("gap_budget_zero.json");
+    kav(&["gen", "--workload", "ladder", "--k", "3", "--out", path.to_str().unwrap()]);
+    let path = path.to_str().unwrap();
+
+    // Zero used to mean "instant UNKNOWN on any gap" — now a usage error.
+    let out = kav(&["verify", "--k", "3", "--gap-budget", "0", path]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("UNKNOWN without searching"), "{}", stderr(&out));
+
+    // Same on the streaming path (flag errors precede any input read).
+    let out = kav_with_stdin(&["stream", "--k", "3", "--gap-budget", "0", "-"], "");
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("UNKNOWN without searching"), "{}", stderr(&out));
+
+    // And via the alias.
+    let out = kav(&["smallest-k", "--budget", "0", path]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn gap_budget_unbounded_is_expressible() {
+    let path = temp_file("gap_budget_unbounded.json");
+    kav(&["gen", "--workload", "ladder", "--k", "4", "--out", path.to_str().unwrap()]);
+    let path = path.to_str().unwrap();
+
+    let out = kav(&["verify", "--k", "4", "--gap-budget", "unbounded", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("YES"), "{}", stdout(&out));
+
+    let out = kav(&["smallest-k", "--gap-budget", "unbounded", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("smallest k = 4"), "{}", stdout(&out));
+
+    // Anything else non-numeric is a parse error, not a silent default.
+    let out = kav(&["verify", "--k", "4", "--gap-budget", "lots", path]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unbounded"), "{}", stderr(&out));
+}
+
+#[test]
+fn verify_constrained_algo_decides_any_k() {
+    let path = temp_file("constrained_ladder.json");
+    kav(&["gen", "--workload", "ladder", "--k", "4", "--out", path.to_str().unwrap()]);
+    let path = path.to_str().unwrap();
+
+    let out = kav(&["verify", "--k", "4", "--algo", "constrained", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("YES"), "{}", stdout(&out));
+
+    let out = kav(&["verify", "--k", "3", "--algo", "constrained", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("NO"), "{}", stdout(&out));
+
+    // Offline-only: the streaming path points back at genk.
+    let out = kav_with_stdin(&["stream", "--k", "3", "--algo", "constrained", "-"], "");
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("offline-only"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("supported:"), "{}", stderr(&out));
+}

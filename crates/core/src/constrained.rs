@@ -1,0 +1,824 @@
+//! Constrained-linearization search — the budget-honoring escalation tier.
+//!
+//! [`ConstrainedSearch`] decides k-AV / k-WAV exactly, like the
+//! [`crate::ExhaustiveSearch`] oracle, but with **no op-count ceiling**:
+//! the only limiter is the node budget. Where the oracle represents the
+//! placed set as a `u128` bitmask (hence its
+//! [`crate::MAX_SEARCH_OPS`]` = 128` guard), this engine keeps an explicit
+//! frontier over the *interval-order* availability structure of "precedes"
+//! and scales to arbitrarily large gap segments. It is the production
+//! escalator behind [`crate::GenK`] and [`crate::smallest_k`]; the oracle
+//! remains as the ≤128-op ground truth for the property-test suite.
+//!
+//! The search is a forward/backtrack walk over linear extensions (the
+//! `ConstrainedLinearization` idiom from the dbcop consistency checker),
+//! pruned three ways — each prune is a *soundness-preserving* dominance or
+//! lower-bound argument, so `Exhausted` still certifies NO:
+//!
+//! * **Ready-read draining.** A released read whose dictating write is
+//!   placed can always be placed immediately: moving it to the front of
+//!   any completion keeps the completion valid (its real-time predecessors
+//!   are all placed) and can only *shrink* its own separation while
+//!   leaving every other read's untouched. Reads therefore never branch.
+//! * **Admissible forced-weight cut-off** (`allow_next`). For an active
+//!   read `r` of placed write `w`, every still-unplaced write *forced*
+//!   into the gap `(w.finish, r.start)` — the same forced-separation edges
+//!   behind [`crate::staleness_lower_bound`] — must land between `w` and
+//!   `r` in every completion. A candidate write is allowed next only if
+//!   `separation(w) + remaining_forced(r) ≤ k` still holds for every
+//!   active read afterwards; placing a forced write is net-neutral (its
+//!   weight moves from `remaining_forced` into `separation`), so the bound
+//!   is admissible and the cut-off never rejects a viable branch.
+//! * **Dominated-frontier memoisation.** For a fixed placed set the active
+//!   writes (placed, reads pending) are fixed too; a failed state with
+//!   separations `f` dooms every state with separations pointwise `≥ f`
+//!   (the same completions, each separation no smaller). Failed frontiers
+//!   are memoised and probed by pointwise dominance, which subsumes the
+//!   oracle's exact-match memo.
+//!
+//! Symmetry breaking carries over from the oracle, made `O(n log n)` by
+//! interval-order structure: predecessor sets are prefixes of the
+//! finish-sorted order and successor sets are suffixes of the start-sorted
+//! order, so two writes have identical constraint sets **iff** their
+//! pred/succ *counts* match — no `O(n²)` mask comparison needed.
+
+use crate::genk::staleness_lower_bound;
+use crate::{TotalOrder, Verdict, Verifier};
+use kav_history::fxhash::FxHashMap;
+use kav_history::{History, OpId};
+
+/// Histories above this size run the search on a dedicated thread with a
+/// stack sized to the recursion depth (one frame per placed write), so
+/// deep segments cannot overflow the caller's stack.
+const STACK_SAFE_OPS: usize = 4096;
+
+/// Per-frame stack reservation for the dedicated search thread.
+const STACK_BYTES_PER_OP: usize = 256;
+
+/// Failed-frontier fingerprints kept per placed set. The memo is an
+/// optimisation, not a soundness requirement, so overflowing entries are
+/// simply not recorded.
+const MAX_MEMO_FRONTIERS: usize = 64;
+
+/// Exact, budget-honoring verifier for any `k`, weighted or not, with no
+/// op-count ceiling.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{ConstrainedSearch, Verifier};
+/// use kav_history::HistoryBuilder;
+///
+/// // Three sequential writes then a read of the first: 3-atomic only.
+/// let h = HistoryBuilder::new()
+///     .write(1, 0, 10)
+///     .write(2, 12, 20)
+///     .write(3, 22, 30)
+///     .read(1, 32, 40)
+///     .build()?;
+/// assert!(!ConstrainedSearch::new(2).verify(&h).is_k_atomic());
+/// assert!(ConstrainedSearch::new(3).verify(&h).is_k_atomic());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConstrainedSearch {
+    k: u64,
+    node_budget: Option<u64>,
+}
+
+/// Work counters of one constrained-search run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConstrainedReport {
+    /// Branch nodes expanded (deterministic read placements are free).
+    pub nodes: u64,
+    /// Distinct placed sets with memoised failed frontiers.
+    pub memo_entries: usize,
+    /// Reads placed deterministically by the draining rule.
+    pub drained_reads: u64,
+    /// Branches cut by the admissible forced-weight bound.
+    pub bound_prunes: u64,
+}
+
+impl ConstrainedSearch {
+    /// An unbounded exact search for the given `k`.
+    pub fn new(k: u64) -> Self {
+        ConstrainedSearch { k, node_budget: None }
+    }
+
+    /// An exact search that gives up ([`Verdict::Inconclusive`]) after
+    /// expanding `node_budget` branch nodes.
+    pub fn with_node_budget(k: u64, node_budget: u64) -> Self {
+        ConstrainedSearch { k, node_budget: Some(node_budget) }
+    }
+
+    /// Runs the search and additionally reports the work counters.
+    pub fn verify_detailed(&self, history: &History) -> (Verdict, ConstrainedReport) {
+        if history.is_empty() {
+            let report = ConstrainedReport::default();
+            return (Verdict::KAtomic { witness: TotalOrder::new(vec![]) }, report);
+        }
+        // Seed with the forced-separation edges: when some read's forced
+        // weight already exceeds k, no total order can exist — a NO
+        // certificate without expanding a single node. This also caps
+        // every read's remaining forced weight at k for the search below.
+        if staleness_lower_bound(history) > self.k {
+            return (Verdict::NotKAtomic, ConstrainedReport::default());
+        }
+        let n = history.len();
+        let (outcome, report) = if n <= STACK_SAFE_OPS {
+            run_engine(history, self.k, self.node_budget)
+        } else {
+            // Recursion depth is bounded by the op count; oversize
+            // segments get a thread with a stack sized to match.
+            let stack = 16 * 1024 * 1024 + n * STACK_BYTES_PER_OP;
+            std::thread::scope(|scope| {
+                std::thread::Builder::new()
+                    .name("kav-constrained".into())
+                    .stack_size(stack)
+                    .spawn_scoped(scope, || run_engine(history, self.k, self.node_budget))
+                    .expect("constrained-search thread spawns")
+                    .join()
+                    .expect("constrained search does not panic")
+            })
+        };
+        let verdict = match outcome {
+            Outcome::Found(order) => {
+                let witness = TotalOrder::new(order);
+                debug_assert!(
+                    crate::check_witness(history, &witness, self.k).is_ok(),
+                    "constrained-search witness must certify"
+                );
+                Verdict::KAtomic { witness }
+            }
+            Outcome::Exhausted => Verdict::NotKAtomic,
+            Outcome::BudgetExceeded => Verdict::Inconclusive,
+        };
+        (verdict, report)
+    }
+}
+
+impl Verifier for ConstrainedSearch {
+    fn k(&self) -> u64 {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "constrained"
+    }
+
+    fn verify(&self, history: &History) -> Verdict {
+        self.verify_detailed(history).0
+    }
+}
+
+enum Outcome {
+    Found(Vec<OpId>),
+    Exhausted,
+    BudgetExceeded,
+}
+
+fn run_engine(history: &History, k: u64, budget: Option<u64>) -> (Outcome, ConstrainedReport) {
+    let mut engine = Engine::new(history, k, budget);
+    let outcome = engine.run();
+    let report = ConstrainedReport {
+        nodes: engine.nodes,
+        memo_entries: engine.failed.len(),
+        drained_reads: engine.drained_reads,
+        bound_prunes: engine.bound_prunes,
+    };
+    (outcome, report)
+}
+
+struct Engine<'h> {
+    history: &'h History,
+    k: u64,
+    n: usize,
+    /// Op indices sorted by start / finish, and each op's rank in both.
+    by_start: Vec<u32>,
+    by_finish: Vec<u32>,
+    rank_in_start: Vec<u32>,
+    rank_in_finish: Vec<u32>,
+    /// `released_upto[fr]`: ops whose start precedes the finish of
+    /// finish-rank `fr` — the length of the released prefix of `by_start`
+    /// when `fr` is the first unplaced finish rank. `released_upto[n] = n`.
+    released_upto: Vec<u32>,
+    /// Write weight per op (0 for reads).
+    weight: Vec<u64>,
+    /// Dictating write index per read (`u32::MAX` for writes).
+    dict_write: Vec<u32>,
+    /// Unplaced dictated read count per write.
+    pending_reads: Vec<u32>,
+    /// Symmetry class per op; only the first unplaced member of a class is
+    /// branched on.
+    class_of: Vec<u32>,
+    /// Remaining *unplaced* forced weight per read (the admissible bound).
+    rem: Vec<u64>,
+    /// Reads each write is forced for (`w.finish < x.start`,
+    /// `x.finish < r.start`).
+    forced_for: Vec<Vec<u32>>,
+    /// Placed set as bitset words (the memo key).
+    placed: Vec<u64>,
+    /// First unplaced rank in `by_finish` — the availability frontier.
+    frontier_fr: usize,
+    /// Doubly linked list over `by_start` ranks of unplaced ops
+    /// (dancing-links: removals are restored in exact reverse order).
+    /// Index `n` is the circular head/tail sentinel.
+    next_rank: Vec<u32>,
+    prev_rank: Vec<u32>,
+    order: Vec<OpId>,
+    /// Separation accumulated by each placed write with pending reads.
+    separation: Vec<u64>,
+    /// Placed writes with pending reads, in placement order (entries whose
+    /// reads all drained stay until the write unwinds; skipped lazily).
+    active_writes: Vec<u32>,
+    /// Reads whose dictating write is placed (placed entries skipped
+    /// lazily; pushed/popped alongside their write).
+    active_reads: Vec<u32>,
+    /// Failed frontiers per placed set, probed by pointwise dominance.
+    failed: FxHashMap<Box<[u64]>, Vec<Box<[u64]>>>,
+    nodes: u64,
+    budget: Option<u64>,
+    budget_hit: bool,
+    drained_reads: u64,
+    bound_prunes: u64,
+}
+
+impl<'h> Engine<'h> {
+    fn new(history: &'h History, k: u64, budget: Option<u64>) -> Self {
+        let n = history.len();
+        let by_start: Vec<u32> =
+            history.sorted_by_start().iter().map(|id| id.index() as u32).collect();
+        let by_finish: Vec<u32> =
+            history.sorted_by_finish().iter().map(|id| id.index() as u32).collect();
+        let mut rank_in_start = vec![0u32; n];
+        let mut rank_in_finish = vec![0u32; n];
+        for (rank, &i) in by_start.iter().enumerate() {
+            rank_in_start[i as usize] = rank as u32;
+        }
+        for (rank, &i) in by_finish.iter().enumerate() {
+            rank_in_finish[i as usize] = rank as u32;
+        }
+
+        // Two-pointer sweeps over the sorted endpoint sequences.
+        let mut released_upto = vec![0u32; n + 1];
+        let mut sp = 0usize;
+        for fr in 0..n {
+            let fin = history.op(OpId(by_finish[fr] as usize)).finish;
+            while sp < n && history.op(OpId(by_start[sp] as usize)).start < fin {
+                sp += 1;
+            }
+            released_upto[fr] = sp as u32;
+        }
+        released_upto[n] = n as u32;
+
+        // pred_count[i] = |{j : j.finish < i.start}|. In an interval order
+        // the predecessor set of i is exactly the length-pred_count[i]
+        // prefix of `by_finish`, so equal counts mean equal sets.
+        let mut pred_count = vec![0u32; n];
+        let mut fp = 0usize;
+        for &i in &by_start {
+            let start = history.op(OpId(i as usize)).start;
+            while fp < n && history.op(OpId(by_finish[fp] as usize)).finish < start {
+                fp += 1;
+            }
+            pred_count[i as usize] = fp as u32;
+        }
+        // Successor sets are dually suffixes of `by_start`:
+        // succ_count[i] = n - |{j : j.start < i.finish}|.
+        let succ_count =
+            |i: usize| n as u32 - released_upto[rank_in_finish[i] as usize];
+
+        // Symmetry classes by constraint signature; writes with dictated
+        // reads are never interchangeable (unique tag).
+        let mut classes: FxHashMap<(bool, u32, u32, u32, u32, u32), u32> =
+            FxHashMap::default();
+        let mut class_of = vec![0u32; n];
+        for i in 0..n {
+            let op = history.op(OpId(i));
+            let has_reads = op.is_write() && !history.dictated_reads(OpId(i)).is_empty();
+            let signature = (
+                op.is_write(),
+                op.weight.as_u32(),
+                pred_count[i],
+                succ_count(i),
+                history.dictating_write(OpId(i)).map_or(u32::MAX, |w| w.index() as u32),
+                if has_reads { i as u32 } else { u32::MAX },
+            );
+            let next = classes.len() as u32;
+            class_of[i] = *classes.entry(signature).or_insert(next);
+        }
+
+        let weight: Vec<u64> = (0..n)
+            .map(|i| {
+                let op = history.op(OpId(i));
+                if op.is_write() { u64::from(op.weight.as_u32()) } else { 0 }
+            })
+            .collect();
+        let dict_write: Vec<u32> = (0..n)
+            .map(|i| {
+                history.dictating_write(OpId(i)).map_or(u32::MAX, |w| w.index() as u32)
+            })
+            .collect();
+        let pending_reads: Vec<u32> =
+            (0..n).map(|i| history.dictated_reads(OpId(i)).len() as u32).collect();
+
+        // Forced writes per read: contiguous start-range (w.finish, r.start)
+        // in the start-sorted write order, filtered by finish < r.start.
+        let writes_by_start: Vec<u32> = by_start
+            .iter()
+            .copied()
+            .filter(|&i| history.op(OpId(i as usize)).is_write())
+            .collect();
+        let mut forced_for: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut rem = vec![0u64; n];
+        for &r in history.reads() {
+            let w = history.dictating_write(r).expect("validated read");
+            let gap_lo = history.op(w).finish;
+            let gap_hi = history.op(r).start;
+            let lo = writes_by_start
+                .partition_point(|&x| history.op(OpId(x as usize)).start <= gap_lo);
+            for &x in &writes_by_start[lo..] {
+                let op = history.op(OpId(x as usize));
+                if op.start >= gap_hi {
+                    break;
+                }
+                if op.finish < gap_hi {
+                    forced_for[x as usize].push(r.index() as u32);
+                    rem[r.index()] += u64::from(op.weight.as_u32());
+                }
+            }
+        }
+
+        // Circular dancing-links list over by_start ranks, head at `n`.
+        let mut next_rank = vec![0u32; n + 1];
+        let mut prev_rank = vec![0u32; n + 1];
+        for rank in 0..=n {
+            next_rank[rank] = ((rank + 1) % (n + 1)) as u32;
+            prev_rank[(rank + 1) % (n + 1)] = rank as u32;
+        }
+
+        Engine {
+            history,
+            k,
+            n,
+            by_start,
+            by_finish,
+            rank_in_start,
+            rank_in_finish,
+            released_upto,
+            weight,
+            dict_write,
+            pending_reads,
+            class_of,
+            rem,
+            forced_for,
+            placed: vec![0u64; n.div_ceil(64)],
+            frontier_fr: 0,
+            next_rank,
+            prev_rank,
+            order: Vec::with_capacity(n),
+            separation: vec![0; n],
+            active_writes: Vec::new(),
+            active_reads: Vec::new(),
+            failed: FxHashMap::default(),
+            nodes: 0,
+            budget,
+            budget_hit: false,
+            drained_reads: 0,
+            bound_prunes: 0,
+        }
+    }
+
+    fn run(&mut self) -> Outcome {
+        match self.explore() {
+            true => Outcome::Found(std::mem::take(&mut self.order)),
+            false if self.budget_hit => Outcome::BudgetExceeded,
+            false => Outcome::Exhausted,
+        }
+    }
+
+    fn is_placed(&self, i: usize) -> bool {
+        self.placed[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Length of the released prefix of `by_start`: every unplaced op with
+    /// start rank below it has all real-time predecessors placed (any op
+    /// finishing before its start would finish before the frontier's
+    /// minimum unplaced finish, so it is placed already).
+    fn released_limit(&self) -> usize {
+        self.released_upto[self.frontier_fr] as usize
+    }
+
+    fn mark_placed(&mut self, i: usize) {
+        debug_assert!(!self.is_placed(i));
+        self.placed[i / 64] |= 1 << (i % 64);
+        self.order.push(OpId(i));
+        let rank = self.rank_in_start[i] as usize;
+        let (prev, next) = (self.prev_rank[rank], self.next_rank[rank]);
+        self.next_rank[prev as usize] = next;
+        self.prev_rank[next as usize] = prev;
+        while self.frontier_fr < self.n
+            && self.is_placed(self.by_finish[self.frontier_fr] as usize)
+        {
+            self.frontier_fr += 1;
+        }
+    }
+
+    fn unmark_placed(&mut self, i: usize) {
+        debug_assert_eq!(self.order.last(), Some(&OpId(i)), "unwind in reverse order");
+        self.order.pop();
+        self.placed[i / 64] &= !(1 << (i % 64));
+        // Dancing-links restore: the removed node still points at its
+        // neighbours, and reverse-order unwinding keeps them current.
+        let rank = self.rank_in_start[i] as usize;
+        let (prev, next) = (self.prev_rank[rank], self.next_rank[rank]);
+        self.next_rank[prev as usize] = rank as u32;
+        self.prev_rank[next as usize] = rank as u32;
+        self.frontier_fr = self.frontier_fr.min(self.rank_in_finish[i] as usize);
+    }
+
+    fn place_write(&mut self, x: usize) {
+        let wx = self.weight[x];
+        if wx > 0 {
+            for idx in 0..self.active_writes.len() {
+                let j = self.active_writes[idx] as usize;
+                if self.pending_reads[j] > 0 {
+                    self.separation[j] += wx;
+                }
+            }
+            for idx in 0..self.forced_for[x].len() {
+                let r = self.forced_for[x][idx] as usize;
+                self.rem[r] -= wx;
+            }
+        }
+        if self.pending_reads[x] > 0 {
+            self.separation[x] = wx;
+            self.active_writes.push(x as u32);
+            for idx in 0..self.history.dictated_reads(OpId(x)).len() {
+                let r = self.history.dictated_reads(OpId(x))[idx];
+                self.active_reads.push(r.index() as u32);
+            }
+        }
+        self.mark_placed(x);
+    }
+
+    fn unplace_write(&mut self, x: usize) {
+        self.unmark_placed(x);
+        if self.pending_reads[x] > 0 {
+            for _ in 0..self.pending_reads[x] {
+                self.active_reads.pop();
+            }
+            debug_assert_eq!(self.active_writes.last(), Some(&(x as u32)));
+            self.active_writes.pop();
+            self.separation[x] = 0;
+        }
+        let wx = self.weight[x];
+        if wx > 0 {
+            for idx in 0..self.forced_for[x].len() {
+                let r = self.forced_for[x][idx] as usize;
+                self.rem[r] += wx;
+            }
+            // Reverse-order unwinding restores pending_reads[j] to its
+            // value at placement time, so the subtraction mirrors the
+            // addition one for one.
+            for idx in 0..self.active_writes.len() {
+                let j = self.active_writes[idx] as usize;
+                if self.pending_reads[j] > 0 {
+                    self.separation[j] -= wx;
+                }
+            }
+        }
+    }
+
+    fn place_read(&mut self, r: usize) {
+        let w = self.dict_write[r] as usize;
+        debug_assert!(self.is_placed(w));
+        debug_assert!(self.separation[w] <= self.k, "pruned at write placement");
+        self.pending_reads[w] -= 1;
+        self.mark_placed(r);
+    }
+
+    fn unplace_read(&mut self, r: usize) {
+        self.unmark_placed(r);
+        self.pending_reads[self.dict_write[r] as usize] += 1;
+    }
+
+    /// Attempts to place write `x` next; rejects (and fully unwinds) when
+    /// any active read's admissible bound `separation + remaining forced
+    /// weight` would exceed `k` — including `x`'s own fresh reads.
+    fn try_place_write(&mut self, x: usize) -> bool {
+        self.place_write(x);
+        for idx in 0..self.active_reads.len() {
+            let r = self.active_reads[idx] as usize;
+            if self.is_placed(r) {
+                continue;
+            }
+            let w = self.dict_write[r] as usize;
+            if self.separation[w] + self.rem[r] > self.k {
+                self.bound_prunes += 1;
+                self.unplace_write(x);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Places every ready read (released, dictating write placed) until a
+    /// fixpoint; placements advance the frontier and may release more.
+    fn drain_ready_reads(&mut self) {
+        loop {
+            let mut progressed = false;
+            for idx in 0..self.active_reads.len() {
+                let r = self.active_reads[idx] as usize;
+                if self.is_placed(r) {
+                    continue;
+                }
+                if (self.rank_in_start[r] as usize) < self.released_limit() {
+                    self.place_read(r);
+                    self.drained_reads += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Unwinds `order` down to `mark`, dispatching by op kind.
+    fn undo_to(&mut self, mark: usize) {
+        while self.order.len() > mark {
+            let id = *self.order.last().expect("non-empty above mark");
+            if self.history.op(id).is_write() {
+                self.unplace_write(id.index());
+            } else {
+                self.unplace_read(id.index());
+            }
+        }
+    }
+
+    fn placed_key(&self) -> Box<[u64]> {
+        self.placed.as_slice().into()
+    }
+
+    /// Separations of active writes, ordered by write index — the placed
+    /// set determines *which* writes are active, so frontiers of equal
+    /// placed sets align component-wise.
+    fn frontier_signature(&self) -> Box<[u64]> {
+        let mut active: Vec<(u32, u64)> = self
+            .active_writes
+            .iter()
+            .filter(|&&j| self.pending_reads[j as usize] > 0)
+            .map(|&j| (j, self.separation[j as usize]))
+            .collect();
+        active.sort_unstable_by_key(|&(j, _)| j);
+        active.into_iter().map(|(_, sep)| sep).collect()
+    }
+
+    /// Branch candidates: released, unplaced writes, first of each
+    /// symmetry class, ordered greedily — writes whose waiting reads can
+    /// drain immediately first, then writes without pending reads, then
+    /// frontier order (ascending finish). The first candidate chain is
+    /// exactly the greedy witness construction; backtracking explores the
+    /// deviations.
+    fn candidates(&self) -> Vec<u32> {
+        let limit = self.released_limit();
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        let mut seen_classes: Vec<u32> = Vec::new();
+        let mut rank = self.next_rank[self.n] as usize;
+        while rank < limit {
+            let i = self.by_start[rank] as usize;
+            debug_assert!(!self.is_placed(i));
+            if self.history.op(OpId(i)).is_write() {
+                let class = self.class_of[i];
+                if !seen_classes.contains(&class) {
+                    seen_classes.push(class);
+                    let unblocks = self.history.dictated_reads(OpId(i)).iter().any(|&r| {
+                        !self.is_placed(r.index())
+                            && (self.rank_in_start[r.index()] as usize) < limit
+                    });
+                    let tier = if unblocks {
+                        0
+                    } else if self.pending_reads[i] == 0 {
+                        1
+                    } else {
+                        2
+                    };
+                    out.push((tier * self.n as u32 + self.rank_in_finish[i], i as u32));
+                }
+            }
+            rank = self.next_rank[rank] as usize;
+        }
+        out.sort_unstable();
+        out.into_iter().map(|(_, i)| i).collect()
+    }
+
+    fn explore(&mut self) -> bool {
+        let mark = self.order.len();
+        self.drain_ready_reads();
+        if self.order.len() == self.n {
+            return true;
+        }
+        if let Some(b) = self.budget {
+            if self.nodes >= b {
+                self.budget_hit = true;
+                self.undo_to(mark);
+                return false;
+            }
+        }
+        self.nodes += 1;
+
+        let key = self.placed_key();
+        let signature = self.frontier_signature();
+        if let Some(frontiers) = self.failed.get(&key) {
+            let dominated = frontiers.iter().any(|f| {
+                debug_assert_eq!(f.len(), signature.len(), "placed set fixes active writes");
+                f.len() == signature.len()
+                    && f.iter().zip(signature.iter()).all(|(a, b)| a <= b)
+            });
+            if dominated {
+                self.undo_to(mark);
+                return false;
+            }
+        }
+
+        for x in self.candidates() {
+            if self.try_place_write(x as usize) {
+                if self.explore() {
+                    return true;
+                }
+                self.unplace_write(x as usize);
+            }
+        }
+
+        let frontiers = self.failed.entry(key).or_default();
+        // The new failure subsumes any stored frontier it dominates.
+        frontiers.retain(|f| {
+            !(f.len() == signature.len()
+                && f.iter().zip(signature.iter()).all(|(a, b)| a >= b))
+        });
+        if frontiers.len() < MAX_MEMO_FRONTIERS {
+            frontiers.push(signature);
+        }
+        self.undo_to(mark);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_witness, ExhaustiveSearch};
+    use kav_history::HistoryBuilder;
+
+    fn verify_checked(h: &History, k: u64) -> bool {
+        match ConstrainedSearch::new(k).verify(h) {
+            Verdict::KAtomic { witness } => {
+                check_witness(h, &witness, k).expect("constrained witness must certify");
+                true
+            }
+            Verdict::NotKAtomic => false,
+            Verdict::Inconclusive => panic!("unbounded search cannot be inconclusive"),
+        }
+    }
+
+    #[test]
+    fn staleness_ladder() {
+        for writes in 1..=5u64 {
+            let mut b = HistoryBuilder::new();
+            for i in 0..writes {
+                b = b.write(i + 1, 100 * i, 100 * i + 50);
+            }
+            let h = b.read(1, 1000, 1100).build().unwrap();
+            for k in 1..=writes + 1 {
+                assert_eq!(verify_checked(&h, k), k >= writes, "writes={writes} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_staleness() {
+        let h = HistoryBuilder::new()
+            .weighted_write(1, 0, 10, 5)
+            .read(1, 12, 20)
+            .build()
+            .unwrap();
+        assert!(!verify_checked(&h, 4));
+        assert!(verify_checked(&h, 5));
+    }
+
+    #[test]
+    fn empty_and_read_free_histories() {
+        let empty = HistoryBuilder::new().build().unwrap();
+        assert!(verify_checked(&empty, 1));
+        let writes =
+            HistoryBuilder::new().write(1, 0, 10).write(2, 5, 15).build().unwrap();
+        assert!(verify_checked(&writes, 1));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_inconclusive() {
+        let mut b = HistoryBuilder::new();
+        for i in 0..12u64 {
+            b = b.write(i + 1, i, 1000 + i);
+        }
+        let h = b.read(1, 2000, 2100).build().unwrap();
+        let verdict = ConstrainedSearch::with_node_budget(1, 0).verify(&h);
+        assert_eq!(verdict, Verdict::Inconclusive);
+    }
+
+    #[test]
+    fn no_op_count_ceiling() {
+        // 200 mutually concurrent unit writes and one stale read: far past
+        // the oracle's 128-op mask, decided exactly at every probe.
+        let mut b = HistoryBuilder::new();
+        for i in 0..200u64 {
+            b = b.write(i + 1, i, 10_000 + i);
+        }
+        let h = b.read(1, 20_000, 20_100).build().unwrap();
+        let (verdict, report) =
+            ConstrainedSearch::with_node_budget(1, 1_000_000).verify_detailed(&h);
+        assert!(verdict.is_k_atomic(), "place the other 199 writes first: {report:?}");
+        if let Verdict::KAtomic { witness } = verdict {
+            check_witness(&h, &witness, 1).unwrap();
+        }
+        assert!(report.nodes > 0, "this shape must actually search");
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_random_histories() {
+        for seed in 0..60u64 {
+            let h = kav_workloads::random_k_atomic(kav_workloads::RandomHistoryConfig {
+                ops: 16,
+                k: 1 + seed % 4,
+                seed,
+                read_fraction: 0.6,
+                ..Default::default()
+            });
+            for k in 1..=5u64 {
+                let oracle = ExhaustiveSearch::new(k).verify(&h).is_k_atomic();
+                assert_eq!(
+                    verify_checked(&h, k),
+                    oracle,
+                    "seed {seed} k {k}: constrained vs oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_breaking_collapses_identical_writes() {
+        let mut b = HistoryBuilder::new();
+        for i in 0..20u64 {
+            b = b.write(i + 1, i, 1000 + i);
+        }
+        let h = b.build().unwrap();
+        let (verdict, report) = ConstrainedSearch::new(1).verify_detailed(&h);
+        assert!(verdict.is_k_atomic());
+        assert!(report.nodes < 100, "identical writes must collapse: {report:?}");
+    }
+
+    #[test]
+    fn drains_reads_without_branching() {
+        // Serial write/read pairs: every read drains the moment its write
+        // places, so the whole history resolves along one greedy chain.
+        let mut b = HistoryBuilder::new();
+        for i in 0..50u64 {
+            let t = 100 * i;
+            b = b.write(i + 1, t, t + 10).read(i + 1, t + 20, t + 30);
+        }
+        let h = b.build().unwrap();
+        let (verdict, report) = ConstrainedSearch::new(1).verify_detailed(&h);
+        assert!(verdict.is_k_atomic());
+        assert_eq!(report.drained_reads, 50, "all reads drain: {report:?}");
+        assert!(report.nodes <= 51, "no backtracking on serial chains: {report:?}");
+    }
+
+    #[test]
+    fn forced_weight_bound_prunes_doomed_branches() {
+        // A gadget whose candidate orders overshoot (bounds straddle at
+        // k = 3, true k = 4): proving NO at k = 3 must lean on the
+        // admissible cut-off rather than brute enumeration.
+        let h = HistoryBuilder::new()
+            .write(1, 0, 100)
+            .write(2, 2, 102)
+            .write(3, 4, 104)
+            .write(4, 110, 120)
+            .read(1, 122, 130)
+            .read(3, 132, 140)
+            .read(2, 142, 150)
+            .build()
+            .unwrap();
+        assert!(!verify_checked(&h, 3));
+        assert!(verify_checked(&h, 4));
+        let (_, report) = ConstrainedSearch::new(3).verify_detailed(&h);
+        assert!(report.bound_prunes > 0, "the cut-off must fire: {report:?}");
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let s = ConstrainedSearch::new(3);
+        assert_eq!(s.k(), 3);
+        assert_eq!(s.name(), "constrained");
+    }
+}

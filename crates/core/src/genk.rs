@@ -1,9 +1,9 @@
 //! GenK — bound-and-certify verification for **general** `k` (beyond the
 //! paper's open problem).
 //!
-//! No polynomial algorithm is known for k-AV with `k ≥ 3`; the only exact
-//! general-k decision procedure in this crate is the exponential
-//! [`ExhaustiveSearch`] oracle. GenK makes general k *practical* the way
+//! No polynomial algorithm is known for k-AV with `k ≥ 3`; exact general-k
+//! decisions take an exponential-worst-case search. GenK makes general k
+//! *practical* the way
 //! reductions in the model-checking literature make intractable decision
 //! problems practical: certify the common cases cheaply and escalate only
 //! on the (empirically rare) hard residue. It sandwiches the answer
@@ -28,13 +28,16 @@
 //!   separation is `≤ k`, the verdict is `KAtomic { witness }`.
 //!
 //! When the bounds disagree (`lower ≤ k < upper`), GenK escalates the gap
-//! to a node-budgeted [`ExhaustiveSearch`] and returns its verdict — or
-//! [`Verdict::Inconclusive`] past the budget (or past
-//! [`MAX_SEARCH_OPS`]). GenK therefore **never** returns an unsound YES or
-//! NO: YES always carries a witness, NO always follows from a forced
-//! separation or an exhausted search.
+//! to a node-budgeted [`ConstrainedSearch`] — the constrained-
+//! linearization engine with no op-count ceiling — and returns its
+//! verdict, or [`Verdict::Inconclusive`] past the budget. GenK therefore
+//! **never** returns an unsound YES or NO: YES always carries a witness,
+//! NO always follows from a forced separation or an exhausted search.
+//! (The [`crate::ExhaustiveSearch`] oracle, with its
+//! [`crate::MAX_SEARCH_OPS`] representation limit, is no longer on this
+//! path — it remains as the ≤128-op ground truth in the test suite.)
 
-use crate::{ExhaustiveSearch, TotalOrder, Verdict, Verifier, MAX_SEARCH_OPS};
+use crate::{ConstrainedSearch, TotalOrder, Verdict, Verifier};
 use kav_history::{History, OpId};
 
 /// Default node budget for the escalation search on a bound gap. Chosen so
@@ -102,8 +105,7 @@ impl GenK {
 
     /// A general-k verifier with an explicit escalation budget; `None`
     /// escalates with an *unbounded* (potentially exponential) search, so
-    /// the verdict is always decisive on histories within
-    /// [`MAX_SEARCH_OPS`].
+    /// the verdict is always decisive — on histories of any size.
     pub fn with_gap_budget(k: u64, gap_budget: Option<u64>) -> Self {
         GenK { k, gap_budget }
     }
@@ -322,20 +324,18 @@ pub(crate) fn refined_witness(
     }
 }
 
-/// The gap escalation: a node-budgeted exact search, or an immediate
-/// `Inconclusive` on histories past [`MAX_SEARCH_OPS`]. Returns the
-/// verdict and the nodes expanded.
+/// The gap escalation: a node-budgeted [`ConstrainedSearch`] over the
+/// whole gap segment. The node budget is the *only* limiter — there is no
+/// op-count cliff, so any segment resolves to a certified YES/NO given
+/// enough budget. Returns the verdict and the nodes expanded.
 pub(crate) fn escalate_gap(
     history: &History,
     k: u64,
     gap_budget: Option<u64>,
 ) -> (Verdict, u64) {
-    if history.len() > MAX_SEARCH_OPS {
-        return (Verdict::Inconclusive, 0);
-    }
     let search = match gap_budget {
-        Some(budget) => ExhaustiveSearch::with_node_budget(k, budget),
-        None => ExhaustiveSearch::new(k),
+        Some(budget) => ConstrainedSearch::with_node_budget(k, budget),
+        None => ConstrainedSearch::new(k),
     };
     let (verdict, report) = search.verify_detailed(history);
     (verdict, report.nodes)
@@ -563,7 +563,7 @@ fn improve_order(history: &History, mut order: Vec<OpId>, k: u64) -> Vec<OpId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{check_witness, smallest_k, Staleness};
+    use crate::{check_witness, smallest_k, ExhaustiveSearch, Staleness};
     use kav_history::HistoryBuilder;
 
     fn ladder(k: u64) -> History {
@@ -580,6 +580,19 @@ mod tests {
             check_witness(h, witness, k).expect("genk witness must certify");
         }
         verdict
+    }
+
+    /// Asserts the verdict is decided and (for YES) certified; returns
+    /// whether the history is k-atomic.
+    fn verify_checked_verdict(h: &History, verdict: Verdict, k: u64) -> bool {
+        match verdict {
+            Verdict::KAtomic { witness } => {
+                check_witness(h, &witness, k).expect("genk witness must certify");
+                true
+            }
+            Verdict::NotKAtomic => false,
+            Verdict::Inconclusive => panic!("must be decided at this budget"),
+        }
     }
 
     #[test]
@@ -723,9 +736,13 @@ mod tests {
     }
 
     #[test]
-    fn oversized_gaps_are_inconclusive() {
+    fn oversized_gaps_now_resolve() {
+        // Regression for the hard UNKNOWN cliff: segments past the old
+        // oracle's 128-op mask used to return Inconclusive from
+        // escalate_gap regardless of budget. The constrained tier has no
+        // op-count ceiling, so this gap must now be *decided*.
         let mut b = HistoryBuilder::new();
-        let n = MAX_SEARCH_OPS as u64 + 10;
+        let n = crate::MAX_SEARCH_OPS as u64 + 10;
         // Concurrent writes (lower bound 1) ...
         for i in 0..n {
             b = b.write(i + 1, i, 10_000 + i);
@@ -733,13 +750,46 @@ mod tests {
         // ... and a read that the candidate orders will not satisfy at
         // k = 1, forcing a gap on an oversized history.
         let h = b.read(1, 20_000, 20_100).build().unwrap();
-        let (verdict, report) = GenK::new(1).verify_detailed(&h);
-        if report.escalated {
-            assert_eq!(verdict, Verdict::Inconclusive, "oversized gaps cannot search");
-        } else {
-            // The candidates happened to certify; also fine — but never NO.
-            assert!(verdict.is_k_atomic());
+        let (verdict, _report) = GenK::new(1).verify_detailed(&h);
+        // Either the candidates certified or the escalation searched;
+        // never an UNKNOWN at the default budget.
+        assert!(
+            verify_checked_verdict(&h, verdict, 1),
+            "this shape is 1-atomic (read's write placed last)"
+        );
+    }
+
+    #[test]
+    fn two_hundred_op_gap_segment_resolves_under_generous_budget() {
+        // A straddling gadget (lower bound 2, true k 4) padded with 97
+        // serial write/read pairs to 201 ops: the old escalator returned
+        // Inconclusive at any budget; the constrained tier must certify
+        // NO at k = 3 and YES (checked witness) at k = 4.
+        let mut b = HistoryBuilder::new()
+            .write(1, 0, 100)
+            .write(2, 2, 102)
+            .write(3, 4, 104)
+            .write(4, 110, 120)
+            .read(1, 122, 130)
+            .read(3, 132, 140)
+            .read(2, 142, 150);
+        let mut t = 1000u64;
+        for v in 10..107u64 {
+            b = b.write(v, t, t + 5).read(v, t + 10, t + 15);
+            t += 20;
         }
+        let h = b.build().unwrap();
+        assert_eq!(h.len(), 201);
+        assert!(h.len() > crate::MAX_SEARCH_OPS);
+
+        let generous = GenK::with_gap_budget(3, Some(10_000_000));
+        let (verdict, report) = generous.verify_detailed(&h);
+        assert!(report.escalated, "bounds must straddle at k = 3");
+        assert_eq!(verdict, Verdict::NotKAtomic, "nodes={}", report.search_nodes);
+
+        let (verdict, _) =
+            GenK::with_gap_budget(4, Some(10_000_000)).verify_detailed(&h);
+        assert!(verify_checked_verdict(&h, verdict, 4));
     }
 
     #[test]

@@ -9,12 +9,18 @@
 //!   worst case;
 //! * [`GkOneAv`] — the Gibbons–Korach zone test for 1-atomicity
 //!   (linearizability), the solved `k = 1` baseline;
-//! * [`ExhaustiveSearch`] — an exact, exponential-time oracle for any `k`
-//!   (and the weighted rule of §V) on small histories;
+//! * [`ExhaustiveSearch`] — an exact, exponential-time *test oracle* for
+//!   any `k` (and the weighted rule of §V) on histories of at most
+//!   [`MAX_SEARCH_OPS`] operations;
+//! * [`ConstrainedSearch`] — the production exact search: a
+//!   budget-honoring constrained-linearization engine over the
+//!   interval-order frontier with forced-separation pruning, an
+//!   admissible lower-bound cut-off and dominated-frontier memoisation —
+//!   no op-count ceiling, the node budget is the only limiter;
 //! * [`GenK`] — bound-and-certify verification for **general** `k`: a
 //!   forced-separation lower bound and a constructive witness upper bound
 //!   decide the common cases polynomially, and only the (rare) bound gap
-//!   escalates to a budgeted [`ExhaustiveSearch`] — `Inconclusive` past
+//!   escalates to a budgeted [`ConstrainedSearch`] — `Inconclusive` past
 //!   the budget, never an unsound YES/NO;
 //! * [`smallest_k`] — the §II-B search for the exact staleness bound of a
 //!   history, sandwiched by the [`GenK`] bounds from `k = 3` up;
@@ -53,6 +59,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod constrained;
 mod diagnose;
 mod fzf;
 mod genk;
@@ -65,6 +72,7 @@ mod verdict;
 mod witness;
 
 pub use batch::verify_batch;
+pub use constrained::{ConstrainedReport, ConstrainedSearch};
 pub use diagnose::{diagnose, AtomicityViolation, Diagnosis};
 pub use fzf::{Fzf, FzfReport};
 pub use genk::{staleness_lower_bound, GenK, GenKReport, DEFAULT_GAP_BUDGET};

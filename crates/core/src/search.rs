@@ -19,12 +19,26 @@
 //! [`crate::check_witness`]): with unit weights, separation `≤ k` is
 //! exactly plain k-atomicity, so [`ExhaustiveSearch::new`] doubles as the
 //! ground-truth k-AV oracle used by the property-test suite.
+//!
+//! **Test oracle only.** This module is deliberately *not* on any
+//! production path: its `u128`-bitmask state representation caps it at
+//! [`MAX_SEARCH_OPS`] operations, and histories past the cap return
+//! [`Verdict::Inconclusive`] regardless of budget. The production exact
+//! search — genk's gap escalator and the `--algo constrained` CLI path —
+//! is [`crate::ConstrainedSearch`], which has no op-count ceiling. The
+//! oracle's value is its independence: a second, structurally different
+//! implementation the property suite cross-checks the production engine
+//! against on ≤ 128-op histories.
 
 use crate::{TotalOrder, Verdict, Verifier};
 use kav_history::{History, OpId};
 use std::collections::HashMap;
 
-/// Largest history (in operations) the bitmask representation supports.
+/// Largest history (in operations) the oracle's `u128` bitmask
+/// representation supports — an **oracle-only** guard, not a system
+/// limit. [`ExhaustiveSearch`] returns [`Verdict::Inconclusive`] above
+/// it; the production [`crate::ConstrainedSearch`] has no such ceiling
+/// and is limited only by its node budget.
 pub const MAX_SEARCH_OPS: usize = 128;
 
 /// Exact, exponential-time verifier for any `k`, weighted or not.

@@ -102,15 +102,16 @@ pub(crate) fn finish_order_writes_first(history: &History) -> Vec<OpId> {
 /// [`GenK`](crate::GenK) bounds: the forced-separation lower bound and
 /// the best constructive witness order pin an interval `[lower, upper]`
 /// of candidate levels, every level below `lower` is already refuted, and
-/// `upper` is certified by an explicit witness — so the exponential
-/// oracle only runs on levels inside the bound gap.
+/// `upper` is certified by an explicit witness — so the exact
+/// [`ConstrainedSearch`](crate::ConstrainedSearch) only runs on levels
+/// inside the bound gap.
 ///
 /// `node_budget` bounds each gap-escalation search; pass `None` for
 /// unbounded (potentially exponential) searches. When a budgeted search
 /// gives up at level `k`, the result is [`Staleness::AtLeast`]`(k)` —
 /// exactly the last *proven* non-atomic level plus one, never an
-/// over-claim. Histories larger than [`crate::MAX_SEARCH_OPS`] whose
-/// bounds do not close yield [`Staleness::AtLeast`] likewise.
+/// over-claim. There is no op-count ceiling: given enough budget, any
+/// straddling gap — of any size — resolves to [`Staleness::Exact`].
 ///
 /// # Examples
 ///
@@ -232,6 +233,31 @@ mod tests {
         assert_eq!(starved, Staleness::AtLeast(3));
         assert_eq!(starved.lower_bound(), 3);
         assert_eq!(starved.exact(), None);
+    }
+
+    #[test]
+    fn oversized_straddling_gaps_resolve_exactly() {
+        // Regression for the 128-op cliff: pad the straddling gadget with
+        // 97 serial write/read pairs (201 ops total). The old escalator
+        // pinned AtLeast(3) at *any* budget because the segment exceeded
+        // the oracle's bitmask; the constrained tier must now close the
+        // level-3 gap and land on the exact answer.
+        let mut b = HistoryBuilder::new()
+            .write(1, 0, 100)
+            .write(2, 2, 102)
+            .write(3, 4, 104)
+            .write(4, 110, 120)
+            .read(1, 122, 130)
+            .read(3, 132, 140)
+            .read(2, 142, 150);
+        let mut t = 1000u64;
+        for v in 10..107u64 {
+            b = b.write(v, t, t + 5).read(v, t + 10, t + 15);
+            t += 20;
+        }
+        let h = b.build().unwrap();
+        assert!(h.len() > crate::MAX_SEARCH_OPS);
+        assert_eq!(smallest_k(&h, Some(10_000_000)), Staleness::Exact(4));
     }
 
     /// A history that needs the escalation search at some level: see

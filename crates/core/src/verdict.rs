@@ -16,9 +16,9 @@ pub enum Verdict {
     /// The history is not k-atomic.
     NotKAtomic,
     /// A budgeted search gave up before deciding — produced by
-    /// [`crate::ExhaustiveSearch`] when its node budget is exhausted, and
-    /// by [`crate::GenK`] when its bound gap outlives the escalation
-    /// budget (or the history exceeds [`crate::MAX_SEARCH_OPS`]).
+    /// [`crate::ConstrainedSearch`] and the [`crate::ExhaustiveSearch`]
+    /// oracle when their node budget is exhausted, and by [`crate::GenK`]
+    /// when its bound gap outlives the escalation budget.
     Inconclusive,
 }
 

@@ -317,8 +317,13 @@ mod feature_tests {
 
     #[test]
     fn read_repair_reduces_staleness() {
-        let without = total_staleness(sloppy_base(), 0..6);
-        let with = total_staleness(SimConfig { read_repair: true, ..sloppy_base() }, 0..6);
+        // Repair is a statistical win, not a per-execution invariant: the
+        // repair writes perturb apply timing, so individual seeds can come
+        // out worse. Aggregate over enough seeds that the tendency
+        // dominates (exact smallest-k measurement makes small samples
+        // noisier than the old budget-truncated bounds were).
+        let without = total_staleness(sloppy_base(), 0..32);
+        let with = total_staleness(SimConfig { read_repair: true, ..sloppy_base() }, 0..32);
         assert!(
             with <= without,
             "read repair should not increase staleness ({with} vs {without})"

@@ -230,6 +230,83 @@ proptest! {
     }
 }
 
+/// A gap segment that *escalates to the constrained search* must survive a
+/// checkpoint hop: the verdict of an escalated window is a search result,
+/// not a bound, and resuming mid-stream must reproduce it bit-for-bit.
+#[test]
+fn escalated_gap_segments_survive_checkpoint_hops() {
+    use k_atomicity::history::{HistoryBuilder, Operation, Time, Value};
+
+    // The straddling gadget (forced lower bound 2, witness upper bound 4,
+    // true k = 4), time-shifted per repetition; in finish order, ready to
+    // stream. At k = 3 every window containing it must escalate and
+    // refute.
+    let gadget = |base: u64, v0: u64| -> Vec<Operation> {
+        vec![
+            Operation::write(Value(v0), Time(base), Time(base + 100)),
+            Operation::write(Value(v0 + 1), Time(base + 2), Time(base + 102)),
+            Operation::write(Value(v0 + 2), Time(base + 4), Time(base + 104)),
+            Operation::write(Value(v0 + 3), Time(base + 110), Time(base + 120)),
+            Operation::read(Value(v0), Time(base + 122), Time(base + 130)),
+            Operation::read(Value(v0 + 2), Time(base + 132), Time(base + 140)),
+            Operation::read(Value(v0 + 1), Time(base + 142), Time(base + 150)),
+        ]
+    };
+
+    // Sanity: this shape really exercises the escalation tier at k = 3.
+    let sanity = {
+        let mut b = HistoryBuilder::new();
+        for op in gadget(0, 1) {
+            let (s, f) = (op.start.as_u64(), op.finish.as_u64());
+            b = if op.is_write() {
+                b.write(op.value.0, s, f)
+            } else {
+                b.read(op.value.0, s, f)
+            };
+        }
+        b.build().unwrap()
+    };
+    let (verdict, report) = GenK::new(3).verify_detailed(&sanity);
+    assert!(report.escalated, "the gadget must reach the search: {report:?}");
+    assert!(!verdict.is_k_atomic(), "true k is 4");
+
+    // Six gadgets on one key (42 records); window 14 puts two gadgets in
+    // each sealed segment, so every segment's NO comes from escalation.
+    let records: Vec<StreamRecord> = (0..6u64)
+        .flat_map(|i| {
+            gadget(1000 * i, 10 * i + 1)
+                .into_iter()
+                .map(|op| StreamRecord::new(7, op))
+        })
+        .collect();
+    let config = PipelineConfig { shards: 2, window: 14, ..Default::default() };
+    let verifier = GenK::new(3);
+
+    let mut pipeline = StreamPipeline::new(verifier, config);
+    push_all(&mut pipeline, &records);
+    let baseline = pipeline.finish();
+    let (_, report) = baseline.keys.iter().find(|(key, _)| *key == 7).expect("key 7").clone();
+    assert_eq!(report.k_atomic(), Some(false), "escalated windows refute: {report}");
+    assert!(report.segments >= 2, "the stream must span several windows: {report}");
+
+    // Kill and resume at cuts that land before, inside (mid-gadget,
+    // mid-window) and after escalated segments.
+    for cut in [0, 5, 14, 17, 21, 30, 40, records.len()] {
+        let mut first = StreamPipeline::new(verifier, config);
+        push_all(&mut first, &records[..cut]);
+        let json = serde_json::to_string(&first.snapshot()).expect("snapshots serialize");
+        drop(first); // the crash
+        let snapshot: PipelineSnapshot =
+            serde_json::from_str(&json).expect("checkpoints parse");
+        let mut resumed = StreamPipeline::resume(verifier, config, &snapshot, true)
+            .expect("own snapshots resume");
+        push_all(&mut resumed, &records[cut..]);
+        let output = resumed.finish();
+        assert_eq!(&output.keys, &baseline.keys, "cut at {cut}");
+        assert_eq!(&output.errors, &baseline.errors, "cut at {cut}");
+    }
+}
+
 /// Deterministic spot check that a snapshot is stable: snapshotting twice
 /// without pushes yields identical bytes, and resume restores ops_routed.
 #[test]

@@ -15,7 +15,9 @@
 //! never 2-atomic.
 
 use k_atomicity::history::HistoryBuilder;
-use k_atomicity::verify::{check_witness, ExhaustiveSearch, Fzf, GenK, Verdict, Verifier};
+use k_atomicity::verify::{
+    check_witness, ConstrainedSearch, ExhaustiveSearch, Fzf, GenK, Verdict, Verifier,
+};
 
 fn agree(h: &k_atomicity::history::History, label: &str) -> bool {
     let fzf = Fzf.verify(h);
@@ -30,10 +32,11 @@ fn agree(h: &k_atomicity::history::History, label: &str) -> bool {
     }
     // The Lemma 4.2 chain shapes are exactly where naive witness orders
     // go wrong (only T'F is viable), so they gate the general-k sandwich
-    // too — at k = 2 and at every level up to 5.
+    // and the constrained escalation engine too — at k = 2 and at every
+    // level up to 5.
     for k in 1..=5u64 {
-        let genk = GenK::with_gap_budget(k, None).verify(h);
         let oracle_k = ExhaustiveSearch::new(k).verify(h);
+        let genk = GenK::with_gap_budget(k, None).verify(h);
         assert_eq!(
             genk.is_k_atomic(),
             oracle_k.is_k_atomic(),
@@ -42,6 +45,17 @@ fn agree(h: &k_atomicity::history::History, label: &str) -> bool {
         if let Verdict::KAtomic { witness } = &genk {
             check_witness(h, witness, k)
                 .unwrap_or_else(|e| panic!("{label}: bad genk witness at k = {k}: {e}"));
+        }
+        let constrained = ConstrainedSearch::new(k).verify(h);
+        assert_eq!(
+            constrained.is_k_atomic(),
+            oracle_k.is_k_atomic(),
+            "{label}: ConstrainedSearch and oracle disagree at k = {k}"
+        );
+        if let Verdict::KAtomic { witness } = &constrained {
+            check_witness(h, witness, k).unwrap_or_else(|e| {
+                panic!("{label}: bad constrained witness at k = {k}: {e}")
+            });
         }
     }
     fzf.is_k_atomic()
