@@ -25,7 +25,7 @@ impl fmt::Display for ArgError {
 impl Error for ArgError {}
 
 /// Boolean flags (take no value) recognised by any subcommand.
-const BOOLEAN_FLAGS: &[&str] = &["witness", "help", "strict"];
+const BOOLEAN_FLAGS: &[&str] = &["witness", "help", "strict", "list"];
 
 impl Args {
     /// Parses raw arguments. `--name value` becomes an option, bare words

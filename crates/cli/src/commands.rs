@@ -10,7 +10,7 @@ use kav_core::{
 use kav_history::fxhash::Fingerprint;
 use kav_history::{csv, json, ndjson, render_timeline, repair, History, HistoryStats, RawHistory};
 use serde::Serialize;
-use kav_sim::{LatencyModel, SimConfig, Simulation};
+use kav_sim::{scenario_matrix, LatencyModel, Manifest, Scenario, SimConfig, Simulation};
 use kav_weighted::{reduce_bin_packing, BinPacking};
 use kav_workloads as workloads;
 use std::error::Error;
@@ -75,6 +75,11 @@ pub fn usage() -> &'static str {
      \x20 kav sim [--replicas N] [--read-quorum R] [--write-quorum W] [--fanout F]\n\
      \x20        [--clients C] [--ops N] [--keys K] [--lag lo:hi] [--net lo:hi]\n\
      \x20        [--drop p] [--seed s] [--budget nodes] [--out-prefix path]\n\
+     \x20 kav simulate --faults <scenario|all> [--seed s] [--out <file|prefix>]\n\
+     \x20        [--manifest <file>] | --list\n\
+     \x20        (adversarial fault schedules: crash-recovery, partition/heal,\n\
+     \x20         quorum reconfig, clocks beyond the skew bound; emits a tagged\n\
+     \x20         NDJSON stream for `kav stream` plus a ground-truth manifest)\n\
      \x20 kav reduce --sizes 3,2,2 --bins 2 --capacity 5 [--out <file>] [--decide true]\n"
 }
 
@@ -400,6 +405,97 @@ pub fn sim(args: &Args) -> CmdResult {
             history.max_concurrent_writes()
         );
     }
+    Ok(())
+}
+
+/// Runs one scenario and writes its stream and ground-truth manifest —
+/// to files when `out` is given, else stream to stdout and manifest to
+/// stderr.
+fn emit_scenario(
+    scenario: &Scenario,
+    out: Option<&str>,
+    manifest_path: Option<&str>,
+) -> Result<Manifest, Box<dyn Error>> {
+    let run = scenario.run()?;
+    match out {
+        Some(path) => {
+            ndjson::write_stream(path, &run.records)?;
+            let manifest_path =
+                manifest_path.map(str::to_owned).unwrap_or_else(|| format!("{path}.manifest.json"));
+            std::fs::write(
+                &manifest_path,
+                serde_json::to_string(&run.manifest).expect("manifests serialize") + "\n",
+            )?;
+            println!(
+                "{}: {} records ({} reads / {} writes, {} timeouts, {} lost write copies, \
+                 {} reconfigs) -> {path}; manifest ({}, k_bound {}) -> {manifest_path}",
+                scenario.name,
+                run.records.len(),
+                run.manifest.reads,
+                run.manifest.writes,
+                run.manifest.timeouts,
+                run.manifest.lost_writes,
+                run.manifest.reconfigs,
+                run.manifest.expected.name(),
+                run.manifest.k_bound,
+            );
+        }
+        None => {
+            // Keep stdout pure NDJSON (pipeable straight into `kav
+            // stream -`); the ground truth goes to stderr as one JSON line.
+            eprintln!("{}", serde_json::to_string(&run.manifest).expect("manifests serialize"));
+            for record in &run.records {
+                println!("{}", ndjson::to_line(record));
+            }
+        }
+    }
+    Ok(run.manifest)
+}
+
+/// `kav simulate` — record adversarial fault-schedule scenarios as tagged
+/// NDJSON streams plus ground-truth manifests.
+///
+/// Scenarios come from the `kav_sim` adversarial matrix: crash-recovery
+/// with write loss, partition/heal cycles, mid-run quorum reconfiguration
+/// and clocks beyond the declared skew bound (plus a clean control). The
+/// manifest records the seed, the full schedule and the expected-verdict
+/// class, so downstream audits can be judged against ground truth.
+pub fn simulate(args: &Args) -> CmdResult {
+    if args.flag("list") {
+        println!("scenario | expected | k_bound | faults");
+        for s in scenario_matrix(0) {
+            println!(
+                "{:<17} | {:<14} | {:>7} | {}",
+                s.name,
+                s.expected.name(),
+                s.k_bound,
+                s.faults.faults.len(),
+            );
+        }
+        return Ok(());
+    }
+    let name = args.get("faults").ok_or_else(|| {
+        ArgError("simulate requires --faults <scenario|all> (use --list to see them)".into())
+    })?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    if name == "all" {
+        let prefix = args.get("out").ok_or_else(|| {
+            ArgError("--faults all requires --out <prefix> (one stream per scenario)".into())
+        })?;
+        for scenario in scenario_matrix(seed) {
+            let stream = format!("{prefix}-{}.ndjson", scenario.name);
+            emit_scenario(&scenario, Some(&stream), None)?;
+        }
+        return Ok(());
+    }
+    let Some(scenario) = kav_sim::scenario(name, seed) else {
+        let known: Vec<String> = scenario_matrix(0).into_iter().map(|s| s.name).collect();
+        return Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!("unknown fault scenario {name:?}; known: {}, or \"all\"", known.join(", ")),
+        ));
+    };
+    emit_scenario(&scenario, args.get("out"), args.get("manifest"))?;
     Ok(())
 }
 

@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         "repair" => commands::repair_cmd(&args),
         "gen" => commands::gen(&args),
         "sim" => commands::sim(&args),
+        "simulate" => commands::simulate(&args),
         "stream" => commands::stream(&args),
         "reduce" => commands::reduce(&args),
         other => {

@@ -54,6 +54,18 @@ pub enum KeyDistribution {
 }
 
 
+/// Largest accepted `clock_skew` bound, in microseconds (one hour).
+///
+/// Recorded timestamps pack the (possibly skewed) microsecond into the
+/// high 44 bits of a [`kav_history::Time`], so the skew bound must leave
+/// ample headroom below `2^44` µs; one hour of clock error is already far
+/// beyond anything a §II-C-style deployment would declare, and an
+/// unbounded knob silently accepted contradictions (a declared bound
+/// larger than any run is no bound at all). Use a
+/// [`crate::FaultSchedule`] skew fault to model clocks *beyond* the
+/// declared bound.
+pub const MAX_CLOCK_SKEW: u64 = 3_600_000_000;
+
 /// A periodically partitioned ("flaky") replica: during each downtime
 /// window it buffers writes (applying them on recovery, like hinted
 /// handoff being replayed) and cannot answer reads.
@@ -209,11 +221,14 @@ impl SimConfig {
                 return Err(ConfigError("zipf exponent must be positive and finite"));
             }
         }
+        if self.clock_skew > MAX_CLOCK_SKEW {
+            return Err(ConfigError("clock_skew exceeds MAX_CLOCK_SKEW (one hour)"));
+        }
         if let Some(flaky) = self.flaky {
             if flaky.replica >= self.replicas {
                 return Err(ConfigError("flaky.replica must name an existing replica"));
             }
-            if flaky.period == 0 || flaky.downtime >= flaky.period {
+            if flaky.period == 0 || flaky.downtime == 0 || flaky.downtime >= flaky.period {
                 return Err(ConfigError("flaky windows need 0 < downtime < period"));
             }
             if self.read_quorum > self.replicas - 1 {
@@ -237,7 +252,7 @@ impl SimConfig {
 
 /// A contradictory [`SimConfig`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ConfigError(&'static str);
+pub struct ConfigError(pub(crate) &'static str);
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -287,6 +302,38 @@ mod tests {
         ] {
             assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
         }
+    }
+
+    #[test]
+    fn clock_skew_is_bounded() {
+        // The knob used to accept any u64: a "declared bound" of, say,
+        // u64::MAX contradicts the §II-C accurate-timestamp assumption it
+        // is supposed to quantify (and would overflow the stamp packing).
+        let cfg = SimConfig { clock_skew: MAX_CLOCK_SKEW, ..Default::default() };
+        cfg.validate().unwrap();
+        let cfg = SimConfig { clock_skew: MAX_CLOCK_SKEW + 1, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = SimConfig { clock_skew: u64::MAX, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn flaky_downtime_must_be_inside_the_period() {
+        // downtime == 0 used to pass silently even though the documented
+        // contract is 0 < downtime < period (a never-down flaky replica is
+        // a contradictory schedule, not a no-op the caller asked for).
+        for downtime in [0, 100, 101] {
+            let cfg = SimConfig {
+                flaky: Some(FlakyReplica { replica: 0, period: 100, downtime }),
+                ..Default::default()
+            };
+            assert!(cfg.validate().is_err(), "downtime {downtime} of period 100");
+        }
+        let cfg = SimConfig {
+            flaky: Some(FlakyReplica { replica: 0, period: 100, downtime: 1 }),
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
     }
 
     #[test]

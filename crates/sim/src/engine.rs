@@ -7,8 +7,14 @@
 //! operation's invocation and response are recorded with globally unique,
 //! order-consistent timestamps, yielding one anomaly-free [`RawHistory`]
 //! per key.
+//!
+//! A [`FaultSchedule`] overlays adversarial behaviour — crashes that lose
+//! buffered writes, partitions, quorum reconfiguration, clocks beyond the
+//! declared skew bound — without perturbing the fault-free path: an empty
+//! schedule runs the exact event sequence (and RNG stream) of a schedule-
+//! less simulation, a property the determinism tests pin down.
 
-use crate::{KeyDistribution, SimConfig, SimOutput, SimStats};
+use crate::{Fault, FaultSchedule, KeyDistribution, SimConfig, SimOutput, SimStats};
 use kav_history::{Operation, RawHistory, Time, Value};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -21,7 +27,7 @@ type Micros = u64;
 type Key = u64;
 type Version = u64;
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     /// Client becomes ready to issue its next operation.
     ClientNext { client: usize },
@@ -29,8 +35,16 @@ enum Event {
     /// replica's apply lag.
     WriteArrive { replica: usize, key: Key, version: Version, client: usize, op_seq: u64 },
     /// The replica applies the write (becomes visible to reads) and sends
-    /// its acknowledgement.
-    WriteApply { replica: usize, key: Key, version: Version, client: usize, op_seq: u64 },
+    /// its acknowledgement. `arrived` keeps the receive instant so a crash
+    /// in `(arrived, now]` can void the still-buffered write.
+    WriteApply {
+        replica: usize,
+        key: Key,
+        version: Version,
+        client: usize,
+        op_seq: u64,
+        arrived: Micros,
+    },
     /// A write acknowledgement reaches the coordinator.
     WriteAck { client: usize, op_seq: u64 },
     /// A read request reaches a replica; the reply departs immediately.
@@ -40,7 +54,12 @@ enum Event {
     /// A read-repair push reaches a replica (no acknowledgement needed).
     RepairArrive { replica: usize, key: Key, version: Version },
     /// The repair is applied; nobody waits for it.
-    WriteApplyNoAck { replica: usize, key: Key, version: Version },
+    WriteApplyNoAck { replica: usize, key: Key, version: Version, arrived: Micros },
+    /// The client gives up on an operation (armed only under a fault
+    /// schedule, where faults can strand quorums forever).
+    OpTimeout { client: usize, op_seq: u64 },
+    /// A scheduled quorum reconfiguration takes effect.
+    Reconfig { step: usize },
 }
 
 /// In-flight operation state at a coordinator (one per closed-loop client).
@@ -57,10 +76,131 @@ struct Pending {
     done: bool,
 }
 
-pub(crate) fn run(config: &SimConfig) -> SimOutput {
+/// One [`Fault::Reconfig`] flattened for replay.
+struct ReconfigStep {
+    at: Micros,
+    read_quorum: Option<usize>,
+    write_quorum: Option<usize>,
+    write_fanout: Option<usize>,
+    add_replicas: usize,
+    remove_replicas: Vec<usize>,
+}
+
+/// The fault schedule preprocessed into per-replica windows and per-client
+/// clock error, all static for the run (membership changes are the only
+/// dynamic part and live in the event loop).
+struct FaultRuntime {
+    /// Per replica: sorted `[at, restart_at)` crash windows.
+    crash_windows: Vec<Vec<(Micros, Micros)>>,
+    /// Per replica: sorted `[from, until)` partition windows.
+    partition_windows: Vec<Vec<(Micros, Micros)>>,
+    /// Per client: constant recorded-clock offset beyond the declared bound.
+    extra_offset: Vec<i64>,
+    /// Per client: recorded-clock drift in parts per million.
+    drift_ppm: Vec<i64>,
+    /// Reconfigurations in time order.
+    reconfigs: Vec<ReconfigStep>,
+    /// Give-up timeout; `None` exactly when the schedule is empty.
+    timeout: Option<Micros>,
+}
+
+impl FaultRuntime {
+    fn build(config: &SimConfig, faults: &FaultSchedule, max_replicas: usize) -> Self {
+        let mut runtime = FaultRuntime {
+            crash_windows: vec![Vec::new(); max_replicas],
+            partition_windows: vec![Vec::new(); max_replicas],
+            extra_offset: vec![0; config.clients],
+            drift_ppm: vec![0; config.clients],
+            reconfigs: Vec::new(),
+            timeout: if faults.is_empty() { None } else { Some(faults.timeout()) },
+        };
+        for fault in &faults.faults {
+            match fault {
+                Fault::SkewBeyondBound { client, offset, drift_ppm } => {
+                    runtime.extra_offset[*client] = *offset;
+                    runtime.drift_ppm[*client] = *drift_ppm;
+                }
+                Fault::Crash { replica, at, restart_at } => {
+                    runtime.crash_windows[*replica].push((*at, *restart_at));
+                }
+                Fault::Partition { replicas, from, until } => {
+                    for replica in replicas {
+                        runtime.partition_windows[*replica].push((*from, *until));
+                    }
+                }
+                Fault::Reconfig {
+                    at,
+                    read_quorum,
+                    write_quorum,
+                    write_fanout,
+                    add_replicas,
+                    remove_replicas,
+                } => runtime.reconfigs.push(ReconfigStep {
+                    at: *at,
+                    read_quorum: *read_quorum,
+                    write_quorum: *write_quorum,
+                    write_fanout: *write_fanout,
+                    add_replicas: *add_replicas,
+                    remove_replicas: remove_replicas.clone(),
+                }),
+            }
+        }
+        for windows in runtime.crash_windows.iter_mut().chain(&mut runtime.partition_windows) {
+            windows.sort_unstable();
+        }
+        runtime.reconfigs.sort_by_key(|step| step.at);
+        runtime
+    }
+
+    /// True iff the replica is crashed at `at`.
+    fn crashed(&self, replica: usize, at: Micros) -> bool {
+        self.crash_windows[replica].iter().any(|&(s, e)| s <= at && at < e)
+    }
+
+    /// True iff a crash *began* in `(after, upto]` — exactly the condition
+    /// under which a write received at `after` but not yet applied by the
+    /// crash instant is wiped from the replica's buffer.
+    fn crash_started_in(&self, replica: usize, after: Micros, upto: Micros) -> bool {
+        self.crash_windows[replica].iter().any(|&(s, _)| after < s && s <= upto)
+    }
+
+    /// True iff the replica is partitioned away at `at`.
+    fn partitioned(&self, replica: usize, at: Micros) -> bool {
+        self.partition_windows[replica].iter().any(|&(s, e)| s <= at && at < e)
+    }
+
+    /// The earliest time `>= at` outside every partition window.
+    fn heal_time(&self, replica: usize, mut at: Micros) -> Micros {
+        loop {
+            match self.partition_windows[replica].iter().find(|&&(s, e)| s <= at && at < e) {
+                Some(&(_, e)) => at = e,
+                None => return at,
+            }
+        }
+    }
+
+    /// True iff the replica can serve a request at `at` (crash and
+    /// partition faults only; flaky windows and membership are checked by
+    /// the caller).
+    fn reachable(&self, replica: usize, at: Micros) -> bool {
+        !self.crashed(replica, at) && !self.partitioned(replica, at)
+    }
+}
+
+pub(crate) fn run(config: &SimConfig, faults: &FaultSchedule) -> SimOutput {
     config.validate().expect("run() requires a validated config");
+    faults.validate(config).expect("run() requires a validated fault schedule");
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let n = config.replicas;
+    let max_replicas = config.replicas + faults.added_replicas();
+    let runtime = FaultRuntime::build(config, faults, max_replicas);
+
+    // Dynamic membership and quorum state (reconfiguration faults mutate
+    // these mid-run; without them they stay at the configured values).
+    let mut active: Vec<bool> = (0..max_replicas).map(|r| r < config.replicas).collect();
+    let mut next_replica_id = config.replicas;
+    let mut read_quorum = config.read_quorum;
+    let mut write_quorum = config.write_quorum;
+    let mut write_fanout = config.fanout();
 
     // Key sampling: uniform, or Zipf via a precomputed CDF.
     let zipf_cdf: Option<Vec<f64>> = match config.key_distribution {
@@ -99,7 +239,7 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
     };
 
     // replica -> key -> max applied version (last-write-wins).
-    let mut state: Vec<HashMap<Key, Version>> = vec![HashMap::new(); n];
+    let mut state: Vec<HashMap<Key, Version>> = vec![HashMap::new(); max_replicas];
     let mut queue: BinaryHeap<Reverse<(Micros, u64, Event)>> = BinaryHeap::new();
     let mut event_seq: u64 = 0;
 
@@ -112,17 +252,30 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
 
     // Per-client clock offsets (0 when clock_skew is 0). Signed skew is
     // applied to recorded timestamps only — the simulation itself runs on
-    // true time, exactly like real probes with imperfect clocks.
-    let offsets: Vec<i64> = (0..config.clients)
+    // true time, exactly like real probes with imperfect clocks. Offsets
+    // come from a DEDICATED generator so the recorded-clock error never
+    // perturbs the execution: two runs of the same seed that differ only
+    // in skew replay the identical event sequence (the within-bound
+    // soundness property test relies on this).
+    let mut skew_rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_c10c);
+    let base_offsets: Vec<i64> = (0..config.clients)
         .map(|_| {
             if config.clock_skew == 0 {
                 0
             } else {
                 let bound = config.clock_skew as i64;
-                rng.gen_range(-bound..=bound)
+                skew_rng.gen_range(-bound..=bound)
             }
         })
         .collect();
+    // The recorded-clock error of `client` at true time `at`: within-bound
+    // base offset, plus any skew fault's constant and linear-drift parts.
+    // Drift below 10^6 ppm keeps recorded intervals proper.
+    let offset_at = |client: usize, at: Micros| -> i64 {
+        base_offsets[client]
+            + runtime.extra_offset[client]
+            + (at as i64) * runtime.drift_ppm[client] / 1_000_000
+    };
 
     // Unique timestamps: 20 low bits carry a global event sequence number,
     // so any two stamps within the same microsecond stay distinct as long
@@ -136,7 +289,9 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
     };
 
     // Seed every key with version 1 applied everywhere at t = 0, so no read
-    // can lack a dictating write.
+    // can lack a dictating write. (Replicas added later bootstrap a copy of
+    // a live replica's state instead; seeding them too just keeps every
+    // state map total.)
     let mut histories: HashMap<Key, RawHistory> = HashMap::new();
     let mut next_version: HashMap<Key, Version> = HashMap::new();
     for key in 0..config.keys {
@@ -147,6 +302,12 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
         let f = stamp(0, 0);
         histories.entry(key).or_default().push(Operation::write(Value(1), s, f));
         next_version.insert(key, 2);
+    }
+
+    // Reconfigurations are known in advance (they are schedule entries, not
+    // reactions); enter them into the queue before any client activity.
+    for step in 0..runtime.reconfigs.len() {
+        schedule!(runtime.reconfigs[step].at, Event::Reconfig { step });
     }
 
     // Clients start staggered to avoid a synchronised burst.
@@ -181,16 +342,20 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
                 let op_seq = next_op_seq;
                 let key = pick_key(&mut rng, &zipf_cdf);
                 let is_read = rng.gen_bool(config.read_fraction);
-                let start_stamp = stamp(now, offsets[client]);
+                let start_stamp = stamp(now, offset_at(client, now));
 
                 if is_read {
-                    // Send to all replicas, wait for the first R replies.
-                    // Requests that would land during a partition are lost;
-                    // validation guarantees enough spares remain for R.
+                    // Send to all active replicas, wait for the first R
+                    // replies. Requests that would land during a flaky
+                    // window, crash or partition are lost; under a fault
+                    // schedule the give-up timeout restores liveness.
                     let mut sent = 0;
-                    for replica in 0..n {
+                    for (replica, &is_active) in active.iter().enumerate() {
+                        if !is_active {
+                            continue;
+                        }
                         let at = now + config.network.sample(&mut rng);
-                        if is_up(replica, at) {
+                        if is_up(replica, at) && runtime.reachable(replica, at) {
                             schedule!(at, Event::ReadArrive { replica, key, client, op_seq });
                             sent += 1;
                         }
@@ -209,7 +374,7 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
                         is_read: true,
                         version: 0,
                         replies: 0,
-                        needed: config.read_quorum,
+                        needed: read_quorum,
                         done: false,
                     });
                 } else {
@@ -222,15 +387,16 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
                     // Fanout targets; drop messages with bounded probability
                     // but always keep at least W alive (a real coordinator
                     // would retry; the simulator guarantees liveness).
-                    let mut targets: Vec<usize> = (0..n).collect();
+                    let mut targets: Vec<usize> =
+                        (0..max_replicas).filter(|&r| active[r]).collect();
                     targets.shuffle(&mut rng);
-                    targets.truncate(config.fanout());
+                    targets.truncate(write_fanout.min(targets.len()));
                     let mut alive: Vec<bool> = targets
                         .iter()
                         .map(|_| !rng.gen_bool(config.drop_probability))
                         .collect();
                     let mut shortfall =
-                        config.write_quorum.saturating_sub(alive.iter().filter(|a| **a).count());
+                        write_quorum.saturating_sub(alive.iter().filter(|a| **a).count());
                     for slot in alive.iter_mut() {
                         if shortfall == 0 {
                             break;
@@ -257,20 +423,53 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
                         is_read: false,
                         version,
                         replies: 0,
-                        needed: config.write_quorum,
+                        needed: write_quorum,
                         done: false,
                     });
+                }
+                if let Some(timeout) = runtime.timeout {
+                    schedule!(now + timeout, Event::OpTimeout { client, op_seq });
                 }
             }
 
             Event::WriteArrive { replica, key, version, client, op_seq } => {
-                // A partitioned replica buffers the write and applies it on
-                // recovery (hinted-handoff replay).
-                let at = next_up(replica, now) + config.apply_lag.sample(&mut rng);
-                schedule!(at, Event::WriteApply { replica, key, version, client, op_seq });
+                if !active[replica] || runtime.crashed(replica, now) {
+                    // A removed or crashed replica never saw the message:
+                    // the write copy is gone for good.
+                    stats.lost_writes += 1;
+                    continue;
+                }
+                // A partitioned or flaky replica buffers the write and
+                // applies it on recovery (hinted-handoff replay); the two
+                // window kinds can chain, so settle to a fixpoint.
+                let mut up_at = now;
+                loop {
+                    let candidate = runtime.heal_time(replica, next_up(replica, up_at));
+                    if candidate == up_at {
+                        break;
+                    }
+                    up_at = candidate;
+                }
+                let at = up_at + config.apply_lag.sample(&mut rng);
+                schedule!(
+                    at,
+                    Event::WriteApply { replica, key, version, client, op_seq, arrived: now }
+                );
             }
 
-            Event::WriteApply { replica, key, version, client, op_seq } => {
+            Event::WriteApply { replica, key, version, client, op_seq, arrived } => {
+                if !active[replica] {
+                    stats.lost_writes += 1;
+                    continue;
+                }
+                if runtime.crash_started_in(replica, arrived, now) {
+                    // The write was received but still buffered when the
+                    // crash hit: it is lost, and the replica will serve
+                    // stale values after recovery. (Applied state — the
+                    // "disk" — survives crashes; only the buffer is wiped.)
+                    stats.lost_writes += 1;
+                    continue;
+                }
                 let slot = state[replica].get_mut(&key).expect("key seeded");
                 *slot = (*slot).max(version);
                 let at = now + config.network.sample(&mut rng);
@@ -278,14 +477,25 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
             }
 
             Event::RepairArrive { replica, key, version } => {
-                let at = next_up(replica, now) + config.apply_lag.sample(&mut rng);
-                schedule!(
-                    at + 1,
-                    Event::WriteApplyNoAck { replica, key, version }
-                );
+                if !active[replica] || runtime.crashed(replica, now) {
+                    continue; // repairs carry no obligation; silently lost
+                }
+                let mut up_at = now;
+                loop {
+                    let candidate = runtime.heal_time(replica, next_up(replica, up_at));
+                    if candidate == up_at {
+                        break;
+                    }
+                    up_at = candidate;
+                }
+                let at = up_at + config.apply_lag.sample(&mut rng);
+                schedule!(at + 1, Event::WriteApplyNoAck { replica, key, version, arrived: now });
             }
 
-            Event::WriteApplyNoAck { replica, key, version } => {
+            Event::WriteApplyNoAck { replica, key, version, arrived } => {
+                if !active[replica] || runtime.crash_started_in(replica, arrived, now) {
+                    continue;
+                }
                 let slot = state[replica].get_mut(&key).expect("key seeded");
                 *slot = (*slot).max(version);
             }
@@ -298,7 +508,7 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
                 p.replies += 1;
                 if p.replies >= p.needed {
                     p.done = true;
-                    let finish = stamp(now, offsets[client]);
+                    let finish = stamp(now, offset_at(client, now));
                     histories
                         .entry(p.key)
                         .or_default()
@@ -311,6 +521,9 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
             }
 
             Event::ReadArrive { replica, key, client, op_seq } => {
+                if !active[replica] {
+                    continue; // removed while the request was in flight
+                }
                 let version = *state[replica].get(&key).expect("key seeded");
                 let at = now + config.network.sample(&mut rng);
                 schedule!(at, Event::ReadReply { client, op_seq, version, replica });
@@ -345,7 +558,7 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
                 p.replies += 1;
                 if p.replies >= p.needed {
                     p.done = true;
-                    let finish = stamp(now, offsets[client]);
+                    let finish = stamp(now, offset_at(client, now));
                     histories
                         .entry(p.key)
                         .or_default()
@@ -355,6 +568,62 @@ pub(crate) fn run(config: &SimConfig) -> SimOutput {
                     let at = now + config.think_time.sample(&mut rng);
                     schedule!(at, Event::ClientNext { client });
                 }
+            }
+
+            Event::OpTimeout { client, op_seq } => {
+                let Some(p) = pending[client].as_mut() else { continue };
+                if p.done || p.op_seq != op_seq {
+                    continue;
+                }
+                p.done = true;
+                stats.timeouts += 1;
+                if !p.is_read {
+                    // The write may have reached some replica even though no
+                    // quorum acknowledged it, so a later read could still
+                    // return it: record it conservatively, closed at the
+                    // give-up instant, to keep every readable version's
+                    // dictating write in the history. A timed-out read
+                    // returned nothing and leaves no record.
+                    let finish = stamp(now, offset_at(client, now));
+                    histories
+                        .entry(p.key)
+                        .or_default()
+                        .push(Operation::write(Value(p.version), p.start_stamp, finish));
+                }
+                let at = now + config.think_time.sample(&mut rng);
+                schedule!(at, Event::ClientNext { client });
+            }
+
+            Event::Reconfig { step } => {
+                let step = &runtime.reconfigs[step];
+                for _ in 0..step.add_replicas {
+                    // Bootstrap: copy the state of the lowest-numbered
+                    // replica that is both active and reachable right now —
+                    // a possibly-stale snapshot, exactly like anti-entropy
+                    // from a live peer. Fall back to any active replica.
+                    let donor = (0..max_replicas)
+                        .find(|&r| active[r] && is_up(r, now) && runtime.reachable(r, now))
+                        .or_else(|| (0..max_replicas).find(|&r| active[r]));
+                    let id = next_replica_id;
+                    next_replica_id += 1;
+                    if let Some(donor) = donor {
+                        state[id] = state[donor].clone();
+                    }
+                    active[id] = true;
+                }
+                for &removed in &step.remove_replicas {
+                    active[removed] = false;
+                }
+                if let Some(r) = step.read_quorum {
+                    read_quorum = r;
+                }
+                if let Some(w) = step.write_quorum {
+                    write_quorum = w;
+                }
+                if let Some(f) = step.write_fanout {
+                    write_fanout = f;
+                }
+                stats.reconfigs += 1;
             }
         }
     }

@@ -1,0 +1,678 @@
+//! Fault injection: adversarial schedules layered over a clean simulation.
+//!
+//! [`crate::SimConfig`] describes a *well-behaved* store — bounded skew, a
+//! fixed replica set, at worst one periodically flaky replica. Production
+//! stores misbehave in richer ways, and the paper's motivation (§I,
+//! Cassandra-style sloppy quorums) only matters *because* they do. A
+//! [`FaultSchedule`] injects those behaviours deterministically:
+//!
+//! * **Clock error beyond the declared bound** ([`Fault::SkewBeyondBound`]):
+//!   a per-client constant offset and/or linear drift *on top of* the
+//!   configured `clock_skew`, breaking the §II-C accurate-timestamp
+//!   assumption. Only recorded stamps are affected — the simulation still
+//!   runs on true time, like real probes with broken clocks.
+//! * **Crash-recovery with loss** ([`Fault::Crash`]): a replica is down for
+//!   an interval; writes that reached it but were not yet applied when the
+//!   crash hit are *lost* (no hinted handoff, unlike the flaky replica),
+//!   so the replica serves stale values indefinitely after recovery.
+//! * **Partition/heal cycles** ([`Fault::Partition`]): an arbitrary replica
+//!   subset is unreachable for an interval; writes are buffered and applied
+//!   at heal (hinted-handoff replay), reads cannot be served — the
+//!   generalisation of the single [`crate::FlakyReplica`] knob.
+//! * **Quorum reconfiguration** ([`Fault::Reconfig`]): `R`/`W`/fanout
+//!   change mid-run, replicas join (bootstrapping by copying a live
+//!   replica's state) or leave.
+//!
+//! Because faults can strand operations (every reachable replica lost the
+//! write, a partition swallowed the read quorum), a faulted run arms a
+//! client-side give-up timeout: a timed-out *read* returned nothing and is
+//! not recorded; a timed-out *write* may still be visible at some replica,
+//! so it is conservatively recorded as completing at the give-up instant —
+//! keeping recorded histories anomaly-free for every fault class except
+//! skew, whose whole point is to damage the record.
+//!
+//! The [`Scenario`] layer packages one configuration + schedule + expected
+//! verdict class, emits the run as a tagged NDJSON stream plus a
+//! ground-truth [`Manifest`], and [`scenario_matrix`] spans the standard
+//! grid the `tests/fault_matrix.rs` soundness harness and the
+//! `kav simulate --faults` CLI drive.
+
+use crate::{ConfigError, LatencyModel, SimConfig, SimOutput, Simulation};
+use kav_history::ndjson::StreamRecord;
+use serde::{Deserialize, Serialize};
+
+/// Largest accepted constant skew-fault offset, in microseconds (one
+/// hour) — same headroom argument as [`crate::MAX_CLOCK_SKEW`].
+pub const MAX_FAULT_OFFSET: i64 = 3_600_000_000;
+
+/// Largest accepted drift magnitude, in parts per million (a clock running
+/// 50% fast or slow). Bounding drift strictly below 1 000 000 ppm keeps
+/// every recorded interval proper (`start < finish`), so drift damages
+/// *cross-client* order only — exactly the §II-C failure mode.
+pub const MAX_DRIFT_PPM: i64 = 500_000;
+
+/// Default client give-up timeout for faulted runs, in microseconds.
+pub const DEFAULT_OP_TIMEOUT: u64 = 2_000_000;
+
+/// One injected fault. All times are simulation microseconds (true time).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Fault {
+    /// Clock error beyond the declared `clock_skew` bound: the client's
+    /// recorded stamps become `t + offset + t * drift_ppm / 10^6` (plus
+    /// its within-bound base offset).
+    SkewBeyondBound {
+        /// Client whose clock misbehaves.
+        client: usize,
+        /// Constant offset in microseconds (may be negative).
+        offset: i64,
+        /// Linear drift in parts per million (may be negative).
+        drift_ppm: i64,
+    },
+    /// Crash-recovery: the replica is down during `[at, restart_at)` and
+    /// loses every write that had arrived but was not yet applied.
+    Crash {
+        /// The crashing replica.
+        replica: usize,
+        /// Crash instant.
+        at: u64,
+        /// Restart instant (exclusive end of the downtime).
+        restart_at: u64,
+    },
+    /// Partition: the listed replicas are unreachable during
+    /// `[from, until)`; writes buffer until heal (hinted handoff), reads
+    /// are not served.
+    Partition {
+        /// The isolated replica subset.
+        replicas: Vec<usize>,
+        /// Partition instant.
+        from: u64,
+        /// Heal instant (exclusive end of the partition).
+        until: u64,
+    },
+    /// Quorum reconfiguration at one instant: change `R`/`W`/fanout,
+    /// add fresh replicas (each bootstraps by copying the state of the
+    /// lowest-numbered reachable replica), remove existing ones.
+    Reconfig {
+        /// When the reconfiguration takes effect.
+        at: u64,
+        /// New read quorum (`None` keeps the current one).
+        read_quorum: Option<usize>,
+        /// New write quorum (`None` keeps the current one).
+        write_quorum: Option<usize>,
+        /// New write fanout (`None` keeps the current one).
+        write_fanout: Option<usize>,
+        /// Number of fresh replicas to add (ids continue past the
+        /// current maximum).
+        add_replicas: usize,
+        /// Replicas to remove from the active set.
+        remove_replicas: Vec<usize>,
+    },
+}
+
+/// A deterministic schedule of injected faults for one simulation run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// The injected faults, in no particular order (each carries its own
+    /// times).
+    pub faults: Vec<Fault>,
+    /// Client give-up timeout in microseconds
+    /// ([`DEFAULT_OP_TIMEOUT`] when `None`). Ignored for empty schedules:
+    /// a clean run needs no timeout and stays bit-identical to the
+    /// pre-fault engine.
+    #[serde(default)]
+    pub op_timeout: Option<u64>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule: the simulation behaves exactly as without one.
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// True when the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Total replicas added by reconfigurations.
+    pub fn added_replicas(&self) -> usize {
+        self.faults
+            .iter()
+            .map(|f| match f {
+                Fault::Reconfig { add_replicas, .. } => *add_replicas,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The effective give-up timeout for a faulted run.
+    pub fn timeout(&self) -> u64 {
+        self.op_timeout.unwrap_or(DEFAULT_OP_TIMEOUT)
+    }
+
+    /// Checks the schedule against `config` for contradictions.
+    ///
+    /// Replica indices must name replicas that can exist (initial set plus
+    /// additions), intervals must be non-empty, skew faults must be unique
+    /// per client and bounded, and every reconfiguration — replayed in
+    /// time order — must leave a usable store (non-empty active set,
+    /// quorums within it, fanout at least the write quorum).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the violated constraint.
+    pub fn validate(&self, config: &SimConfig) -> Result<(), ConfigError> {
+        let max_replicas = config.replicas + self.added_replicas();
+        if let Some(0) = self.op_timeout {
+            return Err(ConfigError("fault op_timeout must be positive"));
+        }
+        let mut skewed_clients: Vec<usize> = Vec::new();
+        for fault in &self.faults {
+            match fault {
+                Fault::SkewBeyondBound { client, offset, drift_ppm } => {
+                    if *client >= config.clients {
+                        return Err(ConfigError("skew fault names a nonexistent client"));
+                    }
+                    if skewed_clients.contains(client) {
+                        return Err(ConfigError("at most one skew fault per client"));
+                    }
+                    skewed_clients.push(*client);
+                    if offset.abs() > MAX_FAULT_OFFSET {
+                        return Err(ConfigError("skew fault offset exceeds MAX_FAULT_OFFSET"));
+                    }
+                    if drift_ppm.abs() > MAX_DRIFT_PPM {
+                        return Err(ConfigError("skew fault drift exceeds MAX_DRIFT_PPM"));
+                    }
+                }
+                Fault::Crash { replica, at, restart_at } => {
+                    if *replica >= max_replicas {
+                        return Err(ConfigError("crash fault names a nonexistent replica"));
+                    }
+                    if at >= restart_at {
+                        return Err(ConfigError("crash needs at < restart_at"));
+                    }
+                }
+                Fault::Partition { replicas, from, until } => {
+                    if replicas.is_empty() {
+                        return Err(ConfigError("partition must isolate at least one replica"));
+                    }
+                    if replicas.iter().any(|r| *r >= max_replicas) {
+                        return Err(ConfigError("partition names a nonexistent replica"));
+                    }
+                    if from >= until {
+                        return Err(ConfigError("partition needs from < until"));
+                    }
+                }
+                Fault::Reconfig { .. } => {} // replayed below, in time order
+            }
+        }
+
+        // Replay reconfigurations in time order against the membership and
+        // quorum state they would find.
+        let mut steps: Vec<&Fault> = self
+            .faults
+            .iter()
+            .filter(|f| matches!(f, Fault::Reconfig { .. }))
+            .collect();
+        steps.sort_by_key(|f| match f {
+            Fault::Reconfig { at, .. } => *at,
+            _ => unreachable!("filtered to reconfigs"),
+        });
+        let mut active: Vec<bool> = (0..max_replicas).map(|r| r < config.replicas).collect();
+        let mut next_id = config.replicas;
+        let (mut r, mut w, mut fanout) =
+            (config.read_quorum, config.write_quorum, config.fanout());
+        for step in steps {
+            let Fault::Reconfig {
+                read_quorum,
+                write_quorum,
+                write_fanout,
+                add_replicas,
+                remove_replicas,
+                ..
+            } = step
+            else {
+                unreachable!("filtered to reconfigs");
+            };
+            for _ in 0..*add_replicas {
+                active[next_id] = true;
+                next_id += 1;
+            }
+            for removed in remove_replicas {
+                if *removed >= max_replicas || !active[*removed] {
+                    return Err(ConfigError(
+                        "reconfig removes a replica that is not active at that time",
+                    ));
+                }
+                active[*removed] = false;
+            }
+            r = read_quorum.unwrap_or(r);
+            w = write_quorum.unwrap_or(w);
+            fanout = write_fanout.unwrap_or(fanout);
+            let live = active.iter().filter(|a| **a).count();
+            if live == 0 {
+                return Err(ConfigError("reconfig leaves no active replica"));
+            }
+            if r == 0 || w == 0 || r > live || w > live {
+                return Err(ConfigError("reconfig quorums must fit the active replica set"));
+            }
+            if fanout < w || fanout > live {
+                return Err(ConfigError(
+                    "reconfig write_fanout must be in write_quorum..=active replicas",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What an auditor should expect from a scenario's verdicts — the
+/// machine-checkable half of each ground-truth [`Manifest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ExpectedClass {
+    /// The schedule preserves the declared staleness bound: recorded
+    /// histories are clean and a `NO` at the manifest's `k_bound` would be
+    /// unsound.
+    Atomic,
+    /// The schedule produces *genuine* staleness: recorded timestamps stay
+    /// truthful, so every verdict must agree with the offline exact
+    /// staleness of the recorded history, and `NO` below the true k is
+    /// sound.
+    Damaging,
+    /// The schedule damages the *record itself* (skew beyond the bound):
+    /// verdicts about the store are unreliable, and a sound auditor may
+    /// only report `UNKNOWN` — or a verdict about the recorded data,
+    /// never a certified `YES` built on anomalous evidence.
+    Untrustworthy,
+}
+
+impl ExpectedClass {
+    /// Stable lower-case name (used in manifests and CLI output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExpectedClass::Atomic => "atomic",
+            ExpectedClass::Damaging => "damaging",
+            ExpectedClass::Untrustworthy => "untrustworthy",
+        }
+    }
+}
+
+/// One adversarial scenario: a configuration, a fault schedule, and the
+/// verdict class an auditor should expect.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Stable scenario name (doubles as the CLI `--faults` selector).
+    pub name: String,
+    /// The store configuration under audit.
+    pub config: SimConfig,
+    /// The injected faults.
+    pub faults: FaultSchedule,
+    /// The verdict class the ground truth belongs to.
+    pub expected: ExpectedClass,
+    /// The staleness bound the scenario respects ([`ExpectedClass::Atomic`])
+    /// or is built to breach (the others).
+    pub k_bound: u64,
+}
+
+/// Everything one scenario run produces: the stream, its manifest, and the
+/// raw simulator output for ground-truth extraction.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// The run as an NDJSON-ready operation stream, in recorded
+    /// completion order (globally sorted by finish stamp).
+    pub records: Vec<StreamRecord>,
+    /// The ground-truth manifest describing the run.
+    pub manifest: Manifest,
+    /// The underlying simulator output (per-key raw histories + stats).
+    pub output: SimOutput,
+}
+
+/// Ground truth for one emitted scenario stream: everything a harness (or
+/// an operator reading `kav simulate` output) needs to judge verdicts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest schema version.
+    pub format: u32,
+    /// Scenario name.
+    pub name: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Expected verdict class.
+    pub expected: ExpectedClass,
+    /// The staleness bound the class statement refers to.
+    pub k_bound: u64,
+    /// Stream records emitted.
+    pub records: u64,
+    /// Distinct keys in the stream.
+    pub keys: u64,
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+    /// Operations abandoned by the give-up timeout.
+    pub timeouts: u64,
+    /// Writes lost to crash-recovery.
+    pub lost_writes: u64,
+    /// Reconfigurations applied.
+    pub reconfigs: u64,
+    /// The full store configuration.
+    pub config: SimConfig,
+    /// The full fault schedule.
+    pub faults: FaultSchedule,
+}
+
+impl Scenario {
+    /// Runs the scenario to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration or schedule is
+    /// contradictory.
+    pub fn run(&self) -> Result<ScenarioRun, ConfigError> {
+        let sim = Simulation::with_faults(self.config, self.faults.clone())?;
+        let output = sim.run();
+        let records = output.stream_records();
+        let manifest = Manifest {
+            format: 1,
+            name: self.name.clone(),
+            seed: self.config.seed,
+            expected: self.expected,
+            k_bound: self.k_bound,
+            records: records.len() as u64,
+            keys: output.histories.len() as u64,
+            reads: output.stats.reads,
+            writes: output.stats.writes,
+            timeouts: output.stats.timeouts,
+            lost_writes: output.stats.lost_writes,
+            reconfigs: output.stats.reconfigs,
+            config: self.config,
+            faults: self.faults.clone(),
+        };
+        Ok(ScenarioRun { records, manifest, output })
+    }
+}
+
+/// Shared base configuration of the scenario matrix: a small, fast run
+/// whose true-time span (~40 ms) the fault windows below are placed in.
+fn base_config(seed: u64) -> SimConfig {
+    SimConfig {
+        replicas: 3,
+        read_quorum: 2,
+        write_quorum: 2,
+        clients: 5,
+        ops_per_client: 30,
+        keys: 2,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// A give-up timeout that keeps timed-out write intervals comparable to
+/// the run span instead of dwarfing it.
+const SCENARIO_TIMEOUT: Option<u64> = Some(60_000);
+
+/// The standard adversarial grid, one scenario per fault class plus a
+/// clean control and the combined storm, all deterministic in `seed`.
+pub fn scenario_matrix(seed: u64) -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "clean-strict".into(),
+            config: base_config(seed),
+            faults: FaultSchedule::none(),
+            expected: ExpectedClass::Atomic,
+            k_bound: 2,
+        },
+        Scenario {
+            // Strict quorums and an honest execution, but two clients lie
+            // about time far beyond the declared 100 µs bound.
+            name: "skew-beyond-bound".into(),
+            config: SimConfig { clock_skew: 100, ..base_config(seed) },
+            faults: FaultSchedule {
+                faults: vec![
+                    Fault::SkewBeyondBound { client: 0, offset: 150_000, drift_ppm: 0 },
+                    Fault::SkewBeyondBound {
+                        client: 1,
+                        offset: -150_000,
+                        drift_ppm: -200_000,
+                    },
+                ],
+                op_timeout: SCENARIO_TIMEOUT,
+            },
+            expected: ExpectedClass::Untrustworthy,
+            k_bound: 2,
+        },
+        Scenario {
+            // R = 1 against staggered crash windows: each crash loses the
+            // unapplied writes of its window, so the recovered replica
+            // serves ever-staler values to single-replica reads.
+            name: "crash-recovery".into(),
+            config: SimConfig {
+                read_quorum: 1,
+                write_quorum: 1,
+                apply_lag: LatencyModel::Uniform { lo: 1_000, hi: 8_000 },
+                ..base_config(seed)
+            },
+            faults: FaultSchedule {
+                faults: vec![
+                    Fault::Crash { replica: 0, at: 4_000, restart_at: 14_000 },
+                    Fault::Crash { replica: 1, at: 16_000, restart_at: 26_000 },
+                    Fault::Crash { replica: 2, at: 28_000, restart_at: 36_000 },
+                ],
+                op_timeout: SCENARIO_TIMEOUT,
+            },
+            expected: ExpectedClass::Damaging,
+            k_bound: 1,
+        },
+        Scenario {
+            // A long partition of replica 0 with W = 1: the healed replica
+            // replays a large hinted-handoff backlog under apply lag, and
+            // R = 1 reads that land on it meanwhile run arbitrarily stale.
+            name: "partition-heal".into(),
+            config: SimConfig {
+                read_quorum: 1,
+                write_quorum: 1,
+                apply_lag: LatencyModel::Uniform { lo: 5_000, hi: 25_000 },
+                ..base_config(seed)
+            },
+            faults: FaultSchedule {
+                faults: vec![
+                    Fault::Partition { replicas: vec![0], from: 2_000, until: 24_000 },
+                    Fault::Partition { replicas: vec![1, 2], from: 30_000, until: 34_000 },
+                ],
+                op_timeout: SCENARIO_TIMEOUT,
+            },
+            expected: ExpectedClass::Damaging,
+            k_bound: 1,
+        },
+        Scenario {
+            // Strict quorums degraded to sloppy ones mid-run, then a
+            // membership change: a fresh replica joins (bootstrapping a
+            // possibly-stale copy) and an original one leaves.
+            name: "reconfig".into(),
+            config: SimConfig {
+                apply_lag: LatencyModel::Uniform { lo: 2_000, hi: 20_000 },
+                ..base_config(seed)
+            },
+            faults: FaultSchedule {
+                faults: vec![
+                    Fault::Reconfig {
+                        at: 8_000,
+                        read_quorum: Some(1),
+                        write_quorum: Some(1),
+                        write_fanout: None,
+                        add_replicas: 0,
+                        remove_replicas: vec![],
+                    },
+                    Fault::Reconfig {
+                        at: 20_000,
+                        read_quorum: None,
+                        write_quorum: None,
+                        write_fanout: None,
+                        add_replicas: 1,
+                        remove_replicas: vec![0],
+                    },
+                ],
+                op_timeout: SCENARIO_TIMEOUT,
+            },
+            expected: ExpectedClass::Damaging,
+            k_bound: 1,
+        },
+        Scenario {
+            // Everything at once: crash, partition, reconfiguration and a
+            // lying clock, against an already-sloppy store.
+            name: "fault-storm".into(),
+            config: SimConfig {
+                replicas: 4,
+                read_quorum: 1,
+                write_quorum: 2,
+                clock_skew: 100,
+                apply_lag: LatencyModel::Uniform { lo: 2_000, hi: 15_000 },
+                ..base_config(seed)
+            },
+            faults: FaultSchedule {
+                faults: vec![
+                    Fault::Crash { replica: 0, at: 3_000, restart_at: 12_000 },
+                    Fault::Partition { replicas: vec![1, 2], from: 14_000, until: 24_000 },
+                    Fault::Reconfig {
+                        at: 26_000,
+                        read_quorum: Some(1),
+                        write_quorum: Some(1),
+                        write_fanout: None,
+                        add_replicas: 1,
+                        remove_replicas: vec![3],
+                    },
+                    Fault::SkewBeyondBound { client: 0, offset: 120_000, drift_ppm: 0 },
+                    Fault::SkewBeyondBound { client: 2, offset: -90_000, drift_ppm: 150_000 },
+                ],
+                op_timeout: SCENARIO_TIMEOUT,
+            },
+            expected: ExpectedClass::Untrustworthy,
+            k_bound: 2,
+        },
+    ]
+}
+
+/// Looks a scenario up by name in [`scenario_matrix`].
+pub fn scenario(name: &str, seed: u64) -> Option<Scenario> {
+    scenario_matrix(seed).into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_matrix_scenario_validates() {
+        for scenario in scenario_matrix(0) {
+            scenario.config.validate().unwrap_or_else(|e| {
+                panic!("scenario {} config: {e}", scenario.name);
+            });
+            scenario.faults.validate(&scenario.config).unwrap_or_else(|e| {
+                panic!("scenario {} schedule: {e}", scenario.name);
+            });
+        }
+    }
+
+    #[test]
+    fn schedules_reject_contradictions() {
+        let config = SimConfig::default(); // N = 3, R = W = 2, 4 clients
+        let bad: &[FaultSchedule] = &[
+            FaultSchedule {
+                faults: vec![Fault::Crash { replica: 3, at: 0, restart_at: 10 }],
+                ..Default::default()
+            },
+            FaultSchedule {
+                faults: vec![Fault::Crash { replica: 0, at: 10, restart_at: 10 }],
+                ..Default::default()
+            },
+            FaultSchedule {
+                faults: vec![Fault::Partition { replicas: vec![], from: 0, until: 10 }],
+                ..Default::default()
+            },
+            FaultSchedule {
+                faults: vec![Fault::Partition { replicas: vec![0], from: 10, until: 5 }],
+                ..Default::default()
+            },
+            FaultSchedule {
+                faults: vec![Fault::SkewBeyondBound { client: 9, offset: 0, drift_ppm: 0 }],
+                ..Default::default()
+            },
+            FaultSchedule {
+                faults: vec![Fault::SkewBeyondBound {
+                    client: 0,
+                    offset: 0,
+                    drift_ppm: MAX_DRIFT_PPM + 1,
+                }],
+                ..Default::default()
+            },
+            FaultSchedule {
+                faults: vec![
+                    Fault::SkewBeyondBound { client: 0, offset: 5, drift_ppm: 0 },
+                    Fault::SkewBeyondBound { client: 0, offset: -5, drift_ppm: 0 },
+                ],
+                ..Default::default()
+            },
+            // Quorums that stop fitting the shrunk replica set.
+            FaultSchedule {
+                faults: vec![Fault::Reconfig {
+                    at: 10,
+                    read_quorum: None,
+                    write_quorum: None,
+                    write_fanout: None,
+                    add_replicas: 0,
+                    remove_replicas: vec![0, 1],
+                }],
+                ..Default::default()
+            },
+            // Removing a replica that was never added.
+            FaultSchedule {
+                faults: vec![Fault::Reconfig {
+                    at: 10,
+                    read_quorum: Some(1),
+                    write_quorum: Some(1),
+                    write_fanout: None,
+                    add_replicas: 0,
+                    remove_replicas: vec![5],
+                }],
+                ..Default::default()
+            },
+            FaultSchedule { faults: vec![], op_timeout: Some(0) },
+        ];
+        for schedule in bad {
+            assert!(schedule.validate(&config).is_err(), "{schedule:?} should be rejected");
+        }
+
+        // Removing a replica *after* adding replacements is fine.
+        let ok = FaultSchedule {
+            faults: vec![Fault::Reconfig {
+                at: 10,
+                read_quorum: None,
+                write_quorum: None,
+                write_fanout: None,
+                add_replicas: 2,
+                remove_replicas: vec![0, 1],
+            }],
+            ..Default::default()
+        };
+        ok.validate(&config).unwrap();
+    }
+
+    #[test]
+    fn manifests_roundtrip_through_json() {
+        let run = scenario("partition-heal", 3).expect("known scenario").run().unwrap();
+        let json = serde_json::to_string(&run.manifest).expect("manifests serialize");
+        let back: Manifest = serde_json::from_str(&json).expect("manifests parse");
+        assert_eq!(back, run.manifest);
+        assert_eq!(back.expected, ExpectedClass::Damaging);
+        assert_eq!(back.records, run.records.len() as u64);
+    }
+
+    #[test]
+    fn scenario_lookup_by_name() {
+        assert!(scenario("fault-storm", 0).is_some());
+        assert!(scenario("clean-strict", 0).is_some());
+        assert!(scenario("no-such-scenario", 0).is_none());
+    }
+}

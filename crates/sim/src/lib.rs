@@ -39,27 +39,50 @@
 
 mod config;
 mod engine;
+mod faults;
 
-pub use config::{ConfigError, FlakyReplica, KeyDistribution, LatencyModel, SimConfig};
+pub use config::{
+    ConfigError, FlakyReplica, KeyDistribution, LatencyModel, SimConfig, MAX_CLOCK_SKEW,
+};
+pub use faults::{
+    scenario, scenario_matrix, ExpectedClass, Fault, FaultSchedule, Manifest, Scenario,
+    ScenarioRun, DEFAULT_OP_TIMEOUT, MAX_DRIFT_PPM, MAX_FAULT_OFFSET,
+};
 
+use kav_history::ndjson::StreamRecord;
 use kav_history::{repair, History, RawHistory, RepairLog, ValidationError};
 
 /// A configured, runnable simulation.
 #[derive(Clone, Debug)]
 pub struct Simulation {
     config: SimConfig,
+    faults: FaultSchedule,
 }
 
 impl Simulation {
-    /// Validates `config` and prepares a simulation.
+    /// Validates `config` and prepares a fault-free simulation.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if the configuration is contradictory
     /// (e.g. quorum larger than the replica group).
     pub fn new(config: SimConfig) -> Result<Self, ConfigError> {
+        Simulation::with_faults(config, FaultSchedule::none())
+    }
+
+    /// Validates `config` and `faults` together and prepares an
+    /// adversarial simulation. An empty schedule reproduces
+    /// [`Simulation::new`] exactly — same events, same RNG stream, same
+    /// recorded bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if either the configuration or the fault
+    /// schedule is contradictory.
+    pub fn with_faults(config: SimConfig, faults: FaultSchedule) -> Result<Self, ConfigError> {
         config.validate()?;
-        Ok(Simulation { config })
+        faults.validate(&config)?;
+        Ok(Simulation { config, faults })
     }
 
     /// The configuration this simulation runs.
@@ -67,10 +90,15 @@ impl Simulation {
         &self.config
     }
 
+    /// The fault schedule this simulation injects (empty by default).
+    pub fn faults(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
     /// Runs the simulation to completion and returns the recorded
     /// histories.
     pub fn run(&self) -> SimOutput {
-        engine::run(&self.config)
+        engine::run(&self.config, &self.faults)
     }
 }
 
@@ -87,6 +115,17 @@ pub struct SimStats {
     pub total_write_latency: u64,
     /// Read-repair pushes issued (0 unless `read_repair` is enabled).
     pub repairs: u64,
+    /// Operations that hit the give-up timeout (0 without a fault
+    /// schedule). Timed-out reads returned nothing and are not recorded;
+    /// timed-out writes are recorded, conservatively closed at the give-up
+    /// instant, but excluded from `writes`. For every run,
+    /// `reads + writes + timeouts == clients * ops_per_client`.
+    pub timeouts: u64,
+    /// Write copies lost to crash-recovery or replica removal (each lost
+    /// *message*, so one write can count several times).
+    pub lost_writes: u64,
+    /// Quorum reconfigurations applied.
+    pub reconfigs: u64,
 }
 
 impl SimStats {
@@ -157,6 +196,21 @@ impl SimOutput {
         }
         out.sort_by_key(|(key, _, _)| *key);
         Ok(out)
+    }
+
+    /// Flattens the run into one NDJSON-ready multi-key stream, ordered by
+    /// recorded finish stamp — the arrival order a streaming auditor
+    /// tailing this store would observe. Deterministic: ties (impossible
+    /// between recorded stamps, which are globally unique) would fall back
+    /// to key order.
+    pub fn stream_records(&self) -> Vec<StreamRecord> {
+        let mut records: Vec<StreamRecord> = self
+            .histories
+            .iter()
+            .flat_map(|(key, raw)| raw.ops.iter().map(|op| StreamRecord::new(*key, *op)))
+            .collect();
+        records.sort_by_key(|r| (r.finish, r.key, r.start));
+        records
     }
 }
 
@@ -478,5 +532,126 @@ mod skew_tests {
                 assert!(!history.is_empty(), "seed write survives at minimum");
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    fn sorted(mut histories: Vec<(u64, RawHistory)>) -> Vec<(u64, RawHistory)> {
+        histories.sort_by_key(|(key, _)| *key);
+        histories
+    }
+
+    /// Every issued operation completes or times out — the liveness
+    /// accounting contract of [`SimStats`].
+    fn assert_liveness(config: &SimConfig, stats: &SimStats) {
+        assert_eq!(
+            stats.reads + stats.writes + stats.timeouts,
+            (config.clients * config.ops_per_client) as u64,
+            "issued ops must all complete or time out: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_no_schedule() {
+        let config = SimConfig { seed: 7, ops_per_client: 25, keys: 2, ..SimConfig::default() };
+        let plain = Simulation::new(config).unwrap().run();
+        let empty = Simulation::with_faults(config, FaultSchedule::none()).unwrap().run();
+        assert_eq!(sorted(plain.histories), sorted(empty.histories));
+        assert_eq!(plain.stats, empty.stats);
+        assert_eq!(empty.stats.timeouts, 0);
+        assert_eq!(empty.stats.lost_writes, 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        let scenario = scenario("fault-storm", 42).expect("known scenario");
+        let a = scenario.run().unwrap();
+        let b = scenario.run().unwrap();
+        assert_eq!(sorted(a.output.histories), sorted(b.output.histories));
+        assert_eq!(a.output.stats, b.output.stats);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.manifest, b.manifest);
+    }
+
+    #[test]
+    fn crashes_lose_buffered_writes_but_record_cleanly() {
+        let mut any_loss = false;
+        for seed in 0..6 {
+            let run = scenario("crash-recovery", seed).expect("known scenario").run().unwrap();
+            any_loss |= run.output.stats.lost_writes > 0;
+            assert_liveness(&run.manifest.config, &run.output.stats);
+            for (_, raw) in &run.output.histories {
+                assert!(raw.validate().is_clean(), "crash faults must not damage the record");
+            }
+        }
+        assert!(any_loss, "staggered crashes should catch some write in the apply buffer");
+    }
+
+    #[test]
+    fn partitions_buffer_writes_and_record_cleanly() {
+        for seed in 0..6 {
+            let run = scenario("partition-heal", seed).expect("known scenario").run().unwrap();
+            assert_liveness(&run.manifest.config, &run.output.stats);
+            for (_, raw) in &run.output.histories {
+                assert!(raw.validate().is_clean(), "partitions must not damage the record");
+            }
+        }
+    }
+
+    #[test]
+    fn reconfigurations_apply_and_keep_liveness() {
+        for seed in 0..6 {
+            let run = scenario("reconfig", seed).expect("known scenario").run().unwrap();
+            assert_eq!(run.output.stats.reconfigs, 2, "both scheduled steps must fire");
+            assert_liveness(&run.manifest.config, &run.output.stats);
+            for (_, raw) in &run.output.histories {
+                assert!(raw.validate().is_clean(), "reconfiguration must not damage the record");
+            }
+        }
+    }
+
+    #[test]
+    fn skew_faults_never_perturb_the_execution() {
+        // A lying clock changes what the probe *records*, not what the
+        // store *does*: the faulted run must issue the identical operation
+        // sequence as the fault-free run of the same seed, differing only
+        // in recorded stamps. This is the bedrock under the within-bound
+        // soundness property test.
+        for seed in 0..4 {
+            let scenario = scenario("skew-beyond-bound", seed).expect("known scenario");
+            let skewed = sorted(scenario.run().unwrap().output.histories);
+            let honest = sorted(Simulation::new(scenario.config).unwrap().run().histories);
+            assert_eq!(skewed.len(), honest.len());
+            for ((key_a, a), (key_b, b)) in skewed.iter().zip(&honest) {
+                assert_eq!(key_a, key_b);
+                assert_eq!(a.ops.len(), b.ops.len(), "key {key_a}: op counts diverged");
+                for (x, y) in a.ops.iter().zip(&b.ops) {
+                    assert_eq!((x.kind, x.value), (y.kind, y.value));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_storm_emits_a_sorted_complete_stream() {
+        let run = scenario("fault-storm", 3).expect("known scenario").run().unwrap();
+        let total: usize = run.output.histories.iter().map(|(_, h)| h.ops.len()).sum();
+        assert_eq!(run.records.len(), total, "every recorded op appears in the stream");
+        for pair in run.records.windows(2) {
+            assert!(pair[0].finish <= pair[1].finish, "stream must be finish-ordered");
+        }
+        assert_eq!(run.manifest.records, run.records.len() as u64);
+    }
+
+    #[test]
+    fn with_faults_rejects_contradictory_schedules() {
+        let schedule = FaultSchedule {
+            faults: vec![Fault::Crash { replica: 99, at: 0, restart_at: 1 }],
+            ..Default::default()
+        };
+        assert!(Simulation::with_faults(SimConfig::default(), schedule).is_err());
     }
 }

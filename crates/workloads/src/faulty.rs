@@ -1,0 +1,93 @@
+//! Fault-injected streams: the adversarial counterpart of
+//! [`crate::streaming_workload`].
+//!
+//! Wraps the `kav_sim` scenario matrix so test harnesses and examples can
+//! ask for "a stream recorded against a store suffering fault class X"
+//! without assembling configs and schedules by hand. Unlike the other
+//! generators in this crate the staleness here is *emergent* — it comes
+//! from simulated crashes, partitions, reconfigurations and lying clocks,
+//! not from a constructed gadget — which is exactly what makes the
+//! accompanying ground-truth manifest necessary.
+
+use kav_history::ndjson::StreamRecord;
+use kav_sim::{scenario, scenario_matrix, Manifest, Scenario};
+
+/// One fault-injected stream plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct FaultyStream {
+    /// Operations in recorded completion order, ready for NDJSON emission
+    /// or the streaming pipeline.
+    pub records: Vec<StreamRecord>,
+    /// Seed, schedule and expected-verdict class of the run.
+    pub manifest: Manifest,
+}
+
+/// Runs one named scenario from the `kav_sim` adversarial matrix and
+/// returns its stream with the ground-truth manifest attached. Returns
+/// `None` for unknown names; see [`fault_scenario_names`].
+///
+/// Deterministic in `(name, seed)`.
+///
+/// # Panics
+///
+/// Never for names from [`fault_scenario_names`]: every matrix scenario
+/// validates by construction (asserted in `kav_sim`'s tests).
+pub fn fault_stream(name: &str, seed: u64) -> Option<FaultyStream> {
+    let run = scenario(name, seed)?.run().expect("matrix scenarios validate");
+    Some(FaultyStream { records: run.records, manifest: run.manifest })
+}
+
+/// The full adversarial matrix for one seed, in matrix order (clean
+/// control first, combined storm last).
+pub fn fault_streams(seed: u64) -> Vec<FaultyStream> {
+    scenario_matrix(seed)
+        .iter()
+        .map(|s| {
+            let run = s.run().expect("matrix scenarios validate");
+            FaultyStream { records: run.records, manifest: run.manifest }
+        })
+        .collect()
+}
+
+/// Names of every scenario in the adversarial matrix, in matrix order.
+pub fn fault_scenario_names() -> Vec<String> {
+    scenario_matrix(0).into_iter().map(|s: Scenario| s.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_lookup_matches_the_matrix() {
+        let names = fault_scenario_names();
+        assert!(names.contains(&"fault-storm".to_string()));
+        for name in &names {
+            let stream = fault_stream(name, 1).expect("matrix name resolves");
+            assert_eq!(&stream.manifest.name, name);
+            assert!(!stream.records.is_empty());
+        }
+        assert!(fault_stream("not-a-scenario", 1).is_none());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_finish_ordered() {
+        let a = fault_stream("partition-heal", 7).unwrap();
+        let b = fault_stream("partition-heal", 7).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.manifest, b.manifest);
+        for pair in a.records.windows(2) {
+            assert!(pair[0].finish <= pair[1].finish);
+        }
+    }
+
+    #[test]
+    fn matrix_batch_agrees_with_named_lookup() {
+        let batch = fault_streams(3);
+        assert_eq!(batch.len(), fault_scenario_names().len());
+        for stream in &batch {
+            let named = fault_stream(&stream.manifest.name, 3).unwrap();
+            assert_eq!(named.records, stream.records);
+        }
+    }
+}

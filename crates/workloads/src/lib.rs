@@ -23,11 +23,17 @@
 //!   2-AV verdicts: the §IV-A proof that zones alone cannot decide 2-AV.
 //! * [`streaming_workload`] — a multi-register op stream in global
 //!   completion order, the input shape of the streaming pipeline.
+//! * [`fault_stream`] / [`fault_streams`] — streams recorded against a
+//!   simulated store under injected faults (crashes, partitions,
+//!   reconfiguration, clocks beyond the skew bound), each with a
+//!   ground-truth manifest; the input family of the fault-matrix
+//!   soundness harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod deep_stale;
+mod faulty;
 mod figure;
 mod ladders;
 mod random;
@@ -36,6 +42,7 @@ mod stream;
 mod twins;
 
 pub use deep_stale::{deep_stale, deep_stale_stream, DeepStaleConfig};
+pub use faulty::{fault_scenario_names, fault_stream, fault_streams, FaultyStream};
 pub use figure::figure3;
 pub use ladders::{inject_ladder, ladder, serial};
 pub use random::{random_k_atomic, RandomHistoryConfig};

@@ -307,6 +307,82 @@ fn escalated_gap_segments_survive_checkpoint_hops() {
     }
 }
 
+/// A fault-schedule audit must survive a crash of the *auditor* while the
+/// *store under audit* is itself faulting: the partition-heal scenario
+/// (replica 0 cut off for most of the run, then a second partition after
+/// heal) is streamed through a genk pipeline that is killed and resumed at
+/// cuts straddling the heal boundary. Reports must be byte-identical to
+/// the uninterrupted audit, and the partition's NO verdict must survive
+/// every cut — including an unverified resume.
+#[test]
+fn fault_schedule_audits_resume_across_partition_heal_boundaries() {
+    use k_atomicity::sim::scenario;
+
+    let run = scenario("partition-heal", 3)
+        .expect("known scenario")
+        .run()
+        .expect("matrix scenarios validate");
+    let records = run.records;
+    let config = PipelineConfig { shards: 2, window: 24, ..Default::default() };
+    let verifier = GenK::new(run.manifest.k_bound);
+
+    let mut pipeline = StreamPipeline::new(verifier, config);
+    push_all(&mut pipeline, &records);
+    let baseline = pipeline.finish();
+    // The scenario genuinely bites at this seed: the partition-era
+    // staleness refutes k_bound somewhere, so the cut-stability below is
+    // exercising a real NO, not a vacuous stream.
+    assert!(
+        baseline.keys.iter().any(|(_, r)| r.k_atomic() == Some(false)),
+        "partition-heal seed 3 must refute k = {}",
+        run.manifest.k_bound
+    );
+
+    // Cut indices straddling the heal instant (24 ms into the run): the
+    // first record recorded after heal, its neighbours, plus the extremes.
+    let heal = records
+        .iter()
+        .position(|r| r.finish.as_u64() >> 20 >= 24_000)
+        .unwrap_or(records.len());
+    assert!(
+        heal > 0 && heal < records.len(),
+        "the stream must span the heal boundary (heal index {heal})"
+    );
+    for cut in [0, heal - 1, heal, (heal + 1).min(records.len()), records.len()] {
+        let mut first = StreamPipeline::new(verifier, config);
+        push_all(&mut first, &records[..cut]);
+        let json = serde_json::to_string(&first.snapshot()).expect("snapshots serialize");
+        drop(first); // the auditor crash, mid-partition-history
+        let snapshot: PipelineSnapshot =
+            serde_json::from_str(&json).expect("checkpoints parse");
+        let mut resumed = StreamPipeline::resume(verifier, config, &snapshot, true)
+            .expect("own snapshots resume");
+        push_all(&mut resumed, &records[cut..]);
+        let output = resumed.finish();
+        assert_eq!(&output.keys, &baseline.keys, "cut at {cut} (heal at {heal})");
+        assert_eq!(&output.errors, &baseline.errors, "cut at {cut}");
+    }
+
+    // An unverified resume exactly at the heal boundary keeps every NO.
+    let mut first = StreamPipeline::new(verifier, config);
+    push_all(&mut first, &records[..heal]);
+    let snapshot = first.snapshot();
+    drop(first);
+    let mut resumed = StreamPipeline::resume(verifier, config, &snapshot, false)
+        .expect("own snapshots resume");
+    push_all(&mut resumed, &records[heal..]);
+    let tainted = resumed.finish();
+    for ((key, t), (_, b)) in tainted.keys.iter().zip(&baseline.keys) {
+        if b.k_atomic() == Some(false) {
+            assert_eq!(
+                t.k_atomic(),
+                Some(false),
+                "key {key}: NO must survive an unverified resume at the heal"
+            );
+        }
+    }
+}
+
 /// Deterministic spot check that a snapshot is stable: snapshotting twice
 /// without pushes yields identical bytes, and resume restores ops_routed.
 #[test]

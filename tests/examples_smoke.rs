@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "quickstart",
     "audit_pipeline",
     "clock_skew",
+    "fault_storm",
     "quorum_tuning",
     "resume_audit",
     "social_network",

@@ -1,0 +1,375 @@
+//! The fault-matrix soundness harness: every verifier path, driven over
+//! every adversarial fault class, with the soundness discipline asserted
+//! as executable properties.
+//!
+//! The `kav_sim` scenario matrix injects the four fault classes — clocks
+//! beyond the declared skew bound, crash-recovery with write loss,
+//! partition/heal cycles, and mid-run quorum reconfiguration — plus a
+//! clean control and a combined storm, each with a ground-truth manifest
+//! (seed, schedule, expected-verdict class). This harness replays the
+//! recorded streams through the offline exact path (`smallest_k`), the
+//! general-k verifier at k ∈ 1..=5, the streaming pipeline at several
+//! windows and retirement horizons, and kill-and-resume across
+//! checkpoints, asserting at every point:
+//!
+//! * **NO is sound everywhere**: a violation verdict agrees with the
+//!   offline exact staleness of the recorded history, survives any stream
+//!   cut, any horizon, and any resume — verified or not.
+//! * **YES needs a certified chain**: a k-atomic verdict only ever appears
+//!   with zero horizon breaches, zero orphaned reads, a verified resume
+//!   chain, and an anomaly-free record whose true staleness is within k.
+//! * **Damage degrades, never flips**: skew beyond the bound may corrupt
+//!   the record (that is its point), but corrupt evidence produces
+//!   UNKNOWN or a verdict *about the record* — never a certified YES.
+//!
+//! Runs on fixed seeds so CI failures reproduce exactly.
+
+use k_atomicity::history::ndjson::StreamRecord;
+use k_atomicity::history::repair;
+use k_atomicity::sim::{scenario, scenario_matrix, ExpectedClass, ScenarioRun};
+use k_atomicity::verify::{
+    smallest_k, GenK, PipelineConfig, PipelineOutput, PipelineSnapshot, Staleness,
+    StreamPipeline, Verdict, Verifier,
+};
+
+/// Fixed seeds: the matrix must bite (and stay sound) on every one of
+/// these, so a CI failure is a deterministic repro, not a flake.
+const SEEDS: &[u64] = &[1, 2, 3];
+
+/// Search budget for exact offline staleness; the scenario histories are
+/// small enough that this is effectively unbounded.
+const GAP_BUDGET: u64 = 10_000_000;
+
+/// Offline ground truth for one recorded per-key history.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Truth {
+    /// Anomaly-free record with exact staleness `k`.
+    Clean(u64),
+    /// Anomaly-free record whose exact staleness exceeded the budget:
+    /// at least `k` (never observed at `GAP_BUDGET`, handled for safety).
+    CleanAtLeast(u64),
+    /// The record itself contains anomalies — only clock damage can do
+    /// this; every timestamp-honest fault class must keep records clean.
+    Damaged,
+}
+
+/// Computes the offline ground truth of every key in a run.
+fn truths(run: &ScenarioRun) -> Vec<(u64, Truth)> {
+    let mut out: Vec<(u64, Truth)> = run
+        .output
+        .histories
+        .iter()
+        .map(|(key, raw)| {
+            let truth = if raw.validate().is_clean() {
+                let history = raw.clone().into_history().expect("clean records validate");
+                match smallest_k(&history, Some(GAP_BUDGET)) {
+                    Staleness::Exact(k) => Truth::Clean(k),
+                    Staleness::AtLeast(k) => Truth::CleanAtLeast(k),
+                }
+            } else {
+                Truth::Damaged
+            };
+            (*key, truth)
+        })
+        .collect();
+    out.sort_by_key(|(key, _)| *key);
+    out
+}
+
+fn truth_of(truths: &[(u64, Truth)], key: u64) -> Truth {
+    truths.iter().find(|(k, _)| *k == key).map(|(_, t)| *t).expect("key exists")
+}
+
+fn push_all(pipeline: &mut StreamPipeline, records: &[StreamRecord]) {
+    for record in records {
+        pipeline.push(record.key, record.op());
+    }
+}
+
+fn run_pipeline(records: &[StreamRecord], k: u64, config: PipelineConfig) -> PipelineOutput {
+    let mut pipeline =
+        StreamPipeline::new(GenK::with_gap_budget(k, Some(GAP_BUDGET)), config);
+    push_all(&mut pipeline, records);
+    pipeline.finish()
+}
+
+/// All scenario runs for one seed, with ground truths attached.
+fn matrix(seed: u64) -> Vec<(ScenarioRun, Vec<(u64, Truth)>)> {
+    scenario_matrix(seed)
+        .iter()
+        .map(|s| {
+            let run = s.run().expect("matrix scenarios validate");
+            let truths = truths(&run);
+            (run, truths)
+        })
+        .collect()
+}
+
+/// Offline path × genk grid: on every anomaly-free record the general-k
+/// verifier at k ∈ 1..=5 must agree with the exact staleness — no unsound
+/// YES, no unsound NO, for any fault class. Damaged records may only come
+/// from scenarios declared untrustworthy, and repair always salvages them.
+#[test]
+fn offline_genk_grid_agrees_with_ground_truth() {
+    for &seed in SEEDS {
+        for (run, truths) in matrix(seed) {
+            let name = &run.manifest.name;
+            for (key, truth) in &truths {
+                match truth {
+                    Truth::Damaged => {
+                        assert_eq!(
+                            run.manifest.expected,
+                            ExpectedClass::Untrustworthy,
+                            "{name} seed {seed}: only clock damage may corrupt the \
+                             record, but key {key} has anomalies"
+                        );
+                        let raw = run
+                            .output
+                            .histories
+                            .iter()
+                            .find(|(k, _)| k == key)
+                            .map(|(_, raw)| raw.clone())
+                            .expect("key exists");
+                        let (salvaged, log) = repair(raw).expect("repair always salvages");
+                        assert!(
+                            !salvaged.is_empty() && !log.dropped.is_empty(),
+                            "{name} seed {seed} key {key}: damaged record must lose \
+                             something to repair"
+                        );
+                    }
+                    Truth::Clean(true_k) | Truth::CleanAtLeast(true_k) => {
+                        let exact = matches!(truth, Truth::Clean(_));
+                        let history = run
+                            .output
+                            .histories
+                            .iter()
+                            .find(|(k, _)| k == key)
+                            .map(|(_, raw)| raw.clone().into_history().expect("clean"))
+                            .expect("key exists");
+                        for k in 1..=5u64 {
+                            let verdict =
+                                GenK::with_gap_budget(k, Some(GAP_BUDGET)).verify(&history);
+                            match verdict {
+                                Verdict::KAtomic { .. } => assert!(
+                                    exact && k >= *true_k,
+                                    "{name} seed {seed} key {key}: unsound YES at k={k}, \
+                                     true staleness {true_k} (exact: {exact})"
+                                ),
+                                Verdict::NotKAtomic => assert!(
+                                    k < *true_k || !exact,
+                                    "{name} seed {seed} key {key}: unsound NO at k={k}, \
+                                     true staleness {true_k}"
+                                ),
+                                Verdict::Inconclusive => {} // UNKNOWN is always sound
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streaming path × {windows, retirement horizons}: every verdict the
+/// pipeline emits must be justified — YES needs a fully certified chain
+/// on a record whose true staleness is within k; NO must match the
+/// offline truth of clean records; damaged records never certify.
+#[test]
+fn stream_verdicts_are_sound_at_every_window_and_horizon() {
+    let configs = [
+        // Window beyond any per-key history: single-segment, full horizon.
+        PipelineConfig { shards: 2, window: 256, ..Default::default() },
+        // Many small windows with a tight retirement horizon: breaches and
+        // orphans become likely — exactly what must degrade YES, not NO.
+        PipelineConfig { shards: 3, window: 16, horizon: Some(16), ..Default::default() },
+    ];
+    for &seed in SEEDS {
+        for (run, truths) in matrix(seed) {
+            let name = &run.manifest.name;
+            for k in [1u64, 3] {
+                for config in configs {
+                    let output = run_pipeline(&run.records, k, config);
+                    for (key, report) in &output.keys {
+                        let truth = truth_of(&truths, *key);
+                        match report.k_atomic() {
+                            Some(true) => {
+                                assert_eq!(
+                                    (report.horizon_breaches, report.orphaned_reads),
+                                    (0, 0),
+                                    "{name} seed {seed} key {key}: YES without a \
+                                     certified chain at k={k}: {report}"
+                                );
+                                assert!(
+                                    !report.resumed_uncertified,
+                                    "{name} seed {seed} key {key}: YES from an \
+                                     uncertified resume"
+                                );
+                                match truth {
+                                    Truth::Clean(t) => assert!(
+                                        t <= k,
+                                        "{name} seed {seed} key {key}: unsound stream \
+                                         YES at k={k}, true staleness {t}"
+                                    ),
+                                    Truth::CleanAtLeast(t) => assert!(
+                                        t <= k,
+                                        "{name} seed {seed} key {key}: stream YES at \
+                                         k={k} but staleness is at least {t}"
+                                    ),
+                                    Truth::Damaged => panic!(
+                                        "{name} seed {seed} key {key}: YES certified \
+                                         from anomalous evidence"
+                                    ),
+                                }
+                            }
+                            Some(false) => {
+                                // NO is a claim about the recorded data; on
+                                // clean records that claim is exactly the
+                                // offline truth. On damaged records it
+                                // refutes the record, which is all an
+                                // auditor may say — and is never a YES.
+                                if let Truth::Clean(t) = truth {
+                                    assert!(
+                                        t > k,
+                                        "{name} seed {seed} key {key}: unsound stream \
+                                         NO at k={k}, true staleness {t}"
+                                    );
+                                }
+                            }
+                            None => {} // UNKNOWN is always sound
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checkpoint path: for every scenario, killing the audit at any cut and
+/// resuming from the snapshot yields byte-identical reports (so NO
+/// survives every cut), and an *unverified* resume degrades YES/UNKNOWN
+/// to UNKNOWN while violations stay violations.
+#[test]
+fn verdicts_survive_kill_and_resume_at_any_cut() {
+    let config = PipelineConfig { shards: 2, window: 24, ..Default::default() };
+    let k = 3; // the general-k streaming path
+    for &seed in SEEDS {
+        for (run, _) in matrix(seed) {
+            let name = &run.manifest.name;
+            let baseline = run_pipeline(&run.records, k, config);
+            for cut_permille in [0usize, 250, 500, 750, 1000] {
+                let cut = run.records.len() * cut_permille / 1000;
+                let verifier = GenK::with_gap_budget(k, Some(GAP_BUDGET));
+                let mut first = StreamPipeline::new(verifier, config);
+                push_all(&mut first, &run.records[..cut]);
+                let json =
+                    serde_json::to_string(&first.snapshot()).expect("snapshots serialize");
+                drop(first); // the crash
+                let snapshot: PipelineSnapshot =
+                    serde_json::from_str(&json).expect("checkpoints parse");
+                let mut resumed = StreamPipeline::resume(verifier, config, &snapshot, true)
+                    .expect("own snapshots resume");
+                push_all(&mut resumed, &run.records[cut..]);
+                let output = resumed.finish();
+                assert_eq!(
+                    &output.keys, &baseline.keys,
+                    "{name} seed {seed}: cut at {cut} changed a report"
+                );
+                assert_eq!(&output.errors, &baseline.errors, "{name} seed {seed}");
+            }
+
+            // Unverified resume at the midpoint: soundness may only move
+            // downward (YES -> UNKNOWN), never flip.
+            let cut = run.records.len() / 2;
+            let verifier = GenK::with_gap_budget(k, Some(GAP_BUDGET));
+            let mut first = StreamPipeline::new(verifier, config);
+            push_all(&mut first, &run.records[..cut]);
+            let snapshot = first.snapshot();
+            drop(first);
+            let mut resumed = StreamPipeline::resume(verifier, config, &snapshot, false)
+                .expect("own snapshots resume");
+            push_all(&mut resumed, &run.records[cut..]);
+            let tainted = resumed.finish();
+            assert_eq!(tainted.keys.len(), baseline.keys.len());
+            for ((key, t), (_, b)) in tainted.keys.iter().zip(&baseline.keys) {
+                assert!(t.resumed_uncertified, "{name} seed {seed} key {key}");
+                match b.k_atomic() {
+                    Some(false) => assert_eq!(
+                        t.k_atomic(),
+                        Some(false),
+                        "{name} seed {seed} key {key}: NO did not survive an \
+                         unverified resume"
+                    ),
+                    _ => assert_eq!(
+                        t.k_atomic(),
+                        None,
+                        "{name} seed {seed} key {key}: uncertified resume must \
+                         degrade to UNKNOWN"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The clean control is the YES side of the matrix: strict quorums with no
+/// faults must stay within the declared bound on every key *and* certify
+/// through the streaming path — guarding against a harness that only ever
+/// sees NO/UNKNOWN and would miss an unsound-YES regression.
+#[test]
+fn clean_control_stays_atomic_and_certifies() {
+    for &seed in SEEDS {
+        let run = scenario("clean-strict", seed).expect("control exists").run().unwrap();
+        assert_eq!(run.manifest.expected, ExpectedClass::Atomic);
+        assert_eq!(run.manifest.timeouts, 0, "a clean run never arms timeouts");
+        assert_eq!(run.manifest.lost_writes, 0);
+        for (key, truth) in truths(&run) {
+            match truth {
+                Truth::Clean(t) => assert!(
+                    t <= run.manifest.k_bound,
+                    "seed {seed} key {key}: control exceeded its bound ({t})"
+                ),
+                other => panic!("seed {seed} key {key}: control must be clean: {other:?}"),
+            }
+        }
+        let output = run_pipeline(&run.records, run.manifest.k_bound, PipelineConfig {
+            shards: 2,
+            window: 256,
+            ..Default::default()
+        });
+        for (key, report) in &output.keys {
+            assert_eq!(
+                report.k_atomic(),
+                Some(true),
+                "seed {seed} key {key}: the clean control must certify YES: {report}"
+            );
+        }
+    }
+}
+
+/// The damaging classes must actually damage: on the fixed seeds, each
+/// timestamp-honest fault scenario produces staleness beyond its declared
+/// k_bound somewhere (otherwise the NO-soundness assertions above are
+/// vacuously green), and each clock-fault scenario corrupts some record.
+#[test]
+fn every_fault_class_bites_on_the_fixed_seeds() {
+    for name in ["crash-recovery", "partition-heal", "reconfig"] {
+        let mut bites = false;
+        for &seed in SEEDS {
+            let run = scenario(name, seed).expect("known scenario").run().unwrap();
+            for (_, truth) in truths(&run) {
+                if let Truth::Clean(t) | Truth::CleanAtLeast(t) = truth {
+                    bites |= t > run.manifest.k_bound;
+                }
+            }
+        }
+        assert!(bites, "{name} never exceeded its k_bound on seeds {SEEDS:?}");
+    }
+    for name in ["skew-beyond-bound", "fault-storm"] {
+        let mut damaged = false;
+        for &seed in SEEDS {
+            let run = scenario(name, seed).expect("known scenario").run().unwrap();
+            damaged |= truths(&run).iter().any(|(_, t)| *t == Truth::Damaged);
+        }
+        assert!(damaged, "{name} never corrupted a record on seeds {SEEDS:?}");
+    }
+}
