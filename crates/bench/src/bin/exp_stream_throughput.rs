@@ -56,7 +56,7 @@ use kav_core::{
     DEFAULT_GAP_BUDGET,
 };
 use kav_history::ndjson::StreamRecord;
-use kav_history::{History, HistoryBuilder};
+use kav_history::{frame, ndjson, History, HistoryBuilder};
 use kav_workloads::{
     deep_stale_stream, streaming_workload, DeepStaleConfig, StreamingWorkloadConfig,
 };
@@ -287,6 +287,68 @@ fn main() {
         }
     }
 
+    // Parse axis: decode cost alone, no pipeline — the serde reference
+    // decoder vs the zero-copy byte-slice decoder over identical NDJSON
+    // bytes, plus the binary frame decoder over the same records
+    // frame-encoded. This isolates what the columnar-ingest rework bought
+    // on the hot path (`kav stream` maps files straight into the
+    // zero-copy decoder; `--format binary` maps into the frame decoder).
+    println!(
+        "\n## parse throughput (decoder only, {} records per round)\n",
+        records.len()
+    );
+    header(&["path", "rounds", "ops/s", "vs serde"]);
+    let mut ndjson_buf = String::new();
+    for r in &records {
+        ndjson::write_line_into(r, &mut ndjson_buf);
+        ndjson_buf.push('\n');
+    }
+    let mut frame_writer = frame::FrameWriter::new(Vec::new());
+    for r in &records {
+        frame_writer.write_record(r).expect("in-memory frame encoding cannot fail");
+    }
+    let frame_buf = frame_writer.finish().expect("in-memory frame encoding cannot fail");
+    let rounds: usize = if preset == "smoke" { 4 } else { 8 };
+    let mut parse_rows: Vec<String> = Vec::new();
+    let mut serde_ops_per_sec = 0.0f64;
+    for path in ["serde", "zero-copy", "binary-frame"] {
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            // Fold the decoded keys so the decode cannot be discarded.
+            let decoded: u64 = match path {
+                "serde" => ndjson::Reader::new(ndjson_buf.as_bytes())
+                    .map(|r| r.expect("bench lines are valid").key)
+                    .fold(0, u64::wrapping_add),
+                "zero-copy" => ndjson::SliceReader::new(ndjson_buf.as_bytes())
+                    .map(|r| r.expect("bench lines are valid").key)
+                    .fold(0, u64::wrapping_add),
+                _ => frame::FrameReader::new(&frame_buf)
+                    .expect("the frame buffer starts with magic")
+                    .map(|r| r.expect("bench frames are valid").key)
+                    .fold(0, u64::wrapping_add),
+            };
+            std::hint::black_box(decoded);
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        let ops_per_sec = (records.len() * rounds) as f64 / seconds;
+        if path == "serde" {
+            serde_ops_per_sec = ops_per_sec;
+        }
+        row(&[
+            path.into(),
+            rounds.to_string(),
+            format!("{ops_per_sec:.0}"),
+            format!("{:.2}x", ops_per_sec / serde_ops_per_sec),
+        ]);
+        parse_rows.push(format!(
+            "    {{\"path\":\"{path}\",\"ops\":{},\"rounds\":{rounds},\
+             \"seconds\":{seconds:.6},\"ops_per_sec\":{ops_per_sec:.0},\
+             \"speedup_vs_serde\":{:.2}}}",
+            records.len(),
+            ops_per_sec / serde_ops_per_sec,
+        ));
+    }
+
     // General-k axis: deep-stale workloads (true staleness exactly k)
     // through the GenK bound sandwich vs a node-budgeted exhaustive
     // search on the same windows. Window 64 keeps sealed segments within
@@ -491,10 +553,12 @@ fn main() {
             .collect();
         let json = format!(
             "{{\n  \"bench\": \"stream_throughput\",\n  \"preset\": \"{preset}\",\n  \
-             \"ops\": {},\n  \"results\": [\n{}\n  ],\n  \"escalation\": [\n{}\n  ],\n  \
+             \"ops\": {},\n  \"results\": [\n{}\n  ],\n  \"parse\": [\n{}\n  ],\n  \
+             \"escalation\": [\n{}\n  ],\n  \
              \"checkpoint_overhead\": [\n{}\n  ]\n}}\n",
             records.len(),
             rows.join(",\n"),
+            parse_rows.join(",\n"),
             escalation_rows.join(",\n"),
             checkpoint_rows.join(",\n"),
         );

@@ -8,7 +8,9 @@ use kav_core::{
     Verifier, DEFAULT_CHECKPOINT_EVERY, DEFAULT_GAP_BUDGET,
 };
 use kav_history::fxhash::Fingerprint;
-use kav_history::{csv, json, ndjson, render_timeline, repair, History, HistoryStats, RawHistory};
+use kav_history::{
+    csv, frame, json, ndjson, render_timeline, repair, History, HistoryStats, RawHistory,
+};
 use serde::Serialize;
 use kav_sim::{scenario_matrix, LatencyModel, Manifest, Scenario, SimConfig, Simulation};
 use kav_weighted::{reduce_bin_packing, BinPacking};
@@ -62,14 +64,16 @@ pub fn usage() -> &'static str {
      \x20 kav repair <dirty.json> --out <clean.json>\n\
      \x20 kav gen --workload <staircase|serial|ladder|random|figure3|stream|deep-stale>\n\
      \x20        [--n <ops>] [--k <bound>] [--seed <s>] [--spread <w>] [--out <file>]\n\
-     \x20        [--keys <K>]             (stream/deep-stale: NDJSON, --n ops per key;\n\
-     \x20                                  deep-stale: true staleness exactly --k)\n\
+     \x20        [--keys <K>] [--format ndjson|binary]\n\
+     \x20                                 (stream/deep-stale: --n ops per key, NDJSON or\n\
+     \x20                                  binary frames; deep-stale: staleness exactly --k)\n\
      \x20 kav stream [--k <1|2|N>] [--algo gk|lbt|fzf|genk] [--window <ops>] [--shards <N>]\n\
      \x20        [--horizon <writes>] [--batch <ops>] [--strict]\n\
-     \x20        [--gap-budget <nodes|unbounded>]\n\
+     \x20        [--gap-budget <nodes|unbounded>] [--format ndjson|binary]\n\
      \x20        [--checkpoint <file>] [--checkpoint-every <ops>]\n\
      \x20        [--resume <file>] [--progress-every <records>]\n\
-     \x20        <ops.ndjson | ->                    (- reads NDJSON from stdin)\n\
+     \x20        <ops.ndjson | ->      (- reads NDJSON from stdin; files are memory-mapped\n\
+     \x20                               into the zero-copy decoder for the chosen --format)\n\
      \x20        exit codes: 0 = verified, 1 = violation, 2 = unusable input\n\
      \x20        (see docs/OPERATIONS.md for the checkpoint/resume lifecycle)\n\
      \x20 kav sim [--replicas N] [--read-quorum R] [--write-quorum W] [--fanout F]\n\
@@ -181,6 +185,41 @@ fn gap_budget_flag(args: &Args, default: u64) -> Result<Option<u64>, Box<dyn Err
         ));
     }
     Ok(Some(nodes))
+}
+
+/// Resolves `--format`, shared by `kav gen` and `kav stream`: `ndjson`
+/// (the default, one JSON record per line) or `binary` (the fixed-width
+/// frame format of `kav_history::frame`). Returns whether binary was
+/// requested; unknown values get the bad-input exit code.
+fn format_flag(args: &Args) -> Result<bool, Box<dyn Error>> {
+    match args.get("format") {
+        None | Some("ndjson") => Ok(false),
+        Some("binary") => Ok(true),
+        Some(other) => Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!("--format {other:?}: expected \"ndjson\" or \"binary\""),
+        )),
+    }
+}
+
+/// Streams records to stdout through one buffered, allocation-free
+/// writer — NDJSON by default, binary frames on request.
+fn emit_records_to_stdout(records: &[ndjson::StreamRecord], binary: bool) -> CmdResult {
+    let stdout = std::io::stdout().lock();
+    if binary {
+        let mut writer = frame::FrameWriter::new(stdout);
+        for record in records {
+            writer.write_record(record)?;
+        }
+        let _ = writer.finish()?;
+    } else {
+        let mut writer = ndjson::StreamWriter::new(stdout);
+        for record in records {
+            writer.write_record(record)?;
+        }
+        let _ = writer.finish()?;
+    }
+    Ok(())
 }
 
 /// `kav verify` — decide k-atomicity with a chosen algorithm.
@@ -327,18 +366,27 @@ pub fn gen(args: &Args) -> CmdResult {
                 ..Default::default()
             })
         };
-        match args.get("out") {
-            Some(path) => {
+        match (args.get("out"), format_flag(args)?) {
+            (Some(path), true) => {
+                frame::write_frames(path, &records)?;
+                println!("wrote {} stream records to {path} (binary frames)", records.len());
+            }
+            (Some(path), false) => {
                 ndjson::write_stream(path, &records)?;
                 println!("wrote {} stream records to {path}", records.len());
             }
-            None => {
-                for record in &records {
-                    println!("{}", ndjson::to_line(record));
-                }
-            }
+            (None, binary) => emit_records_to_stdout(&records, binary)?,
         }
         return Ok(());
+    }
+    if format_flag(args)? {
+        return Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!(
+                "--format binary applies to the stream workloads only \
+                 (--workload {workload} emits a history file, not a record stream)"
+            ),
+        ));
     }
     let history = match workload {
         "staircase" => workloads::staircase(n.max(1) / 2),
@@ -444,9 +492,7 @@ fn emit_scenario(
             // Keep stdout pure NDJSON (pipeable straight into `kav
             // stream -`); the ground truth goes to stderr as one JSON line.
             eprintln!("{}", serde_json::to_string(&run.manifest).expect("manifests serialize"));
-            for record in &run.records {
-                println!("{}", ndjson::to_line(record));
-            }
+            emit_records_to_stdout(&run.records, false)?;
         }
     }
     Ok(run.manifest)
@@ -552,6 +598,8 @@ struct StreamSession<'a> {
     resume: Option<Checkpoint>,
     /// Input path, or `-` for stdin.
     input: &'a str,
+    /// `--format binary`: the input is fixed-width frames, not NDJSON.
+    binary: bool,
 }
 
 fn stream_inner(args: &Args) -> CmdResult {
@@ -606,6 +654,7 @@ fn stream_inner(args: &Args) -> CmdResult {
         input: args
             .positional(1)
             .ok_or_else(|| ArgError("stream requires an NDJSON file argument (or -)".into()))?,
+        binary: format_flag(args)?,
     };
     // The gap-escalation budget for genk segments (search nodes per
     // sealed window that reaches the bound gap). Not pinned by
@@ -749,30 +798,110 @@ struct ProgressLine {
     shards: Vec<ShardProgress>,
 }
 
-/// Feeds the session's NDJSON input into a (fresh or resumed) pipeline,
-/// checkpointing and emitting progress at the configured cadences.
-/// Malformed lines are skipped and counted, keeping only the first few
-/// messages (the run completes; the caller reports them and exits
-/// non-zero) — unless `strict`, which aborts on the first malformed line
-/// with [`EXIT_BAD_INPUT`]. Genuine I/O failures abort. Returns the
-/// pipeline output, the sample messages, and the total malformed count.
+/// The three ingest paths `kav stream` reads records from, behind one
+/// cursor interface. Position units are raw input lines for NDJSON and
+/// frames for binary; checkpoints store whichever the session used, so a
+/// resume must keep the format (the fingerprint check enforces this).
+enum IngestSource<'a> {
+    /// stdin NDJSON through the serde reference decoder: a non-seekable
+    /// source cannot be memory-mapped, and keeping this path live in
+    /// production also keeps the reference decoder exercised.
+    Reference(ndjson::Reader<Box<dyn std::io::BufRead>>),
+    /// A memory-mapped NDJSON file through the zero-copy byte-slice
+    /// decoder — the default for file inputs. Produces the same records,
+    /// errors and fingerprints as [`IngestSource::Reference`], so
+    /// checkpoints written by either NDJSON path resume under the other.
+    ZeroCopy(ndjson::SliceReader<'a>),
+    /// A memory-mapped binary frame file (`--format binary`).
+    Binary(frame::FrameReader<'a>),
+}
+
+impl IngestSource<'_> {
+    fn next_record(&mut self) -> Option<Result<ndjson::StreamRecord, ndjson::NdjsonError>> {
+        match self {
+            IngestSource::Reference(r) => r.next(),
+            IngestSource::ZeroCopy(r) => r.next(),
+            IngestSource::Binary(r) => r.next(),
+        }
+    }
+
+    /// Raw input units (lines or frames) consumed so far.
+    fn units_read(&self) -> u64 {
+        match self {
+            IngestSource::Reference(r) => r.lines_read(),
+            IngestSource::ZeroCopy(r) => r.lines_read(),
+            IngestSource::Binary(r) => r.frames_read(),
+        }
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        match self {
+            IngestSource::Reference(r) => r.fingerprint(),
+            IngestSource::ZeroCopy(r) => r.fingerprint(),
+            IngestSource::Binary(r) => r.fingerprint(),
+        }
+    }
+
+    /// Skips up to `n` raw units without decoding them, returning how
+    /// many were consumed (resume prefix verification).
+    fn skip_units(&mut self, n: u64) -> std::io::Result<u64> {
+        match self {
+            IngestSource::Reference(r) => r.skip_raw_lines(n),
+            IngestSource::ZeroCopy(r) => r.skip_raw_lines(n),
+            IngestSource::Binary(r) => r.skip_raw_frames(n),
+        }
+    }
+}
+
+/// Feeds the session's input — stdin NDJSON, a memory-mapped NDJSON
+/// file, or a memory-mapped binary frame file — into a (fresh or
+/// resumed) pipeline, checkpointing and emitting progress at the
+/// configured cadences. Malformed records are skipped and counted,
+/// keeping only the first few messages (the run completes; the caller
+/// reports them and exits non-zero) — unless `strict`, which aborts on
+/// the first malformed record with [`EXIT_BAD_INPUT`]. Genuine I/O
+/// failures abort. Returns the pipeline output, the sample messages, and
+/// the total malformed count.
 fn drive_stream<V: Verifier + Clone + Send + 'static>(
     verifier: V,
     session: StreamSession<'_>,
 ) -> Result<(PipelineOutput, Vec<String>, u64), Box<dyn Error>> {
     const MALFORMED_SAMPLES: usize = 10;
     let from_stdin = session.input == "-";
-    let raw: Box<dyn std::io::BufRead> = if from_stdin {
-        Box::new(std::io::stdin().lock())
-    } else {
-        Box::new(std::io::BufReader::new(std::fs::File::open(session.input)?))
-    };
     // Fingerprint whenever checkpoints are written (so they can later be
     // verified) or verified (a resume).
-    let mut reader = if session.checkpoint_path.is_some() || session.resume.is_some() {
-        ndjson::Reader::with_fingerprint(raw, Fingerprint::new())
+    let fingerprinted = session.checkpoint_path.is_some() || session.resume.is_some();
+    let mapped;
+    let mut source = if from_stdin {
+        if session.binary {
+            return Err(ExitWith::new(
+                EXIT_BAD_INPUT,
+                "--format binary requires a file argument (stdin ingest is NDJSON-only)",
+            ));
+        }
+        let raw: Box<dyn std::io::BufRead> = Box::new(std::io::stdin().lock());
+        IngestSource::Reference(if fingerprinted {
+            ndjson::Reader::with_fingerprint(raw, Fingerprint::new())
+        } else {
+            ndjson::Reader::new(raw)
+        })
     } else {
-        ndjson::Reader::new(raw)
+        mapped = crate::mmap::map_file(session.input)?;
+        if session.binary {
+            let reader = if fingerprinted {
+                frame::FrameReader::with_fingerprint(&mapped, Fingerprint::new())
+            } else {
+                frame::FrameReader::new(&mapped)
+            }
+            .map_err(|e| ExitWith::new(EXIT_BAD_INPUT, format!("{}: {e}", session.input)))?;
+            IngestSource::Binary(reader)
+        } else {
+            IngestSource::ZeroCopy(if fingerprinted {
+                ndjson::SliceReader::with_fingerprint(&mapped, Fingerprint::new())
+            } else {
+                ndjson::SliceReader::new(&mapped)
+            })
+        }
     };
 
     let mut malformed: Vec<String> = Vec::new();
@@ -793,24 +922,25 @@ fn drive_stream<V: Verifier + Clone + Send + 'static>(
             } else {
                 // Re-read the prefix the checkpoint summarised and prove
                 // it is byte-identical before trusting its verdicts.
-                let skipped = reader.skip_raw_lines(checkpoint.source.lines)?;
+                let skipped = source.skip_units(checkpoint.source.lines)?;
                 if skipped < checkpoint.source.lines {
                     return Err(ExitWith::new(
                         EXIT_BAD_INPUT,
                         format!(
-                            "--resume: input ends after {skipped} lines but the \
+                            "--resume: input ends after {skipped} records but the \
                              checkpoint covers {}; wrong input file?",
                             checkpoint.source.lines
                         ),
                     ));
                 }
-                if reader.fingerprint() != Some(checkpoint.source.fingerprint) {
+                if source.fingerprint() != Some(checkpoint.source.fingerprint) {
                     return Err(ExitWith::new(
                         EXIT_BAD_INPUT,
                         format!(
-                            "--resume: the first {} input lines differ from the ones \
-                             the checkpoint summarised (fingerprint mismatch); \
-                             resuming would silently corrupt the audit",
+                            "--resume: the first {} input records differ from the ones \
+                             the checkpoint summarised (fingerprint mismatch — wrong \
+                             file, or a different --format?); resuming would silently \
+                             corrupt the audit",
                             checkpoint.source.lines
                         ),
                     ));
@@ -827,7 +957,7 @@ fn drive_stream<V: Verifier + Clone + Send + 'static>(
             )
             .map_err(|e| ExitWith::new(EXIT_BAD_INPUT, e.to_string()))?;
             println!(
-                "resumed from checkpoint v{} ({} ops, {} lines{})",
+                "resumed from checkpoint v{} ({} ops, {} records{})",
                 checkpoint.version,
                 checkpoint.pipeline.ops_routed,
                 checkpoint.source.lines,
@@ -845,9 +975,9 @@ fn drive_stream<V: Verifier + Clone + Send + 'static>(
     });
 
     let mut records: u64 = 0;
-    // `while let` rather than `for`: the loop body needs the reader back
-    // each iteration (line counts, fingerprints) for checkpoint metadata.
-    while let Some(record) = reader.next() {
+    // `while let` rather than `for`: the loop body needs the source back
+    // each iteration (unit counts, fingerprints) for checkpoint metadata.
+    while let Some(record) = source.next_record() {
         match record {
             Ok(record) => pipeline.push(record.key, record.op()),
             Err(e @ ndjson::NdjsonError::Parse { .. }) => {
@@ -865,22 +995,22 @@ fn drive_stream<V: Verifier + Clone + Send + 'static>(
         if let Some(writer) = &mut writer {
             if pipeline.checkpoint_due() {
                 let snapshot = pipeline.snapshot();
-                let source = SourcePosition {
-                    lines: reader.lines_read(),
-                    fingerprint: reader
+                let position = SourcePosition {
+                    lines: source.units_read(),
+                    fingerprint: source
                         .fingerprint()
                         .expect("checkpointing sessions always fingerprint"),
                     malformed: total_malformed,
                     malformed_samples: malformed.clone(),
                 };
-                writer.write(source, snapshot)?;
+                writer.write(position, snapshot)?;
             }
         }
         if session.progress_every > 0 && records.is_multiple_of(session.progress_every) {
             let progress = pipeline.progress();
             let line = ProgressLine {
                 record: "progress",
-                lines: reader.lines_read(),
+                lines: source.units_read(),
                 checkpoint_version: writer.as_ref().map_or(0, CheckpointWriter::version),
                 ops_routed: progress.ops_routed,
                 ops: progress.ops,

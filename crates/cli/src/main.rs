@@ -5,6 +5,7 @@
 
 mod args;
 mod commands;
+mod mmap;
 
 use args::Args;
 use std::process::ExitCode;

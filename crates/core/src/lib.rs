@@ -81,11 +81,11 @@ pub use lbt::{CandidateOrder, Lbt, LbtConfig, LbtReport, SearchStrategy};
 pub use search::{ExhaustiveSearch, SearchReport, MAX_SEARCH_OPS};
 pub use smallest_k::{smallest_k, staleness_upper_bound, Staleness};
 pub use stream::{
-    read_checkpoint, Checkpoint, CheckpointError, CheckpointWriter, KeyError, KeyReport,
-    KeySnapshot, OnlineError, OnlineSnapshot, OnlineVerifier, PipelineConfig, PipelineOutput,
-    PipelineProgress, PipelineSnapshot, ShardProgress, SnapshotError, SourcePosition,
-    StreamPipeline, StreamReport, CHECKPOINT_FORMAT, DEFAULT_CHECKPOINT_EVERY,
-    DEFAULT_HORIZON_WINDOWS,
+    read_checkpoint, Checkpoint, CheckpointDelta, CheckpointError, CheckpointWriter, KeyError,
+    KeyReport, KeySnapshot, OnlineError, OnlineSnapshot, OnlineVerifier, PipelineConfig,
+    PipelineOutput, PipelineProgress, PipelineSnapshot, ShardProgress, SnapshotError,
+    SourcePosition, StreamPipeline, StreamReport, CHECKPOINT_FORMAT, DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_DELTA_EVERY, DEFAULT_HORIZON_WINDOWS,
 };
 pub use verdict::{Verdict, Verifier};
 pub use witness::{check_witness, TotalOrder, WitnessError};

@@ -18,6 +18,21 @@
 //! last version back to [`CheckpointWriter::starting_at`] so the chain
 //! keeps counting across processes.
 //!
+//! # Delta checkpoints
+//!
+//! Serializing every key at every checkpoint makes the snapshot cost
+//! proportional to the *key population*, not to the traffic since the
+//! last checkpoint. The writer therefore keeps the last state it wrote
+//! and, between full snapshots, serializes only a [`CheckpointDelta`]:
+//! the keys whose adapter state changed, the keys that finalised (new
+//! reports/errors), and the keys whose live state disappeared. The file
+//! still contains one self-sufficient JSON document — the last full
+//! `pipeline` snapshot plus the accumulated `deltas` — and is still
+//! replaced atomically; after [`DEFAULT_DELTA_EVERY`] deltas the next
+//! write is a full snapshot again, re-basing the file.
+//! [`read_checkpoint`] resolves the deltas into one merged
+//! [`PipelineSnapshot`], so resume paths never see them.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,8 +59,10 @@
 //! # std::fs::remove_file(&path).ok();
 //! ```
 
-use super::pipeline::PipelineSnapshot;
+use super::pipeline::{KeyError, KeyReport, KeySnapshot, PipelineSnapshot};
+use super::OnlineSnapshot;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -64,6 +81,12 @@ pub const CHECKPOINT_FORMAT: u32 = 1;
 /// `exp_stream_throughput`'s checkpoint axis and `docs/OPERATIONS.md`.
 pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1_000_000;
 
+/// Default number of delta checkpoints written between two full
+/// snapshots (see the module docs). Bounds both the resolution work on
+/// read and the file growth between re-bases; `0` disables deltas
+/// entirely (every checkpoint is full).
+pub const DEFAULT_DELTA_EVERY: usize = 8;
+
 /// Where in the input stream a checkpoint was taken.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SourcePosition {
@@ -79,6 +102,27 @@ pub struct SourcePosition {
     pub malformed_samples: Vec<String>,
 }
 
+/// One incremental checkpoint hop: what changed since the previous
+/// version (see the module docs on delta checkpoints).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointDelta {
+    /// The chain version this delta advanced the checkpoint to.
+    pub version: u64,
+    /// [`PipelineSnapshot::ops_routed`] as of this hop.
+    pub ops_routed: u64,
+    /// [`PipelineSnapshot::uncertified`] as of this hop.
+    pub uncertified: bool,
+    /// Keys whose live adapter state changed (or first appeared), with
+    /// their full new state; sorted by key.
+    pub changed: Vec<KeySnapshot>,
+    /// Keys whose live state disappeared (they finalised), sorted.
+    pub removed: Vec<u64>,
+    /// Finalised reports that appeared this hop, sorted by key.
+    pub new_reports: Vec<KeyReport>,
+    /// Stream errors that appeared this hop, sorted by key.
+    pub new_errors: Vec<KeyError>,
+}
+
 /// One complete, self-describing checkpoint file.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Checkpoint {
@@ -87,10 +131,16 @@ pub struct Checkpoint {
     /// Monotonically increasing version of this audit's checkpoint chain,
     /// starting at 1.
     pub version: u64,
-    /// Input position the snapshot corresponds to.
+    /// Input position the *latest* state (base plus deltas) corresponds to.
     pub source: SourcePosition,
-    /// The verification state itself.
+    /// The last full snapshot written (the delta base).
     pub pipeline: PipelineSnapshot,
+    /// Incremental hops since `pipeline` was written, oldest first.
+    /// [`read_checkpoint`] resolves them into `pipeline` and clears this,
+    /// so consumers always see the merged state. Absent (empty) in files
+    /// written before deltas existed.
+    #[serde(default)]
+    pub deltas: Vec<CheckpointDelta>,
 }
 
 /// A checkpoint file that cannot be used.
@@ -134,12 +184,15 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-/// Reads and validates a checkpoint file.
+/// Reads and validates a checkpoint file, resolving any delta hops into
+/// one merged snapshot (the returned checkpoint always has empty
+/// [`deltas`](Checkpoint::deltas)).
 ///
 /// # Errors
 ///
 /// [`CheckpointError`] when the file is unreadable, unparseable, from an
-/// incompatible format era, or carries version 0 (never written).
+/// incompatible format era, carries version 0 (never written), or its
+/// delta chain is inconsistent.
 pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
     let text = fs::read_to_string(path)?;
     let checkpoint: Checkpoint =
@@ -150,16 +203,76 @@ pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointE
     if checkpoint.version == 0 {
         return Err(CheckpointError::Parse("checkpoint version 0".into()));
     }
+    resolve_deltas(checkpoint)
+}
+
+/// Folds a checkpoint's delta hops into its base snapshot.
+fn resolve_deltas(mut checkpoint: Checkpoint) -> Result<Checkpoint, CheckpointError> {
+    if checkpoint.deltas.is_empty() {
+        return Ok(checkpoint);
+    }
+    let bad = |msg: String| Err(CheckpointError::Parse(msg));
+    let pipeline = &mut checkpoint.pipeline;
+    let mut states: BTreeMap<u64, OnlineSnapshot> =
+        pipeline.states.drain(..).map(|entry| (entry.key, entry.state)).collect();
+    let mut last_version = 0u64;
+    for delta in &checkpoint.deltas {
+        if delta.version <= last_version {
+            return bad(format!(
+                "delta version {} does not ascend past {last_version}",
+                delta.version
+            ));
+        }
+        last_version = delta.version;
+        for entry in &delta.changed {
+            states.insert(entry.key, entry.state.clone());
+        }
+        for key in &delta.removed {
+            if states.remove(key).is_none() {
+                return bad(format!("delta removes unknown key {key}"));
+            }
+        }
+        pipeline.reports.extend(delta.new_reports.iter().cloned());
+        pipeline.errors.extend(delta.new_errors.iter().cloned());
+        pipeline.ops_routed = delta.ops_routed;
+        pipeline.uncertified = delta.uncertified;
+    }
+    if last_version != checkpoint.version {
+        return bad(format!(
+            "last delta version {last_version} disagrees with checkpoint version {}",
+            checkpoint.version
+        ));
+    }
+    pipeline.states = states.into_iter().map(|(key, state)| KeySnapshot { key, state }).collect();
+    // Keys are sorted so the resolved snapshot is byte-for-byte the one a
+    // full write of the same state would contain; duplicate finalised
+    // keys (corruption) are left in place for the resume validation to
+    // reject.
+    pipeline.reports.sort_by_key(|entry| entry.key);
+    pipeline.errors.sort_by_key(|entry| entry.key);
+    checkpoint.deltas.clear();
     Ok(checkpoint)
 }
 
 /// Writes an audit's checkpoint chain to a single path, atomically and
-/// with monotone versions (see the module docs).
+/// with monotone versions; between full snapshots only per-key deltas
+/// are serialized (see the module docs).
 #[derive(Debug)]
 pub struct CheckpointWriter {
     path: PathBuf,
     tmp: PathBuf,
     version: u64,
+    /// Full snapshot cadence: a full write after this many deltas
+    /// (`0` = every write is full).
+    delta_every: usize,
+    /// Serialized base snapshot of the current file, reused verbatim by
+    /// delta writes (unchanged keys are not re-serialized).
+    base_json: String,
+    /// Serialized deltas accumulated since the base, oldest first.
+    delta_jsons: Vec<String>,
+    /// The resolved state as of the last successful write — what the
+    /// next delta diffs against.
+    prev: Option<PipelineSnapshot>,
 }
 
 impl CheckpointWriter {
@@ -170,12 +283,28 @@ impl CheckpointWriter {
 
     /// A writer continuing an existing chain: the next write produces
     /// `last_version + 1`. Pass the version of the checkpoint the audit
-    /// resumed from.
+    /// resumed from. The first write after a resume is always a full
+    /// snapshot (the previous file's base is unknown to this process).
     pub fn starting_at(path: impl Into<PathBuf>, last_version: u64) -> Self {
         let path = path.into();
         let mut tmp = path.clone().into_os_string();
         tmp.push(".tmp");
-        CheckpointWriter { path, tmp: PathBuf::from(tmp), version: last_version }
+        CheckpointWriter {
+            path,
+            tmp: PathBuf::from(tmp),
+            version: last_version,
+            delta_every: DEFAULT_DELTA_EVERY,
+            base_json: String::new(),
+            delta_jsons: Vec::new(),
+            prev: None,
+        }
+    }
+
+    /// Sets the full-snapshot cadence: a full write after `every` deltas,
+    /// `0` making every checkpoint a full snapshot.
+    pub fn delta_every(mut self, every: usize) -> Self {
+        self.delta_every = every;
+        self
     }
 
     /// The version of the last checkpoint written (0 before the first).
@@ -188,30 +317,115 @@ impl CheckpointWriter {
         &self.path
     }
 
-    /// Persists one checkpoint: serialize, write to the sibling temp file,
-    /// sync, rename over `path`. Returns the new version.
+    /// Persists one checkpoint: serialize (fully, or as a delta against
+    /// the previous write), write to the sibling temp file, sync, rename
+    /// over `path`. Returns the new version.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures; the previous checkpoint (if any) is still
-    /// intact on every error path.
+    /// intact — and the writer's delta chain unchanged — on every error
+    /// path.
     pub fn write(
         &mut self,
         source: SourcePosition,
         pipeline: PipelineSnapshot,
     ) -> io::Result<u64> {
+        let serialize_err =
+            |e: serde_json::Error| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
         let version = self.version + 1;
-        let checkpoint = Checkpoint { format: CHECKPOINT_FORMAT, version, source, pipeline };
-        let json = serde_json::to_string(&checkpoint)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let full = self.delta_every == 0
+            || self.prev.is_none()
+            || self.delta_jsons.len() >= self.delta_every;
+        // Serialize the new piece, but mutate the writer's chain state
+        // only after the rename succeeds.
+        let (base_json, delta_json) = if full {
+            (Some(serde_json::to_string(&pipeline).map_err(serialize_err)?), None)
+        } else {
+            let prev = self.prev.as_ref().expect("non-full write has a previous state");
+            let delta = diff_snapshots(prev, &pipeline, version);
+            (None, Some(serde_json::to_string(&delta).map_err(serialize_err)?))
+        };
+        let source_json = serde_json::to_string(&source).map_err(serialize_err)?;
+        let base = base_json.as_deref().unwrap_or(&self.base_json);
+        let mut deltas = String::new();
+        if let Some(delta) = &delta_json {
+            for d in &self.delta_jsons {
+                deltas.push_str(d);
+                deltas.push(',');
+            }
+            deltas.push_str(delta);
+        }
+        // Hand-assembled envelope in the derive's field order, so the
+        // file is byte-identical to serializing a `Checkpoint` — without
+        // re-serializing the unchanged base on delta writes.
+        let json = format!(
+            "{{\"format\":{CHECKPOINT_FORMAT},\"version\":{version},\"source\":{source_json},\
+             \"pipeline\":{base},\"deltas\":[{deltas}]}}"
+        );
         let mut file = fs::File::create(&self.tmp)?;
         file.write_all(json.as_bytes())?;
         file.write_all(b"\n")?;
         file.sync_all()?;
         drop(file);
         fs::rename(&self.tmp, &self.path)?;
+        match (base_json, delta_json) {
+            (Some(base), _) => {
+                self.base_json = base;
+                self.delta_jsons.clear();
+            }
+            (None, Some(delta)) => self.delta_jsons.push(delta),
+            (None, None) => unreachable!("every write is either full or a delta"),
+        }
+        self.prev = Some(pipeline);
         self.version = version;
         Ok(version)
+    }
+}
+
+/// What changed between two consecutive checkpoint states.
+fn diff_snapshots(
+    prev: &PipelineSnapshot,
+    next: &PipelineSnapshot,
+    version: u64,
+) -> CheckpointDelta {
+    let prev_states: HashMap<u64, &OnlineSnapshot> =
+        prev.states.iter().map(|entry| (entry.key, &entry.state)).collect();
+    let changed: Vec<KeySnapshot> = next
+        .states
+        .iter()
+        .filter(|entry| prev_states.get(&entry.key) != Some(&&entry.state))
+        .cloned()
+        .collect();
+    let next_keys: HashSet<u64> = next.states.iter().map(|entry| entry.key).collect();
+    let removed: Vec<u64> = prev
+        .states
+        .iter()
+        .map(|entry| entry.key)
+        .filter(|key| !next_keys.contains(key))
+        .collect();
+    let prev_reports: HashSet<u64> = prev.reports.iter().map(|entry| entry.key).collect();
+    let new_reports: Vec<KeyReport> = next
+        .reports
+        .iter()
+        .filter(|entry| !prev_reports.contains(&entry.key))
+        .cloned()
+        .collect();
+    let prev_errors: HashSet<u64> = prev.errors.iter().map(|entry| entry.key).collect();
+    let new_errors: Vec<KeyError> = next
+        .errors
+        .iter()
+        .filter(|entry| !prev_errors.contains(&entry.key))
+        .cloned()
+        .collect();
+    CheckpointDelta {
+        version,
+        ops_routed: next.ops_routed,
+        uncertified: next.uncertified,
+        changed,
+        removed,
+        new_reports,
+        new_errors,
     }
 }
 
@@ -268,6 +482,82 @@ mod tests {
         writer.write(SourcePosition::default(), small_snapshot()).unwrap();
         assert!(path.exists());
         assert!(!writer.tmp.exists(), "temp file must be renamed away");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_writes_resolve_to_the_latest_state() {
+        let path = temp_path("delta.ckpt");
+        let config = PipelineConfig { shards: 2, window: 4, batch: 1, ..Default::default() };
+        let mut pipeline = StreamPipeline::new(Fzf, config);
+        let mut writer = CheckpointWriter::new(&path);
+        let mut saw_delta_file = false;
+        for v in 1..=20u64 {
+            pipeline.push(v % 3, Operation::write(Value(v), Time(10 * v), Time(10 * v + 5)));
+            let snapshot = pipeline.snapshot();
+            let version = writer
+                .write(SourcePosition { lines: v, ..Default::default() }, snapshot.clone())
+                .unwrap();
+            assert_eq!(version, v);
+            saw_delta_file |= fs::read_to_string(&path).unwrap().contains("\"changed\"");
+            let read = read_checkpoint(&path).unwrap();
+            assert!(read.deltas.is_empty(), "read resolves deltas away");
+            assert_eq!(read.version, v);
+            assert_eq!(read.source.lines, v, "source tracks the latest write");
+            assert_eq!(read.pipeline, snapshot, "write {v}");
+        }
+        assert!(saw_delta_file, "the default cadence must actually write deltas");
+        // A key that fails mid-chain crosses the delta as removed state
+        // plus a new report and error.
+        pipeline.push(0, Operation::write(Value(99), Time(1), Time(2)));
+        let snapshot = pipeline.snapshot();
+        writer
+            .write(SourcePosition { lines: 21, ..Default::default() }, snapshot.clone())
+            .unwrap();
+        let read = read_checkpoint(&path).unwrap();
+        assert_eq!(read.pipeline, snapshot);
+        assert_eq!(read.pipeline.errors.len(), 1);
+        assert_eq!(read.pipeline.reports.len(), 1);
+        pipeline.finish();
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_every_zero_always_writes_full_snapshots() {
+        let path = temp_path("nodelta.ckpt");
+        let mut writer = CheckpointWriter::new(&path).delta_every(0);
+        for v in 1..=3u64 {
+            writer.write(SourcePosition::default(), small_snapshot()).unwrap();
+            let text = fs::read_to_string(&path).unwrap();
+            assert!(text.contains("\"deltas\":[]"), "write {v} must be full: {text}");
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inconsistent_delta_chains_are_rejected() {
+        let path = temp_path("badchain.ckpt");
+        let mut writer = CheckpointWriter::new(&path);
+        writer.write(SourcePosition::default(), small_snapshot()).unwrap();
+        writer.write(SourcePosition::default(), small_snapshot()).unwrap();
+        let parsed: Checkpoint =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.deltas.len(), 1, "second write is a delta");
+        let reject = |mutate: &dyn Fn(&mut Checkpoint)| {
+            let mut bad = parsed.clone();
+            mutate(&mut bad);
+            fs::write(&path, serde_json::to_string(&bad).unwrap()).unwrap();
+            assert!(matches!(read_checkpoint(&path), Err(CheckpointError::Parse(_))));
+        };
+        // Non-ascending delta version.
+        reject(&|c| c.deltas[0].version = 0);
+        // Delta chain that stops short of the envelope version.
+        reject(&|c| c.deltas[0].version = 7);
+        // Removal of a key that is not live.
+        reject(&|c| c.deltas[0].removed.push(12345));
+        // The untampered file still reads.
+        fs::write(&path, serde_json::to_string(&parsed).unwrap()).unwrap();
+        assert!(read_checkpoint(&path).is_ok());
         fs::remove_file(&path).ok();
     }
 

@@ -90,8 +90,8 @@ mod checkpoint;
 mod pipeline;
 
 pub use checkpoint::{
-    read_checkpoint, Checkpoint, CheckpointError, CheckpointWriter, SourcePosition,
-    CHECKPOINT_FORMAT, DEFAULT_CHECKPOINT_EVERY,
+    read_checkpoint, Checkpoint, CheckpointDelta, CheckpointError, CheckpointWriter,
+    SourcePosition, CHECKPOINT_FORMAT, DEFAULT_CHECKPOINT_EVERY, DEFAULT_DELTA_EVERY,
 };
 pub use pipeline::{
     KeyError, KeyReport, KeySnapshot, PipelineConfig, PipelineOutput, PipelineProgress,

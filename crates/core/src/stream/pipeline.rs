@@ -6,12 +6,15 @@
 //! [`OnlineVerifier`]s of the keys hashed to it.
 //!
 //! The ingest side only hashes and buffers: operations accumulate in a
-//! per-shard batch ([`PipelineConfig::batch`]) and cross the channel as
-//! one `Vec` per flush, so the per-operation cost of ingest is a hash and
-//! a vector push — channel synchronisation (the ~1.5M ops/s ceiling of
+//! per-shard [`FrameBatch`] ([`PipelineConfig::batch`]) — the compact
+//! binary frame encoding of [`kav_history::frame`], one flat byte buffer
+//! instead of a `Vec` of structs — and cross the channel as one batch per
+//! flush, so the per-operation cost of ingest is a hash and a 37-byte
+//! append; channel synchronisation (the ~1.5M ops/s ceiling of
 //! per-operation sends) is amortised over the whole batch. Workers
-//! likewise receive a batch per `recv`. Throughput then scales with shard
-//! count until the work itself (not the channel) saturates the cores.
+//! likewise receive a batch per `recv` and decode frames as they verify.
+//! Throughput then scales with shard count until the work itself (not the
+//! channel) saturates the cores.
 //!
 //! # Probes: snapshots and progress
 //!
@@ -30,6 +33,7 @@
 
 use super::{OnlineSnapshot, OnlineVerifier, SnapshotError, StreamReport};
 use crate::Verifier;
+use kav_history::frame::FrameBatch;
 use kav_history::stream::DEPTH_BUCKETS;
 use kav_history::Operation;
 use serde::{Deserialize, Serialize};
@@ -241,8 +245,9 @@ pub struct PipelineProgress {
 type KeyReports = Vec<(u64, StreamReport)>;
 /// Keys a worker gave up on, with the error message.
 type KeyErrors = Vec<(u64, String)>;
-/// What crosses the channel in the common case: a batch of keyed ops.
-type Batch = Vec<(u64, Operation)>;
+/// What crosses the channel in the common case: a batch of keyed ops,
+/// frame-encoded into one flat buffer.
+type Batch = FrameBatch;
 
 /// A worker's answer to a probe.
 struct ShardProbe {
@@ -591,7 +596,7 @@ impl StreamPipeline {
                                 continue;
                             }
                         };
-                        for (key, op) in batch {
+                        for (key, op) in batch.iter() {
                             if failed.contains(&key) {
                                 continue;
                             }
@@ -649,7 +654,7 @@ impl StreamPipeline {
             .collect();
         StreamPipeline {
             workers,
-            buffers: (0..shards).map(|_| Vec::with_capacity(batch)).collect(),
+            buffers: (0..shards).map(|_| FrameBatch::with_capacity(batch)).collect(),
             batch,
             window,
             horizon,
@@ -686,7 +691,7 @@ impl StreamPipeline {
     pub fn push(&mut self, key: u64, op: Operation) {
         self.ops_routed += 1;
         let shard = shard_of(key, self.workers.len());
-        self.buffers[shard].push((key, op));
+        self.buffers[shard].push(key, &op);
         if self.buffers[shard].len() >= self.batch {
             self.flush_shard(shard);
         }
@@ -699,7 +704,7 @@ impl StreamPipeline {
             return;
         }
         let batch =
-            std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(self.batch));
+            std::mem::replace(&mut self.buffers[shard], FrameBatch::with_capacity(self.batch));
         if self.workers[shard].sender.send(Msg::Batch(batch)).is_err() {
             self.propagate_worker_death(shard);
         }

@@ -1,0 +1,423 @@
+//! Compact binary op frames: the fixed-width twin of the NDJSON codec.
+//!
+//! One operation is one 37-byte little-endian frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  key     (u64 LE)
+//!      8     8  value   (u64 LE)
+//!     16     8  start   (u64 LE)
+//!     24     8  finish  (u64 LE)
+//!     32     4  weight  (u32 LE)
+//!     36     1  kind    (0 = read, 1 = write)
+//! ```
+//!
+//! The format serves two roles:
+//!
+//! * **In process** — [`FrameBatch`] is the shard-channel payload of the
+//!   streaming pipeline: one flat allocation per batch instead of a
+//!   `Vec<(u64, Operation)>` per send, and the natural wire format once
+//!   shards live in other processes.
+//! * **On disk / on the wire** — a stream file is the 8-byte magic
+//!   [`FRAME_MAGIC`] followed by consecutive frames (`kav gen --format
+//!   binary`, `kav stream --format binary`). [`FrameReader`] mirrors the
+//!   NDJSON readers' accounting: frames take the place of lines in
+//!   checkpoint positions, and the resume [`Fingerprint`] chain digests
+//!   one chunk per frame — so a checkpoint records which format produced
+//!   it, and cross-format resume fails the fingerprint check instead of
+//!   silently mixing formats.
+
+use crate::fxhash::Fingerprint;
+use crate::ndjson::{NdjsonError, StreamRecord};
+use crate::{OpKind, Operation, Time, Value, Weight};
+use std::fs;
+use std::path::Path;
+
+/// Leading magic of a binary stream file; also versions the layout.
+pub const FRAME_MAGIC: [u8; 8] = *b"KAVF0001";
+
+/// Size of one encoded frame in bytes.
+pub const FRAME_LEN: usize = 37;
+
+const KIND_READ: u8 = 0;
+const KIND_WRITE: u8 = 1;
+
+/// Appends one operation as a 37-byte frame.
+pub fn encode_frame(key: u64, op: &Operation, out: &mut Vec<u8>) {
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&op.value.0.to_le_bytes());
+    out.extend_from_slice(&op.start.0.to_le_bytes());
+    out.extend_from_slice(&op.finish.0.to_le_bytes());
+    out.extend_from_slice(&op.weight.0.to_le_bytes());
+    out.push(match op.kind {
+        OpKind::Read => KIND_READ,
+        OpKind::Write => KIND_WRITE,
+    });
+}
+
+/// Decodes one 37-byte frame; `Err` carries the offending kind byte.
+fn decode_frame(frame: &[u8]) -> Result<(u64, Operation), u8> {
+    let u64_at = |off: usize| {
+        u64::from_le_bytes(frame[off..off + 8].try_into().expect("8-byte slice"))
+    };
+    let kind = match frame[36] {
+        KIND_READ => OpKind::Read,
+        KIND_WRITE => OpKind::Write,
+        bad => return Err(bad),
+    };
+    Ok((
+        u64_at(0),
+        Operation {
+            kind,
+            value: Value(u64_at(8)),
+            start: Time(u64_at(16)),
+            finish: Time(u64_at(24)),
+            weight: Weight(u32::from_le_bytes(frame[32..36].try_into().expect("4-byte slice"))),
+        },
+    ))
+}
+
+/// A batch of operations in one flat frame buffer — the streaming
+/// pipeline's shard-channel payload.
+///
+/// Frames in a batch are trusted (only [`push`](FrameBatch::push) writes
+/// them), so iteration does not re-validate.
+#[derive(Clone, Debug, Default)]
+pub struct FrameBatch {
+    bytes: Vec<u8>,
+}
+
+impl FrameBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        FrameBatch::default()
+    }
+
+    /// An empty batch with room for `frames` operations.
+    pub fn with_capacity(frames: usize) -> Self {
+        FrameBatch { bytes: Vec::with_capacity(frames * FRAME_LEN) }
+    }
+
+    /// Appends one keyed operation.
+    pub fn push(&mut self, key: u64, op: &Operation) {
+        encode_frame(key, op, &mut self.bytes);
+    }
+
+    /// Number of frames in the batch.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / FRAME_LEN
+    }
+
+    /// Whether the batch holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Empties the batch, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+    }
+
+    /// Decodes the batch in push order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Operation)> + '_ {
+        self.bytes.chunks_exact(FRAME_LEN).map(|frame| {
+            decode_frame(frame).expect("FrameBatch frames are written by FrameBatch::push")
+        })
+    }
+}
+
+/// Streaming writer for the on-disk frame format: magic first, then one
+/// frame per record, through a reused buffer.
+pub struct FrameWriter<W: std::io::Write> {
+    out: W,
+    buf: Vec<u8>,
+    wrote_magic: bool,
+}
+
+impl<W: std::io::Write> FrameWriter<W> {
+    /// Wraps `out`; the magic goes out with the first record (or
+    /// [`finish`](FrameWriter::finish), so empty streams are valid too).
+    pub fn new(out: W) -> Self {
+        FrameWriter { out, buf: Vec::with_capacity(FRAME_LEN), wrote_magic: false }
+    }
+
+    fn magic(&mut self) -> std::io::Result<()> {
+        if !self.wrote_magic {
+            self.out.write_all(&FRAME_MAGIC)?;
+            self.wrote_magic = true;
+        }
+        Ok(())
+    }
+
+    /// Writes one record as a frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_record(&mut self, record: &StreamRecord) -> std::io::Result<()> {
+        self.magic()?;
+        self.buf.clear();
+        encode_frame(record.key, &record.op(), &mut self.buf);
+        self.out.write_all(&self.buf)
+    }
+
+    /// Flushes (writing the magic if nothing else was) and returns the
+    /// underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.magic()?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Writes records as a binary frame stream file.
+///
+/// # Errors
+///
+/// Returns [`NdjsonError::Io`] on I/O failure.
+pub fn write_frames<'a>(
+    path: impl AsRef<Path>,
+    records: impl IntoIterator<Item = &'a StreamRecord>,
+) -> Result<(), NdjsonError> {
+    let mut writer = FrameWriter::new(std::io::BufWriter::new(fs::File::create(path)?));
+    for record in records {
+        writer.write_record(record)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+/// Reader over an in-memory binary frame stream (an mmap'd file or fully
+/// buffered pipe) — the frame-format peer of `ndjson::SliceReader`.
+///
+/// Frames take the place of lines: [`frames_read`](FrameReader::frames_read)
+/// is the checkpoint position unit, errors carry the 1-based frame number,
+/// and the resume [`Fingerprint`] chain digests one chunk per consumed
+/// frame (malformed ones included, like malformed NDJSON lines).
+pub struct FrameReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    frames: u64,
+    fingerprint: Option<Fingerprint>,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Wraps a frame stream (no fingerprinting).
+    ///
+    /// # Errors
+    ///
+    /// Rejects input that does not begin with [`FRAME_MAGIC`].
+    pub fn new(bytes: &'a [u8]) -> Result<Self, NdjsonError> {
+        Self::build(bytes, None)
+    }
+
+    /// Wraps a frame stream and fingerprints every consumed frame.
+    ///
+    /// # Errors
+    ///
+    /// Rejects input that does not begin with [`FRAME_MAGIC`].
+    pub fn with_fingerprint(bytes: &'a [u8], fingerprint: Fingerprint) -> Result<Self, NdjsonError> {
+        Self::build(bytes, Some(fingerprint))
+    }
+
+    fn build(bytes: &'a [u8], fingerprint: Option<Fingerprint>) -> Result<Self, NdjsonError> {
+        if bytes.len() < FRAME_MAGIC.len() || bytes[..FRAME_MAGIC.len()] != FRAME_MAGIC {
+            return Err(NdjsonError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not a kav binary frame stream (bad magic; expected KAVF0001)",
+            )));
+        }
+        Ok(FrameReader { bytes, pos: FRAME_MAGIC.len(), frames: 0, fingerprint })
+    }
+
+    /// Frames consumed so far (malformed ones included) — the position
+    /// unit checkpoints record for binary ingest, as `lines_read` is for
+    /// NDJSON.
+    pub fn frames_read(&self) -> u64 {
+        self.frames
+    }
+
+    /// The running digest of all consumed frames, when fingerprinting.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint.as_ref().map(Fingerprint::value)
+    }
+
+    /// The next raw frame — 37 bytes, or a shorter truncated tail.
+    fn peek_raw_frame(&self) -> Option<&'a [u8]> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let rest = &self.bytes[self.pos..];
+        Some(&rest[..rest.len().min(FRAME_LEN)])
+    }
+
+    fn consume(&mut self, frame: &[u8]) {
+        self.pos += frame.len();
+        self.frames += 1;
+        if let Some(fp) = &mut self.fingerprint {
+            fp.update(frame);
+        }
+    }
+
+    fn parse_error(&self, message: String) -> NdjsonError {
+        NdjsonError::Parse {
+            line: self.frames as usize,
+            source: serde::DeError::custom(message).into(),
+        }
+    }
+
+    /// Consumes up to `n` raw frames without decoding them (they still
+    /// count toward [`frames_read`](FrameReader::frames_read) and the
+    /// fingerprint; a truncated tail counts as one frame). Returns how
+    /// many frames were actually available.
+    ///
+    /// # Errors
+    ///
+    /// Infallible in practice; `io::Result` for signature parity with the
+    /// NDJSON readers' `skip_raw_lines`.
+    pub fn skip_raw_frames(&mut self, n: u64) -> std::io::Result<u64> {
+        let mut skipped = 0;
+        while skipped < n {
+            let Some(raw) = self.peek_raw_frame() else { break };
+            self.consume(raw);
+            skipped += 1;
+        }
+        Ok(skipped)
+    }
+}
+
+impl Iterator for FrameReader<'_> {
+    type Item = Result<StreamRecord, NdjsonError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let raw = self.peek_raw_frame()?;
+        self.consume(raw);
+        if raw.len() < FRAME_LEN {
+            return Some(Err(self.parse_error(format!(
+                "truncated frame: {} trailing bytes (frames are {FRAME_LEN} bytes)",
+                raw.len()
+            ))));
+        }
+        match decode_frame(raw) {
+            Ok((key, op)) => Some(Ok(StreamRecord::new(key, op))),
+            Err(bad) => Some(Err(
+                self.parse_error(format!("invalid kind byte {bad} (0 = read, 1 = write)"))
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<StreamRecord> {
+        vec![
+            StreamRecord::new(0, Operation::write(Value(1), Time(0), Time(10))),
+            StreamRecord::new(3, Operation::read(Value(1), Time(12), Time(20))),
+            StreamRecord::new(
+                u64::MAX,
+                Operation::weighted_write(Value(u64::MAX), Time(14), Time(30), Weight(u32::MAX)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_records() {
+        let mut writer = FrameWriter::new(Vec::new());
+        for record in sample() {
+            writer.write_record(&record).unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+        assert_eq!(bytes.len(), FRAME_MAGIC.len() + sample().len() * FRAME_LEN);
+        let decoded: Vec<_> =
+            FrameReader::new(&bytes).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(decoded, sample());
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_push_order() {
+        let mut batch = FrameBatch::with_capacity(3);
+        assert!(batch.is_empty());
+        for record in sample() {
+            batch.push(record.key, &record.op());
+        }
+        assert_eq!(batch.len(), 3);
+        let decoded: Vec<_> = batch.iter().map(|(k, op)| StreamRecord::new(k, op)).collect();
+        assert_eq!(decoded, sample());
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.iter().count(), 0);
+    }
+
+    #[test]
+    fn bad_magic_truncation_and_bad_kind_are_rejected() {
+        assert!(matches!(FrameReader::new(b"NOPE"), Err(NdjsonError::Io(_))));
+        assert!(matches!(FrameReader::new(b"KAVF9999AAAA"), Err(NdjsonError::Io(_))));
+
+        // An empty stream is just the magic.
+        let empty = FrameWriter::new(Vec::new()).finish().unwrap();
+        assert_eq!(empty, FRAME_MAGIC);
+        assert_eq!(FrameReader::new(&empty).unwrap().count(), 0);
+
+        // Truncated tail: one good frame then half a frame.
+        let mut writer = FrameWriter::new(Vec::new());
+        writer.write_record(&sample()[0]).unwrap();
+        writer.write_record(&sample()[1]).unwrap();
+        let mut bytes = writer.finish().unwrap();
+        bytes.truncate(FRAME_MAGIC.len() + FRAME_LEN + 10);
+        let mut reader = FrameReader::new(&bytes).unwrap();
+        assert_eq!(reader.next().unwrap().unwrap(), sample()[0]);
+        match reader.next().unwrap().unwrap_err() {
+            NdjsonError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(reader.next().is_none());
+
+        // A flipped kind byte errors with the frame number and skips on.
+        let mut writer = FrameWriter::new(Vec::new());
+        for record in sample() {
+            writer.write_record(&record).unwrap();
+        }
+        let mut bytes = writer.finish().unwrap();
+        bytes[FRAME_MAGIC.len() + FRAME_LEN + 36] = 7;
+        let mut reader = FrameReader::new(&bytes).unwrap();
+        assert!(reader.next().unwrap().is_ok());
+        match reader.next().unwrap().unwrap_err() {
+            NdjsonError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert_eq!(reader.next().unwrap().unwrap(), sample()[2]);
+    }
+
+    #[test]
+    fn fingerprinted_skip_matches_fingerprinted_read() {
+        let mut writer = FrameWriter::new(Vec::new());
+        for record in sample() {
+            writer.write_record(&record).unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+
+        let mut full = FrameReader::with_fingerprint(&bytes, Fingerprint::new()).unwrap();
+        assert_eq!(full.by_ref().filter_map(Result::ok).count(), 3);
+        assert_eq!(full.frames_read(), 3);
+
+        let mut skip = FrameReader::with_fingerprint(&bytes, Fingerprint::new()).unwrap();
+        assert_eq!(skip.skip_raw_frames(3).unwrap(), 3);
+        assert_eq!(skip.fingerprint(), full.fingerprint());
+        assert!(skip.fingerprint().is_some());
+
+        // Different bytes, different digest; skipping past the end
+        // reports the shortfall.
+        let mut writer = FrameWriter::new(Vec::new());
+        writer.write_record(&sample()[1]).unwrap();
+        let other = writer.finish().unwrap();
+        let mut diverged = FrameReader::with_fingerprint(&other, Fingerprint::new()).unwrap();
+        assert_eq!(diverged.skip_raw_frames(10).unwrap(), 1);
+        assert_ne!(diverged.fingerprint(), full.fingerprint());
+    }
+}

@@ -43,6 +43,7 @@ mod builder;
 mod chunk;
 mod cluster;
 pub mod csv;
+pub mod frame;
 pub mod fxhash;
 mod history;
 mod interval_tree;

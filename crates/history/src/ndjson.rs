@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::fs;
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 /// One line of an NDJSON operation stream: an operation plus its register.
@@ -139,9 +139,526 @@ pub fn parse_line(line: &str) -> Result<StreamRecord, serde_json::Error> {
     serde_json::from_str(line)
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy byte-slice decoder
+// ---------------------------------------------------------------------------
+
+/// Maximum JSON nesting depth, matching the reference parser's recursion
+/// limit (serde_json's default of 128).
+const MAX_DEPTH: usize = 128;
+
+/// Decoded name/tag scratch: sized for every known field name and `kind`
+/// tag; longer content cannot match any of them and is tracked as
+/// overflow (while the string is still fully validated).
+struct SmallBuf {
+    data: [u8; 24],
+    len: usize,
+    overflow: bool,
+}
+
+impl SmallBuf {
+    fn new() -> Self {
+        SmallBuf { data: [0; 24], len: 0, overflow: false }
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        let end = self.len + bytes.len();
+        if end > self.data.len() {
+            self.overflow = true;
+            return;
+        }
+        self.data[self.len..end].copy_from_slice(bytes);
+        self.len = end;
+    }
+
+    fn push_char(&mut self, c: char) {
+        let mut utf8 = [0u8; 4];
+        self.push_bytes(c.encode_utf8(&mut utf8).as_bytes());
+    }
+
+    /// The decoded content, or `None` if it outgrew the buffer.
+    fn as_bytes(&self) -> Option<&[u8]> {
+        if self.overflow {
+            None
+        } else {
+            Some(&self.data[..self.len])
+        }
+    }
+}
+
+/// Outcome of scanning one JSON number token.
+enum Num {
+    /// Carried a decimal point or exponent.
+    Float,
+    /// `-`-prefixed integer in `i64` range (so `-0` is `Neg(0)`).
+    Neg(i64),
+    /// Non-negative integer in `u64` range.
+    Pos(u64),
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Scanner<'_> {
+    fn err(&self, message: &str) -> serde_json::Error {
+        serde::DeError::custom(message).into()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), serde_json::Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    /// Scans one number token with the reference grammar, applying the
+    /// same parse-time range checks (integer overflow errors even inside
+    /// skipped fields, exactly as the reference parser errors while
+    /// building its value tree).
+    fn scan_number(&mut self) -> Result<Num, serde_json::Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                    return Err(self.err("leading zeros are not allowed"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                self.digits();
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(self.err("expected digit after decimal point"));
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(self.err("expected digit in exponent"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            // The grammar above never fails an `f64` parse; keep the check
+            // so the two decoders cannot diverge.
+            text.parse::<f64>().map_err(|_| self.err("invalid number"))?;
+            Ok(Num::Float)
+        } else if text.starts_with('-') {
+            text.parse::<i64>().map(Num::Neg).map_err(|_| self.err("number out of range"))
+        } else {
+            text.parse::<u64>().map(Num::Pos).map_err(|_| self.err("number out of range"))
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u`, leaving `pos` on the last
+    /// digit (reference parser mechanics).
+    fn hex4(&mut self) -> Result<u32, serde_json::Error> {
+        let digits = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let text =
+            std::str::from_utf8(digits).map_err(|_| self.err("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(text, 16).map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Scans one string token, validating escapes exactly like the
+    /// reference parser; when `out` is given, the *decoded* content is
+    /// appended (field names and `kind` tags match on decoded content, so
+    /// `"key"` is the `key` field there too).
+    fn scan_string(&mut self, mut out: Option<&mut SmallBuf>) -> Result<(), serde_json::Error> {
+        self.expect(b'"')?;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let decoded = match self.bytes.get(self.pos) {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        Some(b'r') => '\r',
+                        Some(b'b') => '\u{8}',
+                        Some(b'f') => '\u{c}',
+                        Some(b'u') => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => c,
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    };
+                    if let Some(buf) = out.as_deref_mut() {
+                        buf.push_char(decoded);
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => {
+                    return Err(self.err("control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar's worth of bytes.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    if let Some(buf) = out.as_deref_mut() {
+                        buf.push_bytes(&self.bytes[start..self.pos]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn scan_keyword(&mut self, word: &str) -> Result<(), serde_json::Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    /// Validates and skips one JSON value of any shape, mirroring the
+    /// reference grammar (depth limit, string escapes, number range
+    /// checks) without building a value tree. Used for unknown fields and
+    /// for later duplicates of known ones (first occurrence wins, like
+    /// the reference decoder's `Value::get`).
+    fn scan_value(&mut self, depth: usize) -> Result<(), serde_json::Error> {
+        if depth >= MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => {
+                self.pos += 1;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    if self.peek() != Some(b'"') {
+                        return Err(self.err("expected object key"));
+                    }
+                    self.scan_string(None)?;
+                    self.expect(b':')?;
+                    self.scan_value(depth + 1)?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.scan_value(depth + 1)?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'"') => self.scan_string(None),
+            Some(b't') => self.scan_keyword("true"),
+            Some(b'f') => self.scan_keyword("false"),
+            Some(b'n') => self.scan_keyword("null"),
+            Some(b'-' | b'0'..=b'9') => self.scan_number().map(|_| ()),
+            Some(_) => Err(self.err("expected value")),
+        }
+    }
+
+    /// Scans one `u64` field value (`key`, `value`, `start`, `finish`):
+    /// the reference decoder accepts a non-negative integer (including
+    /// `-0`) and rejects floats, negatives and non-numbers.
+    fn scan_u64_field(&mut self) -> Result<u64, serde_json::Error> {
+        match self.peek() {
+            Some(b'-' | b'0'..=b'9') => match self.scan_number()? {
+                Num::Pos(u) => Ok(u),
+                Num::Neg(i) => u64::try_from(i)
+                    .map_err(|_| self.err(&format!("invalid value {i} for unsigned integer"))),
+                Num::Float => Err(self.err("expected an unsigned integer")),
+            },
+            _ => Err(self.err("expected an unsigned integer")),
+        }
+    }
+
+    /// Scans the `weight` field: a `u64` additionally bounded to `u32`.
+    fn scan_u32_field(&mut self) -> Result<u32, serde_json::Error> {
+        let raw = self.scan_u64_field()?;
+        u32::try_from(raw).map_err(|_| self.err(&format!("integer {raw} out of range for u32")))
+    }
+
+    /// Scans the `kind` field: a string whose decoded content is `read`
+    /// or `write` (the reference decoder matches unit variants on the
+    /// decoded string, so escapes like `"read"` are accepted).
+    fn scan_kind_field(&mut self) -> Result<OpKind, serde_json::Error> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected enum OpKind"));
+        }
+        let mut tag = SmallBuf::new();
+        self.scan_string(Some(&mut tag))?;
+        match tag.as_bytes() {
+            Some(b"read") => Ok(OpKind::Read),
+            Some(b"write") => Ok(OpKind::Write),
+            _ => Err(self.err("unknown variant of OpKind")),
+        }
+    }
+}
+
+/// Parses one NDJSON line directly from bytes — the zero-copy hot path.
+///
+/// A hand-rolled field scanner over `&[u8]`: no intermediate `String` or
+/// `serde_json::Value` is built. It accepts exactly the records
+/// [`parse_line`] accepts and rejects exactly the lines it rejects —
+/// including duplicate-field, unknown-field, escape, depth-limit and
+/// number-range behavior (property-tested in
+/// `tests/decoder_equivalence.rs`). Error *messages* may differ; verdicts
+/// never do. [`parse_line`] remains the reference decoder.
+///
+/// # Errors
+///
+/// Returns a JSON error on malformed input, exactly when the reference
+/// decoder would.
+///
+/// # Examples
+///
+/// ```
+/// use kav_history::ndjson;
+/// use kav_history::Value;
+///
+/// let record = ndjson::parse_line_bytes(
+///     br#"{"kind":"write","value":7,"start":0,"finish":3}"#,
+/// )?;
+/// assert_eq!(record.key, 0);
+/// assert_eq!(record.value, Value(7));
+/// # Ok::<(), serde_json::Error>(())
+/// ```
+pub fn parse_line_bytes(bytes: &[u8]) -> Result<StreamRecord, serde_json::Error> {
+    let mut s = Scanner { bytes, pos: 0 };
+    match s.peek() {
+        Some(b'{') => {}
+        // A line whose top-level value is anything else is an error on the
+        // reference path too (a syntax error or "expected struct"), so
+        // classification alone decides the verdict.
+        Some(_) => return Err(s.err("expected struct StreamRecord")),
+        None => return Err(s.err("unexpected end of input")),
+    }
+    s.pos += 1;
+    let mut key: Option<u64> = None;
+    let mut kind: Option<OpKind> = None;
+    let mut value: Option<u64> = None;
+    let mut start: Option<u64> = None;
+    let mut finish: Option<u64> = None;
+    let mut weight: Option<u32> = None;
+    if s.peek() == Some(b'}') {
+        s.pos += 1;
+    } else {
+        loop {
+            if s.peek() != Some(b'"') {
+                return Err(s.err("expected object key"));
+            }
+            let mut name = SmallBuf::new();
+            s.scan_string(Some(&mut name))?;
+            s.expect(b':')?;
+            match name.as_bytes() {
+                Some(b"key") if key.is_none() => key = Some(s.scan_u64_field()?),
+                Some(b"kind") if kind.is_none() => kind = Some(s.scan_kind_field()?),
+                Some(b"value") if value.is_none() => value = Some(s.scan_u64_field()?),
+                Some(b"start") if start.is_none() => start = Some(s.scan_u64_field()?),
+                Some(b"finish") if finish.is_none() => finish = Some(s.scan_u64_field()?),
+                Some(b"weight") if weight.is_none() => weight = Some(s.scan_u32_field()?),
+                // Unknown fields and later duplicates are validated and
+                // skipped; field values sit at nesting depth 1.
+                _ => s.scan_value(1)?,
+            }
+            match s.peek() {
+                Some(b',') => s.pos += 1,
+                Some(b'}') => {
+                    s.pos += 1;
+                    break;
+                }
+                _ => return Err(s.err("expected `,` or `}`")),
+            }
+        }
+    }
+    s.skip_ws();
+    if s.pos != bytes.len() {
+        return Err(s.err("trailing characters"));
+    }
+    let missing = |field: &str| -> serde_json::Error {
+        serde::DeError::custom(format!("missing field `{field}`")).into()
+    };
+    Ok(StreamRecord {
+        key: key.unwrap_or(0),
+        kind: kind.ok_or_else(|| missing("kind"))?,
+        value: Value(value.ok_or_else(|| missing("value"))?),
+        start: Time(start.ok_or_else(|| missing("start"))?),
+        finish: Time(finish.ok_or_else(|| missing("finish"))?),
+        weight: weight.map_or(Weight::UNIT, Weight),
+    })
+}
+
 /// Serialises one record as a single NDJSON line (no trailing newline).
+///
+/// Allocates a fresh `String` per call; the hot write path is
+/// [`StreamWriter`], which reuses one buffer and produces byte-identical
+/// lines.
 pub fn to_line(record: &StreamRecord) -> String {
     serde_json::to_string(record).expect("StreamRecord serialisation is infallible")
+}
+
+/// Appends one record to `out` as a single NDJSON line (no trailing
+/// newline), byte-identical to [`to_line`] without allocating.
+pub fn write_line_into(record: &StreamRecord, out: &mut String) {
+    out.push_str("{\"key\":");
+    push_u64(out, record.key);
+    out.push_str(",\"kind\":");
+    out.push_str(match record.kind {
+        OpKind::Read => "\"read\"",
+        OpKind::Write => "\"write\"",
+    });
+    out.push_str(",\"value\":");
+    push_u64(out, record.value.0);
+    out.push_str(",\"start\":");
+    push_u64(out, record.start.0);
+    out.push_str(",\"finish\":");
+    push_u64(out, record.finish.0);
+    out.push_str(",\"weight\":");
+    push_u64(out, u64::from(record.weight.0));
+    out.push('}');
+}
+
+/// Appends the decimal form of `n` without going through `fmt`.
+fn push_u64(out: &mut String, mut n: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&digits[i..]).expect("decimal digits are ASCII"));
+}
+
+/// Buffered NDJSON writer reusing one line buffer across records — the
+/// write-side twin of the zero-copy decoder. `kav gen --out`,
+/// `kav simulate --out` and [`write_stream`] route through it; the output
+/// is byte-for-byte what writing [`to_line`] plus `\n` per record yields.
+pub struct StreamWriter<W: std::io::Write> {
+    out: W,
+    buf: String,
+}
+
+impl<W: std::io::Write> StreamWriter<W> {
+    /// Wraps `out`; call [`finish`](StreamWriter::finish) when done to
+    /// flush.
+    pub fn new(out: W) -> Self {
+        StreamWriter { out, buf: String::with_capacity(128) }
+    }
+
+    /// Writes one record plus the line terminator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_record(&mut self, record: &StreamRecord) -> std::io::Result<()> {
+        self.buf.clear();
+        write_line_into(record, &mut self.buf);
+        self.buf.push('\n');
+        self.out.write_all(self.buf.as_bytes())
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
 }
 
 /// Streaming reader over any [`BufRead`], yielding records with 1-based
@@ -235,6 +752,114 @@ impl<R: BufRead> Iterator for Reader<R> {
     }
 }
 
+/// Streaming reader over an in-memory byte slice (an mmap'd file or a
+/// fully buffered pipe), decoding through [`parse_line_bytes`] — the
+/// zero-copy twin of [`Reader`].
+///
+/// Line accounting, blank-line handling, parse verdicts, 1-based error
+/// lines and the [`Fingerprint`] chain are identical to [`Reader`] over
+/// the same bytes (property-tested), so checkpoints written against one
+/// reader resume against the other.
+pub struct SliceReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u64,
+    fingerprint: Option<Fingerprint>,
+}
+
+impl<'a> SliceReader<'a> {
+    /// Wraps a byte slice (no fingerprinting).
+    pub fn new(bytes: &'a [u8]) -> Self {
+        SliceReader { bytes, pos: 0, line: 0, fingerprint: None }
+    }
+
+    /// Wraps a byte slice and fingerprints every consumed line — pass
+    /// [`Fingerprint::new`] for a fresh stream, or a digest carried over
+    /// from a checkpoint to continue its chain.
+    pub fn with_fingerprint(bytes: &'a [u8], fingerprint: Fingerprint) -> Self {
+        SliceReader { bytes, pos: 0, line: 0, fingerprint: Some(fingerprint) }
+    }
+
+    /// Lines consumed so far (blank and malformed lines included).
+    pub fn lines_read(&self) -> u64 {
+        self.line
+    }
+
+    /// The running digest of all consumed lines, when fingerprinting.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint.as_ref().map(Fingerprint::value)
+    }
+
+    /// The next raw line including its `\n` terminator (the final line
+    /// may lack one); `None` at end of input. Does not consume.
+    fn peek_raw_line(&self) -> Option<&'a [u8]> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let rest = &self.bytes[self.pos..];
+        let end = rest.iter().position(|&b| b == b'\n').map_or(rest.len(), |i| i + 1);
+        Some(&rest[..end])
+    }
+
+    /// Counts and fingerprints a peeked raw line.
+    fn consume(&mut self, line: &[u8]) {
+        self.pos += line.len();
+        self.line += 1;
+        if let Some(fp) = &mut self.fingerprint {
+            fp.update(line);
+        }
+    }
+
+    /// Consumes up to `n` raw lines without parsing them (they still
+    /// count toward [`lines_read`](SliceReader::lines_read) and the
+    /// fingerprint). Returns how many lines were actually available.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid UTF-8, like [`Reader::skip_raw_lines`].
+    pub fn skip_raw_lines(&mut self, n: u64) -> std::io::Result<u64> {
+        let mut skipped = 0;
+        while skipped < n {
+            let Some(raw) = self.peek_raw_line() else { break };
+            if std::str::from_utf8(raw).is_err() {
+                self.pos += raw.len();
+                return Err(invalid_utf8());
+            }
+            self.consume(raw);
+            skipped += 1;
+        }
+        Ok(skipped)
+    }
+}
+
+fn invalid_utf8() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, "stream did not contain valid UTF-8")
+}
+
+impl Iterator for SliceReader<'_> {
+    type Item = Result<StreamRecord, NdjsonError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let raw = self.peek_raw_line()?;
+            let Ok(text) = std::str::from_utf8(raw) else {
+                // Mirror `read_line`: the bad bytes are consumed from the
+                // source but neither counted nor fingerprinted.
+                self.pos += raw.len();
+                return Some(Err(NdjsonError::Io(invalid_utf8())));
+            };
+            self.consume(raw);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            return Some(parse_line_bytes(text.as_bytes()).map_err(|source| {
+                NdjsonError::Parse { line: self.line as usize, source }
+            }));
+        }
+    }
+}
+
 /// Reads a whole NDJSON file into memory.
 ///
 /// # Errors
@@ -253,12 +878,11 @@ pub fn write_stream<'a>(
     path: impl AsRef<Path>,
     records: impl IntoIterator<Item = &'a StreamRecord>,
 ) -> Result<(), NdjsonError> {
-    let mut file = std::io::BufWriter::new(fs::File::create(path)?);
+    let mut writer = StreamWriter::new(std::io::BufWriter::new(fs::File::create(path)?));
     for record in records {
-        file.write_all(to_line(record).as_bytes())?;
-        file.write_all(b"\n")?;
+        writer.write_record(record)?;
     }
-    file.flush()?;
+    writer.finish()?;
     Ok(())
 }
 
@@ -349,5 +973,132 @@ mod tests {
     fn missing_required_field_is_an_error() {
         assert!(parse_line(r#"{"kind":"write","value":1,"start":0}"#).is_err());
         assert!(parse_line("").is_err());
+    }
+
+    #[test]
+    fn write_line_into_matches_the_reference_encoder() {
+        let mut buf = String::new();
+        for record in sample() {
+            buf.clear();
+            write_line_into(&record, &mut buf);
+            assert_eq!(buf, to_line(&record));
+        }
+        // Extremes of every numeric field.
+        let record = StreamRecord {
+            key: u64::MAX,
+            kind: OpKind::Read,
+            value: Value(0),
+            start: Time(u64::MAX - 1),
+            finish: Time(u64::MAX),
+            weight: Weight(u32::MAX),
+        };
+        buf.clear();
+        write_line_into(&record, &mut buf);
+        assert_eq!(buf, to_line(&record));
+    }
+
+    #[test]
+    fn stream_writer_output_is_byte_identical_to_to_line() {
+        let mut writer = StreamWriter::new(Vec::new());
+        let mut expected = String::new();
+        for record in sample() {
+            writer.write_record(&record).unwrap();
+            expected.push_str(&to_line(&record));
+            expected.push('\n');
+        }
+        assert_eq!(writer.finish().unwrap(), expected.into_bytes());
+    }
+
+    #[test]
+    fn byte_decoder_accepts_what_the_reference_accepts() {
+        for line in [
+            r#"{"kind":"write","value":7,"start":0,"finish":3}"#,
+            r#"{"key":9,"kind":"read","value":7,"start":0,"finish":3,"weight":2}"#,
+            // Escaped field names and tags decode before matching:
+            // `\u006b` is `k`, so this sets `key` and a `kind` of "read".
+            "{\"\\u006bey\":5,\"kind\":\"re\\u0061d\",\"value\":1,\"start\":0,\"finish\":1}",
+            // Unknown fields of any shape are skipped.
+            r#"{"kind":"read","value":1,"start":0,"finish":1,"x":[{"y":null},1.5,"s"]}"#,
+            // Duplicate fields: first occurrence wins.
+            r#"{"kind":"read","kind":"write","value":1,"value":2,"start":0,"finish":1}"#,
+            // `-0` is an in-range unsigned integer.
+            r#"{"kind":"read","value":-0,"start":0,"finish":1}"#,
+            " {\t\"kind\" : \"read\", \"value\":1, \"start\":0, \"finish\":1 } ",
+        ] {
+            let by_str = parse_line(line).unwrap();
+            let by_bytes = parse_line_bytes(line.as_bytes()).unwrap();
+            assert_eq!(by_str, by_bytes, "decoders disagree on {line:?}");
+        }
+    }
+
+    #[test]
+    fn byte_decoder_rejects_what_the_reference_rejects() {
+        for line in [
+            "",
+            "null",
+            "[]",
+            r#"{"kind":"write","value":1,"start":0}"#,
+            r#"{"kind":"write","value":1,"start":0,"finish":2} extra"#,
+            r#"{"kind":"writ","value":1,"start":0,"finish":2}"#,
+            r#"{"kind":"write","value":1.5,"start":0,"finish":2}"#,
+            r#"{"kind":"write","value":-1,"start":0,"finish":2}"#,
+            r#"{"kind":"write","value":01,"start":0,"finish":2}"#,
+            r#"{"kind":"write","value":18446744073709551616,"start":0,"finish":2}"#,
+            r#"{"kind":"write","value":1,"start":0,"finish":2,"weight":4294967296}"#,
+            // Range checks apply inside skipped fields too.
+            r#"{"kind":"write","value":1,"start":0,"finish":2,"x":18446744073709551616}"#,
+            r#"{"kind":"write","value":1,"start":0,"finish":2,"x":"\ud800"}"#,
+            r#"{"kind":"write","value":1,"start":0,"finish":2,}"#,
+            r#"{"kind":"write","value":1,"start":0,"finish":2"#,
+        ] {
+            assert!(parse_line(line).is_err(), "reference accepted {line:?}");
+            assert!(parse_line_bytes(line.as_bytes()).is_err(), "bytes accepted {line:?}");
+        }
+        // The recursion limit matches: 127 nested arrays in an unknown
+        // field pass (the field value sits at depth 1), 128 do not — on
+        // both decoders.
+        let nest = |n: usize| {
+            format!(
+                "{{\"kind\":\"read\",\"value\":1,\"start\":0,\"finish\":1,\"x\":{}0{}}}",
+                "[".repeat(n),
+                "]".repeat(n)
+            )
+        };
+        assert!(parse_line(&nest(126)).is_ok());
+        assert!(parse_line_bytes(nest(126).as_bytes()).is_ok());
+        assert_eq!(
+            parse_line(&nest(127)).is_ok(),
+            parse_line_bytes(nest(127).as_bytes()).is_ok()
+        );
+        assert!(parse_line(&nest(200)).is_err());
+        assert!(parse_line_bytes(nest(200).as_bytes()).is_err());
+    }
+
+    #[test]
+    fn slice_reader_matches_reader_on_records_errors_and_fingerprints() {
+        let text = "\n{\"kind\":\"write\",\"value\":1,\"start\":0,\"finish\":2}\n\n{ bad\n{\"kind\":\"read\",\"value\":1,\"start\":3,\"finish\":4}";
+        let mut by_io = Reader::with_fingerprint(text.as_bytes(), Fingerprint::new());
+        let mut by_slice = SliceReader::with_fingerprint(text.as_bytes(), Fingerprint::new());
+        loop {
+            match (by_io.next(), by_slice.next()) {
+                (None, None) => break,
+                (Some(Ok(a)), Some(Ok(b))) => assert_eq!(a, b),
+                (Some(Err(NdjsonError::Parse { line: a, .. })), Some(Err(NdjsonError::Parse { line: b, .. }))) => {
+                    assert_eq!(a, b)
+                }
+                (a, b) => panic!("readers diverged: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(by_io.lines_read(), by_slice.lines_read());
+        assert_eq!(by_io.fingerprint(), by_slice.fingerprint());
+        assert!(by_io.fingerprint().is_some());
+        // Cross-path skip: Reader fingerprints a prefix, SliceReader
+        // continues the chain, and vice versa.
+        let mut skip_io = Reader::with_fingerprint(text.as_bytes(), Fingerprint::new());
+        assert_eq!(skip_io.skip_raw_lines(5).unwrap(), 5);
+        let mut skip_slice = SliceReader::with_fingerprint(text.as_bytes(), Fingerprint::new());
+        assert_eq!(skip_slice.skip_raw_lines(5).unwrap(), 5);
+        assert_eq!(skip_io.fingerprint(), skip_slice.fingerprint());
+        assert_eq!(skip_io.fingerprint(), by_io.fingerprint());
     }
 }

@@ -116,7 +116,7 @@
 //! ```
 
 use crate::fxhash::{FxHashMap, FxHashSet};
-use crate::{Operation, RawHistory, Time, Value};
+use crate::{OpKind, Operation, RawHistory, Time, Value, Weight};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::error::Error;
@@ -286,6 +286,185 @@ pub struct BuilderSnapshot {
     pub peak_resident: usize,
 }
 
+/// Struct-of-arrays storage for the buffered window: one dense column per
+/// operation field plus a `head` offset, so the seal-scan and the drain
+/// sweep run over contiguous arrays instead of a `VecDeque<Operation>`.
+/// Draining a sealed prefix advances `head`; the columns compact (one
+/// memmove) only once the drained prefix dominates, keeping per-op cost
+/// amortised O(1) without a ring buffer's split-slice indexing.
+#[derive(Clone, Debug, Default)]
+struct OpColumns {
+    kinds: Vec<OpKind>,
+    values: Vec<Value>,
+    starts: Vec<Time>,
+    finishes: Vec<Time>,
+    weights: Vec<Weight>,
+    /// Rows before `head` are drained; row `i` of the window is `head + i`.
+    head: usize,
+}
+
+impl OpColumns {
+    fn len(&self) -> usize {
+        self.kinds.len() - self.head
+    }
+
+    fn push(&mut self, op: Operation) {
+        self.kinds.push(op.kind);
+        self.values.push(op.value);
+        self.starts.push(op.start);
+        self.finishes.push(op.finish);
+        self.weights.push(op.weight);
+    }
+
+    /// Reassembles row `i` (window-relative) into an [`Operation`].
+    fn get(&self, i: usize) -> Operation {
+        let j = self.head + i;
+        Operation {
+            kind: self.kinds[j],
+            value: self.values[j],
+            start: self.starts[j],
+            finish: self.finishes[j],
+            weight: self.weights[j],
+        }
+    }
+
+    /// Drops the first `count` rows of the window.
+    fn advance(&mut self, count: usize) {
+        self.head += count;
+        if self.head >= self.kinds.len() - self.head {
+            // The drained prefix is at least half the storage: compact.
+            self.kinds.drain(..self.head);
+            self.values.drain(..self.head);
+            self.starts.drain(..self.head);
+            self.finishes.drain(..self.head);
+            self.weights.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = Operation> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+/// Sentinel index of the pending-reads arena (no next node / empty list).
+const PENDING_NONE: u32 = u32::MAX;
+
+/// Buffered reads still waiting for their dictating write, keyed by value.
+///
+/// Per-value `Vec<u64>` allocations are replaced by singly-linked lists
+/// threaded through one node arena (the `lbt/arena.rs` idiom: indices,
+/// not boxes; freed nodes go on an intrusive free list), so pushing and
+/// resolving pending reads costs no window-lifetime heap churn.
+#[derive(Clone, Debug)]
+struct PendingReads {
+    /// Node payloads: the read's sequence number.
+    seqs: Vec<u64>,
+    /// Node links; also threads the free list.
+    nexts: Vec<u32>,
+    /// Head of the free list, [`PENDING_NONE`] when empty.
+    free: u32,
+    /// value → (head, tail) of its arrival-ordered list.
+    lists: FxHashMap<Value, (u32, u32)>,
+}
+
+impl Default for PendingReads {
+    fn default() -> Self {
+        PendingReads {
+            seqs: Vec::new(),
+            nexts: Vec::new(),
+            free: PENDING_NONE,
+            lists: FxHashMap::default(),
+        }
+    }
+}
+
+impl PendingReads {
+    fn alloc(&mut self, seq: u64) -> u32 {
+        if self.free == PENDING_NONE {
+            self.seqs.push(seq);
+            self.nexts.push(PENDING_NONE);
+            (self.seqs.len() - 1) as u32
+        } else {
+            let idx = self.free;
+            self.free = self.nexts[idx as usize];
+            self.seqs[idx as usize] = seq;
+            self.nexts[idx as usize] = PENDING_NONE;
+            idx
+        }
+    }
+
+    /// Appends `seq` to the list waiting on `value` (arrival order).
+    fn push(&mut self, value: Value, seq: u64) {
+        let idx = self.alloc(seq);
+        match self.lists.get_mut(&value) {
+            Some(slot) => {
+                let tail = slot.1;
+                slot.1 = idx;
+                self.nexts[tail as usize] = idx;
+            }
+            None => {
+                self.lists.insert(value, (idx, idx));
+            }
+        }
+    }
+
+    /// Removes the list waiting on `value`, invoking `f` on each seq in
+    /// arrival order and freeing the nodes. Returns whether a list existed.
+    fn take(&mut self, value: Value, mut f: impl FnMut(u64)) -> bool {
+        let Some((mut cur, _)) = self.lists.remove(&value) else {
+            return false;
+        };
+        while cur != PENDING_NONE {
+            let i = cur as usize;
+            f(self.seqs[i]);
+            let next = self.nexts[i];
+            self.nexts[i] = self.free;
+            self.free = cur;
+            cur = next;
+        }
+        true
+    }
+
+    /// Unlinks every pending seq `< cutoff`, invoking `f` for each.
+    /// Each list is arrival-ordered (ascending seqs), so the expired
+    /// nodes are exactly a prefix of it.
+    fn expire_below(&mut self, cutoff: u64, mut f: impl FnMut(u64)) {
+        let seqs = &self.seqs;
+        let nexts = &mut self.nexts;
+        let free = &mut self.free;
+        self.lists.retain(|_, slot| {
+            let mut cur = slot.0;
+            while cur != PENDING_NONE && seqs[cur as usize] < cutoff {
+                f(seqs[cur as usize]);
+                let next = nexts[cur as usize];
+                nexts[cur as usize] = *free;
+                *free = cur;
+                cur = next;
+            }
+            slot.0 = cur;
+            cur != PENDING_NONE
+        });
+    }
+
+    /// Invokes `f` on every pending seq (across all values, any order).
+    fn for_each(&self, mut f: impl FnMut(u64)) {
+        for &(mut cur, _) in self.lists.values() {
+            while cur != PENDING_NONE {
+                f(self.seqs[cur as usize]);
+                cur = self.nexts[cur as usize];
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.lists.clear();
+        self.seqs.clear();
+        self.nexts.clear();
+        self.free = PENDING_NONE;
+    }
+}
+
 /// Incremental, windowed construction of one register's history.
 ///
 /// Operations are [pushed](StreamBuilder::push) in completion order;
@@ -303,17 +482,17 @@ pub struct BuilderSnapshot {
 /// duplicate endpoints that land in different segments are not detected.
 #[derive(Clone, Debug, Default)]
 pub struct StreamBuilder {
-    /// Buffered operations in arrival order; `buffer[i]` has sequence
-    /// number `base + i`.
-    buffer: VecDeque<Operation>,
-    /// Sequence number of `buffer[0]`.
+    /// Buffered operations in arrival order, stored column-wise; row `i`
+    /// of the window has sequence number `base + i`.
+    buffer: OpColumns,
+    /// Sequence number of the first buffered operation.
     base: u64,
     /// Largest finish time accepted (advances even for horizon breaches).
     watermark: Option<Time>,
     /// Buffered writes: value → (sequence number, writes arrived before it).
     buffered_writes: FxHashMap<Value, (u64, u64)>,
-    /// Buffered reads still waiting for their dictating write: value → seqs.
-    pending_reads: FxHashMap<Value, Vec<u64>>,
+    /// Buffered reads still waiting for their dictating write.
+    pending_reads: PendingReads,
     /// Read/dictating-write partnerships among buffered ops, as `(lo, hi)`
     /// sequence pairs; a cut may not separate a pair.
     pairs: Vec<(u64, u64)>,
@@ -350,6 +529,9 @@ pub struct StreamBuilder {
     depth_hist: [u64; DEPTH_BUCKETS],
     segments_sealed: usize,
     peak_resident: usize,
+    /// Reusable difference-array scratch for [`try_seal`](Self::try_seal),
+    /// so the seal scan allocates nothing in steady state.
+    seal_scratch: Vec<i64>,
 }
 
 impl StreamBuilder {
@@ -491,13 +673,14 @@ impl StreamBuilder {
             // Reads that arrived before their dictating write resolve now
             // with arrival-order depth 0 (no write completed in between
             // that postdates the dictating write).
-            if let Some(waiting) = self.pending_reads.remove(&op.value) {
-                for read_seq in waiting {
-                    self.pairs.push((read_seq, seq));
-                    self.depth_count_reads += 1;
-                    self.depth_hist[0] += 1;
-                }
-            }
+            let pairs = &mut self.pairs;
+            let depth_count_reads = &mut self.depth_count_reads;
+            let depth_hist = &mut self.depth_hist;
+            self.pending_reads.take(op.value, |read_seq| {
+                pairs.push((read_seq, seq));
+                *depth_count_reads += 1;
+                depth_hist[0] += 1;
+            });
         } else {
             self.reads_accepted += 1;
             if let Some(&(write_seq, writes_before)) = self.buffered_writes.get(&op.value) {
@@ -517,10 +700,10 @@ impl StreamBuilder {
                 // to "not certifiable").
                 return Ok(Push::BeyondHorizon);
             } else {
-                self.pending_reads.entry(op.value).or_default().push(seq);
+                self.pending_reads.push(op.value, seq);
             }
         }
-        self.buffer.push_back(op);
+        self.buffer.push(op);
         self.peak_resident = self.peak_resident.max(self.buffer.len());
         Ok(Push::Buffered)
     }
@@ -559,17 +742,9 @@ impl StreamBuilder {
             let cutoff = self.base + (len - expiry) as u64;
             let orphaned = &mut self.orphaned;
             let orphaned_reads = &mut self.orphaned_reads;
-            self.pending_reads.retain(|_, seqs| {
-                seqs.retain(|&seq| {
-                    if seq < cutoff {
-                        orphaned.insert(seq);
-                        *orphaned_reads += 1;
-                        false
-                    } else {
-                        true
-                    }
-                });
-                !seqs.is_empty()
+            self.pending_reads.expire_below(cutoff, |seq| {
+                orphaned.insert(seq);
+                *orphaned_reads += 1;
             });
         }
 
@@ -579,20 +754,21 @@ impl StreamBuilder {
         // Pairs never straddle a past cut (that is what makes cuts valid),
         // and sealing prunes the ones it retires, so every pair is in range.
         debug_assert!(self.pairs.iter().all(|&(lo, _)| lo >= self.base));
-        let mut diff = vec![0i64; len + 2];
+        self.seal_scratch.clear();
+        self.seal_scratch.resize(len + 2, 0);
+        let diff = &mut self.seal_scratch;
         for &(lo, hi) in &self.pairs {
             let lo = (lo - self.base) as usize;
             let hi = (hi - self.base) as usize;
             diff[lo + 1] += 1;
             diff[hi + 1] -= 1;
         }
-        for seqs in self.pending_reads.values() {
-            for &r in seqs {
-                let r = (r - self.base) as usize;
-                diff[r + 1] += 1;
-                diff[len + 1] -= 1;
-            }
-        }
+        let base = self.base;
+        self.pending_reads.for_each(|r| {
+            let r = (r - base) as usize;
+            diff[r + 1] += 1;
+            diff[len + 1] -= 1;
+        });
 
         let target = len - max_resident;
         let mut best: Option<usize> = None;
@@ -623,7 +799,8 @@ impl StreamBuilder {
         let mut sealed = RawHistory::new();
         sealed.ops.reserve(count);
         let base = self.base;
-        for (i, op) in self.buffer.drain(..count).enumerate() {
+        for i in 0..count {
+            let op = self.buffer.get(i);
             if self.orphaned.remove(&(base + i as u64)) {
                 continue; // expired orphan read: counted, not sealed
             }
@@ -637,6 +814,7 @@ impl StreamBuilder {
             }
             sealed.ops.push(op);
         }
+        self.buffer.advance(count);
         if let Some(horizon) = self.horizon {
             while self.retired_recent.len() > horizon {
                 let old = self.retired_recent.pop_front().expect("len > horizon >= 0");
@@ -690,7 +868,7 @@ impl StreamBuilder {
             horizon: self.horizon,
             base: self.base,
             watermark: self.watermark,
-            buffer: self.buffer.iter().copied().collect(),
+            buffer: self.buffer.iter().collect(),
             retired_recent: self.retired_recent.iter().copied().collect(),
             retired_total: self.retired_total,
             peak_retired: self.peak_retired,
@@ -805,9 +983,10 @@ impl StreamBuilder {
         // indexes. Counters are restored, not recomputed: they summarise
         // arrivals that predate the buffer.
         let mut buffered_writes: FxHashMap<Value, (u64, u64)> = FxHashMap::default();
-        let mut pending_reads: FxHashMap<Value, Vec<u64>> = FxHashMap::default();
+        let mut pending_reads = PendingReads::default();
         let mut pairs: Vec<(u64, u64)> = Vec::new();
         let mut buffered_write_count = 0u64;
+        let mut buffer = OpColumns::default();
         for (i, op) in s.buffer.iter().enumerate() {
             let seq = s.base + i as u64;
             if op.is_write() {
@@ -819,11 +998,9 @@ impl StreamBuilder {
                     return err(format!("value {} written twice in the buffer", op.value));
                 }
                 buffered_write_count += 1;
-                if let Some(waiting) = pending_reads.remove(&op.value) {
-                    for read_seq in waiting {
-                        pairs.push((read_seq, seq));
-                    }
-                }
+                pending_reads.take(op.value, |read_seq| {
+                    pairs.push((read_seq, seq));
+                });
             } else if orphaned.contains(&seq) {
                 // Expired orphan: excluded from the cut constraints.
             } else if let Some(&(write_seq, _)) = buffered_writes.get(&op.value) {
@@ -833,8 +1010,9 @@ impl StreamBuilder {
                 // never buffered.
                 return err(format!("buffered read of retired value {}", op.value));
             } else {
-                pending_reads.entry(op.value).or_default().push(seq);
+                pending_reads.push(op.value, seq);
             }
+            buffer.push(*op);
         }
         if s.writes_accepted != s.retired_total + buffered_write_count {
             return err(format!(
@@ -849,7 +1027,7 @@ impl StreamBuilder {
         let mut depth_hist = [0u64; DEPTH_BUCKETS];
         depth_hist.copy_from_slice(&s.depth_hist);
         Ok(StreamBuilder {
-            buffer: s.buffer.iter().copied().collect(),
+            buffer,
             base: s.base,
             watermark: s.watermark,
             buffered_writes,
@@ -870,6 +1048,7 @@ impl StreamBuilder {
             depth_hist,
             segments_sealed: s.segments_sealed,
             peak_resident: s.peak_resident,
+            seal_scratch: Vec::new(),
         })
     }
 }

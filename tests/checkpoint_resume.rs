@@ -383,6 +383,103 @@ fn fault_schedule_audits_resume_across_partition_heal_boundaries() {
     }
 }
 
+/// The on-disk delta chain is equivalent to full snapshots: an audit
+/// that checkpoints through [`CheckpointWriter`] with a short delta
+/// cadence, is killed at checkpoints landing before, on and between
+/// full-snapshot boundaries, and resumes from the resolved file —
+/// through a second kill-and-resume hop, each hop re-reading the NDJSON
+/// prefix with a *different* decoder than wrote the checkpoint — must
+/// finish with reports byte-identical to the uninterrupted audit.
+#[test]
+fn delta_checkpoint_files_resume_across_kill_boundaries() {
+    use k_atomicity::history::fxhash::Fingerprint;
+    use k_atomicity::history::ndjson;
+    use k_atomicity::verify::{read_checkpoint, CheckpointWriter, SourcePosition};
+
+    let records = streaming_workload(StreamingWorkloadConfig {
+        keys: 3,
+        ops_per_key: 40,
+        k: 2,
+        seed: 11,
+        ..Default::default()
+    });
+    let config = PipelineConfig { shards: 2, window: 16, ..Default::default() };
+    let baseline = uninterrupted(&records, config);
+
+    // The stream as its on-disk NDJSON bytes: the checkpoint fingerprints
+    // must match what a prefix re-read would produce, whichever decoder
+    // performs it.
+    let doc: String = records.iter().map(|r| ndjson::to_line(r) + "\n").collect();
+    let dir = std::env::temp_dir().join("kav_delta_resume_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("audit.ckpt");
+    let path = path.to_str().unwrap();
+
+    // Checkpoint every 4 records with a full snapshot only every 3rd
+    // write, so kills at records 12/24/36 land on delta-resolved state
+    // (writes 3, 6, 9 — the chain is base + deltas at two of the three).
+    let drive = |from: usize, until: usize, version: u64| {
+        let mut reference = ndjson::Reader::with_fingerprint(doc.as_bytes(), Fingerprint::new());
+        let mut zero_copy =
+            ndjson::SliceReader::with_fingerprint(doc.as_bytes(), Fingerprint::new());
+        let mut pipeline = if from == 0 {
+            StreamPipeline::new(Fzf, config)
+        } else {
+            let checkpoint = read_checkpoint(path).expect("checkpoint reads back");
+            assert!(checkpoint.deltas.is_empty(), "read_checkpoint resolves deltas");
+            assert_eq!(checkpoint.source.lines, from as u64);
+            // Alternate which decoder re-proves the prefix — the hop is
+            // only sound because both produce the same fingerprint chain.
+            let replayed = if version.is_multiple_of(2) {
+                reference.skip_raw_lines(from as u64).unwrap();
+                reference.fingerprint()
+            } else {
+                zero_copy.skip_raw_lines(from as u64).unwrap();
+                zero_copy.fingerprint()
+            };
+            assert_eq!(
+                replayed,
+                Some(checkpoint.source.fingerprint),
+                "prefix fingerprint must verify on either decoder"
+            );
+            StreamPipeline::resume(Fzf, config, &checkpoint.pipeline, true)
+                .expect("own checkpoints resume")
+        };
+        let mut writer = CheckpointWriter::starting_at(path, version).delta_every(3);
+        let mut fp = Fingerprint::new();
+        for (i, record) in records.iter().enumerate().take(until) {
+            let line = ndjson::to_line(record) + "\n";
+            fp.update(line.as_bytes());
+            if i < from {
+                continue; // already audited before the kill
+            }
+            pipeline.push(record.key, record.op());
+            if (i + 1) % 4 == 0 {
+                let source = SourcePosition {
+                    lines: (i + 1) as u64,
+                    fingerprint: fp.value(),
+                    malformed: 0,
+                    malformed_samples: Vec::new(),
+                };
+                writer.write(source, pipeline.snapshot()).expect("checkpoints write");
+            }
+        }
+        (pipeline, writer.version())
+    };
+
+    for (first_kill, second_kill) in [(12, 24), (4, 36), (24, 28), (36, 40)] {
+        let (pipeline, v1) = drive(0, first_kill, 0);
+        drop(pipeline); // the first crash; only the checkpoint file survives
+        let (pipeline, v2) = drive(first_kill, second_kill, v1);
+        drop(pipeline); // the second crash, mid delta chain
+        let (pipeline, _) = drive(second_kill, records.len(), v2);
+        let output = pipeline.finish();
+        assert_eq!(&output.keys, &baseline.keys, "kills at {first_kill}/{second_kill}");
+        assert_eq!(&output.errors, &baseline.errors, "kills at {first_kill}/{second_kill}");
+    }
+    std::fs::remove_file(path).ok();
+}
+
 /// Deterministic spot check that a snapshot is stable: snapshotting twice
 /// without pushes yields identical bytes, and resume restores ops_routed.
 #[test]
