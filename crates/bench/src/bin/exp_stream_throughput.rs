@@ -40,6 +40,14 @@
 //! 128-op escalator could only shrug at, now decided by the constrained
 //! search with its node count recorded.
 //!
+//! A seventh section measures the **fleet axis** (`fleet[]` in the JSON
+//! artifact): the same fzf stream through a `FleetCoordinator` at 1, 2
+//! and 4 workers — in-process `worker_loop` threads on socketpairs, so
+//! the row isolates the routing + wire-protocol cost (`kav serve` adds
+//! only process spawn and pipe buffering on top). On a single-core host
+//! the absolute numbers are serialization-bound; the signal is the
+//! fleet-vs-single overhead at workers = 1 and its trend as workers grow.
+//!
 //! Usage:
 //!
 //! ```text
@@ -51,9 +59,9 @@
 
 use kav_bench::{header, row};
 use kav_core::{
-    CheckpointWriter, ExhaustiveSearch, Fzf, GenK, PipelineConfig, SourcePosition,
-    StreamPipeline, TotalOrder, Verdict, Verifier, DEFAULT_CHECKPOINT_EVERY,
-    DEFAULT_GAP_BUDGET,
+    worker_loop, CheckpointWriter, ExhaustiveSearch, FleetConfig, FleetCoordinator, Fzf,
+    GenK, PipelineConfig, SourcePosition, StreamPipeline, TotalOrder, Verdict, Verifier,
+    WorkerLink, DEFAULT_CHECKPOINT_EVERY, DEFAULT_GAP_BUDGET,
 };
 use kav_history::ndjson::StreamRecord;
 use kav_history::{frame, ndjson, History, HistoryBuilder};
@@ -197,6 +205,60 @@ fn measure_drain(records: &[StreamRecord], shards: usize, batch: usize) -> Measu
         shards,
         window: 256,
         batch,
+        ops: records.len(),
+        seconds,
+        checkpoint_every: 0,
+        checkpoints: 0,
+    }
+}
+
+/// Measures the fleet path: a `FleetCoordinator` routing the stream to
+/// `workers` in-process `worker_loop` threads over socketpairs — the
+/// exact `kav serve` data plane minus process spawn and pipe buffering.
+fn measure_fleet(records: &[StreamRecord], workers: usize) -> Measurement {
+    use std::os::unix::net::UnixStream;
+    let t0 = Instant::now();
+    let mut links = Vec::with_capacity(workers);
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (coordinator_side, worker_side) = UnixStream::pair().expect("socketpair");
+        handles.push(std::thread::spawn(move || {
+            let input = worker_side.try_clone().expect("clone worker socket");
+            let _ = worker_loop(Fzf, input, worker_side);
+        }));
+        links.push(WorkerLink {
+            writer: Box::new(coordinator_side.try_clone().expect("clone coordinator socket")),
+            reader: Box::new(coordinator_side),
+        });
+    }
+    let config = FleetConfig {
+        algo: "fzf".to_owned(),
+        k: 2,
+        window: 256,
+        horizon: None,
+        worker_shards: 1,
+        batch: 256,
+        checkpoint_every: 0,
+        replay_cap: 1 << 16,
+    };
+    let mut fleet = FleetCoordinator::new(config, links).expect("fleet start");
+    for record in records {
+        fleet.push(record.key, record.op()).expect("fleet push");
+    }
+    let (output, summary) = fleet.finish().expect("fleet finish");
+    for handle in handles {
+        handle.join().expect("worker thread exits cleanly");
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    assert!(output.errors.is_empty(), "bench stream must be clean");
+    assert_eq!(output.total_ops(), records.len() as u64);
+    assert_eq!(summary.hand_offs, 0, "no worker dies in the bench");
+    Measurement {
+        verifier: "fleet-fzf",
+        k: 2,
+        shards: workers, // workers, not thread shards, on the fleet rows
+        window: 256,
+        batch: 256,
         ops: records.len(),
         seconds,
         checkpoint_every: 0,
@@ -483,6 +545,37 @@ fn main() {
         ));
     }
 
+    // Fleet axis: the same stream through the multi-process data plane
+    // (coordinator routing + wire protocol + worker-side pipelines), with
+    // workers as in-process threads so the row measures the architecture,
+    // not fork/exec. The vs-single column is the distribution overhead
+    // against the plain single-process pipeline on the same input.
+    println!("\n## fleet throughput (fzf, window {window}, batch 256, worker_shards 1)\n");
+    header(&["workers", "ops/s", "vs single-process"]);
+    let single = measure(
+        Fzf,
+        &records,
+        PipelineConfig { shards: 1, window, batch: 256, ..Default::default() },
+    );
+    let mut fleet_rows: Vec<String> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let m = measure_fleet(&records, workers);
+        let ratio = m.ops_per_sec() / single.ops_per_sec();
+        row(&[
+            workers.to_string(),
+            format!("{:.0}", m.ops_per_sec()),
+            format!("{ratio:.2}x"),
+        ]);
+        fleet_rows.push(format!(
+            "    {{\"workers\":{workers},\"ops\":{},\"seconds\":{:.6},\
+             \"ops_per_sec\":{:.0},\"vs_single_process\":{ratio:.2}}}",
+            m.ops,
+            m.seconds,
+            m.ops_per_sec(),
+        ));
+        results.push(m);
+    }
+
     // Checkpoint axis: the cost of making the audit crash-resumable. The
     // cadence is scaled so the run writes several checkpoints regardless
     // of preset size; the production-default cadence is then judged from
@@ -555,11 +648,13 @@ fn main() {
             "{{\n  \"bench\": \"stream_throughput\",\n  \"preset\": \"{preset}\",\n  \
              \"ops\": {},\n  \"results\": [\n{}\n  ],\n  \"parse\": [\n{}\n  ],\n  \
              \"escalation\": [\n{}\n  ],\n  \
+             \"fleet\": [\n{}\n  ],\n  \
              \"checkpoint_overhead\": [\n{}\n  ]\n}}\n",
             records.len(),
             rows.join(",\n"),
             parse_rows.join(",\n"),
             escalation_rows.join(",\n"),
+            fleet_rows.join(",\n"),
             checkpoint_rows.join(",\n"),
         );
         std::fs::write(&path, json).expect("write bench artifact");

@@ -2,10 +2,11 @@
 
 use crate::args::{ArgError, Args};
 use kav_core::{
-    check_witness, diagnose, read_checkpoint, smallest_k, Checkpoint, CheckpointWriter,
-    ConstrainedSearch, ExhaustiveSearch, Fzf, GenK, GkOneAv, Lbt, PipelineConfig,
-    PipelineOutput, ShardProgress, SourcePosition, Staleness, StreamPipeline, Verdict,
-    Verifier, DEFAULT_CHECKPOINT_EVERY, DEFAULT_GAP_BUDGET,
+    check_witness, diagnose, fleet_verdict, read_checkpoint, smallest_k, worker_loop,
+    Checkpoint, CheckpointWriter, ConstrainedSearch, ExhaustiveSearch, FleetConfig,
+    FleetCoordinator, Fzf, GenK, GkOneAv, Lbt, PipelineConfig, PipelineOutput,
+    ShardProgress, SourcePosition, Staleness, StreamPipeline, Verdict, Verifier,
+    WorkerLink, DEFAULT_CHECKPOINT_EVERY, DEFAULT_GAP_BUDGET, DEFAULT_REPLAY_CAP,
 };
 use kav_history::fxhash::Fingerprint;
 use kav_history::{
@@ -76,6 +77,17 @@ pub fn usage() -> &'static str {
      \x20                               into the zero-copy decoder for the chosen --format)\n\
      \x20        exit codes: 0 = verified, 1 = violation, 2 = unusable input\n\
      \x20        (see docs/OPERATIONS.md for the checkpoint/resume lifecycle)\n\
+     \x20 kav serve --workers <N> [same verification flags as stream]\n\
+     \x20        [--replay-cap <frames>] [--split-hottest <records>]\n\
+     \x20        [--kill-worker <idx:records>]   (fault-injection test hook)\n\
+     \x20        <ops.ndjson | ->\n\
+     \x20        multi-process fleet: partitions the key space over N spawned\n\
+     \x20        `kav work` processes, merges their checkpoints and reports;\n\
+     \x20        exit codes and checkpoint files interchange with `kav stream`\n\
+     \x20        (see docs/OPERATIONS.md, \"Running a fleet\")\n\
+     \x20 kav work [--algo gk|lbt|fzf|genk] [--k <N>] [--gap-budget <nodes|unbounded>]\n\
+     \x20        fleet worker: speaks the coordinator protocol on stdin/stdout\n\
+     \x20        (spawned by `kav serve`; not for interactive use)\n\
      \x20 kav sim [--replicas N] [--read-quorum R] [--write-quorum W] [--fanout F]\n\
      \x20        [--clients C] [--ops N] [--keys K] [--lag lo:hi] [--net lo:hi]\n\
      \x20        [--drop p] [--seed s] [--budget nodes] [--out-prefix path]\n\
@@ -678,24 +690,7 @@ fn stream_inner(args: &Args) -> CmdResult {
         config.window.max(1),
         config.shards.max(1),
     );
-    println!("key | ops | segments | reads | depth mean/max | breach/orphan | verdict");
-    for (key, report) in &output.keys {
-        let verdict = match report.k_atomic() {
-            Some(true) => "YES",
-            Some(false) => "NO",
-            None => "UNKNOWN",
-        };
-        println!(
-            "{key:>3} | {:>5} | {:>8} | {:>5} | {:>7.2}/{:<4} | {:>6}/{:<6} | {verdict}",
-            report.ops,
-            report.segments,
-            report.reads,
-            report.mean_read_depth,
-            report.max_read_depth,
-            report.horizon_breaches,
-            report.orphaned_reads,
-        );
-    }
+    print_key_table(&output);
     for line in &malformed {
         eprintln!("{line}");
     }
@@ -755,6 +750,30 @@ fn stream_inner(args: &Args) -> CmdResult {
         }
     }
     Ok(())
+}
+
+/// Prints the per-key report table shared by `kav stream` and
+/// `kav serve` — the fleet's merged output renders exactly like a
+/// single-process run.
+fn print_key_table(output: &PipelineOutput) {
+    println!("key | ops | segments | reads | depth mean/max | breach/orphan | verdict");
+    for (key, report) in &output.keys {
+        let verdict = match report.k_atomic() {
+            Some(true) => "YES",
+            Some(false) => "NO",
+            None => "UNKNOWN",
+        };
+        println!(
+            "{key:>3} | {:>5} | {:>8} | {:>5} | {:>7.2}/{:<4} | {:>6}/{:<6} | {verdict}",
+            report.ops,
+            report.segments,
+            report.reads,
+            report.mean_read_depth,
+            report.max_read_depth,
+            report.horizon_breaches,
+            report.orphaned_reads,
+        );
+    }
 }
 
 /// One NDJSON progress record, written to stderr every
@@ -1033,6 +1052,404 @@ fn drive_stream<V: Verifier + Clone + Send + 'static>(
         }
     }
     Ok((pipeline.finish(), malformed, total_malformed))
+}
+
+/// Maps the CLI `--algo` spelling (plus `k`) to the [`Verifier::name`]
+/// that goes on the fleet wire — workers refuse assignments whose name
+/// disagrees with the verifier they run, so the coordinator must speak
+/// the verifier's own name, not the flag alias.
+fn wire_algo_name(algo: &str, k: u64) -> Result<&'static str, Box<dyn Error>> {
+    match (canonical_algo(algo), k) {
+        ("gk", 1) => Ok("gk-zones"),
+        ("fzf", 2) => Ok("fzf"),
+        ("lbt", 2) => Ok("lbt"),
+        ("genk", k) if k >= 1 => Ok("genk"),
+        (a, k) => Err(bad_algo_k(a, k, "")),
+    }
+}
+
+/// `kav work` — one fleet worker: speaks the coordinator↔worker protocol
+/// on stdin/stdout until FINISH (exit 0) or a protocol fault (exit
+/// [`EXIT_BAD_INPUT`] with the diagnostic on stderr — a fault is unusable
+/// input, never a verdict). Spawned by `kav serve`; runnable by hand only
+/// for debugging the wire format.
+pub fn work(args: &Args) -> CmdResult {
+    let k: u64 = args.get_parsed("k", 2)?;
+    let algo = args.get("algo").unwrap_or(match k {
+        1 => "gk",
+        2 => "fzf",
+        _ => "genk",
+    });
+    let gap_budget = gap_budget_flag(args, DEFAULT_GAP_BUDGET)?;
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout().lock();
+    let result = match (canonical_algo(algo), k) {
+        ("gk", 1) => worker_loop(GkOneAv, stdin, stdout),
+        ("fzf", 2) => worker_loop(Fzf, stdin, stdout),
+        ("lbt", 2) => worker_loop(Lbt::new(), stdin, stdout),
+        ("genk", k) if k >= 1 => {
+            worker_loop(GenK::with_gap_budget(k, gap_budget), stdin, stdout)
+        }
+        (a, k) => return Err(bad_algo_k(a, k, "")),
+    };
+    result.map_err(|e| -> Box<dyn Error> {
+        ExitWith::new(EXIT_BAD_INPUT, format!("worker: {e}"))
+    })
+}
+
+/// `kav serve` — multi-process fleet verification: the coordinator
+/// partitions the key space over `--workers` spawned `kav work`
+/// processes, fans ingest out by key hash, merges their checkpoints at
+/// cadence and their final reports at the end. Exit codes, checkpoint
+/// files and the report table are interchangeable with `kav stream`;
+/// worker death is absorbed by checkpoint hand-off (see
+/// docs/OPERATIONS.md, "Running a fleet").
+pub fn serve(args: &Args) -> CmdResult {
+    serve_inner(args).map_err(|e| -> Box<dyn Error> {
+        if e.is::<ExitWith>() {
+            e
+        } else {
+            // Transport and protocol faults verified nothing: bad input,
+            // never the violation code.
+            ExitWith::new(EXIT_BAD_INPUT, e.to_string())
+        }
+    })
+}
+
+fn serve_inner(args: &Args) -> CmdResult {
+    const MALFORMED_SAMPLES: usize = 10;
+    let resume = match args.get("resume") {
+        Some(path) => Some(read_checkpoint(path).map_err(|e| {
+            ExitWith::new(EXIT_BAD_INPUT, format!("--resume {path}: {e}"))
+        })?),
+        None => None,
+    };
+    // Verification parameters resolve exactly as in `kav stream`: flags
+    // on a fresh audit, the checkpoint on a resumed one.
+    let (k, algo, window, horizon) = match &resume {
+        Some(checkpoint) => {
+            let p = &checkpoint.pipeline;
+            reject_resume_conflict(args, "k", &p.k.to_string())?;
+            reject_resume_conflict(args, "algo", &p.algo)?;
+            reject_resume_conflict(args, "window", &p.window.to_string())?;
+            reject_resume_conflict(args, "horizon", &p.horizon.to_string())?;
+            (p.k, p.algo.clone(), p.window, Some(p.horizon))
+        }
+        None => {
+            let k: u64 = args.get_parsed("k", 2)?;
+            let algo = args
+                .get("algo")
+                .unwrap_or(match k {
+                    1 => "gk",
+                    2 => "fzf",
+                    _ => "genk",
+                })
+                .to_string();
+            let horizon = match args.get("horizon") {
+                Some(_) => Some(args.get_parsed("horizon", 0)?),
+                None => None,
+            };
+            (k, algo, args.get_parsed("window", 1024)?, horizon)
+        }
+    };
+    let workers: usize = args.get_parsed("workers", 2)?;
+    if workers == 0 {
+        return Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            "--workers 0: a fleet needs at least one worker",
+        ));
+    }
+    let gap_budget = gap_budget_flag(args, DEFAULT_GAP_BUDGET)?;
+    let config = FleetConfig {
+        algo: wire_algo_name(&algo, k)?.to_string(),
+        k,
+        window,
+        horizon,
+        // One pipeline thread per worker by default: the fleet's
+        // parallelism is the processes themselves.
+        worker_shards: args.get_parsed("shards", 1)?,
+        batch: args.get_parsed("batch", FleetConfig::default().batch)?,
+        checkpoint_every: args.get_parsed("checkpoint-every", DEFAULT_CHECKPOINT_EVERY)?,
+        replay_cap: args.get_parsed("replay-cap", DEFAULT_REPLAY_CAP)?,
+    };
+    let kill: Option<(usize, u64)> = match args.get("kill-worker") {
+        None => None,
+        Some(v) => {
+            let parsed = v.split_once(':').and_then(|(idx, at)| {
+                Some((idx.parse().ok()?, at.parse().ok()?))
+            });
+            let (idx, at) = parsed.ok_or_else(|| {
+                ArgError(format!("--kill-worker: expected idx:records, got {v:?}"))
+            })?;
+            if idx >= workers {
+                return Err(ExitWith::new(
+                    EXIT_BAD_INPUT,
+                    format!("--kill-worker {idx}: the fleet has workers 0..{workers}"),
+                ));
+            }
+            Some((idx, at))
+        }
+    };
+    let split_at: u64 = args.get_parsed("split-hottest", 0)?;
+    let input = args.positional(1).ok_or_else(|| {
+        ArgError("serve requires an NDJSON file argument (or -)".into())
+    })?;
+    let binary = format_flag(args)?;
+    let strict = args.flag("strict");
+    let checkpoint_path = args.get("checkpoint");
+
+    // Spawn the fleet before touching the input: a fleet that cannot
+    // start verifies nothing. Children speak the protocol on their
+    // stdin/stdout; stderr passes through for diagnostics.
+    let exe = std::env::current_exe()?;
+    let mut children: Vec<std::process::Child> = Vec::with_capacity(workers);
+    let mut links: Vec<WorkerLink> = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let mut child = std::process::Command::new(&exe)
+            .arg("work")
+            .arg("--algo")
+            .arg(canonical_algo(&algo))
+            .arg("--k")
+            .arg(k.to_string())
+            .arg("--gap-budget")
+            .arg(match gap_budget {
+                Some(nodes) => nodes.to_string(),
+                None => "unbounded".to_string(),
+            })
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()?;
+        let child_stdin = child.stdin.take().expect("stdin is piped");
+        let child_stdout = child.stdout.take().expect("stdout is piped");
+        links.push(WorkerLink {
+            writer: Box::new(std::io::BufWriter::new(child_stdin)),
+            reader: Box::new(std::io::BufReader::new(child_stdout)),
+        });
+        children.push(child);
+    }
+
+    let from_stdin = input == "-";
+    let fingerprinted = checkpoint_path.is_some() || resume.is_some();
+    let mapped;
+    let mut source = if from_stdin {
+        if binary {
+            return Err(ExitWith::new(
+                EXIT_BAD_INPUT,
+                "--format binary requires a file argument (stdin ingest is NDJSON-only)",
+            ));
+        }
+        let raw: Box<dyn std::io::BufRead> = Box::new(std::io::stdin().lock());
+        IngestSource::Reference(if fingerprinted {
+            ndjson::Reader::with_fingerprint(raw, Fingerprint::new())
+        } else {
+            ndjson::Reader::new(raw)
+        })
+    } else {
+        mapped = crate::mmap::map_file(input)?;
+        if binary {
+            let reader = if fingerprinted {
+                frame::FrameReader::with_fingerprint(&mapped, Fingerprint::new())
+            } else {
+                frame::FrameReader::new(&mapped)
+            }
+            .map_err(|e| ExitWith::new(EXIT_BAD_INPUT, format!("{input}: {e}")))?;
+            IngestSource::Binary(reader)
+        } else {
+            IngestSource::ZeroCopy(if fingerprinted {
+                ndjson::SliceReader::with_fingerprint(&mapped, Fingerprint::new())
+            } else {
+                ndjson::SliceReader::new(&mapped)
+            })
+        }
+    };
+
+    let mut malformed: Vec<String> = Vec::new();
+    let mut total_malformed: u64 = 0;
+    let mut fleet = match &resume {
+        Some(checkpoint) => {
+            let prefix_verified = if from_stdin {
+                eprintln!(
+                    "warning: resuming from stdin skips prefix verification — \
+                     a YES verdict will degrade to UNKNOWN"
+                );
+                false
+            } else {
+                let skipped = source.skip_units(checkpoint.source.lines)?;
+                if skipped < checkpoint.source.lines {
+                    return Err(ExitWith::new(
+                        EXIT_BAD_INPUT,
+                        format!(
+                            "--resume: input ends after {skipped} records but the \
+                             checkpoint covers {}; wrong input file?",
+                            checkpoint.source.lines
+                        ),
+                    ));
+                }
+                if source.fingerprint() != Some(checkpoint.source.fingerprint) {
+                    return Err(ExitWith::new(
+                        EXIT_BAD_INPUT,
+                        format!(
+                            "--resume: the first {} input records differ from the ones \
+                             the checkpoint summarised (fingerprint mismatch — wrong \
+                             file, or a different --format?); resuming would silently \
+                             corrupt the audit",
+                            checkpoint.source.lines
+                        ),
+                    ));
+                }
+                true
+            };
+            total_malformed = checkpoint.source.malformed;
+            malformed = checkpoint.source.malformed_samples.clone();
+            let fleet =
+                FleetCoordinator::resume(config, links, &checkpoint.pipeline, prefix_verified)
+                    .map_err(|e| ExitWith::new(EXIT_BAD_INPUT, e.to_string()))?;
+            println!(
+                "resumed fleet from checkpoint v{} ({} ops, {} records{})",
+                checkpoint.version,
+                checkpoint.pipeline.ops_routed,
+                checkpoint.source.lines,
+                if prefix_verified { ", prefix verified" } else { ", prefix unverified" },
+            );
+            fleet
+        }
+        None => FleetCoordinator::new(config, links)?,
+    };
+    let mut writer = checkpoint_path.map(|path| {
+        CheckpointWriter::starting_at(
+            path,
+            resume.as_ref().map_or(0, |checkpoint| checkpoint.version),
+        )
+    });
+
+    let mut records: u64 = 0;
+    while let Some(record) = source.next_record() {
+        match record {
+            Ok(record) => fleet.push(record.key, record.op())?,
+            Err(e @ ndjson::NdjsonError::Parse { .. }) => {
+                if strict {
+                    return Err(ExitWith::new(EXIT_BAD_INPUT, format!("--strict: {e}")));
+                }
+                total_malformed += 1;
+                if malformed.len() < MALFORMED_SAMPLES {
+                    malformed.push(e.to_string());
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+        records += 1;
+        if let Some((idx, at)) = kill {
+            if records == at {
+                // Fault-injection hook: SIGKILL the worker mid-stream; the
+                // coordinator must absorb it by checkpoint hand-off.
+                children[idx].kill()?;
+                children[idx].wait()?;
+            }
+        }
+        if split_at > 0 && records == split_at {
+            fleet.split_hottest()?;
+        }
+        if let Some(writer) = &mut writer {
+            if fleet.checkpoint_due() {
+                let snapshot = fleet.snapshot_fleet()?;
+                let position = SourcePosition {
+                    lines: source.units_read(),
+                    fingerprint: source
+                        .fingerprint()
+                        .expect("checkpointing sessions always fingerprint"),
+                    malformed: total_malformed,
+                    malformed_samples: malformed.clone(),
+                };
+                writer.write(position, snapshot)?;
+            }
+        }
+    }
+    let (output, summary) = fleet.finish()?;
+    for child in &mut children {
+        let _ = child.wait();
+    }
+
+    println!(
+        "fleet: {} workers ({} alive at the end), {} ranges, {} hand-offs \
+         ({} uncertified), {} splits, {} frames dropped",
+        summary.workers,
+        summary.workers_alive,
+        summary.ranges,
+        summary.hand_offs,
+        summary.uncertified_hand_offs,
+        summary.splits,
+        summary.frames_dropped,
+    );
+    println!(
+        "verified {} ops across {} keys ({algo}, k={k}, window {}, {} workers)",
+        output.total_ops(),
+        output.keys.len(),
+        window.max(1),
+        workers,
+    );
+    print_key_table(&output);
+    for line in &malformed {
+        eprintln!("{line}");
+    }
+    if total_malformed > malformed.len() as u64 {
+        eprintln!(
+            "... and {} more malformed records",
+            total_malformed - malformed.len() as u64
+        );
+    }
+    for (key, error) in &output.errors {
+        eprintln!("key {key}: {error}");
+    }
+
+    let violating =
+        output.keys.iter().filter(|(_, r)| r.k_atomic() == Some(false)).count();
+    if violating > 0 {
+        return Err(ExitWith::new(
+            EXIT_VIOLATION,
+            format!("NO: {violating} keys are not {k}-atomic"),
+        ));
+    }
+    if !output.errors.is_empty() {
+        return Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!("{} keys had unusable streams", output.errors.len()),
+        ));
+    }
+    if total_malformed > 0 {
+        return Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!("{total_malformed} malformed records were skipped"),
+        ));
+    }
+    match fleet_verdict(&output, &summary) {
+        Some(true) => {
+            println!("YES: every key is {k}-atomic (fleet certified)");
+        }
+        Some(false) => unreachable!("violations and errors are handled above"),
+        None => {
+            if summary.uncertified_hand_offs > 0 || summary.frames_dropped > 0 {
+                println!(
+                    "UNKNOWN: no violation found, but {} hand-off(s) lost their replay \
+                     and {} frames were dropped past the break; checkpoint at least \
+                     every --replay-cap records (or rerun end to end) to certify",
+                    summary.uncertified_hand_offs, summary.frames_dropped,
+                );
+            } else if output.keys.iter().any(|(_, r)| r.resumed_uncertified) {
+                println!(
+                    "UNKNOWN: no violation found, but the resume chain could not be \
+                     verified (non-seekable input); re-run the audit end to end, or \
+                     resume from a file, to certify"
+                );
+            } else {
+                println!(
+                    "UNKNOWN: no violation found, but some reads outlived the window or \
+                     the retirement horizon; rerun with a larger --window / --horizon \
+                     to certify"
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 /// `kav reduce` — the Figure-5 bin-packing reduction.

@@ -34,6 +34,8 @@ fn main() -> ExitCode {
         "sim" => commands::sim(&args),
         "simulate" => commands::simulate(&args),
         "stream" => commands::stream(&args),
+        "serve" => commands::serve(&args),
+        "work" => commands::work(&args),
         "reduce" => commands::reduce(&args),
         other => {
             eprintln!("error: unknown subcommand {other:?}\n\n{}", commands::usage());

@@ -729,3 +729,175 @@ fn verify_constrained_algo_decides_any_k() {
     assert!(stderr(&out).contains("offline-only"), "{}", stderr(&out));
     assert!(stderr(&out).contains("supported:"), "{}", stderr(&out));
 }
+
+// ---------------------------------------------------------------------------
+// The audit fleet: `kav serve` / `kav work`.
+// ---------------------------------------------------------------------------
+
+/// The per-key report rows (and header) of a `kav stream` / `kav serve`
+/// stdout — the part that must be identical between the two.
+fn key_table(text: &str) -> Vec<String> {
+    text.lines().filter(|line| line.contains(" | ")).map(str::to_owned).collect()
+}
+
+#[test]
+fn serve_report_matches_stream_report() {
+    let path = temp_file("fleet_clean.ndjson");
+    let out = kav(&[
+        "gen", "--workload", "stream", "--keys", "6", "--n", "150", "--k", "2",
+        "--seed", "11", "--out", path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let path = path.to_str().unwrap();
+
+    let single = kav(&["stream", "--k", "2", "--window", "64", path]);
+    assert!(single.status.success(), "{}", stderr(&single));
+    let baseline = key_table(&stdout(&single));
+    assert!(!baseline.is_empty());
+
+    for workers in ["1", "2", "3"] {
+        let fleet = kav(&["serve", "--workers", workers, "--k", "2", "--window", "64", path]);
+        assert_eq!(fleet.status.code(), Some(0), "{}", stderr(&fleet));
+        let text = stdout(&fleet);
+        assert_eq!(key_table(&text), baseline, "fleet of {workers} diverged");
+        assert!(text.contains("fleet certified"), "{text}");
+        assert!(text.contains("0 hand-offs"), "{text}");
+    }
+
+    // Splitting the hottest range mid-stream must not change the report.
+    let split = kav(&[
+        "serve", "--workers", "2", "--k", "2", "--window", "64",
+        "--split-hottest", "300", path,
+    ]);
+    assert_eq!(split.status.code(), Some(0), "{}", stderr(&split));
+    let text = stdout(&split);
+    assert_eq!(key_table(&text), baseline, "split diverged");
+    assert!(text.contains("1 splits"), "{text}");
+}
+
+#[test]
+fn serve_absorbs_a_sigkilled_worker_via_checkpoint_hand_off() {
+    let path = temp_file("fleet_stale.ndjson");
+    kav(&[
+        "gen", "--workload", "deep-stale", "--keys", "5", "--n", "120", "--k", "3",
+        "--seed", "17", "--out", path.to_str().unwrap(),
+    ]);
+    let path = path.to_str().unwrap();
+    let ckpt = temp_file("fleet_stale.ckpt");
+    let ckpt = ckpt.to_str().unwrap();
+
+    let single = kav(&["stream", "--algo", "genk", "--k", "2", "--window", "24", path]);
+    assert_eq!(single.status.code(), Some(1), "{}", stderr(&single));
+    let baseline = key_table(&stdout(&single));
+
+    // SIGKILL worker 1 mid-stream; checkpoints every 100 records keep the
+    // replay verifiable, so the hand-off must be invisible in the report
+    // and the pre-kill violations must survive with the violation exit.
+    let fleet = kav(&[
+        "serve", "--workers", "3", "--algo", "genk", "--k", "2", "--window", "24",
+        "--checkpoint", ckpt, "--checkpoint-every", "100",
+        "--kill-worker", "1:300", path,
+    ]);
+    assert_eq!(fleet.status.code(), Some(1), "{}", stderr(&fleet));
+    let text = stdout(&fleet);
+    assert_eq!(key_table(&text), baseline, "hand-off changed the report");
+    assert!(text.contains("(0 uncertified)"), "{text}");
+    assert!(!text.contains("0 hand-offs"), "{text}");
+    assert!(stderr(&fleet).contains("not 2-atomic"), "{}", stderr(&fleet));
+}
+
+#[test]
+fn serve_degrades_yes_to_unknown_on_an_unverifiable_hand_off() {
+    let path = temp_file("fleet_degrade.ndjson");
+    kav(&[
+        "gen", "--workload", "stream", "--keys", "6", "--n", "150", "--k", "2",
+        "--seed", "11", "--out", path.to_str().unwrap(),
+    ]);
+    let path = path.to_str().unwrap();
+
+    // No checkpoints and a tiny replay cap: the killed worker's range
+    // cannot be handed off verifiably. Soundness discipline: no violation
+    // may be invented (exit stays 0), but certification is refused.
+    let fleet = kav(&[
+        "serve", "--workers", "3", "--k", "2", "--window", "64",
+        "--replay-cap", "8", "--kill-worker", "1:600", path,
+    ]);
+    assert_eq!(fleet.status.code(), Some(0), "{}", stderr(&fleet));
+    let text = stdout(&fleet);
+    assert!(text.contains("UNKNOWN"), "{text}");
+    assert!(text.contains("lost their replay"), "{text}");
+    assert!(!text.contains("fleet certified"), "{text}");
+}
+
+#[test]
+fn serve_and_stream_checkpoints_interchange() {
+    let path = temp_file("fleet_interchange.ndjson");
+    kav(&[
+        "gen", "--workload", "stream", "--keys", "4", "--n", "150", "--k", "2",
+        "--seed", "3", "--out", path.to_str().unwrap(),
+    ]);
+    let path = path.to_str().unwrap();
+
+    // Fleet checkpoint -> single-process resume.
+    let ckpt = temp_file("fleet_to_stream.ckpt");
+    let ckpt = ckpt.to_str().unwrap();
+    let fleet = kav(&[
+        "serve", "--workers", "3", "--k", "2", "--window", "64",
+        "--checkpoint", ckpt, "--checkpoint-every", "200", path,
+    ]);
+    assert_eq!(fleet.status.code(), Some(0), "{}", stderr(&fleet));
+    let resumed = kav(&["stream", "--resume", ckpt, path]);
+    assert_eq!(resumed.status.code(), Some(0), "{}", stderr(&resumed));
+    let text = stdout(&resumed);
+    assert!(text.contains("resumed from checkpoint"), "{text}");
+    assert!(text.contains("prefix verified"), "{text}");
+
+    // Single-process checkpoint -> fleet resume.
+    let ckpt = temp_file("stream_to_fleet.ckpt");
+    let ckpt = ckpt.to_str().unwrap();
+    let single = kav(&[
+        "stream", "--k", "2", "--window", "64",
+        "--checkpoint", ckpt, "--checkpoint-every", "200", path,
+    ]);
+    assert_eq!(single.status.code(), Some(0), "{}", stderr(&single));
+    let resumed = kav(&["serve", "--workers", "2", "--resume", ckpt, path]);
+    assert_eq!(resumed.status.code(), Some(0), "{}", stderr(&resumed));
+    let text = stdout(&resumed);
+    assert!(text.contains("resumed fleet from checkpoint"), "{text}");
+    assert!(text.contains("prefix verified"), "{text}");
+    assert!(text.contains("fleet certified"), "{text}");
+}
+
+#[test]
+fn work_rejects_garbage_with_the_bad_input_exit() {
+    let out = kav_with_stdin(&["work", "--algo", "fzf", "--k", "2"], "this is not the protocol");
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("preamble"), "{}", stderr(&out));
+
+    // A worker that cannot exist at all is bad input too.
+    let out = kav_with_stdin(&["work", "--algo", "gk", "--k", "2"], "");
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("out of range"), "{}", stderr(&out));
+}
+
+#[test]
+fn serve_rejects_bad_fleet_flags_with_exit_2() {
+    let path = temp_file("fleet_flags.ndjson");
+    kav(&[
+        "gen", "--workload", "stream", "--keys", "2", "--n", "20", "--k", "2",
+        "--seed", "1", "--out", path.to_str().unwrap(),
+    ]);
+    let path = path.to_str().unwrap();
+
+    let out = kav(&["serve", "--workers", "0", path]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--workers 0"), "{}", stderr(&out));
+
+    let out = kav(&["serve", "--workers", "2", "--kill-worker", "5:10", path]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--kill-worker"), "{}", stderr(&out));
+
+    let out = kav(&["serve", "--workers", "2", "--kill-worker", "nonsense", path]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("idx:records"), "{}", stderr(&out));
+}

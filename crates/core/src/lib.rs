@@ -80,12 +80,16 @@ pub use gk::{GkAnalysis, GkOneAv};
 pub use lbt::{CandidateOrder, Lbt, LbtConfig, LbtReport, SearchStrategy};
 pub use search::{ExhaustiveSearch, SearchReport, MAX_SEARCH_OPS};
 pub use smallest_k::{smallest_k, staleness_upper_bound, Staleness};
+pub use stream::protocol;
 pub use stream::{
-    read_checkpoint, Checkpoint, CheckpointDelta, CheckpointError, CheckpointWriter, KeyError,
-    KeyReport, KeySnapshot, OnlineError, OnlineSnapshot, OnlineVerifier, PipelineConfig,
-    PipelineOutput, PipelineProgress, PipelineSnapshot, ShardProgress, SnapshotError,
-    SourcePosition, StreamPipeline, StreamReport, CHECKPOINT_FORMAT, DEFAULT_CHECKPOINT_EVERY,
-    DEFAULT_DELTA_EVERY, DEFAULT_HORIZON_WINDOWS,
+    fleet_verdict, merge_reports, merge_snapshots, partition_snapshot, read_checkpoint,
+    split_ops_share,
+    worker_loop, Checkpoint, CheckpointDelta, CheckpointError, CheckpointWriter, FleetConfig,
+    FleetCoordinator, FleetSummary, KeyError, KeyReport, KeySnapshot, MergeError, OnlineError,
+    OnlineSnapshot, OnlineVerifier, PipelineConfig, PipelineOutput, PipelineProgress,
+    PipelineSnapshot, ProtocolError, ShardProgress, SnapshotError, SourcePosition,
+    StreamPipeline, StreamReport, WorkerLink, CHECKPOINT_FORMAT, DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_DELTA_EVERY, DEFAULT_HORIZON_WINDOWS, DEFAULT_REPLAY_CAP,
 };
 pub use verdict::{Verdict, Verifier};
 pub use witness::{check_witness, TotalOrder, WitnessError};

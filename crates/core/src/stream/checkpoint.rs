@@ -61,6 +61,7 @@
 
 use super::pipeline::{KeyError, KeyReport, KeySnapshot, PipelineSnapshot};
 use super::OnlineSnapshot;
+use kav_history::frame::KeyRange;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::error::Error;
@@ -112,6 +113,14 @@ pub struct CheckpointDelta {
     pub ops_routed: u64,
     /// [`PipelineSnapshot::uncertified`] as of this hop.
     pub uncertified: bool,
+    /// [`PipelineSnapshot::partition`] as of this hop — the shard map the
+    /// delta was produced under. Resolution rejects a delta whose
+    /// partition disagrees with its base: per-key state diffed under one
+    /// key-range assignment must not be replayed onto a snapshot taken
+    /// under another (the writer re-bases instead of writing such a
+    /// delta, so only a corrupted or hand-spliced file trips this).
+    #[serde(default)]
+    pub partition: Option<KeyRange>,
     /// Keys whose live adapter state changed (or first appeared), with
     /// their full new state; sorted by key.
     pub changed: Vec<KeySnapshot>,
@@ -224,6 +233,13 @@ fn resolve_deltas(mut checkpoint: Checkpoint) -> Result<Checkpoint, CheckpointEr
             ));
         }
         last_version = delta.version;
+        if delta.partition != pipeline.partition {
+            return bad(format!(
+                "delta version {} was produced under shard map {:?} but its base snapshot \
+                 covers {:?} — the checkpoint mixes states from different partitions",
+                delta.version, delta.partition, pipeline.partition
+            ));
+        }
         for entry in &delta.changed {
             states.insert(entry.key, entry.state.clone());
         }
@@ -334,8 +350,16 @@ impl CheckpointWriter {
         let serialize_err =
             |e: serde_json::Error| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
         let version = self.version + 1;
+        // A partition change (a shard hand-off or split re-tagged the
+        // pipeline) forces a re-base: a delta diffed under the new shard
+        // map against a base from the old one is exactly the mixed chain
+        // `read_checkpoint` rejects.
+        let repartitioned = match self.prev.as_ref() {
+            None => true,
+            Some(prev) => prev.partition != pipeline.partition,
+        };
         let full = self.delta_every == 0
-            || self.prev.is_none()
+            || repartitioned
             || self.delta_jsons.len() >= self.delta_every;
         // Serialize the new piece, but mutate the writer's chain state
         // only after the rename succeeds.
@@ -422,6 +446,7 @@ fn diff_snapshots(
         version,
         ops_routed: next.ops_routed,
         uncertified: next.uncertified,
+        partition: next.partition,
         changed,
         removed,
         new_reports,
@@ -558,6 +583,43 @@ mod tests {
         // The untampered file still reads.
         fs::write(&path, serde_json::to_string(&parsed).unwrap()).unwrap();
         assert!(read_checkpoint(&path).is_ok());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mixed_partition_delta_chains_are_rejected() {
+        // Regression: a delta produced under one shard map used to resolve
+        // silently onto a base snapshot taken under another. The chain is
+        // now tagged and the mix is a parse error, and the writer re-bases
+        // on a partition change so it never produces such a file itself.
+        let path = temp_path("mixedpartition.ckpt");
+        let mut writer = CheckpointWriter::new(&path);
+        writer.write(SourcePosition::default(), small_snapshot()).unwrap();
+        writer.write(SourcePosition::default(), small_snapshot()).unwrap();
+        let parsed: Checkpoint =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.deltas.len(), 1, "second write is a delta");
+
+        // Hand-splice a foreign shard map into the delta: rejected.
+        let mut bad = parsed.clone();
+        bad.deltas[0].partition = Some(KeyRange::ALL.split().0);
+        fs::write(&path, serde_json::to_string(&bad).unwrap()).unwrap();
+        match read_checkpoint(&path) {
+            Err(CheckpointError::Parse(msg)) => {
+                assert!(msg.contains("different partitions"), "diagnostic names the fault: {msg}")
+            }
+            other => panic!("mixed-partition chain must be rejected, got {other:?}"),
+        }
+
+        // A real partition change goes through the writer, which re-bases:
+        // the file holds a fresh full snapshot, no cross-partition delta.
+        let mut moved = small_snapshot();
+        moved.partition = Some(KeyRange::ALL.split().1);
+        writer.write(SourcePosition::default(), moved.clone()).unwrap();
+        let rebased: Checkpoint =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(rebased.deltas.is_empty(), "partition change must re-base the file");
+        assert_eq!(read_checkpoint(&path).unwrap().pipeline, moved);
         fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,333 @@
+//! Merging per-shard fleet state back into single-process shapes.
+//!
+//! The fleet's soundness story is that distribution must be *invisible*:
+//! a coordinator splitting the key space over worker processes has to
+//! produce byte-for-byte the report one [`StreamPipeline`] would have
+//! produced on the same stream. §II-B makes that possible — per-key
+//! verdicts depend only on that key's operation sequence plus the
+//! window/horizon configuration, never on which process hosted the key —
+//! so merging is concatenation plus the certification discipline:
+//!
+//! * any shard's **NO** is the fleet's NO (a violation of one register is
+//!   a violation of the store);
+//! * a fleet **YES** requires *every* shard's unbroken chain — each
+//!   worker's reports certified, no shard missing;
+//! * an uncertified shard (an unverifiable hand-off, a lost replay)
+//!   degrades YES to UNKNOWN, and the taint is sticky exactly as it is
+//!   for single-process resume chains.
+//!
+//! [`merge_snapshots`] folds per-range [`PipelineSnapshot`]s into one
+//! whole-key-space snapshot — a *fleet checkpoint* is therefore an
+//! ordinary checkpoint file, resumable by `kav stream --resume` or
+//! re-partitionable by [`partition_snapshot`] for a differently sized
+//! fleet. [`merge_reports`] does the same for finished
+//! [`PipelineOutput`]s.
+//!
+//! [`StreamPipeline`]: super::StreamPipeline
+
+use super::pipeline::{PipelineOutput, PipelineSnapshot};
+use kav_history::frame::KeyRange;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Why per-shard snapshots cannot be merged (see [`merge_snapshots`]).
+/// Always a protocol/state fault, never a verdict: drivers surface these
+/// as exit-2 diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// No snapshots were offered.
+    Empty,
+    /// Two snapshots disagree on algorithm, `k`, window or horizon.
+    ConfigMismatch(String),
+    /// The same key appears in more than one shard's snapshot — the
+    /// partition was not disjoint, so per-key state cannot be trusted.
+    OverlappingKey(u64),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "no shard snapshots to merge"),
+            MergeError::ConfigMismatch(msg) => write!(f, "shard snapshots disagree: {msg}"),
+            MergeError::OverlappingKey(key) => {
+                write!(f, "key {key} is claimed by more than one shard")
+            }
+        }
+    }
+}
+
+impl Error for MergeError {}
+
+/// Folds disjoint per-range snapshots into one whole-key-space
+/// [`PipelineSnapshot`] (partition tag cleared, keys re-sorted,
+/// `ops_routed` summed, the uncertified taint OR-ed — one tainted shard
+/// taints the fleet, YES degrades to UNKNOWN, NO is unaffected).
+///
+/// # Errors
+///
+/// [`MergeError`] when the parts disagree on configuration or claim
+/// overlapping keys; nothing about a rejected merge is trusted.
+pub fn merge_snapshots(parts: &[PipelineSnapshot]) -> Result<PipelineSnapshot, MergeError> {
+    let first = parts.first().ok_or(MergeError::Empty)?;
+    let mut merged = PipelineSnapshot {
+        algo: first.algo.clone(),
+        k: first.k,
+        window: first.window,
+        horizon: first.horizon,
+        ops_routed: 0,
+        uncertified: false,
+        partition: None,
+        states: Vec::new(),
+        reports: Vec::new(),
+        errors: Vec::new(),
+    };
+    let mut seen: HashSet<u64> = HashSet::new();
+    for part in parts {
+        if part.algo != merged.algo || part.k != merged.k {
+            return Err(MergeError::ConfigMismatch(format!(
+                "{}/k={} vs {}/k={}",
+                merged.algo, merged.k, part.algo, part.k
+            )));
+        }
+        if part.window != merged.window || part.horizon != merged.horizon {
+            return Err(MergeError::ConfigMismatch(format!(
+                "window {}/horizon {} vs window {}/horizon {}",
+                merged.window, merged.horizon, part.window, part.horizon
+            )));
+        }
+        for key in part
+            .states
+            .iter()
+            .map(|entry| entry.key)
+            .chain(part.errors.iter().map(|entry| entry.key))
+        {
+            if !seen.insert(key) {
+                return Err(MergeError::OverlappingKey(key));
+            }
+        }
+        merged.ops_routed += part.ops_routed;
+        merged.uncertified |= part.uncertified;
+        merged.states.extend(part.states.iter().cloned());
+        merged.reports.extend(part.reports.iter().cloned());
+        merged.errors.extend(part.errors.iter().cloned());
+    }
+    merged.states.sort_by_key(|entry| entry.key);
+    merged.reports.sort_by_key(|entry| entry.key);
+    merged.errors.sort_by_key(|entry| entry.key);
+    Ok(merged)
+}
+
+/// Carves the slice of `parent` that `range` covers, tagging the result
+/// with the range — the hand-out when a checkpoint is re-partitioned over
+/// a fleet, and the split when a hot shard divides. `ops_routed` is the
+/// caller's share accounting (per-key state does not record which routed
+/// operations belonged to which key, so the caller divides the parent's
+/// total; [`split_ops_share`] is the canonical division).
+pub fn partition_snapshot(
+    parent: &PipelineSnapshot,
+    range: KeyRange,
+    ops_routed: u64,
+) -> PipelineSnapshot {
+    PipelineSnapshot {
+        algo: parent.algo.clone(),
+        k: parent.k,
+        window: parent.window,
+        horizon: parent.horizon,
+        ops_routed,
+        uncertified: parent.uncertified,
+        partition: Some(range),
+        states: parent
+            .states
+            .iter()
+            .filter(|entry| range.contains(entry.key))
+            .cloned()
+            .collect(),
+        reports: parent
+            .reports
+            .iter()
+            .filter(|entry| range.contains(entry.key))
+            .cloned()
+            .collect(),
+        errors: parent
+            .errors
+            .iter()
+            .filter(|entry| range.contains(entry.key))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// The accepted-operation count of `parent`'s keys inside `range` — the
+/// canonical `ops_routed` share for [`partition_snapshot`]: give one
+/// child its accepted ops and the other `parent.ops_routed` minus that,
+/// so the fleet-wide sum is conserved across splits.
+pub fn split_ops_share(parent: &PipelineSnapshot, range: KeyRange) -> u64 {
+    let live: u64 = parent
+        .states
+        .iter()
+        .filter(|entry| range.contains(entry.key))
+        .map(|entry| entry.state.ops)
+        .sum();
+    let finalised: u64 = parent
+        .reports
+        .iter()
+        .filter(|entry| range.contains(entry.key))
+        .map(|entry| entry.report.ops)
+        .sum();
+    live + finalised
+}
+
+/// Concatenates disjoint per-range finished outputs into the
+/// single-process [`PipelineOutput`] shape (keys re-sorted). The caller
+/// guarantees disjointness — the coordinator's routing does; merged
+/// verdicts then follow from [`PipelineOutput::all_k_atomic`] unchanged.
+pub fn merge_reports(parts: impl IntoIterator<Item = PipelineOutput>) -> PipelineOutput {
+    let mut merged = PipelineOutput::default();
+    for part in parts {
+        merged.keys.extend(part.keys);
+        merged.errors.extend(part.errors);
+    }
+    merged.keys.sort_by_key(|(key, _)| *key);
+    merged.errors.sort_by_key(|(key, _)| *key);
+    merged
+}
+
+/// What a fleet run did, beyond the verdict: topology and hand-off
+/// counters for operators (`kav serve` prints it; serializable for
+/// progress records).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Worker processes the fleet started with.
+    pub workers: usize,
+    /// Workers still alive at the end.
+    pub workers_alive: usize,
+    /// Key ranges at the end (initial partition plus splits).
+    pub ranges: usize,
+    /// Ranges re-assigned after a worker death.
+    pub hand_offs: usize,
+    /// Hand-offs whose replay chain could not be verified — each stops
+    /// its range's audit at the acked snapshot (proven violations
+    /// survive, tainted) and bars the fleet from certifying.
+    pub uncertified_hand_offs: usize,
+    /// Hot-shard splits performed.
+    pub splits: usize,
+    /// Frames dropped after unverifiable hand-offs (auditing across the
+    /// gap could invent violations, so the coordinator refuses). Never
+    /// silent: any drop bars certification.
+    #[serde(default)]
+    pub frames_dropped: u64,
+}
+
+/// The fleet-level certification discipline applied to a merged report:
+/// any shard's NO is the fleet's NO; YES additionally requires that every
+/// hand-off was verified and no frame was dropped — otherwise YES
+/// degrades to UNKNOWN (`None`), exactly as a single-process unverified
+/// resume degrades it. NO is never weakened.
+pub fn fleet_verdict(output: &PipelineOutput, summary: &FleetSummary) -> Option<bool> {
+    match output.all_k_atomic() {
+        Some(true) if summary.uncertified_hand_offs > 0 || summary.frames_dropped > 0 => None,
+        verdict => verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::pipeline::{PipelineConfig, StreamPipeline};
+    use super::*;
+    use crate::Fzf;
+    use kav_history::{Operation, Time, Value};
+
+    fn pipeline_with(keys: &[u64]) -> StreamPipeline {
+        let mut pipeline = StreamPipeline::new(
+            Fzf,
+            PipelineConfig { shards: 1, window: 4, ..Default::default() },
+        );
+        // Ops derive from the key alone, so a key's stream is identical
+        // whether it is pushed into a whole-space or a partitioned
+        // pipeline (per-key verification never sees other keys).
+        for key in keys {
+            let t = 20 * key;
+            pipeline.push(*key, Operation::write(Value(key + 1), Time(t), Time(t + 5)));
+            pipeline.push(*key, Operation::read(Value(key + 1), Time(t + 6), Time(t + 9)));
+        }
+        pipeline
+    }
+
+    #[test]
+    fn merge_of_a_partition_equals_the_unpartitioned_snapshot() {
+        let keys: Vec<u64> = (0..40).collect();
+        let whole = pipeline_with(&keys).snapshot();
+        let (left, right) = KeyRange::ALL.split();
+        let mut left_pipe = pipeline_with(
+            &keys.iter().copied().filter(|k| left.contains(*k)).collect::<Vec<_>>(),
+        );
+        left_pipe.set_partition(Some(left));
+        let mut right_pipe = pipeline_with(
+            &keys.iter().copied().filter(|k| right.contains(*k)).collect::<Vec<_>>(),
+        );
+        right_pipe.set_partition(Some(right));
+        let merged = merge_snapshots(&[left_pipe.snapshot(), right_pipe.snapshot()]).unwrap();
+        assert_eq!(merged, whole);
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&whole).unwrap(),
+            "merged fleet checkpoints are byte-identical to single-process ones"
+        );
+        left_pipe.finish();
+        right_pipe.finish();
+    }
+
+    #[test]
+    fn partition_then_merge_roundtrips() {
+        let keys: Vec<u64> = (0..64).collect();
+        let whole = pipeline_with(&keys).snapshot();
+        let (left, right) = KeyRange::ALL.split();
+        let left_share = split_ops_share(&whole, left);
+        let parts = [
+            partition_snapshot(&whole, left, left_share),
+            partition_snapshot(&whole, right, whole.ops_routed - left_share),
+        ];
+        assert_eq!(parts[0].partition, Some(left));
+        assert!(parts[0].states.iter().all(|e| left.contains(e.key)));
+        assert_eq!(merge_snapshots(&parts).unwrap(), whole);
+    }
+
+    #[test]
+    fn merge_rejects_overlap_and_mismatch_and_ors_taint() {
+        let snapshot = pipeline_with(&[1, 2, 3]).snapshot();
+        assert_eq!(merge_snapshots(&[]), Err(MergeError::Empty));
+        assert!(matches!(
+            merge_snapshots(&[snapshot.clone(), snapshot.clone()]),
+            Err(MergeError::OverlappingKey(_))
+        ));
+        let mut other_window = pipeline_with(&[9]).snapshot();
+        other_window.window = snapshot.window + 1;
+        assert!(matches!(
+            merge_snapshots(&[snapshot.clone(), other_window]),
+            Err(MergeError::ConfigMismatch(_))
+        ));
+        let mut tainted = pipeline_with(&[100]).snapshot();
+        tainted.uncertified = true;
+        let merged = merge_snapshots(&[snapshot, tainted]).unwrap();
+        assert!(merged.uncertified, "one tainted shard taints the fleet");
+    }
+
+    #[test]
+    fn merged_reports_match_single_process_output() {
+        let keys: Vec<u64> = (0..32).collect();
+        let whole = pipeline_with(&keys).finish();
+        let (left, right) = KeyRange::ALL.split();
+        let parts = [left, right].map(|range| {
+            pipeline_with(
+                &keys.iter().copied().filter(|k| range.contains(*k)).collect::<Vec<_>>(),
+            )
+            .finish()
+        });
+        let merged = merge_reports(parts);
+        assert_eq!(merged.keys, whole.keys);
+        assert_eq!(merged.errors, whole.errors);
+        assert_eq!(merged.all_k_atomic(), whole.all_k_atomic());
+    }
+}

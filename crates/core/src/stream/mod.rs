@@ -87,16 +87,25 @@
 //! ```
 
 mod checkpoint;
+pub mod coordinator;
+pub mod merge;
 mod pipeline;
+pub mod protocol;
 
 pub use checkpoint::{
     read_checkpoint, Checkpoint, CheckpointDelta, CheckpointError, CheckpointWriter,
     SourcePosition, CHECKPOINT_FORMAT, DEFAULT_CHECKPOINT_EVERY, DEFAULT_DELTA_EVERY,
 };
+pub use coordinator::{FleetConfig, FleetCoordinator, WorkerLink, DEFAULT_REPLAY_CAP};
+pub use merge::{
+    fleet_verdict, merge_reports, merge_snapshots, partition_snapshot, split_ops_share,
+    FleetSummary, MergeError,
+};
 pub use pipeline::{
     KeyError, KeyReport, KeySnapshot, PipelineConfig, PipelineOutput, PipelineProgress,
     PipelineSnapshot, ShardProgress, StreamPipeline,
 };
+pub use protocol::{worker_loop, ProtocolError};
 
 use crate::{Verdict, Verifier};
 use kav_history::stream::{Push, StreamBuilder, StreamConfig, StreamError};

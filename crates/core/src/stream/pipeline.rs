@@ -33,7 +33,7 @@
 
 use super::{OnlineSnapshot, OnlineVerifier, SnapshotError, StreamReport};
 use crate::Verifier;
-use kav_history::frame::FrameBatch;
+use kav_history::frame::{FrameBatch, KeyRange};
 use kav_history::stream::DEPTH_BUCKETS;
 use kav_history::Operation;
 use serde::{Deserialize, Serialize};
@@ -171,6 +171,14 @@ pub struct PipelineSnapshot {
     /// re-feed could have dropped or repeated any key's records.
     #[serde(default)]
     pub uncertified: bool,
+    /// The slice of the hashed key space this snapshot covers, when it
+    /// was taken by a fleet worker (`None` = the whole key space, as every
+    /// single-process audit covers). The tag is the *shard map* of the
+    /// state: delta resolution and assignment hand-off reject a mismatch,
+    /// so state produced under one partition is never silently continued
+    /// under another.
+    #[serde(default)]
+    pub partition: Option<KeyRange>,
     /// Live per-key adapter states, sorted by key.
     pub states: Vec<KeySnapshot>,
     /// Early-finalised per-key reports, sorted by key.
@@ -388,6 +396,9 @@ pub struct StreamPipeline {
     ops_at_last_snapshot: u64,
     /// Some hop of the snapshot chain was resumed unverified.
     uncertified: bool,
+    /// The key-range slice this pipeline's snapshots are tagged with
+    /// (fleet workers set their assigned range; `None` = whole space).
+    partition: Option<KeyRange>,
 }
 
 impl StreamPipeline {
@@ -515,7 +526,9 @@ impl StreamPipeline {
         for entry in &snapshot.errors {
             seeds[shard_of(entry.key, shards)].errors.push((entry.key, entry.error.clone()));
         }
-        Ok(Self::build(verifier, config, seeds, snapshot.ops_routed, uncertified))
+        let mut pipeline = Self::build(verifier, config, seeds, snapshot.ops_routed, uncertified);
+        pipeline.partition = snapshot.partition;
+        Ok(pipeline)
     }
 
     /// Spawns the workers, fresh or seeded.
@@ -664,12 +677,27 @@ impl StreamPipeline {
             ops_routed,
             ops_at_last_snapshot: ops_routed,
             uncertified,
+            partition: None,
         }
     }
 
     /// Operations pushed into the pipeline so far (across resumes).
     pub fn ops_routed(&self) -> u64 {
         self.ops_routed
+    }
+
+    /// Tags this pipeline's snapshots with the key-range slice they cover.
+    /// Fleet workers set their assigned range; a single-process audit
+    /// leaves the default `None` (the whole key space). The caller is
+    /// responsible for only pushing keys the range
+    /// [contains](KeyRange::contains).
+    pub fn set_partition(&mut self, partition: Option<KeyRange>) {
+        self.partition = partition;
+    }
+
+    /// The key-range slice this pipeline's snapshots are tagged with.
+    pub fn partition(&self) -> Option<KeyRange> {
+        self.partition
     }
 
     /// True once [`PipelineConfig::checkpoint_every`] operations have been
@@ -776,6 +804,7 @@ impl StreamPipeline {
             horizon: self.horizon,
             ops_routed: self.ops_routed,
             uncertified: self.uncertified,
+            partition: self.partition,
             states,
             reports,
             errors,

@@ -30,6 +30,8 @@
 use crate::fxhash::Fingerprint;
 use crate::ndjson::{NdjsonError, StreamRecord};
 use crate::{OpKind, Operation, Time, Value, Weight};
+use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::fs;
 use std::path::Path;
 
@@ -38,6 +40,13 @@ pub const FRAME_MAGIC: [u8; 8] = *b"KAVF0001";
 
 /// Size of one encoded frame in bytes.
 pub const FRAME_LEN: usize = 37;
+
+/// Leading magic of a routed frame batch (the coordinator↔worker wire
+/// payload, see [`encode_routed_batch`]); also versions that layout.
+pub const BATCH_MAGIC: [u8; 4] = *b"KVB1";
+
+/// Byte length of the routed-batch header: magic, range, payload length.
+pub const BATCH_HEADER_LEN: usize = 20;
 
 const KIND_READ: u8 = 0;
 const KIND_WRITE: u8 = 1;
@@ -124,6 +133,251 @@ impl FrameBatch {
             decode_frame(frame).expect("FrameBatch frames are written by FrameBatch::push")
         })
     }
+
+    /// The raw frame bytes (no magic, no header) — `len() * FRAME_LEN`
+    /// bytes of consecutive frames.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuilds a batch from raw frame bytes, validating what the trusted
+    /// iterator assumes: whole frames only, every kind byte legal.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a byte length that is not a multiple of [`FRAME_LEN`] and
+    /// any frame whose kind byte is neither read nor write.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, BatchError> {
+        if !bytes.len().is_multiple_of(FRAME_LEN) {
+            return Err(BatchError::TruncatedFrames { bytes: bytes.len() });
+        }
+        for (i, frame) in bytes.chunks_exact(FRAME_LEN).enumerate() {
+            if let Err(kind) = decode_frame(frame) {
+                return Err(BatchError::BadKind { frame: i + 1, kind });
+            }
+        }
+        Ok(FrameBatch { bytes })
+    }
+}
+
+/// A bit-prefix slice of the hashed key space — the unit the fleet
+/// coordinator assigns, hands off and splits.
+///
+/// A range covers every key whose multiplicative hash has `prefix` as its
+/// top `bits` bits. Unlike `shard_of`'s modulus, prefixes **nest**:
+/// [`split`](KeyRange::split) yields two children that exactly tile the
+/// parent, so a hot shard can be split without re-hashing anything else in
+/// the fleet, and any set of ranges produced by repeated splits of
+/// [`KeyRange::ALL`] tiles the key space with no overlap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KeyRange {
+    /// How many leading hash bits the prefix pins (0 = the whole space).
+    pub bits: u32,
+    /// The pinned leading bits, right-aligned (`prefix < 2^bits`).
+    pub prefix: u64,
+}
+
+/// The multiplier behind both `shard_of` and [`KeyRange`]: keys are
+/// compared by the bits of `key * KEY_HASH_MULTIPLIER`.
+const KEY_HASH_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl KeyRange {
+    /// The whole key space (the one range a single-worker fleet owns).
+    pub const ALL: KeyRange = KeyRange { bits: 0, prefix: 0 };
+
+    /// Splits can nest at most this deep (far beyond any real fleet, but
+    /// it keeps `prefix` shifts well-defined).
+    pub const MAX_BITS: u32 = 32;
+
+    /// Whether the pair is internally consistent: `bits` within
+    /// [`MAX_BITS`](KeyRange::MAX_BITS) and `prefix` inside `2^bits`.
+    /// Deserialized ranges must pass this before use.
+    pub fn is_valid(&self) -> bool {
+        self.bits <= Self::MAX_BITS && (self.bits == 0 || self.prefix >> self.bits == 0)
+    }
+
+    /// Whether `key` hashes into this range.
+    pub fn contains(&self, key: u64) -> bool {
+        if self.bits == 0 {
+            return true;
+        }
+        key.wrapping_mul(KEY_HASH_MULTIPLIER) >> (64 - self.bits) == self.prefix
+    }
+
+    /// The two child ranges that exactly tile this one (next hash bit 0
+    /// and 1) — the hot-shard split.
+    ///
+    /// # Panics
+    ///
+    /// Panics past [`MAX_BITS`](KeyRange::MAX_BITS) levels of nesting.
+    pub fn split(&self) -> (KeyRange, KeyRange) {
+        assert!(self.bits < Self::MAX_BITS, "key range split past {} bits", Self::MAX_BITS);
+        let bits = self.bits + 1;
+        (
+            KeyRange { bits, prefix: self.prefix << 1 },
+            KeyRange { bits, prefix: (self.prefix << 1) | 1 },
+        )
+    }
+
+    /// The smallest uniform partition with at least `workers` ranges:
+    /// `2^ceil(log2(workers))` ranges of equal width, in prefix order.
+    /// Dealt round-robin they give every worker of a fresh fleet one or
+    /// two ranges.
+    pub fn partition(workers: usize) -> Vec<KeyRange> {
+        let workers = workers.clamp(1, 1usize << Self::MAX_BITS);
+        let bits = usize::BITS - (workers - 1).leading_zeros();
+        (0..1u64 << bits).map(|prefix| KeyRange { bits, prefix }).collect()
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits == 0 {
+            write!(f, "*/0")
+        } else {
+            write!(f, "{:0width$b}/{}", self.prefix, self.bits, width = self.bits as usize)
+        }
+    }
+}
+
+/// Why routed-batch bytes were rejected (see [`decode_routed_batch`]).
+///
+/// Every variant is an input-protocol fault, never a verdict: the fleet
+/// surfaces these as exit-2 diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// The header does not start with [`BATCH_MAGIC`].
+    BadMagic([u8; 4]),
+    /// Fewer than [`BATCH_HEADER_LEN`] header bytes arrived.
+    TruncatedHeader {
+        /// Bytes actually present.
+        bytes: usize,
+    },
+    /// The declared range fails [`KeyRange::is_valid`].
+    BadRange(KeyRange),
+    /// The payload is shorter than the header declared.
+    TruncatedPayload {
+        /// Payload bytes the header declared.
+        declared: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The payload length is not a whole number of frames.
+    TruncatedFrames {
+        /// Payload length in bytes.
+        bytes: usize,
+    },
+    /// A frame's kind byte is neither read (0) nor write (1).
+    BadKind {
+        /// 1-based frame number within the batch.
+        frame: usize,
+        /// The offending byte.
+        kind: u8,
+    },
+    /// A frame's key hashes outside the declared routing range.
+    ForeignKey {
+        /// 1-based frame number within the batch.
+        frame: usize,
+        /// The misrouted key.
+        key: u64,
+        /// The range the header declared.
+        range: KeyRange,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::BadMagic(got) => {
+                write!(f, "bad batch magic {got:?} (expected {BATCH_MAGIC:?})")
+            }
+            BatchError::TruncatedHeader { bytes } => {
+                write!(f, "truncated batch header: {bytes} bytes (need {BATCH_HEADER_LEN})")
+            }
+            BatchError::BadRange(range) => {
+                write!(f, "malformed key range {range:?} in batch header")
+            }
+            BatchError::TruncatedPayload { declared, actual } => {
+                write!(f, "truncated batch payload: header declared {declared} bytes, got {actual}")
+            }
+            BatchError::TruncatedFrames { bytes } => {
+                write!(
+                    f,
+                    "batch payload of {bytes} bytes is not whole frames ({FRAME_LEN} bytes each)"
+                )
+            }
+            BatchError::BadKind { frame, kind } => {
+                write!(f, "frame {frame}: invalid kind byte {kind} (0 = read, 1 = write)")
+            }
+            BatchError::ForeignKey { frame, key, range } => {
+                write!(f, "frame {frame}: key {key} routed outside its declared range {range}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Encodes a batch with its routing header for the coordinator↔worker
+/// wire: [`BATCH_MAGIC`], the owning [`KeyRange`] (`bits` u32 LE, `prefix`
+/// u64 LE), the payload length (u32 LE), then the raw frames.
+///
+/// The explicit length prefix is what lets the reader distinguish a short
+/// read (connection died mid-batch) from a complete batch, and the range
+/// header is what lets the receiving worker reject misrouted keys instead
+/// of silently auditing someone else's shard.
+pub fn encode_routed_batch(range: KeyRange, batch: &FrameBatch) -> Vec<u8> {
+    let payload = batch.as_bytes();
+    let mut out = Vec::with_capacity(BATCH_HEADER_LEN + payload.len());
+    out.extend_from_slice(&BATCH_MAGIC);
+    out.extend_from_slice(&range.bits.to_le_bytes());
+    out.extend_from_slice(&range.prefix.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes and fully validates routed-batch bytes: magic, header
+/// completeness, declared vs actual payload length, whole frames, legal
+/// kind bytes, and **every key inside the declared range**.
+///
+/// # Errors
+///
+/// One [`BatchError`] per fault class; a valid batch round-trips
+/// [`encode_routed_batch`] exactly.
+pub fn decode_routed_batch(bytes: &[u8]) -> Result<(KeyRange, FrameBatch), BatchError> {
+    if bytes.len() < BATCH_HEADER_LEN {
+        if bytes.len() >= BATCH_MAGIC.len() && bytes[..BATCH_MAGIC.len()] != BATCH_MAGIC {
+            let mut got = [0u8; 4];
+            got.copy_from_slice(&bytes[..4]);
+            return Err(BatchError::BadMagic(got));
+        }
+        return Err(BatchError::TruncatedHeader { bytes: bytes.len() });
+    }
+    if bytes[..BATCH_MAGIC.len()] != BATCH_MAGIC {
+        let mut got = [0u8; 4];
+        got.copy_from_slice(&bytes[..4]);
+        return Err(BatchError::BadMagic(got));
+    }
+    let range = KeyRange {
+        bits: u32::from_le_bytes(bytes[4..8].try_into().expect("4-byte slice")),
+        prefix: u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice")),
+    };
+    if !range.is_valid() {
+        return Err(BatchError::BadRange(range));
+    }
+    let declared = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice")) as usize;
+    let payload = &bytes[BATCH_HEADER_LEN..];
+    if payload.len() != declared {
+        return Err(BatchError::TruncatedPayload { declared, actual: payload.len() });
+    }
+    let batch = FrameBatch::from_bytes(payload.to_vec())?;
+    for (i, (key, _)) in batch.iter().enumerate() {
+        if !range.contains(key) {
+            return Err(BatchError::ForeignKey { frame: i + 1, key, range });
+        }
+    }
+    Ok((range, batch))
 }
 
 /// Streaming writer for the on-disk frame format: magic first, then one
@@ -392,6 +646,94 @@ mod tests {
             other => panic!("expected parse error, got {other:?}"),
         }
         assert_eq!(reader.next().unwrap().unwrap(), sample()[2]);
+    }
+
+    #[test]
+    fn key_ranges_nest_and_tile() {
+        assert!(KeyRange::ALL.is_valid());
+        for key in [0u64, 1, 7, 42, 0xDEAD_BEEF, u64::MAX] {
+            assert!(KeyRange::ALL.contains(key));
+        }
+        // Children exactly tile the parent: every key lands in one child.
+        let (zero, one) = KeyRange::ALL.split();
+        let (zz, zo) = zero.split();
+        for key in 0..10_000u64 {
+            assert!(KeyRange::ALL.contains(key));
+            assert_ne!(zero.contains(key), one.contains(key));
+            if zero.contains(key) {
+                assert_ne!(zz.contains(key), zo.contains(key));
+            } else {
+                assert!(!zz.contains(key) && !zo.contains(key));
+            }
+        }
+        // partition(n) tiles the space with the smallest power of two >= n.
+        for workers in 1..=9usize {
+            let ranges = KeyRange::partition(workers);
+            assert!(ranges.len() >= workers && ranges.len() < workers * 2);
+            assert!(ranges.len().is_power_of_two());
+            for key in (0..50_000u64).step_by(97) {
+                assert_eq!(ranges.iter().filter(|r| r.contains(key)).count(), 1);
+            }
+        }
+        assert!(!KeyRange { bits: 2, prefix: 4 }.is_valid());
+        assert!(!KeyRange { bits: KeyRange::MAX_BITS + 1, prefix: 0 }.is_valid());
+        assert_eq!(KeyRange::ALL.to_string(), "*/0");
+        assert_eq!(KeyRange { bits: 3, prefix: 0b010 }.to_string(), "010/3");
+    }
+
+    #[test]
+    fn routed_batch_roundtrip_and_rejections() {
+        let (left, right) = KeyRange::ALL.split();
+        let mut batch = FrameBatch::new();
+        let mut in_left = Vec::new();
+        for record in sample() {
+            if left.contains(record.key) {
+                batch.push(record.key, &record.op());
+                in_left.push(record);
+            }
+        }
+        let bytes = encode_routed_batch(left, &batch);
+        let (range, decoded) = decode_routed_batch(&bytes).unwrap();
+        assert_eq!(range, left);
+        let decoded: Vec<_> =
+            decoded.iter().map(|(k, op)| StreamRecord::new(k, op)).collect();
+        assert_eq!(decoded, in_left);
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_routed_batch(&bad), Err(BatchError::BadMagic(_))));
+        // Truncated header.
+        assert!(matches!(
+            decode_routed_batch(&bytes[..BATCH_HEADER_LEN - 1]),
+            Err(BatchError::TruncatedHeader { .. })
+        ));
+        // Truncated payload (declared length no longer matches).
+        if !batch.is_empty() {
+            assert!(matches!(
+                decode_routed_batch(&bytes[..bytes.len() - 1]),
+                Err(BatchError::TruncatedPayload { .. })
+            ));
+        }
+        // Malformed range header.
+        let mut bad = bytes.clone();
+        bad[4..8].copy_from_slice(&200u32.to_le_bytes());
+        assert!(matches!(decode_routed_batch(&bad), Err(BatchError::BadRange(_))));
+        // A key routed to the wrong shard is rejected, not audited.
+        let misrouted = encode_routed_batch(right, &batch);
+        if !batch.is_empty() {
+            assert!(matches!(
+                decode_routed_batch(&misrouted),
+                Err(BatchError::ForeignKey { .. })
+            ));
+        }
+        // A corrupted kind byte inside the payload is rejected.
+        if !batch.is_empty() {
+            let mut bad = bytes.clone();
+            let last = bad.len() - 1;
+            bad[last] = 9;
+            assert!(matches!(decode_routed_batch(&bad), Err(BatchError::BadKind { .. })));
+        }
     }
 
     #[test]

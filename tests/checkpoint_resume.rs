@@ -506,3 +506,271 @@ fn snapshots_are_deterministic_and_restore_position() {
     resumed.finish();
     pipeline.finish();
 }
+
+// ---------------------------------------------------------------------------
+// Fleet kill-and-rebalance: a worker process dying mid-audit must be as
+// invisible as a single-process kill-and-resume — the coordinator hands the
+// dead worker's ranges to survivors from the last acknowledged checkpoint
+// plus its replay buffer, and the merged report stays byte-identical. When
+// the replay chain is NOT re-feedable, YES must degrade to UNKNOWN (sticky)
+// while proven violations survive: soundness is never traded for liveness.
+// ---------------------------------------------------------------------------
+
+mod fleet {
+    use super::*;
+    use k_atomicity::history::frame::KeyRange;
+    use k_atomicity::verify::{
+        fleet_verdict, worker_loop, FleetConfig, FleetCoordinator, FleetSummary, GenK,
+        Verifier, WorkerLink,
+    };
+    use std::net::Shutdown;
+    use std::os::unix::net::UnixStream;
+    use std::thread::JoinHandle;
+
+    /// A killable in-process worker: shutting down the kept socket clone is
+    /// the in-process analogue of SIGKILL — the worker loop dies instantly,
+    /// taking all unacknowledged state with it, and the coordinator sees
+    /// only a dead transport.
+    struct Worker {
+        kill: UnixStream,
+        handle: JoinHandle<()>,
+    }
+
+    impl Worker {
+        fn kill(&self) {
+            self.kill.shutdown(Shutdown::Both).expect("socket shutdown");
+        }
+    }
+
+    fn spawn_workers<V: Verifier + Clone + Send + 'static>(
+        verifier: V,
+        workers: usize,
+    ) -> (Vec<WorkerLink>, Vec<Worker>) {
+        let mut links = Vec::with_capacity(workers);
+        let mut spawned = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (coordinator_side, worker_side) = UnixStream::pair().expect("socketpair");
+            let kill = worker_side.try_clone().expect("clone for kill");
+            let v = verifier.clone();
+            let handle = std::thread::spawn(move || {
+                let input = worker_side.try_clone().expect("clone worker socket");
+                let _ = worker_loop(v, input, worker_side);
+            });
+            links.push(WorkerLink {
+                writer: Box::new(coordinator_side.try_clone().expect("clone link")),
+                reader: Box::new(coordinator_side),
+            });
+            spawned.push(Worker { kill, handle });
+        }
+        (links, spawned)
+    }
+
+    fn fleet_config<V: Verifier>(verifier: &V, window: usize, replay_cap: usize) -> FleetConfig {
+        FleetConfig {
+            algo: verifier.name().to_owned(),
+            k: verifier.k(),
+            window,
+            horizon: None,
+            worker_shards: 2,
+            batch: 5,
+            checkpoint_every: 0,
+            replay_cap,
+        }
+    }
+
+    /// Drives `records` through a fleet, checkpointing at `snapshot_at` and
+    /// shutting down `victim` at `kill_at` (record indices).
+    #[allow(clippy::too_many_arguments)]
+    fn run_with_kill<V: Verifier + Clone + Send + 'static>(
+        verifier: V,
+        workers: usize,
+        window: usize,
+        replay_cap: usize,
+        records: &[StreamRecord],
+        snapshot_at: Option<usize>,
+        kill_at: usize,
+        victim: usize,
+    ) -> (PipelineOutput, FleetSummary) {
+        let (links, spawned) = spawn_workers(verifier.clone(), workers);
+        let mut fleet =
+            FleetCoordinator::new(fleet_config(&verifier, window, replay_cap), links)
+                .expect("fleet start");
+        for (i, record) in records.iter().enumerate() {
+            if snapshot_at == Some(i) {
+                fleet.snapshot_fleet().expect("mid-stream fleet checkpoint");
+            }
+            if i == kill_at {
+                spawned[victim].kill();
+            }
+            fleet.push(record.key, record.op()).expect("push survives a dead worker");
+        }
+        let (output, summary) = fleet.finish().expect("fleet finish");
+        for worker in spawned {
+            let _ = worker.handle.join();
+        }
+        (output, summary)
+    }
+
+    /// SIGKILL-equivalent cuts at 25/50/75%: the re-assigned shard resumes
+    /// from the last acked checkpoint plus the replay, and the fleet report
+    /// is byte-identical to the undisturbed single-process audit — the
+    /// pre-kill violations (true staleness 3, audited at k = 2) included.
+    #[test]
+    fn kill_and_rebalance_is_invisible_at_any_cut() {
+        let records = deep_stale_stream(DeepStaleConfig {
+            keys: 4,
+            ops_per_key: 40,
+            k: 3,
+            seed: 17,
+            ..Default::default()
+        });
+        let verifier = GenK::new(2);
+        let window = 24;
+        let mut baseline_pipe = StreamPipeline::new(
+            verifier,
+            PipelineConfig { shards: 2, window, ..Default::default() },
+        );
+        push_all(&mut baseline_pipe, &records);
+        let baseline = baseline_pipe.finish();
+        assert_eq!(baseline.all_k_atomic(), Some(false), "staleness 3 refutes k = 2");
+
+        for cut_percent in [25usize, 50, 75] {
+            let cut = records.len() * cut_percent / 100;
+            let (output, summary) = run_with_kill(
+                verifier,
+                3,
+                window,
+                1 << 20,
+                &records,
+                Some(cut / 2),
+                cut,
+                cut_percent % 3, // vary which worker dies
+            );
+            assert_eq!(output.keys, baseline.keys, "kill at {cut_percent}%");
+            assert_eq!(output.errors, baseline.errors, "kill at {cut_percent}%");
+            assert!(summary.hand_offs >= 1, "the death must actually rebalance");
+            assert_eq!(
+                summary.uncertified_hand_offs, 0,
+                "an intact replay chain keeps the hand-off certified"
+            );
+            assert_eq!(output.all_k_atomic(), Some(false), "pre-kill violations survive");
+        }
+    }
+
+    /// When the replay buffer overflowed before the kill, the hand-off is
+    /// unverifiable: the dead worker's keys are tainted (YES → UNKNOWN,
+    /// sticky), no violation is ever invented, and untouched shards keep
+    /// their certified YES.
+    #[test]
+    fn unverifiable_hand_off_degrades_yes_to_unknown() {
+        let records = deep_stale_stream(DeepStaleConfig {
+            keys: 8,
+            ops_per_key: 30,
+            k: 2,
+            seed: 5,
+            ..Default::default()
+        });
+        let verifier = GenK::new(3); // the stream is 2-atomic: all YES
+        let window = 24;
+        let mut baseline_pipe = StreamPipeline::new(
+            verifier,
+            PipelineConfig { shards: 2, window, ..Default::default() },
+        );
+        push_all(&mut baseline_pipe, &records);
+        let baseline = baseline_pipe.finish();
+        assert_eq!(baseline.all_k_atomic(), Some(true), "the undisturbed audit certifies");
+
+        let kill_at = records.len() * 3 / 4;
+        let (output, summary) =
+            run_with_kill(verifier, 2, window, 8, &records, None, kill_at, 0);
+        assert!(summary.hand_offs >= 1);
+        assert!(
+            summary.uncertified_hand_offs >= 1,
+            "an overflowed replay cannot certify the hand-off"
+        );
+        assert!(
+            summary.frames_dropped > 0,
+            "auditing across the gap could invent violations, so frames must drop"
+        );
+        assert_eq!(
+            fleet_verdict(&output, &summary),
+            None,
+            "a lost replay never certifies YES"
+        );
+        // With no acked checkpoint, the dead range's audit is gone
+        // entirely; what remains must be the untouched shard's certified
+        // YES — and nothing may have been promoted to a violation.
+        let dead_range = KeyRange::partition(2)[0];
+        let mut certified = 0usize;
+        for (key, report) in &output.keys {
+            assert_ne!(report.k_atomic(), Some(false), "a gap must not invent a violation");
+            if !dead_range.contains(*key) && report.k_atomic() == Some(true) {
+                certified += 1;
+            }
+        }
+        assert!(certified >= 1, "untouched shards keep their certified YES");
+    }
+
+    /// Violations already captured in an acknowledged fleet checkpoint
+    /// survive even an unverifiable hand-off: the tainted resume keeps NO
+    /// while refusing to certify anything else.
+    #[test]
+    fn acked_checkpoint_survives_an_unverifiable_hand_off() {
+        let records = deep_stale_stream(DeepStaleConfig {
+            keys: 4,
+            ops_per_key: 40,
+            k: 3,
+            seed: 23,
+            ..Default::default()
+        });
+        let verifier = GenK::new(2);
+        let window = 24;
+        let snapshot_at = records.len() * 3 / 5;
+        let kill_at = records.len() * 9 / 10;
+
+        // Which keys have a proven NO by the checkpoint cut? Those must
+        // survive the broken hand-off no matter what.
+        let mut prefix_pipe = StreamPipeline::new(
+            verifier,
+            PipelineConfig { shards: 2, window, ..Default::default() },
+        );
+        push_all(&mut prefix_pipe, &records[..snapshot_at]);
+        let prefix = prefix_pipe.finish();
+        let dead_range = KeyRange::partition(2)[0];
+        let proven: Vec<u64> = prefix
+            .keys
+            .iter()
+            .filter(|(key, report)| {
+                dead_range.contains(*key) && report.k_atomic() == Some(false)
+            })
+            .map(|(key, _)| *key)
+            .collect();
+        assert!(
+            !proven.is_empty(),
+            "seed must plant a violation on the dead range before the checkpoint"
+        );
+
+        // Replay cap 8 overflows in the 30% of the stream after the
+        // checkpoint, so the hand-off resumes the acked snapshot unverified.
+        let (output, summary) =
+            run_with_kill(verifier, 2, window, 8, &records, Some(snapshot_at), kill_at, 0);
+        assert!(summary.uncertified_hand_offs >= 1, "the hand-off must be the broken kind");
+        assert_ne!(
+            fleet_verdict(&output, &summary),
+            Some(true),
+            "a broken hand-off bars certification"
+        );
+        for key in proven {
+            let (_, report) = output
+                .keys
+                .iter()
+                .find(|(k, _)| *k == key)
+                .expect("checkpointed keys stay in the report");
+            assert_eq!(
+                report.k_atomic(),
+                Some(false),
+                "key {key}: a checkpointed violation survives the broken hand-off"
+            );
+        }
+    }
+}
