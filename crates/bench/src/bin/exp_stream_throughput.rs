@@ -233,6 +233,7 @@ fn measure_fleet(records: &[StreamRecord], workers: usize) -> Measurement {
     }
     let config = FleetConfig {
         algo: "fzf".to_owned(),
+        model: kav_core::ModelId::KAtomic,
         k: 2,
         window: 256,
         horizon: None,

@@ -3,10 +3,11 @@
 use crate::args::{ArgError, Args};
 use kav_core::{
     check_witness, diagnose, fleet_verdict, read_checkpoint, smallest_k, worker_loop,
-    Checkpoint, CheckpointWriter, ConstrainedSearch, ExhaustiveSearch, FleetConfig,
-    FleetCoordinator, Fzf, GenK, GkOneAv, Lbt, PipelineConfig, PipelineOutput,
-    ShardProgress, SourcePosition, Staleness, StreamPipeline, Verdict, Verifier,
-    WorkerLink, DEFAULT_CHECKPOINT_EVERY, DEFAULT_GAP_BUDGET, DEFAULT_REPLAY_CAP,
+    CausalVerifier, Checkpoint, CheckpointWriter, ConstrainedSearch, DepthStats, DepthWindow,
+    ExhaustiveSearch, FleetConfig, FleetCoordinator, Fzf, GenK, GkOneAv, Lbt, ModelId,
+    PipelineConfig, PipelineOutput, RegularVerifier, SafeVerifier, ShardProgress,
+    SourcePosition, Staleness, StreamPipeline, UnknownModel, Verdict, Verifier, WorkerLink,
+    DEFAULT_CAUSAL_BUDGET, DEFAULT_CHECKPOINT_EVERY, DEFAULT_GAP_BUDGET, DEFAULT_REPLAY_CAP,
 };
 use kav_history::fxhash::Fingerprint;
 use kav_history::{
@@ -55,20 +56,28 @@ pub fn usage() -> &'static str {
      \n\
      USAGE:\n\
      \x20 kav verify --k <1|2|N> [--algo gk|lbt|fzf|genk|constrained|search] [--witness]\n\
-     \x20        [--gap-budget <nodes|unbounded>] <history.json>\n\
+     \x20        [--model k-atomic|regular|safe|causal] [--gap-budget <nodes|unbounded>]\n\
+     \x20        <history.json>\n\
      \x20        (genk: any k, bound-sandwich + budgeted constrained escalation;\n\
-     \x20         --budget is a deprecated alias of --gap-budget)\n\
+     \x20         --budget is a deprecated alias of --gap-budget; non-default --model\n\
+     \x20         picks its own verifier — no --algo/--k; see docs/OPERATIONS.md,\n\
+     \x20         \"Choosing a consistency model\")\n\
      \x20 kav smallest-k [--gap-budget <nodes|unbounded>] <history.json>\n\
      \x20 kav stats <history.json>\n\
      \x20 kav diagnose [--budget <nodes>] <history.json>\n\
      \x20 kav render [--width <cols>] <history.json>\n\
      \x20 kav repair <dirty.json> --out <clean.json>\n\
-     \x20 kav gen --workload <staircase|serial|ladder|random|figure3|stream|deep-stale>\n\
+     \x20 kav gen --workload <staircase|serial|ladder|random|figure3|stream|deep-stale\n\
+     \x20                     |zone-conflict|safe-only|causal-violation|causal-cycle\n\
+     \x20                     |causal-stream|causal-clean>\n\
      \x20        [--n <ops>] [--k <bound>] [--seed <s>] [--spread <w>] [--out <file>]\n\
      \x20        [--keys <K>] [--format ndjson|binary]\n\
-     \x20                                 (stream/deep-stale: --n ops per key, NDJSON or\n\
-     \x20                                  binary frames; deep-stale: staleness exactly --k)\n\
+     \x20                                 (stream/deep-stale/causal-*: --n ops per key,\n\
+     \x20                                  NDJSON or binary frames; deep-stale: staleness\n\
+     \x20                                  exactly --k; zone-conflict/safe-only/causal-*:\n\
+     \x20                                  forced-apart consistency-model gadgets)\n\
      \x20 kav stream [--k <1|2|N>] [--algo gk|lbt|fzf|genk] [--window <ops>] [--shards <N>]\n\
+     \x20        [--model k-atomic|regular|safe|causal]\n\
      \x20        [--horizon <writes>] [--batch <ops>] [--strict]\n\
      \x20        [--gap-budget <nodes|unbounded>] [--format ndjson|binary]\n\
      \x20        [--checkpoint <file>] [--checkpoint-every <ops>]\n\
@@ -85,7 +94,8 @@ pub fn usage() -> &'static str {
      \x20        `kav work` processes, merges their checkpoints and reports;\n\
      \x20        exit codes and checkpoint files interchange with `kav stream`\n\
      \x20        (see docs/OPERATIONS.md, \"Running a fleet\")\n\
-     \x20 kav work [--algo gk|lbt|fzf|genk] [--k <N>] [--gap-budget <nodes|unbounded>]\n\
+     \x20 kav work [--algo gk|lbt|fzf|genk] [--k <N>] [--model <model>]\n\
+     \x20        [--gap-budget <nodes|unbounded>]\n\
      \x20        fleet worker: speaks the coordinator protocol on stdin/stdout\n\
      \x20        (spawned by `kav serve`; not for interactive use)\n\
      \x20 kav sim [--replicas N] [--read-quorum R] [--write-quorum W] [--fanout F]\n\
@@ -214,12 +224,74 @@ fn format_flag(args: &Args) -> Result<bool, Box<dyn Error>> {
     }
 }
 
+/// Resolves `--model`: which consistency model the command decides
+/// (default: k-atomic, the paper's native model). Unknown names get the
+/// bad-input exit code, never a silent fallback.
+fn model_flag(args: &Args) -> Result<ModelId, Box<dyn Error>> {
+    match args.get("model") {
+        None => Ok(ModelId::KAtomic),
+        Some(v) => parse_model(v),
+    }
+}
+
+fn parse_model(v: &str) -> Result<ModelId, Box<dyn Error>> {
+    v.parse().map_err(|e: UnknownModel| -> Box<dyn Error> {
+        ExitWith::new(EXIT_BAD_INPUT, format!("--model: {e}"))
+    })
+}
+
+/// Non-k-atomic models pick their own verifier and have no staleness
+/// parameter: a `--algo` or `--k` alongside them is a contradiction, not
+/// a preference, and gets the bad-input exit code.
+fn reject_model_flags(args: &Args, model: ModelId) -> CmdResult {
+    if model.is_k_atomic() {
+        return Ok(());
+    }
+    if let Some(algo) = args.get("algo") {
+        return Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!(
+                "--algo {algo} applies to the k-atomic model only; \
+                 --model {model} selects its own verifier"
+            ),
+        ));
+    }
+    if let Some(k) = args.get("k") {
+        return Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!(
+                "--k {k} applies to the k-atomic model only; \
+                 the {model} model has no staleness parameter"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// The causal verifier, budgeted via `--gap-budget` reinterpreted as the
+/// transitive-closure work budget (the causal analogue of search nodes,
+/// default [`DEFAULT_CAUSAL_BUDGET`]); `"unbounded"` lifts it.
+fn causal_from_flags(args: &Args) -> Result<CausalVerifier, Box<dyn Error>> {
+    Ok(match gap_budget_flag(args, DEFAULT_CAUSAL_BUDGET)? {
+        Some(budget) => CausalVerifier::with_budget(budget),
+        None => CausalVerifier::with_budget(u64::MAX),
+    })
+}
+
 /// Streams records to stdout through one buffered, allocation-free
 /// writer — NDJSON by default, binary frames on request.
 fn emit_records_to_stdout(records: &[ndjson::StreamRecord], binary: bool) -> CmdResult {
     let stdout = std::io::stdout().lock();
     if binary {
-        let mut writer = frame::FrameWriter::new(stdout);
+        // Pick the frame layout by content, like `frame::write_frames`:
+        // v1 stays byte-identical for untagged streams, v2 carries the
+        // client tags session-aware workloads depend on.
+        let tagged = records.iter().any(|r| r.client != kav_history::UNTAGGED_CLIENT);
+        let mut writer = if tagged {
+            frame::FrameWriter::new_v2(stdout)
+        } else {
+            frame::FrameWriter::new(stdout)
+        };
         for record in records {
             writer.write_record(record)?;
         }
@@ -234,8 +306,32 @@ fn emit_records_to_stdout(records: &[ndjson::StreamRecord], binary: bool) -> Cmd
     Ok(())
 }
 
-/// `kav verify` — decide k-atomicity with a chosen algorithm.
+/// `kav verify` — decide the chosen consistency model (k-atomicity with
+/// a chosen algorithm by default; `--model` swaps in the regular, safe
+/// or causal verifier).
 pub fn verify(args: &Args) -> CmdResult {
+    let model = model_flag(args)?;
+    if !model.is_k_atomic() {
+        reject_model_flags(args, model)?;
+        let history = load(args, 1)?;
+        let verdict = match model {
+            ModelId::Regular => RegularVerifier.verify(&history),
+            ModelId::Safe => SafeVerifier.verify(&history),
+            ModelId::Causal => causal_from_flags(args)?.verify(&history),
+            ModelId::KAtomic => unreachable!("handled above"),
+        };
+        match verdict {
+            Verdict::Consistent => println!("YES: history satisfies the {model} model"),
+            Verdict::NotKAtomic => println!("NO: history violates the {model} model"),
+            Verdict::Inconclusive => {
+                println!("UNKNOWN: verification budget exhausted ({model})")
+            }
+            Verdict::KAtomic { .. } => {
+                unreachable!("model verifiers return witness-less verdicts")
+            }
+        }
+        return Ok(());
+    }
     let k: u64 = args.get_parsed("k", 2)?;
     let history = load(args, 1)?;
     let algo = args.get("algo").unwrap_or(match k {
@@ -275,6 +371,7 @@ pub fn verify(args: &Args) -> CmdResult {
                 println!("witness order:\n  {}", ids.join("\n  "));
             }
         }
+        Verdict::Consistent => println!("YES: history is {algo}-consistent"),
         Verdict::NotKAtomic => println!("NO: history is not {k}-atomic ({algo})"),
         Verdict::Inconclusive => println!("UNKNOWN: search budget exhausted ({algo})"),
     }
@@ -354,29 +451,46 @@ pub fn gen(args: &Args) -> CmdResult {
     let k: u64 = args.get_parsed("k", 2)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
     let spread: u64 = args.get_parsed("spread", 3)?;
-    if workload == "stream" || workload == "deep-stale" {
+    let stream_workloads = ["stream", "deep-stale", "causal-stream", "causal-clean"];
+    if stream_workloads.contains(&workload) {
         let keys = args.get_parsed::<u64>("keys", 4)?.max(1);
-        let records = if workload == "stream" {
-            workloads::streaming_workload(workloads::StreamingWorkloadConfig {
+        let records = match workload {
+            "stream" => workloads::streaming_workload(workloads::StreamingWorkloadConfig {
                 keys,
                 ops_per_key: n.max(1),
                 k,
                 spread,
                 seed,
                 ..Default::default()
-            })
-        } else {
-            if k == 0 {
-                return Err(ArgError("deep-stale requires --k >= 1".into()).into());
+            }),
+            "deep-stale" => {
+                if k == 0 {
+                    return Err(ArgError("deep-stale requires --k >= 1".into()).into());
+                }
+                workloads::deep_stale_stream(workloads::DeepStaleConfig {
+                    keys,
+                    ops_per_key: n.max(1),
+                    k,
+                    spread,
+                    seed,
+                    ..Default::default()
+                })
             }
-            workloads::deep_stale_stream(workloads::DeepStaleConfig {
+            // Session-tagged gadget streams: --n counts operations per
+            // key, rounded up to whole 4-operation gadgets.
+            "causal-stream" => workloads::causal_violation_stream(
+                workloads::CausalStreamConfig {
+                    keys,
+                    gadgets_per_key: n.max(1).div_ceil(4),
+                    seed,
+                },
+            ),
+            "causal-clean" => workloads::causal_clean_stream(workloads::CausalStreamConfig {
                 keys,
-                ops_per_key: n.max(1),
-                k,
-                spread,
+                gadgets_per_key: n.max(1).div_ceil(4),
                 seed,
-                ..Default::default()
-            })
+            }),
+            _ => unreachable!("gated by stream_workloads"),
         };
         match (args.get("out"), format_flag(args)?) {
             (Some(path), true) => {
@@ -412,6 +526,12 @@ pub fn gen(args: &Args) -> CmdResult {
             seed,
             ..Default::default()
         }),
+        // Forced-apart model gadgets: fixed geometries that separate the
+        // consistency models (see docs/OPERATIONS.md).
+        "zone-conflict" => workloads::zone_conflict(),
+        "safe-only" => workloads::safe_not_regular(),
+        "causal-violation" => workloads::causal_violation(),
+        "causal-cycle" => workloads::causal_cycle(),
         other => return Err(ArgError(format!("unknown workload {other:?}")).into()),
     };
     emit(&history.to_raw(), args)
@@ -597,6 +717,25 @@ fn reject_resume_conflict(args: &Args, name: &str, recorded: &str) -> CmdResult 
     }
 }
 
+/// Rejects a `--model` flag that contradicts the consistency model a
+/// resumed checkpoint recorded: the counters in the checkpoint are
+/// verdicts under *that* model's semantics, so continuing under another
+/// would certify something never audited. Names both models so the
+/// operator can see exactly which two disagreed.
+fn reject_resume_model_conflict(args: &Args, recorded: ModelId) -> CmdResult {
+    match args.get("model") {
+        Some(flag) if parse_model(flag)? != recorded => Err(ExitWith::new(
+            EXIT_BAD_INPUT,
+            format!(
+                "--model {} conflicts with the checkpoint's model = {recorded}; \
+                 drop the flag to continue the audit, or start a fresh one",
+                parse_model(flag)?,
+            ),
+        )),
+        _ => Ok(()),
+    }
+}
+
 /// Everything one `kav stream` run needs beyond the verifier itself.
 struct StreamSession<'a> {
     config: PipelineConfig,
@@ -624,30 +763,41 @@ fn stream_inner(args: &Args) -> CmdResult {
     // Verification parameters come from the flags on a fresh audit, and
     // from the checkpoint on a resumed one (where contradicting flags are
     // rejected; shards/batch remain free — keys re-shard safely).
-    let (k, algo, window, horizon) = match &resume {
+    let (k, algo, window, horizon, model) = match &resume {
         Some(checkpoint) => {
             let p = &checkpoint.pipeline;
+            reject_resume_model_conflict(args, p.model)?;
             reject_resume_conflict(args, "k", &p.k.to_string())?;
             reject_resume_conflict(args, "algo", &p.algo)?;
             reject_resume_conflict(args, "window", &p.window.to_string())?;
             reject_resume_conflict(args, "horizon", &p.horizon.to_string())?;
-            (p.k, p.algo.clone(), p.window, Some(p.horizon))
+            (p.k, p.algo.clone(), p.window, Some(p.horizon), p.model)
         }
         None => {
-            let k: u64 = args.get_parsed("k", 2)?;
-            let algo = args
-                .get("algo")
-                .unwrap_or(match k {
-                    1 => "gk",
-                    2 => "fzf",
-                    _ => "genk",
-                })
-                .to_string();
+            let model = model_flag(args)?;
+            reject_model_flags(args, model)?;
+            let (k, algo) = if model.is_k_atomic() {
+                let k: u64 = args.get_parsed("k", 2)?;
+                let algo = args
+                    .get("algo")
+                    .unwrap_or(match k {
+                        1 => "gk",
+                        2 => "fzf",
+                        _ => "genk",
+                    })
+                    .to_string();
+                (k, algo)
+            } else {
+                // Model verifiers have no staleness parameter (they
+                // report k = 1) and the algo slot carries the model's
+                // own verifier name.
+                (1, model.as_str().to_string())
+            };
             let horizon = match args.get("horizon") {
                 Some(_) => Some(args.get_parsed("horizon", 0)?),
                 None => None, // default: DEFAULT_HORIZON_WINDOWS x window
             };
-            (k, algo, args.get_parsed("window", 1024)?, horizon)
+            (k, algo, args.get_parsed("window", 1024)?, horizon, model)
         }
     };
     let config = PipelineConfig {
@@ -673,20 +823,26 @@ fn stream_inner(args: &Args) -> CmdResult {
     // checkpoints: it trades UNKNOWNs for latency but never changes what
     // a counted verdict means — see docs/OPERATIONS.md.
     let gap_budget = gap_budget_flag(args, DEFAULT_GAP_BUDGET)?;
-    let (output, malformed, total_malformed) = match (canonical_algo(&algo), k) {
-        ("gk", 1) => drive_stream(GkOneAv, session)?,
-        ("fzf", 2) => drive_stream(Fzf, session)?,
-        ("lbt", 2) => drive_stream(Lbt::new(), session)?,
-        ("genk", k) if k >= 1 => {
-            drive_stream(GenK::with_gap_budget(k, gap_budget), session)?
-        }
-        (a, k) => return Err(bad_algo_k(a, k, "")),
+    let (output, malformed, total_malformed) = match model {
+        ModelId::KAtomic => match (canonical_algo(&algo), k) {
+            ("gk", 1) => drive_stream(GkOneAv, session)?,
+            ("fzf", 2) => drive_stream(Fzf, session)?,
+            ("lbt", 2) => drive_stream(Lbt::new(), session)?,
+            ("genk", k) if k >= 1 => {
+                drive_stream(GenK::with_gap_budget(k, gap_budget), session)?
+            }
+            (a, k) => return Err(bad_algo_k(a, k, "")),
+        },
+        ModelId::Regular => drive_stream(RegularVerifier, session)?,
+        ModelId::Safe => drive_stream(SafeVerifier, session)?,
+        ModelId::Causal => drive_stream(causal_from_flags(args)?, session)?,
     };
 
     println!(
-        "verified {} ops across {} keys ({algo}, k={k}, window {}, {} shards)",
+        "verified {} ops across {} keys ({}, window {}, {} shards)",
         output.total_ops(),
         output.keys.len(),
+        semantics_label(model, &algo, k),
         config.window.max(1),
         config.shards.max(1),
     );
@@ -713,7 +869,7 @@ fn stream_inner(args: &Args) -> CmdResult {
     if violating > 0 {
         return Err(ExitWith::new(
             EXIT_VIOLATION,
-            format!("NO: {violating} keys are not {k}-atomic"),
+            format!("NO: {violating} keys {}", violation_label(model, k)),
         ));
     }
     if !output.errors.is_empty() {
@@ -730,7 +886,7 @@ fn stream_inner(args: &Args) -> CmdResult {
     }
     match output.all_k_atomic() {
         Some(true) => {
-            println!("YES: every key is {k}-atomic");
+            println!("YES: {}", certified_label(model, k));
         }
         Some(false) => unreachable!("violations and errors are handled above"),
         None => {
@@ -750,6 +906,34 @@ fn stream_inner(args: &Args) -> CmdResult {
         }
     }
     Ok(())
+}
+
+/// The parenthesised semantics of a run: the classic `algo, k=N` pair
+/// for k-atomicity, the model name for everything else.
+fn semantics_label(model: ModelId, algo: &str, k: u64) -> String {
+    if model.is_k_atomic() {
+        format!("{algo}, k={k}")
+    } else {
+        format!("model {model}")
+    }
+}
+
+/// "...keys <are not 2-atomic | violate the causal model>".
+fn violation_label(model: ModelId, k: u64) -> String {
+    if model.is_k_atomic() {
+        format!("are not {k}-atomic")
+    } else {
+        format!("violate the {model} model")
+    }
+}
+
+/// The certified-YES summary line, phrased per model.
+fn certified_label(model: ModelId, k: u64) -> String {
+    if model.is_k_atomic() {
+        format!("every key is {k}-atomic")
+    } else {
+        format!("every key satisfies the {model} model")
+    }
 }
 
 /// Prints the per-key report table shared by `kav stream` and
@@ -813,6 +997,12 @@ struct ProgressLine {
     /// Staleness-depth histogram (bucket 0 = depth 0, bucket i covers
     /// depths [2^(i-1), 2^i)).
     depth_hist: Vec<u64>,
+    /// Rolling staleness analytics: depth distribution of the reads that
+    /// arrived during the last [`kav_core::DEFAULT_DEPTH_WINDOW`]
+    /// progress intervals only (p50/p99/max are bucket upper bounds), so
+    /// a staleness regression hours into an audit is visible immediately
+    /// instead of being averaged away by the healthy prefix.
+    window_depth: DepthStats,
     /// Per-shard breakdown.
     shards: Vec<ShardProgress>,
 }
@@ -994,6 +1184,7 @@ fn drive_stream<V: Verifier + Clone + Send + 'static>(
     });
 
     let mut records: u64 = 0;
+    let mut depth_window = DepthWindow::default();
     // `while let` rather than `for`: the loop body needs the source back
     // each iteration (unit counts, fingerprints) for checkpoint metadata.
     while let Some(record) = source.next_record() {
@@ -1027,6 +1218,7 @@ fn drive_stream<V: Verifier + Clone + Send + 'static>(
         }
         if session.progress_every > 0 && records.is_multiple_of(session.progress_every) {
             let progress = pipeline.progress();
+            let window_depth = depth_window.observe(&progress.depth_hist);
             let line = ProgressLine {
                 record: "progress",
                 lines: source.units_read(),
@@ -1043,6 +1235,7 @@ fn drive_stream<V: Verifier + Clone + Send + 'static>(
                 resident: progress.resident,
                 peak_retired: progress.peak_retired,
                 depth_hist: progress.depth_hist,
+                window_depth,
                 shards: progress.shards,
             };
             eprintln!(
@@ -1074,23 +1267,34 @@ fn wire_algo_name(algo: &str, k: u64) -> Result<&'static str, Box<dyn Error>> {
 /// input, never a verdict). Spawned by `kav serve`; runnable by hand only
 /// for debugging the wire format.
 pub fn work(args: &Args) -> CmdResult {
-    let k: u64 = args.get_parsed("k", 2)?;
-    let algo = args.get("algo").unwrap_or(match k {
-        1 => "gk",
-        2 => "fzf",
-        _ => "genk",
-    });
-    let gap_budget = gap_budget_flag(args, DEFAULT_GAP_BUDGET)?;
+    let model = model_flag(args)?;
+    reject_model_flags(args, model)?;
     let stdin = std::io::stdin().lock();
     let stdout = std::io::stdout().lock();
-    let result = match (canonical_algo(algo), k) {
-        ("gk", 1) => worker_loop(GkOneAv, stdin, stdout),
-        ("fzf", 2) => worker_loop(Fzf, stdin, stdout),
-        ("lbt", 2) => worker_loop(Lbt::new(), stdin, stdout),
-        ("genk", k) if k >= 1 => {
-            worker_loop(GenK::with_gap_budget(k, gap_budget), stdin, stdout)
+    let result = if model.is_k_atomic() {
+        let k: u64 = args.get_parsed("k", 2)?;
+        let algo = args.get("algo").unwrap_or(match k {
+            1 => "gk",
+            2 => "fzf",
+            _ => "genk",
+        });
+        let gap_budget = gap_budget_flag(args, DEFAULT_GAP_BUDGET)?;
+        match (canonical_algo(algo), k) {
+            ("gk", 1) => worker_loop(GkOneAv, stdin, stdout),
+            ("fzf", 2) => worker_loop(Fzf, stdin, stdout),
+            ("lbt", 2) => worker_loop(Lbt::new(), stdin, stdout),
+            ("genk", k) if k >= 1 => {
+                worker_loop(GenK::with_gap_budget(k, gap_budget), stdin, stdout)
+            }
+            (a, k) => return Err(bad_algo_k(a, k, "")),
         }
-        (a, k) => return Err(bad_algo_k(a, k, "")),
+    } else {
+        match model {
+            ModelId::Regular => worker_loop(RegularVerifier, stdin, stdout),
+            ModelId::Safe => worker_loop(SafeVerifier, stdin, stdout),
+            ModelId::Causal => worker_loop(causal_from_flags(args)?, stdin, stdout),
+            ModelId::KAtomic => unreachable!("handled above"),
+        }
     };
     result.map_err(|e| -> Box<dyn Error> {
         ExitWith::new(EXIT_BAD_INPUT, format!("worker: {e}"))
@@ -1126,30 +1330,38 @@ fn serve_inner(args: &Args) -> CmdResult {
     };
     // Verification parameters resolve exactly as in `kav stream`: flags
     // on a fresh audit, the checkpoint on a resumed one.
-    let (k, algo, window, horizon) = match &resume {
+    let (k, algo, window, horizon, model) = match &resume {
         Some(checkpoint) => {
             let p = &checkpoint.pipeline;
+            reject_resume_model_conflict(args, p.model)?;
             reject_resume_conflict(args, "k", &p.k.to_string())?;
             reject_resume_conflict(args, "algo", &p.algo)?;
             reject_resume_conflict(args, "window", &p.window.to_string())?;
             reject_resume_conflict(args, "horizon", &p.horizon.to_string())?;
-            (p.k, p.algo.clone(), p.window, Some(p.horizon))
+            (p.k, p.algo.clone(), p.window, Some(p.horizon), p.model)
         }
         None => {
-            let k: u64 = args.get_parsed("k", 2)?;
-            let algo = args
-                .get("algo")
-                .unwrap_or(match k {
-                    1 => "gk",
-                    2 => "fzf",
-                    _ => "genk",
-                })
-                .to_string();
+            let model = model_flag(args)?;
+            reject_model_flags(args, model)?;
+            let (k, algo) = if model.is_k_atomic() {
+                let k: u64 = args.get_parsed("k", 2)?;
+                let algo = args
+                    .get("algo")
+                    .unwrap_or(match k {
+                        1 => "gk",
+                        2 => "fzf",
+                        _ => "genk",
+                    })
+                    .to_string();
+                (k, algo)
+            } else {
+                (1, model.as_str().to_string())
+            };
             let horizon = match args.get("horizon") {
                 Some(_) => Some(args.get_parsed("horizon", 0)?),
                 None => None,
             };
-            (k, algo, args.get_parsed("window", 1024)?, horizon)
+            (k, algo, args.get_parsed("window", 1024)?, horizon, model)
         }
     };
     let workers: usize = args.get_parsed("workers", 2)?;
@@ -1159,9 +1371,21 @@ fn serve_inner(args: &Args) -> CmdResult {
             "--workers 0: a fleet needs at least one worker",
         ));
     }
-    let gap_budget = gap_budget_flag(args, DEFAULT_GAP_BUDGET)?;
+    // The causal closure budget and the k-atomic gap budget share the
+    // flag, but not the default: each model's own ceiling applies.
+    let gap_budget = gap_budget_flag(
+        args,
+        if model == ModelId::Causal { DEFAULT_CAUSAL_BUDGET } else { DEFAULT_GAP_BUDGET },
+    )?;
     let config = FleetConfig {
-        algo: wire_algo_name(&algo, k)?.to_string(),
+        // On the wire the algo slot must carry the verifier's own name;
+        // for model runs that is the model's name.
+        algo: if model.is_k_atomic() {
+            wire_algo_name(&algo, k)?.to_string()
+        } else {
+            model.as_str().to_string()
+        },
+        model,
         k,
         window,
         horizon,
@@ -1205,12 +1429,17 @@ fn serve_inner(args: &Args) -> CmdResult {
     let mut children: Vec<std::process::Child> = Vec::with_capacity(workers);
     let mut links: Vec<WorkerLink> = Vec::with_capacity(workers);
     for _ in 0..workers {
-        let mut child = std::process::Command::new(&exe)
-            .arg("work")
-            .arg("--algo")
-            .arg(canonical_algo(&algo))
-            .arg("--k")
-            .arg(k.to_string())
+        let mut command = std::process::Command::new(&exe);
+        command.arg("work");
+        if model.is_k_atomic() {
+            // `kav work` rejects --algo/--k alongside a non-default
+            // --model, so each spawn passes exactly one vocabulary.
+            command.arg("--algo").arg(canonical_algo(&algo));
+            command.arg("--k").arg(k.to_string());
+        } else {
+            command.arg("--model").arg(model.as_str());
+        }
+        let mut child = command
             .arg("--gap-budget")
             .arg(match gap_budget {
                 Some(nodes) => nodes.to_string(),
@@ -1381,9 +1610,10 @@ fn serve_inner(args: &Args) -> CmdResult {
         summary.frames_dropped,
     );
     println!(
-        "verified {} ops across {} keys ({algo}, k={k}, window {}, {} workers)",
+        "verified {} ops across {} keys ({}, window {}, {} workers)",
         output.total_ops(),
         output.keys.len(),
+        semantics_label(model, &algo, k),
         window.max(1),
         workers,
     );
@@ -1406,7 +1636,7 @@ fn serve_inner(args: &Args) -> CmdResult {
     if violating > 0 {
         return Err(ExitWith::new(
             EXIT_VIOLATION,
-            format!("NO: {violating} keys are not {k}-atomic"),
+            format!("NO: {violating} keys {}", violation_label(model, k)),
         ));
     }
     if !output.errors.is_empty() {
@@ -1423,7 +1653,7 @@ fn serve_inner(args: &Args) -> CmdResult {
     }
     match fleet_verdict(&output, &summary) {
         Some(true) => {
-            println!("YES: every key is {k}-atomic (fleet certified)");
+            println!("YES: {} (fleet certified)", certified_label(model, k));
         }
         Some(false) => unreachable!("violations and errors are handled above"),
         None => {

@@ -901,3 +901,188 @@ fn serve_rejects_bad_fleet_flags_with_exit_2() {
     assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
     assert!(stderr(&out).contains("idx:records"), "{}", stderr(&out));
 }
+
+// ---------------------------------------------------------------------------
+// The pluggable consistency-model layer: `--model`.
+// ---------------------------------------------------------------------------
+
+/// Generates a forced-apart model fixture and returns its path.
+fn model_fixture(name: &str, workload: &str) -> PathBuf {
+    let path = temp_file(name);
+    let out = kav(&["gen", "--workload", workload, "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    path
+}
+
+#[test]
+fn verify_model_flag_dispatches_each_model() {
+    // safe-only: a read the safe model leaves unconstrained but the
+    // regular model refuses.
+    let path = model_fixture("model_safe_only.json", "safe-only");
+    let path = path.to_str().unwrap();
+    let out = kav(&["verify", "--model", "regular", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("NO: history violates the regular model"), "{}", stdout(&out));
+    let out = kav(&["verify", "--model", "safe", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("YES: history satisfies the safe model"), "{}", stdout(&out));
+
+    // causal-violation: 2-atomic for the default path, refused as causal.
+    let path = model_fixture("model_causal_violation.json", "causal-violation");
+    let path = path.to_str().unwrap();
+    let out = kav(&["verify", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("YES"), "{}", stdout(&out));
+    let out = kav(&["verify", "--model", "causal", path]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("NO: history violates the causal model"), "{}", stdout(&out));
+}
+
+#[test]
+fn model_flag_conflicts_exit_two() {
+    let path = model_fixture("model_conflicts.json", "zone-conflict");
+    let path = path.to_str().unwrap();
+
+    // --k belongs to the k-atomic model.
+    let out = kav(&["verify", "--model", "regular", "--k", "2", path]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("no staleness parameter"), "{}", stderr(&out));
+
+    // --algo too.
+    let out = kav(&["verify", "--model", "causal", "--algo", "fzf", path]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("applies to the k-atomic model"), "{}", stderr(&out));
+
+    // Unknown models are bad input, not silent defaults.
+    let out = kav(&["verify", "--model", "eventual", path]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--model"), "{}", stderr(&out));
+
+    // The worker protocol enforces the same exclusions.
+    let out = kav_with_stdin(&["work", "--model", "causal", "--k", "2"], "");
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("no staleness parameter"), "{}", stderr(&out));
+}
+
+/// Generates a causal stream workload file and returns its path.
+fn causal_stream_fixture(name: &str, workload: &str) -> PathBuf {
+    let path = temp_file(name);
+    let out = kav(&[
+        "gen", "--workload", workload, "--keys", "2", "--n", "16", "--seed", "3",
+        "--out", path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    path
+}
+
+#[test]
+fn stream_model_separates_causal_from_k_atomic() {
+    // Every key of the violation stream is 2-atomic: the default audit
+    // certifies, the causal one proves NO with the violation exit.
+    let path = causal_stream_fixture("model_stream_bad.ndjson", "causal-stream");
+    let path = path.to_str().unwrap();
+    let out = kav(&["stream", path]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("YES"), "{}", stdout(&out));
+    let out = kav(&["stream", "--model", "causal", path]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("violate the causal model"), "{}", stderr(&out));
+    assert!(stdout(&out).contains("model causal"), "{}", stdout(&out));
+
+    // The clean stream satisfies every model.
+    let path = causal_stream_fixture("model_stream_ok.ndjson", "causal-clean");
+    let path = path.to_str().unwrap();
+    for model in ["regular", "safe", "causal"] {
+        let out = kav(&["stream", "--model", model, path]);
+        assert_eq!(out.status.code(), Some(0), "model {model}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains(&format!("satisfies the {model} model")), "{model}: {text}");
+    }
+}
+
+#[test]
+fn stream_model_checkpoints_resume_under_the_recorded_model() {
+    let input = causal_stream_fixture("model_resume.ndjson", "causal-clean");
+    let input = input.to_str().unwrap();
+    let ckpt = temp_file("model_resume.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+
+    let uninterrupted = kav(&["stream", "--model", "causal", input]);
+    assert_eq!(uninterrupted.status.code(), Some(0), "{}", stderr(&uninterrupted));
+
+    let checkpointed = kav(&[
+        "stream", "--model", "causal", "--checkpoint", ckpt.to_str().unwrap(),
+        "--checkpoint-every", "20", input,
+    ]);
+    assert_eq!(checkpointed.status.code(), Some(0), "{}", stderr(&checkpointed));
+    assert_eq!(stdout(&checkpointed), stdout(&uninterrupted));
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    assert!(text.contains("\"model\":\"causal\""), "{text}");
+
+    // Resume picks the model up from the checkpoint — no flag needed —
+    // and lands on the uninterrupted verdicts.
+    let resumed = kav(&["stream", "--resume", ckpt.to_str().unwrap(), input]);
+    assert_eq!(resumed.status.code(), Some(0), "{}", stderr(&resumed));
+    let resumed_out = stdout(&resumed);
+    assert!(resumed_out.contains("resumed from checkpoint"), "{resumed_out}");
+    assert!(resumed_out.contains("model causal"), "{resumed_out}");
+    let tail = resumed_out.lines().skip(1).collect::<Vec<_>>().join("\n");
+    assert_eq!(tail.trim_end(), stdout(&uninterrupted).trim_end());
+
+    // Restating the same model is fine; contradicting it is a typed
+    // rejection naming both models.
+    let out = kav(&["stream", "--model", "causal", "--resume", ckpt.to_str().unwrap(), input]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = kav(&["stream", "--model", "regular", "--resume", ckpt.to_str().unwrap(), input]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("regular") && err.contains("causal"), "{err}");
+    assert!(err.contains("conflicts with the checkpoint's model"), "{err}");
+}
+
+#[test]
+fn default_model_checkpoints_stay_pre_refactor_compatible() {
+    // A default-model audit writes checkpoints with no model field at
+    // all — byte-compatible with pre-model-layer checkpoints — and such
+    // checkpoints resume cleanly.
+    let input = stream_fixture("model_default_ckpt.ndjson");
+    let input = input.to_str().unwrap();
+    let ckpt = temp_file("model_default_ckpt.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let out = kav(&[
+        "stream", "--window", "32", "--checkpoint", ckpt.to_str().unwrap(),
+        "--checkpoint-every", "50", input,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&ckpt).unwrap();
+    assert!(!text.contains("\"model\""), "default model must stay implicit: {text}");
+    let resumed = kav(&["stream", "--resume", ckpt.to_str().unwrap(), input]);
+    assert_eq!(resumed.status.code(), Some(0), "{}", stderr(&resumed));
+    assert!(stdout(&resumed).contains("prefix verified"), "{}", stdout(&resumed));
+}
+
+#[test]
+fn serve_model_fleet_matches_stream_verdicts() {
+    // The fleet audits the causal-violation stream under --model causal:
+    // same per-key table as the single process, same violation exit.
+    let path = causal_stream_fixture("model_fleet_bad.ndjson", "causal-stream");
+    let path = path.to_str().unwrap();
+    let single = kav(&["stream", "--model", "causal", path]);
+    assert_eq!(single.status.code(), Some(1), "{}", stderr(&single));
+    let baseline = key_table(&stdout(&single));
+    assert!(!baseline.is_empty());
+
+    let fleet = kav(&["serve", "--workers", "2", "--model", "causal", path]);
+    assert_eq!(fleet.status.code(), Some(1), "{}", stderr(&fleet));
+    assert_eq!(key_table(&stdout(&fleet)), baseline, "fleet diverged");
+    assert!(stderr(&fleet).contains("violate the causal model"), "{}", stderr(&fleet));
+
+    // And certifies the clean one.
+    let path = causal_stream_fixture("model_fleet_ok.ndjson", "causal-clean");
+    let path = path.to_str().unwrap();
+    let fleet = kav(&["serve", "--workers", "2", "--model", "causal", path]);
+    assert_eq!(fleet.status.code(), Some(0), "{}", stderr(&fleet));
+    let text = stdout(&fleet);
+    assert!(text.contains("fleet certified"), "{text}");
+    assert!(text.contains("satisfies the causal model"), "{text}");
+}

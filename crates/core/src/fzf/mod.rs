@@ -207,6 +207,7 @@ mod tests {
             }
             Verdict::NotKAtomic => assert!(!expected, "expected YES, got NO"),
             Verdict::Inconclusive => panic!("FZF never returns inconclusive"),
+            Verdict::Consistent => panic!("FZF always witnesses YES"),
         }
     }
 

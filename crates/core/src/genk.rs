@@ -592,6 +592,7 @@ mod tests {
             }
             Verdict::NotKAtomic => false,
             Verdict::Inconclusive => panic!("must be decided at this budget"),
+            Verdict::Consistent => panic!("k-atomic YES always carries a witness"),
         }
     }
 

@@ -28,7 +28,13 @@
 //!   sliding-window adapters over the verifiers above, and a sharded
 //!   multi-register pipeline for unbounded op streams, checkpointable
 //!   mid-flight for crash-resumable audits ([`StreamPipeline::snapshot`],
-//!   [`CheckpointWriter`]).
+//!   [`CheckpointWriter`]);
+//! * [`models`] — the pluggable consistency-model layer: k-atomicity is
+//!   one plugin among several over the same substrate. [`RegularVerifier`]
+//!   and [`SafeVerifier`] decide Lamport's weaker register semantics by
+//!   interval sweep, and [`CausalVerifier`] decides causal consistency
+//!   over client sessions; every layer above threads a [`ModelId`] so a
+//!   resumed or fleet-distributed audit keeps its semantics.
 //!
 //! Every YES verdict carries a [`TotalOrder`] witness that can be
 //! re-validated independently with [`check_witness`].
@@ -65,6 +71,7 @@ mod fzf;
 mod genk;
 mod gk;
 mod lbt;
+pub mod models;
 mod search;
 mod smallest_k;
 mod stream;
@@ -78,18 +85,22 @@ pub use fzf::{Fzf, FzfReport};
 pub use genk::{staleness_lower_bound, GenK, GenKReport, DEFAULT_GAP_BUDGET};
 pub use gk::{GkAnalysis, GkOneAv};
 pub use lbt::{CandidateOrder, Lbt, LbtConfig, LbtReport, SearchStrategy};
+pub use models::{
+    CausalVerifier, ModelId, RegularVerifier, SafeVerifier, UnknownModel, DEFAULT_CAUSAL_BUDGET,
+};
 pub use search::{ExhaustiveSearch, SearchReport, MAX_SEARCH_OPS};
 pub use smallest_k::{smallest_k, staleness_upper_bound, Staleness};
 pub use stream::protocol;
 pub use stream::{
     fleet_verdict, merge_reports, merge_snapshots, partition_snapshot, read_checkpoint,
     split_ops_share,
-    worker_loop, Checkpoint, CheckpointDelta, CheckpointError, CheckpointWriter, FleetConfig,
+    worker_loop, Checkpoint, CheckpointDelta, CheckpointError, CheckpointWriter, DepthStats,
+    DepthWindow, FleetConfig,
     FleetCoordinator, FleetSummary, KeyError, KeyReport, KeySnapshot, MergeError, OnlineError,
     OnlineSnapshot, OnlineVerifier, PipelineConfig, PipelineOutput, PipelineProgress,
     PipelineSnapshot, ProtocolError, ShardProgress, SnapshotError, SourcePosition,
     StreamPipeline, StreamReport, WorkerLink, CHECKPOINT_FORMAT, DEFAULT_CHECKPOINT_EVERY,
-    DEFAULT_DELTA_EVERY, DEFAULT_HORIZON_WINDOWS, DEFAULT_REPLAY_CAP,
+    DEFAULT_DELTA_EVERY, DEFAULT_DEPTH_WINDOW, DEFAULT_HORIZON_WINDOWS, DEFAULT_REPLAY_CAP,
 };
 pub use verdict::{Verdict, Verifier};
 pub use witness::{check_witness, TotalOrder, WitnessError};

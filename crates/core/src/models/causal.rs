@@ -1,0 +1,314 @@
+//! Causal consistency verification over client sessions.
+//!
+//! Following the bad-pattern characterisation of Bouajjani, Enea, Guerraoui
+//! & Hamza (*On Verifying Causal Consistency*, POPL 2017), a differentiated
+//! single-register history is causally consistent iff the union of
+//!
+//! * **session order** `so` — each client's operations in issue order, and
+//! * **writes-into** `wi` — each write to the reads that return its value
+//!
+//! induces no *bad pattern*. With distinct write values (our §II-C model
+//! assumption, which makes the history differentiated) two patterns
+//! suffice:
+//!
+//! * **CyclicCO** — `so ∪ wi` has a cycle: causality contradicts itself.
+//! * **WriteCORead** — a read `r` returns write `w`, yet another write
+//!   `w′` is causally between them (`w → w′ → r` in the transitive
+//!   closure): `r` observed a value that causality says was already
+//!   overwritten.
+//!
+//! Operations tagged [`kav_history::UNTAGGED_CLIENT`] are singleton
+//! sessions (no session edges): an untagged stream is vacuously causal,
+//! which is the sound default — absence of session information never
+//! manufactures a violation.
+//!
+//! The check computes the transitive closure with per-node bit sets in
+//! topological order. That is `O(n · e / 64)` — fine for window-sized
+//! segments but quadratic in the worst case, so like
+//! [`crate::ConstrainedSearch`] the verifier carries a work budget and
+//! returns [`Verdict::Inconclusive`] rather than blowing past it:
+//! UNKNOWN, never a guess.
+
+use crate::models::ModelId;
+use crate::{Verdict, Verifier};
+use kav_history::{History, UNTAGGED_CLIENT};
+use std::collections::HashMap;
+
+/// Default closure-work budget (in 64-bit block operations) — generous
+/// for any window-sized segment, small enough to keep worst-case offline
+/// histories from stalling an audit.
+pub const DEFAULT_CAUSAL_BUDGET: u64 = 1 << 26;
+
+/// Causal-consistency verifier over client sessions.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{CausalVerifier, Fzf, Verifier};
+/// use kav_history::HistoryBuilder;
+///
+/// // Client 1 writes 1 then 2; client 2 reads 2 then the stale 1.
+/// // 2-atomic (one write stale) but causally inconsistent: the second
+/// // read observes a value causally overwritten by what it already saw.
+/// let history = HistoryBuilder::new()
+///     .write_by(1, 1, 0, 10)
+///     .write_by(1, 2, 20, 100)
+///     .read_by(2, 2, 30, 40)
+///     .read_by(2, 1, 50, 60)
+///     .build()?;
+/// assert_eq!(CausalVerifier::new().verify(&history).decided(), Some(false));
+/// assert_eq!(Fzf.verify(&history).decided(), Some(true));
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct CausalVerifier {
+    budget: u64,
+}
+
+impl Default for CausalVerifier {
+    fn default() -> Self {
+        CausalVerifier::new()
+    }
+}
+
+impl CausalVerifier {
+    /// A verifier with the default work budget
+    /// ([`DEFAULT_CAUSAL_BUDGET`]).
+    pub fn new() -> Self {
+        CausalVerifier { budget: DEFAULT_CAUSAL_BUDGET }
+    }
+
+    /// A verifier with an explicit closure-work budget (in 64-bit block
+    /// operations). Histories whose closure would exceed it verify as
+    /// [`Verdict::Inconclusive`].
+    pub fn with_budget(budget: u64) -> Self {
+        CausalVerifier { budget }
+    }
+}
+
+/// Dense bit matrix: `reach[u]` holds the set of nodes reachable from
+/// `u` (strictly — `u` itself only on a cycle, which is caught earlier).
+struct Reachability {
+    blocks: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    fn new(nodes: usize) -> Self {
+        let blocks = nodes.div_ceil(64);
+        Reachability { blocks, bits: vec![0; nodes * blocks] }
+    }
+
+    fn set(&mut self, from: usize, to: usize) {
+        self.bits[from * self.blocks + to / 64] |= 1 << (to % 64);
+    }
+
+    fn get(&self, from: usize, to: usize) -> bool {
+        self.bits[from * self.blocks + to / 64] >> (to % 64) & 1 == 1
+    }
+
+    /// `reach[into] |= reach[from]`, returning the block count as work.
+    fn merge(&mut self, into: usize, from: usize) -> u64 {
+        let (a, b) = (into * self.blocks, from * self.blocks);
+        for i in 0..self.blocks {
+            let bit = self.bits[b + i];
+            self.bits[a + i] |= bit;
+        }
+        self.blocks as u64
+    }
+}
+
+impl Verifier for CausalVerifier {
+    fn k(&self) -> u64 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "causal"
+    }
+
+    fn model(&self) -> ModelId {
+        ModelId::Causal
+    }
+
+    fn verify(&self, history: &History) -> Verdict {
+        let n = history.len();
+        if n == 0 {
+            return Verdict::Consistent;
+        }
+
+        // Build so ∪ wi as an adjacency list over op indices.
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut in_degree = vec![0usize; n];
+        let add_edge = |edges: &mut Vec<Vec<usize>>, in_degree: &mut Vec<usize>,
+                            from: usize,
+                            to: usize| {
+            edges[from].push(to);
+            in_degree[to] += 1;
+        };
+
+        // Session order: each tagged client's ops chained in issue
+        // (start-time) order.
+        let mut sessions: HashMap<u64, Vec<usize>> = HashMap::new();
+        for id in history.ids() {
+            let op = history.op(id);
+            if op.client != UNTAGGED_CLIENT {
+                sessions.entry(op.client).or_default().push(id.index());
+            }
+        }
+        for ops in sessions.values_mut() {
+            ops.sort_unstable_by_key(|&i| history.op(kav_history::OpId(i)).start);
+            for pair in ops.windows(2) {
+                add_edge(&mut edges, &mut in_degree, pair[0], pair[1]);
+            }
+        }
+
+        // Writes-into: dictating write → read.
+        for &read in history.reads() {
+            let write = history
+                .dictating_write(read)
+                .expect("validated histories bind every read to a write");
+            add_edge(&mut edges, &mut in_degree, write.index(), read.index());
+        }
+
+        // Budget check up front: closure work is ~(n + e) blocks of 64
+        // bits, the WriteCORead scan ~reads × writes bit probes.
+        let e: u64 = edges.iter().map(|succ| succ.len() as u64).sum();
+        let blocks = n.div_ceil(64) as u64;
+        let closure_work = (n as u64 + e) * blocks;
+        let scan_work = history.num_reads() as u64 * history.num_writes() as u64;
+        if closure_work.saturating_add(scan_work) > self.budget {
+            return Verdict::Inconclusive;
+        }
+
+        // Kahn's algorithm: a leftover node means CyclicCO.
+        let mut queue: Vec<usize> =
+            (0..n).filter(|&i| in_degree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut degree = in_degree;
+        while let Some(u) = queue.pop() {
+            topo.push(u);
+            for &v in &edges[u] {
+                degree[v] -= 1;
+                if degree[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Verdict::NotKAtomic; // CyclicCO
+        }
+
+        // Transitive closure in reverse topological order.
+        let mut reach = Reachability::new(n);
+        for &u in topo.iter().rev() {
+            // Split off the successor list so `reach` can be merged into.
+            let succ = std::mem::take(&mut edges[u]);
+            for &v in &succ {
+                reach.set(u, v);
+                reach.merge(u, v);
+            }
+            edges[u] = succ;
+        }
+
+        // WriteCORead: r reads w, but some other write w′ sits causally
+        // between them.
+        let writes: Vec<usize> =
+            history.ids().filter(|&id| history.op(id).is_write()).map(|id| id.index()).collect();
+        for &read in history.reads() {
+            let r = read.index();
+            let w = history
+                .dictating_write(read)
+                .expect("validated histories bind every read to a write")
+                .index();
+            for &other in &writes {
+                if other != w && reach.get(w, other) && reach.get(other, r) {
+                    return Verdict::NotKAtomic; // WriteCORead
+                }
+            }
+        }
+        Verdict::Consistent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fzf;
+    use kav_history::HistoryBuilder;
+
+    /// The forced-apart geometry: 2-atomic but causally violating.
+    fn causal_violation() -> History {
+        HistoryBuilder::new()
+            .write_by(1, 1, 0, 10)
+            .write_by(1, 2, 20, 100)
+            .read_by(2, 2, 30, 40)
+            .read_by(2, 1, 50, 60)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fresh_reads_per_session_are_causal() {
+        let h = HistoryBuilder::new()
+            .write_by(1, 1, 0, 10)
+            .write_by(1, 2, 20, 30)
+            .read_by(2, 1, 12, 18)
+            .read_by(2, 2, 32, 40)
+            .build()
+            .unwrap();
+        assert_eq!(CausalVerifier::new().verify(&h), Verdict::Consistent);
+    }
+
+    #[test]
+    fn write_co_read_is_a_violation_that_atomicity_misses() {
+        let h = causal_violation();
+        assert_eq!(CausalVerifier::new().verify(&h).decided(), Some(false));
+        // One write stale: fine for k = 2.
+        assert_eq!(Fzf.verify(&h).decided(), Some(true));
+    }
+
+    #[test]
+    fn session_cycle_is_cyclic_co() {
+        // Client 1: r(1) then w(2); client 2: r(2) then w(1). Each read
+        // returns the write the *other* session issues after its own
+        // read, so so ∪ wi is the cycle r1 → w2 → r2 → w1 → r1. All
+        // four intervals overlap, keeping the history validation-clean.
+        let h = HistoryBuilder::new()
+            .read_by(1, 1, 0, 50)
+            .write_by(1, 2, 10, 60)
+            .read_by(2, 2, 20, 70)
+            .write_by(2, 1, 30, 80)
+            .build()
+            .unwrap();
+        assert_eq!(CausalVerifier::new().verify(&h).decided(), Some(false));
+    }
+
+    #[test]
+    fn untagged_streams_are_vacuously_causal() {
+        // Without session information every op is its own session; even a
+        // badly stale read has no causal obligation.
+        let h = HistoryBuilder::new()
+            .write(1, 0, 5)
+            .write(2, 10, 15)
+            .read(1, 20, 25)
+            .build()
+            .unwrap();
+        assert_eq!(CausalVerifier::new().verify(&h), Verdict::Consistent);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_unknown() {
+        let h = causal_violation();
+        assert_eq!(CausalVerifier::with_budget(0).verify(&h), Verdict::Inconclusive);
+        assert_eq!(CausalVerifier::new().k(), 1);
+        assert_eq!(CausalVerifier::new().name(), "causal");
+        assert_eq!(CausalVerifier::new().model(), ModelId::Causal);
+    }
+
+    #[test]
+    fn empty_history_is_consistent() {
+        let h = HistoryBuilder::new().build().unwrap();
+        assert_eq!(CausalVerifier::new().verify(&h), Verdict::Consistent);
+    }
+}

@@ -1,0 +1,299 @@
+//! Regular and safe register verification — interval sweeps.
+//!
+//! Both models constrain a read `r` dictated by write `w` only through
+//! the *real-time* geometry of the write intervals around it:
+//!
+//! * **regular** — `r` must return an overlapping write's value or the
+//!   value of a write not superseded before `r` began (the multi-writer
+//!   generalisation of Lamport's regular register, weak flavour: no write
+//!   `w′` with `w ≺ w′ ≺ r`). Since histories bind each read to its
+//!   dictating write, the check is: if `w` does not overlap `r`, no other
+//!   write may fall *entirely* inside the open interval
+//!   `(w.finish, r.start)`.
+//! * **safe** — the same check, but only for reads that overlap **no**
+//!   write at all; a read concurrent with any write may return anything
+//!   (we accept any value some write in the history stores, which
+//!   validation already guarantees).
+//!
+//! Both are evaluated on the §II-C-normalised history, where a write's
+//! finish is already pulled below its first dictated read's finish. That
+//! folds new-old inversions into explicit staleness; the residue that
+//! separates regular from atomic is the *zone conflict* — overlapping
+//!   writes whose reads force contradictory write orders (see the tests).
+//!
+//! Both run in `O(n log n)`: writes sorted by start with a suffix-min of
+//! finishes answer "is any write entirely inside `(lo, hi)`?" in
+//! `O(log n)`, and a prefix-max of finishes answers "does `r` overlap any
+//! write?" in `O(log n)`.
+
+use crate::models::ModelId;
+use crate::{Verdict, Verifier};
+use kav_history::{History, OpId, Time};
+
+/// Shared sweep state: writes sorted by start, with suffix-min and
+/// prefix-max of their finish times.
+struct WriteSweep {
+    /// Write start times, ascending.
+    starts: Vec<Time>,
+    /// `suffix_min_finish[i]` = min finish over writes `i..`.
+    suffix_min_finish: Vec<Time>,
+    /// `prefix_max_finish[i]` = max finish over writes `..=i`.
+    prefix_max_finish: Vec<Time>,
+}
+
+impl WriteSweep {
+    fn build(history: &History) -> Self {
+        let mut writes: Vec<(Time, Time)> = history
+            .ids()
+            .map(|id| history.op(id))
+            .filter(|op| op.is_write())
+            .map(|op| (op.start, op.finish))
+            .collect();
+        writes.sort_unstable_by_key(|&(start, _)| start);
+        let starts: Vec<Time> = writes.iter().map(|&(s, _)| s).collect();
+        let mut suffix_min_finish = vec![Time(u64::MAX); writes.len() + 1];
+        for i in (0..writes.len()).rev() {
+            suffix_min_finish[i] = suffix_min_finish[i + 1].min(writes[i].1);
+        }
+        let mut prefix_max_finish = Vec::with_capacity(writes.len());
+        let mut max = Time(0);
+        for &(_, finish) in &writes {
+            max = max.max(finish);
+            prefix_max_finish.push(max);
+        }
+        WriteSweep { starts, suffix_min_finish, prefix_max_finish }
+    }
+
+    /// Is some write entirely inside the open interval `(lo, hi)`?
+    fn write_inside(&self, lo: Time, hi: Time) -> bool {
+        // Candidates start after `lo`; the earliest finish among them
+        // decides (finishes of writes starting even later only grow the
+        // minimum's scope, never shrink it).
+        let idx = self.starts.partition_point(|&s| s <= lo);
+        self.suffix_min_finish[idx] < hi
+    }
+
+    /// Does the closed interval `[start, finish]` overlap any write?
+    fn overlaps_some_write(&self, start: Time, finish: Time) -> bool {
+        // Overlap = some write with w.start < finish and w.finish > start
+        // (endpoints are distinct in validated histories).
+        let idx = self.starts.partition_point(|&s| s < finish);
+        idx > 0 && self.prefix_max_finish[idx - 1] > start
+    }
+}
+
+/// The per-read regular-register check; `safe_only` restricts it to reads
+/// overlapping no write. Returns the first violating read, if any.
+fn first_violation(history: &History, safe_only: bool) -> Option<OpId> {
+    let sweep = WriteSweep::build(history);
+    for &read in history.reads() {
+        let r = history.op(read);
+        let w = history.op(
+            history
+                .dictating_write(read)
+                .expect("validated histories bind every read to a write"),
+        );
+        if w.overlaps(r) {
+            // Reading a concurrent write: legal under both models.
+            continue;
+        }
+        if safe_only && sweep.overlaps_some_write(r.start, r.finish) {
+            // Safe registers leave reads concurrent with any write
+            // unconstrained.
+            continue;
+        }
+        if sweep.write_inside(w.finish, r.start) {
+            return Some(read);
+        }
+    }
+    None
+}
+
+/// Regular-register verifier: every read returns an overlapping write's
+/// value or the last complete write's value.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{RegularVerifier, Verifier};
+/// use kav_history::HistoryBuilder;
+///
+/// // w(2) completes entirely between w(1) and the read of 1, and w(1)
+/// // is not concurrent with the read: not regular.
+/// let history = HistoryBuilder::new()
+///     .write(1, 0, 5)
+///     .write(2, 10, 15)
+///     .write(3, 20, 50)
+///     .read(1, 25, 35)
+///     .build()?;
+/// assert_eq!(RegularVerifier.verify(&history).decided(), Some(false));
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegularVerifier;
+
+impl Verifier for RegularVerifier {
+    fn k(&self) -> u64 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "regular"
+    }
+
+    fn model(&self) -> ModelId {
+        ModelId::Regular
+    }
+
+    fn verify(&self, history: &History) -> Verdict {
+        match first_violation(history, false) {
+            Some(_) => Verdict::NotKAtomic,
+            None => Verdict::Consistent,
+        }
+    }
+}
+
+/// Safe-register verifier: only reads overlapping no write are
+/// constrained — they must return the last complete write's value.
+///
+/// # Examples
+///
+/// ```
+/// use kav_core::{SafeVerifier, Verifier};
+/// use kav_history::HistoryBuilder;
+///
+/// // r(1) overlaps w(3), so safe semantics allow its stale value even
+/// // though w(2) completed in between (not regular).
+/// let history = HistoryBuilder::new()
+///     .write(1, 0, 5)
+///     .write(2, 10, 15)
+///     .write(3, 20, 50)
+///     .read(1, 25, 35)
+///     .build()?;
+/// assert_eq!(SafeVerifier.verify(&history).decided(), Some(true));
+/// # Ok::<(), kav_history::ValidationError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SafeVerifier;
+
+impl Verifier for SafeVerifier {
+    fn k(&self) -> u64 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "safe"
+    }
+
+    fn model(&self) -> ModelId {
+        ModelId::Safe
+    }
+
+    fn verify(&self, history: &History) -> Verdict {
+        match first_violation(history, true) {
+            Some(_) => Verdict::NotKAtomic,
+            None => Verdict::Consistent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GkOneAv, Verifier};
+    use kav_history::HistoryBuilder;
+
+    fn regular_not_atomic() -> History {
+        // Zone conflict between two overlapping writes: the first read
+        // pair forces w(1) before w(2) (r(1) precedes r(2) in real time),
+        // the second pair forces the opposite, so no linearization
+        // exists. Yet no write lies strictly between any read and its
+        // dictating write — the writes overlap each other — so every
+        // read is individually regular.
+        HistoryBuilder::new()
+            .write(1, 0, 100)
+            .write(2, 5, 90)
+            .read(1, 10, 15)
+            .read(2, 20, 25)
+            .read(2, 30, 35)
+            .read(1, 40, 45)
+            .build()
+            .unwrap()
+    }
+
+    fn safe_not_regular() -> History {
+        // w(2) completes entirely between w(1) and r(1), but r(1)
+        // overlaps w(3): safe leaves it unconstrained, regular does not.
+        HistoryBuilder::new()
+            .write(1, 0, 5)
+            .write(2, 10, 15)
+            .write(3, 20, 50)
+            .read(1, 25, 35)
+            .build()
+            .unwrap()
+    }
+
+    fn not_even_safe() -> History {
+        // r(1) overlaps nothing and w(2) completed in between.
+        HistoryBuilder::new()
+            .write(1, 0, 5)
+            .write(2, 10, 15)
+            .read(1, 20, 25)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn regular_separates_from_atomic() {
+        let h = regular_not_atomic();
+        assert_eq!(GkOneAv.verify(&h).decided(), Some(false), "not atomic");
+        assert_eq!(RegularVerifier.verify(&h).decided(), Some(true), "but regular");
+        assert_eq!(SafeVerifier.verify(&h).decided(), Some(true), "hence safe");
+    }
+
+    #[test]
+    fn safe_separates_from_regular() {
+        let h = safe_not_regular();
+        assert_eq!(RegularVerifier.verify(&h).decided(), Some(false), "not regular");
+        assert_eq!(SafeVerifier.verify(&h).decided(), Some(true), "but safe");
+        assert_eq!(GkOneAv.verify(&h).decided(), Some(false), "a fortiori not atomic");
+    }
+
+    #[test]
+    fn fully_stale_read_fails_all_three() {
+        let h = not_even_safe();
+        assert_eq!(SafeVerifier.verify(&h).decided(), Some(false));
+        assert_eq!(RegularVerifier.verify(&h).decided(), Some(false));
+        assert_eq!(GkOneAv.verify(&h).decided(), Some(false));
+    }
+
+    #[test]
+    fn serial_history_satisfies_everything() {
+        let h = HistoryBuilder::new()
+            .write(1, 0, 5)
+            .read(1, 10, 15)
+            .write(2, 20, 25)
+            .read(2, 30, 35)
+            .build()
+            .unwrap();
+        assert_eq!(GkOneAv.verify(&h).decided(), Some(true));
+        assert!(RegularVerifier.verify(&h).is_consistent());
+        assert!(SafeVerifier.verify(&h).is_consistent());
+        // Model YES verdicts carry no witness and report identity.
+        assert!(RegularVerifier.verify(&h).witness().is_none());
+        assert_eq!(RegularVerifier.model(), ModelId::Regular);
+        assert_eq!(SafeVerifier.model(), ModelId::Safe);
+        assert_eq!(RegularVerifier.name(), "regular");
+        assert_eq!(SafeVerifier.name(), "safe");
+    }
+
+    #[test]
+    fn empty_and_write_only_histories_are_consistent() {
+        let empty = HistoryBuilder::new().build().unwrap();
+        assert!(RegularVerifier.verify(&empty).is_consistent());
+        assert!(SafeVerifier.verify(&empty).is_consistent());
+        let writes = HistoryBuilder::new().write(1, 0, 5).write(2, 10, 15).build().unwrap();
+        assert!(RegularVerifier.verify(&writes).is_consistent());
+        assert!(SafeVerifier.verify(&writes).is_consistent());
+    }
+}

@@ -1,0 +1,166 @@
+//! Pluggable consistency models over the shared history substrate.
+//!
+//! The k-atomicity verifiers of the paper are one *model plugin* among
+//! several: every model consumes the same validated, per-register
+//! [`History`](kav_history::History), decides it through the common
+//! [`Verifier`](crate::Verifier) interface, and reports through the same
+//! [`Verdict`](crate::Verdict) vocabulary (YES / NO / UNKNOWN). The
+//! streaming layers — [`OnlineVerifier`](crate::OnlineVerifier),
+//! [`StreamPipeline`](crate::StreamPipeline), checkpoints and the fleet
+//! protocol — are model-agnostic: they carry a [`ModelId`] through their
+//! snapshots so a resumed or fleet-distributed audit can prove it is
+//! continuing under the same semantics.
+//!
+//! Models implemented here:
+//!
+//! * **Regular registers** ([`RegularVerifier`]) — every read returns the
+//!   value of its last preceding complete write or of some overlapping
+//!   write (Lamport). An interval sweep decides it in `O(n log n)`.
+//! * **Safe registers** ([`SafeVerifier`]) — only reads that overlap no
+//!   write are constrained (they must return the last complete write's
+//!   value); overlapping reads may return anything written. Same sweep,
+//!   restricted.
+//! * **Causal consistency** ([`CausalVerifier`]) — reads respect the
+//!   transitive closure of per-client session order and the writes-into
+//!   relation (Bouajjani et al., POPL 2017 bad-pattern characterisation).
+//!   Needs client-tagged operations; untagged operations are singleton
+//!   sessions.
+//!
+//! The models form a lattice on the decided fragment: an atomic (k = 1)
+//! history is regular, and a regular history is safe — equivalently,
+//! safe NO ⟹ regular NO ⟹ atomic NO. Causal consistency is
+//! incomparable with the staleness hierarchy (a 2-atomic history can
+//! violate causality and vice versa), which is what makes it a genuine
+//! second axis rather than another `k`. The property suite
+//! (`tests/model_lattice.rs`) enforces both facts on random and
+//! forced-apart workloads.
+//!
+//! # Windowed soundness
+//!
+//! All three models verify streams through the same decomposition as
+//! k-atomicity, and the argument is the same shape (see
+//! [`kav_history::stream`]): seal cuts are real-time separations, and the
+//! pairs mechanism keeps every read in the same segment as its dictating
+//! write. A regular/safe violation is a triple `(w, w″, r)` with
+//! `w ≺ w″ ≺ r` in real time, so it can never straddle a cut; a causal
+//! bad pattern is a cycle or a covered read in `so ∪ wi`, whose cross-cut
+//! edges all point forward in time, so every bad pattern is intra-segment
+//! too. NO verdicts are sound at any window, and YES is certified exactly
+//! when the decomposition was exact — the same discipline the k-atomic
+//! plugin obeys.
+
+mod causal;
+mod interval;
+
+pub use causal::{CausalVerifier, DEFAULT_CAUSAL_BUDGET};
+pub use interval::{RegularVerifier, SafeVerifier};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Identity of a consistency model — what a verifier decides, threaded
+/// through snapshots, checkpoints and the fleet wire so that a resumed
+/// audit cannot silently switch semantics.
+///
+/// Serialises as the CLI-facing spelling (`"k-atomic"`, `"regular"`,
+/// `"safe"`, `"causal"`); absent fields in pre-model snapshots default to
+/// k-atomicity, the only model that existed before the field did.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum ModelId {
+    /// k-atomicity (§II of the paper) — the native model; `k` is carried
+    /// separately by the verifier.
+    #[default]
+    #[serde(rename = "k-atomic")]
+    KAtomic,
+    /// Lamport regular register semantics.
+    #[serde(rename = "regular")]
+    Regular,
+    /// Lamport safe register semantics.
+    #[serde(rename = "safe")]
+    Safe,
+    /// Causal consistency over client sessions.
+    #[serde(rename = "causal")]
+    Causal,
+}
+
+impl ModelId {
+    /// The CLI-facing spelling (also the serialised form).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelId::KAtomic => "k-atomic",
+            ModelId::Regular => "regular",
+            ModelId::Safe => "safe",
+            ModelId::Causal => "causal",
+        }
+    }
+
+    /// True iff this is the default k-atomicity model. Snapshot and
+    /// checkpoint envelopes use it as their `skip_serializing_if`
+    /// predicate, so default-model state serialises byte-identically to
+    /// its pre-model form (and pre-model checkpoints deserialise as
+    /// k-atomic via `#[serde(default)]`).
+    pub fn is_k_atomic(&self) -> bool {
+        *self == ModelId::KAtomic
+    }
+
+    /// Every model, in lattice order (strongest interval model first).
+    pub const ALL: [ModelId; 4] =
+        [ModelId::KAtomic, ModelId::Regular, ModelId::Safe, ModelId::Causal];
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error for an unrecognised model name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownModel(pub String);
+
+impl fmt::Display for UnknownModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown consistency model {:?} (expected k-atomic, regular, safe or causal)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownModel {}
+
+impl FromStr for ModelId {
+    type Err = UnknownModel;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "k-atomic" | "k_atomic" | "katomic" | "atomic" => Ok(ModelId::KAtomic),
+            "regular" => Ok(ModelId::Regular),
+            "safe" => Ok(ModelId::Safe),
+            "causal" => Ok(ModelId::Causal),
+            other => Err(UnknownModel(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_id_parses_displays_and_serialises() {
+        for model in ModelId::ALL {
+            assert_eq!(model.as_str().parse::<ModelId>().unwrap(), model);
+            assert_eq!(model.to_string(), model.as_str());
+            let json = serde_json::to_string(&model).unwrap();
+            assert_eq!(json, format!("{:?}", model.as_str()));
+            let back: ModelId = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, model);
+        }
+        assert_eq!("atomic".parse::<ModelId>().unwrap(), ModelId::KAtomic);
+        assert!("linearizable".parse::<ModelId>().is_err());
+        assert_eq!(ModelId::default(), ModelId::KAtomic);
+    }
+}

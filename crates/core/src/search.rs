@@ -368,6 +368,7 @@ mod tests {
             }
             Verdict::NotKAtomic => false,
             Verdict::Inconclusive => panic!("unbounded search cannot be inconclusive"),
+            Verdict::Consistent => panic!("k-atomic YES always carries a witness"),
         }
     }
 

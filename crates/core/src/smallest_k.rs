@@ -149,7 +149,7 @@ pub fn smallest_k(history: &History, node_budget: Option<u64>) -> Staleness {
             return Staleness::Exact(k);
         }
         match escalate_gap(history, k, node_budget).0 {
-            Verdict::KAtomic { .. } => return Staleness::Exact(k),
+            Verdict::KAtomic { .. } | Verdict::Consistent => return Staleness::Exact(k),
             Verdict::NotKAtomic => {}
             // Give up at the first undecided level: everything below k is
             // proven non-atomic, so "at least k" is exactly what is known.

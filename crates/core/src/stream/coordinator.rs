@@ -45,6 +45,7 @@ use super::merge::{
     merge_snapshots, partition_snapshot, split_ops_share, FleetSummary, MergeError,
 };
 use super::pipeline::{PipelineOutput, PipelineSnapshot};
+use crate::models::ModelId;
 use super::protocol::{
     encode_payload, expect_preamble, parse_reply, read_message, tag, write_message,
     Assignment, FinishReply, ProtocolError, RangeSnapshot, SnapshotReply,
@@ -75,6 +76,9 @@ pub struct WorkerLink {
 pub struct FleetConfig {
     /// [`Verifier::name`](crate::Verifier::name) the fleet runs.
     pub algo: String,
+    /// The consistency model the fleet audits; stamped into every
+    /// assignment so no worker can join under different semantics.
+    pub model: ModelId,
     /// The `k` the fleet decides.
     pub k: u64,
     /// Per-key sliding-window width.
@@ -97,6 +101,7 @@ impl Default for FleetConfig {
     fn default() -> Self {
         FleetConfig {
             algo: "fzf".into(),
+            model: ModelId::KAtomic,
             k: 2,
             window: 1024,
             horizon: None,
@@ -402,6 +407,7 @@ impl FleetCoordinator {
         let assignment = Assignment {
             range: state.range,
             algo: self.config.algo.clone(),
+            model: self.config.model,
             k: self.config.k,
             window: self.config.window,
             horizon: self.config.horizon,
@@ -455,6 +461,7 @@ impl FleetCoordinator {
                 let assignment = Assignment {
                     range: state.range,
                     algo: self.config.algo.clone(),
+                    model: self.config.model,
                     k: self.config.k,
                     window: self.config.window,
                     horizon: self.config.horizon,

@@ -39,7 +39,8 @@ use std::fmt;
 pub enum MergeError {
     /// No snapshots were offered.
     Empty,
-    /// Two snapshots disagree on algorithm, `k`, window or horizon.
+    /// Two snapshots disagree on algorithm, `k`, consistency model,
+    /// window or horizon.
     ConfigMismatch(String),
     /// The same key appears in more than one shard's snapshot — the
     /// partition was not disjoint, so per-key state cannot be trusted.
@@ -73,6 +74,7 @@ pub fn merge_snapshots(parts: &[PipelineSnapshot]) -> Result<PipelineSnapshot, M
     let first = parts.first().ok_or(MergeError::Empty)?;
     let mut merged = PipelineSnapshot {
         algo: first.algo.clone(),
+        model: first.model,
         k: first.k,
         window: first.window,
         horizon: first.horizon,
@@ -85,10 +87,10 @@ pub fn merge_snapshots(parts: &[PipelineSnapshot]) -> Result<PipelineSnapshot, M
     };
     let mut seen: HashSet<u64> = HashSet::new();
     for part in parts {
-        if part.algo != merged.algo || part.k != merged.k {
+        if part.algo != merged.algo || part.k != merged.k || part.model != merged.model {
             return Err(MergeError::ConfigMismatch(format!(
-                "{}/k={} vs {}/k={}",
-                merged.algo, merged.k, part.algo, part.k
+                "{}/k={}/model={} vs {}/k={}/model={}",
+                merged.algo, merged.k, merged.model, part.algo, part.k, part.model
             )));
         }
         if part.window != merged.window || part.horizon != merged.horizon {
@@ -132,6 +134,7 @@ pub fn partition_snapshot(
 ) -> PipelineSnapshot {
     PipelineSnapshot {
         algo: parent.algo.clone(),
+        model: parent.model,
         k: parent.k,
         window: parent.window,
         horizon: parent.horizon,

@@ -88,9 +88,12 @@
 
 mod checkpoint;
 pub mod coordinator;
+pub mod depth;
 pub mod merge;
 mod pipeline;
 pub mod protocol;
+
+pub use depth::{DepthStats, DepthWindow, DEFAULT_DEPTH_WINDOW};
 
 pub use checkpoint::{
     read_checkpoint, Checkpoint, CheckpointDelta, CheckpointError, CheckpointWriter,
@@ -107,6 +110,7 @@ pub use pipeline::{
 };
 pub use protocol::{worker_loop, ProtocolError};
 
+use crate::models::ModelId;
 use crate::{Verdict, Verifier};
 use kav_history::stream::{Push, StreamBuilder, StreamConfig, StreamError};
 use kav_history::{Operation, ValidationError};
@@ -169,6 +173,10 @@ impl From<ValidationError> for OnlineError {
 /// Final summary of one register's verified stream.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StreamReport {
+    /// The consistency model the verdicts decide (absent = k-atomic, the
+    /// only model pre-model reports could describe).
+    #[serde(default, skip_serializing_if = "ModelId::is_k_atomic")]
+    pub model: ModelId,
     /// The `k` the verdicts decide.
     pub k: u64,
     /// Operations accepted (including horizon-breach reads).
@@ -316,6 +324,10 @@ pub struct OnlineVerifier<V> {
 pub struct OnlineSnapshot {
     /// [`Verifier::name`] of the wrapped verifier.
     pub algo: String,
+    /// [`Verifier::model`] of the wrapped verifier (absent = k-atomic):
+    /// resume refuses to continue an audit under different semantics.
+    #[serde(default, skip_serializing_if = "ModelId::is_k_atomic")]
+    pub model: ModelId,
     /// The `k` the verdicts decide.
     pub k: u64,
     /// Sliding-window width, in operations.
@@ -374,6 +386,7 @@ impl<V: Verifier> OnlineVerifier<V> {
     pub fn snapshot(&self) -> OnlineSnapshot {
         OnlineSnapshot {
             algo: self.verifier.name().to_string(),
+            model: self.verifier.model(),
             k: self.verifier.k(),
             window: self.window,
             next_attempt: self.next_attempt,
@@ -406,6 +419,13 @@ impl<V: Verifier> OnlineVerifier<V> {
                 "snapshot was taken with algorithm {:?}, resuming with {:?}",
                 snapshot.algo,
                 verifier.name()
+            )));
+        }
+        if verifier.model() != snapshot.model {
+            return Err(SnapshotError::new(format!(
+                "snapshot audits the {} consistency model, resuming verifier decides {}",
+                snapshot.model,
+                verifier.model()
             )));
         }
         if verifier.k() != snapshot.k {
@@ -601,6 +621,7 @@ impl<V: Verifier> OnlineVerifier<V> {
 
     fn report(self) -> StreamReport {
         StreamReport {
+            model: self.verifier.model(),
             k: self.verifier.k(),
             ops: self.ops,
             segments: self.segments,
@@ -622,7 +643,7 @@ impl<V: Verifier> OnlineVerifier<V> {
         let history = segment.into_history()?;
         self.segments += 1;
         match self.verifier.verify(&history) {
-            Verdict::KAtomic { .. } => {}
+            Verdict::KAtomic { .. } | Verdict::Consistent => {}
             Verdict::NotKAtomic => self.violations += 1,
             Verdict::Inconclusive => self.inconclusive += 1,
         }

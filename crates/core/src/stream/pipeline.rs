@@ -32,6 +32,7 @@
 //! drains its queue and answers.
 
 use super::{OnlineSnapshot, OnlineVerifier, SnapshotError, StreamReport};
+use crate::models::ModelId;
 use crate::Verifier;
 use kav_history::frame::{FrameBatch, KeyRange};
 use kav_history::stream::DEPTH_BUCKETS;
@@ -157,6 +158,10 @@ pub struct KeyError {
 pub struct PipelineSnapshot {
     /// [`Verifier::name`] of the verifier all keys run.
     pub algo: String,
+    /// The consistency model every key audits (absent = k-atomic):
+    /// resume and assignment hand-off refuse a model mismatch.
+    #[serde(default, skip_serializing_if = "ModelId::is_k_atomic")]
+    pub model: ModelId,
     /// The `k` the verdicts decide.
     pub k: u64,
     /// Per-key window width (resume must match it).
@@ -390,6 +395,7 @@ pub struct StreamPipeline {
     horizon: usize,
     checkpoint_every: u64,
     algo: &'static str,
+    model: ModelId,
     k: u64,
     ops_routed: u64,
     /// `ops_routed` as of the last snapshot (cadence anchor).
@@ -447,6 +453,13 @@ impl StreamPipeline {
                 "snapshot was taken with algorithm {:?}, resuming with {:?}",
                 snapshot.algo,
                 verifier.name()
+            )));
+        }
+        if verifier.model() != snapshot.model {
+            return Err(SnapshotError::new(format!(
+                "snapshot audits the {} consistency model, resuming verifier decides {}",
+                snapshot.model,
+                verifier.model()
             )));
         }
         if verifier.k() != snapshot.k {
@@ -550,6 +563,7 @@ impl StreamPipeline {
         // windowed verification must keep windowed memory.
         let backlog = (4 * window).div_ceil(batch).max(2);
         let algo = verifier.name();
+        let model = verifier.model();
         let k = verifier.k();
         let workers = seeds
             .into_iter()
@@ -673,6 +687,7 @@ impl StreamPipeline {
             horizon,
             checkpoint_every: config.checkpoint_every,
             algo,
+            model,
             k,
             ops_routed,
             ops_at_last_snapshot: ops_routed,
@@ -799,6 +814,7 @@ impl StreamPipeline {
         self.ops_at_last_snapshot = self.ops_routed;
         PipelineSnapshot {
             algo: self.algo.to_string(),
+            model: self.model,
             k: self.k,
             window: self.window,
             horizon: self.horizon,

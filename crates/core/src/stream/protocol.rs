@@ -39,6 +39,7 @@
 
 use super::pipeline::{KeyError, KeyReport, PipelineConfig, PipelineSnapshot, StreamPipeline};
 use super::SnapshotError;
+use crate::models::ModelId;
 use crate::Verifier;
 use kav_history::frame::{decode_routed_batch, BatchError, KeyRange};
 use serde::{Deserialize, Serialize};
@@ -88,6 +89,11 @@ pub struct Assignment {
     /// [`Verifier::name`] the fleet runs — the worker refuses a mismatch
     /// with its own verifier rather than mixing algorithms.
     pub algo: String,
+    /// The consistency model the fleet audits (absent = k-atomic);
+    /// refused on mismatch like `algo`/`k`, so one fleet never mixes
+    /// verdict semantics.
+    #[serde(default, skip_serializing_if = "ModelId::is_k_atomic")]
+    pub model: ModelId,
     /// The `k` the fleet decides; likewise refused on mismatch.
     pub k: u64,
     /// Per-key sliding-window width.
@@ -176,7 +182,8 @@ pub enum ProtocolError {
     DuplicateAssignment(KeyRange),
     /// A BATCH or RETIRE for a range the worker does not own.
     UnassignedRange(KeyRange),
-    /// An ASSIGN whose algorithm/k disagree with the worker's verifier.
+    /// An ASSIGN whose algorithm, `k` or consistency model disagrees
+    /// with the worker's verifier.
     VerifierMismatch(String),
     /// An ASSIGN whose resume snapshot is tagged with a different
     /// partition than the assigned range — state from one shard map must
@@ -404,13 +411,18 @@ fn worker_loop_inner<V: Verifier + Clone + Send + 'static>(
                 if !assignment.range.is_valid() {
                     return Err(ProtocolError::Batch(BatchError::BadRange(assignment.range)));
                 }
-                if assignment.algo != verifier.name() || assignment.k != verifier.k() {
+                if assignment.algo != verifier.name()
+                    || assignment.k != verifier.k()
+                    || assignment.model != verifier.model()
+                {
                     return Err(ProtocolError::VerifierMismatch(format!(
-                        "fleet runs {}/k={}, worker runs {}/k={}",
+                        "fleet runs {}/k={}/model={}, worker runs {}/k={}/model={}",
                         assignment.algo,
                         assignment.k,
+                        assignment.model,
                         verifier.name(),
-                        verifier.k()
+                        verifier.k(),
+                        verifier.model()
                     )));
                 }
                 if owned.iter().any(|o| o.range == assignment.range) {

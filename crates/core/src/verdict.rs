@@ -1,10 +1,17 @@
 //! Verdicts and the common verifier interface.
 
+use crate::models::ModelId;
 use crate::TotalOrder;
 use kav_history::History;
 use std::fmt;
 
-/// The outcome of asking whether a history is k-atomic.
+/// The outcome of asking whether a history satisfies a consistency model.
+///
+/// The k-atomicity verifiers certify YES with a total-order witness
+/// ([`Verdict::KAtomic`]); models whose YES has no total-order certificate
+/// (regular/safe registers, causal consistency — see [`crate::models`])
+/// answer with the witness-less [`Verdict::Consistent`]. NO and UNKNOWN
+/// are shared across all models.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Verdict {
     /// The history is k-atomic; `witness` is a valid k-atomic total order
@@ -13,12 +20,17 @@ pub enum Verdict {
         /// A certifying total order over all operations.
         witness: TotalOrder,
     },
-    /// The history is not k-atomic.
+    /// The history satisfies the verifier's consistency model; the model
+    /// has no total-order witness to attach (regular/safe/causal YES).
+    Consistent,
+    /// The history violates the verifier's consistency model (for the
+    /// k-atomicity verifiers: it is not k-atomic).
     NotKAtomic,
     /// A budgeted search gave up before deciding — produced by
     /// [`crate::ConstrainedSearch`] and the [`crate::ExhaustiveSearch`]
-    /// oracle when their node budget is exhausted, and by [`crate::GenK`]
-    /// when its bound gap outlives the escalation budget.
+    /// oracle when their node budget is exhausted, by [`crate::GenK`]
+    /// when its bound gap outlives the escalation budget, and by
+    /// [`crate::CausalVerifier`] past its closure budget.
     Inconclusive,
 }
 
@@ -27,15 +39,20 @@ impl Verdict {
     /// inconclusive.
     pub fn decided(&self) -> Option<bool> {
         match self {
-            Verdict::KAtomic { .. } => Some(true),
+            Verdict::KAtomic { .. } | Verdict::Consistent => Some(true),
             Verdict::NotKAtomic => Some(false),
             Verdict::Inconclusive => None,
         }
     }
 
-    /// True iff the verdict is YES.
+    /// True iff the verdict is a witnessed k-atomic YES.
     pub fn is_k_atomic(&self) -> bool {
         matches!(self, Verdict::KAtomic { .. })
+    }
+
+    /// True iff the verdict is YES under *any* model (witnessed or not).
+    pub fn is_consistent(&self) -> bool {
+        self.decided() == Some(true)
     }
 
     /// The witness of a YES verdict, if any.
@@ -50,26 +67,39 @@ impl Verdict {
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Verdict::KAtomic { .. } => write!(f, "YES"),
+            Verdict::KAtomic { .. } | Verdict::Consistent => write!(f, "YES"),
             Verdict::NotKAtomic => write!(f, "NO"),
             Verdict::Inconclusive => write!(f, "UNKNOWN"),
         }
     }
 }
 
-/// A decision procedure for k-atomicity at a fixed `k`.
+/// A decision procedure for one consistency model on one register.
 ///
-/// Implementations: [`crate::GkOneAv`] (`k = 1`), [`crate::Lbt`] and
-/// [`crate::Fzf`] (`k = 2`), and [`crate::ExhaustiveSearch`] (any `k`, small
-/// histories).
+/// k-atomicity implementations: [`crate::GkOneAv`] (`k = 1`),
+/// [`crate::Lbt`] and [`crate::Fzf`] (`k = 2`), and
+/// [`crate::ExhaustiveSearch`] (any `k`, small histories). Other models
+/// plug in through the same interface ([`crate::RegularVerifier`],
+/// [`crate::SafeVerifier`], [`crate::CausalVerifier`]) with
+/// [`model`](Verifier::model) overridden; everything downstream —
+/// [`crate::OnlineVerifier`], [`crate::StreamPipeline`], the fleet
+/// protocol — is model-agnostic and threads the identity through its
+/// snapshots.
 pub trait Verifier {
-    /// The `k` this verifier decides.
+    /// The `k` this verifier decides. Models without a staleness
+    /// parameter report `1` (their constraint is per-read, not a depth).
     fn k(&self) -> u64;
 
     /// Short human-readable algorithm name (e.g. `"lbt"`).
     fn name(&self) -> &'static str;
 
-    /// Decides whether `history` is `k`-atomic.
+    /// The consistency model this verifier decides. Defaults to
+    /// k-atomicity, the native model of this crate.
+    fn model(&self) -> ModelId {
+        ModelId::KAtomic
+    }
+
+    /// Decides whether `history` satisfies the model.
     fn verify(&self, history: &History) -> Verdict;
 }
 

@@ -1,0 +1,248 @@
+//! Property suite for the pluggable consistency-model layer.
+//!
+//! Two batteries:
+//!
+//! * **Implication chain** — the model lattice `atomic (k = 1) ⟹
+//!   regular ⟹ safe` must hold on every input: a YES anywhere in the
+//!   chain propagates down, a NO propagates up. Checked on the fixed
+//!   forced-apart corpus (which also pins the *strictness* of each
+//!   inclusion) and on random histories.
+//! * **Causal oracle agreement** — [`CausalVerifier`] against an
+//!   independent brute-force implementation: Floyd–Warshall closure of
+//!   `so ∪ wi` over a dense boolean matrix, cycles read off the
+//!   diagonal, `WriteCORead` by a direct triple loop. Any decided
+//!   verdict must match the oracle exactly.
+
+use kav_core::{
+    CausalVerifier, GkOneAv, RegularVerifier, SafeVerifier, Verdict, Verifier,
+};
+use kav_history::{History, RawHistory, UNTAGGED_CLIENT};
+use kav_workloads::{
+    causal_clean_stream, causal_cycle, causal_violation, causal_violation_stream, figure3,
+    random_k_atomic, safe_not_regular, serial, staircase, zone_conflict, CausalStreamConfig,
+    RandomHistoryConfig,
+};
+use proptest::prelude::*;
+
+/// Asserts the lattice direction on one history: atomic YES forces
+/// regular YES forces safe YES (equivalently, safe NO forces regular NO
+/// forces atomic NO). Returns the three decisions for further checks.
+fn assert_chain(h: &History, label: &str) -> (Option<bool>, Option<bool>, Option<bool>) {
+    let atomic = GkOneAv.verify(h).decided();
+    let regular = RegularVerifier.verify(h).decided();
+    let safe = SafeVerifier.verify(h).decided();
+    // The interval verifiers always decide.
+    assert!(regular.is_some(), "{label}: regular verifier must decide");
+    assert!(safe.is_some(), "{label}: safe verifier must decide");
+    if atomic == Some(true) {
+        assert_eq!(regular, Some(true), "{label}: atomic YES but regular NO");
+    }
+    if regular == Some(true) {
+        assert_eq!(safe, Some(true), "{label}: regular YES but safe NO");
+    }
+    (atomic, regular, safe)
+}
+
+/// The fixed forced-apart corpus: each row pins where in the lattice the
+/// history sits, so every inclusion is witnessed as *strict*.
+#[test]
+fn forced_apart_corpus_pins_every_lattice_gap() {
+    // A row pins (atomic-at-its-k, regular, safe) for one history.
+    type LatticeRow = (&'static str, History, Option<bool>, Option<bool>, Option<bool>);
+    let corpus: Vec<LatticeRow> = vec![
+        ("serial", serial(40), Some(true), Some(true), Some(true)),
+        ("zone-conflict", zone_conflict(), Some(false), Some(true), Some(true)),
+        ("safe-only", safe_not_regular(), Some(false), Some(false), Some(true)),
+        // §II-C normalisation pulls w(2)'s finish below its first
+        // dictated read, so the stale read also breaks both interval
+        // models — the separation the gadget carries is 2-atomic (Fzf
+        // YES) vs causal NO, not regular vs causal.
+        ("causal-violation", causal_violation(), Some(false), Some(false), Some(false)),
+        ("causal-cycle", causal_cycle(), Some(true), Some(true), Some(true)),
+    ];
+    for (label, h, atomic, regular, safe) in corpus {
+        let got = assert_chain(&h, label);
+        assert_eq!(got, (atomic, regular, safe), "{label}: lattice position moved");
+    }
+    // Histories whose exact regular/safe position we don't pin still have
+    // to respect the chain direction.
+    assert_chain(&staircase(30), "staircase");
+    assert_chain(&figure3(), "figure3");
+    // And the causal column: orthogonal to the interval chain.
+    assert_eq!(CausalVerifier::new().verify(&causal_violation()).decided(), Some(false));
+    assert_eq!(CausalVerifier::new().verify(&causal_cycle()).decided(), Some(false));
+    assert_eq!(CausalVerifier::new().verify(&serial(40)).decided(), Some(true));
+}
+
+/// Retags a history's operations with session ids drawn deterministically
+/// from `seed`, spreading them over `clients` sessions.
+fn retag(h: &History, clients: u64, seed: u64) -> History {
+    let raw: RawHistory = h
+        .ops()
+        .iter()
+        .enumerate()
+        .map(|(i, op)| {
+            let client = (i as u64).wrapping_mul(seed | 1).wrapping_add(seed) % clients + 1;
+            (*op).with_client(client)
+        })
+        .collect();
+    raw.into_history().expect("client tags never invalidate a history")
+}
+
+/// Independent causal oracle: Floyd–Warshall closure of `so ∪ wi`,
+/// `CyclicCO` off the diagonal, `WriteCORead` by triple loop.
+fn causal_oracle(h: &History) -> bool {
+    let n = h.len();
+    let mut reach = vec![vec![false; n]; n];
+
+    // Session order: each tagged client's ops chained in start order.
+    let mut sessions: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+    for id in h.ids() {
+        let op = h.op(id);
+        if op.client != UNTAGGED_CLIENT {
+            sessions.entry(op.client).or_default().push(id.index());
+        }
+    }
+    for ops in sessions.values_mut() {
+        ops.sort_by_key(|&i| h.op(kav_history::OpId(i)).start);
+        for pair in ops.windows(2) {
+            reach[pair[0]][pair[1]] = true;
+        }
+    }
+    // Writes-into: dictating write → read.
+    for &read in h.reads() {
+        let write = h.dictating_write(read).expect("validated history");
+        reach[write.index()][read.index()] = true;
+    }
+
+    // Floyd–Warshall transitive closure.
+    for k in 0..n {
+        for i in 0..n {
+            if reach[i][k] {
+                let via: Vec<usize> = (0..n).filter(|&j| reach[k][j]).collect();
+                for j in via {
+                    reach[i][j] = true;
+                }
+            }
+        }
+    }
+    // CyclicCO.
+    if (0..n).any(|i| reach[i][i]) {
+        return false;
+    }
+    // WriteCORead: r reads w but another write sits causally between.
+    for &read in h.reads() {
+        let r = read.index();
+        let w = h.dictating_write(read).expect("validated history").index();
+        for other in h.ids() {
+            let o = other.index();
+            if h.op(other).is_write() && o != w && reach[w][o] && reach[o][r] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The oracle agrees with the production verifier on the fixed corpus.
+#[test]
+fn causal_oracle_agrees_on_fixed_corpus() {
+    let corpus: Vec<(&str, History)> = vec![
+        ("causal-violation", causal_violation()),
+        ("causal-cycle", causal_cycle()),
+        ("serial", serial(40)),
+        ("zone-conflict", zone_conflict()),
+        ("safe-only", safe_not_regular()),
+        ("untagged-staircase", staircase(20)),
+    ];
+    for (label, h) in corpus {
+        assert_eq!(
+            CausalVerifier::new().verify(&h).decided(),
+            Some(causal_oracle(&h)),
+            "{label}"
+        );
+    }
+}
+
+/// Per-key substreams of the causal stream workloads, against the oracle.
+#[test]
+fn causal_oracle_agrees_on_stream_workloads() {
+    let config = CausalStreamConfig { keys: 2, gadgets_per_key: 4, seed: 11 };
+    for (label, stream, expected) in [
+        ("violation", causal_violation_stream(config), false),
+        ("clean", causal_clean_stream(config), true),
+    ] {
+        for key in 0..config.keys {
+            let raw: RawHistory =
+                stream.iter().filter(|r| r.key == key).map(|r| r.op()).collect();
+            let h = raw.into_history().expect("per-key substream validates");
+            assert_eq!(causal_oracle(&h), expected, "{label} key {key}: oracle");
+            assert_eq!(
+                CausalVerifier::new().verify(&h).decided(),
+                Some(expected),
+                "{label} key {key}: verifier"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The implication chain holds on arbitrary random histories.
+    #[test]
+    fn implication_chain_holds_on_random_histories(
+        seed in 0u64..10_000,
+        ops in 4usize..80,
+        k in 1u64..4,
+        spread in 0u64..6,
+    ) {
+        let h = random_k_atomic(RandomHistoryConfig {
+            ops,
+            k,
+            seed,
+            spread,
+            ..Default::default()
+        });
+        let (atomic, _, _) = assert_chain(&h, "random");
+        // By construction the history is k-atomic; for k = 1 that means
+        // the whole chain must be YES.
+        if k == 1 {
+            prop_assert_eq!(atomic, Some(true));
+        }
+    }
+
+    /// Decided causal verdicts match the brute-force oracle on small
+    /// randomly session-tagged histories.
+    #[test]
+    fn causal_verifier_agrees_with_oracle(
+        seed in 0u64..10_000,
+        ops in 4usize..24,
+        clients in 1u64..5,
+        k in 1u64..4,
+    ) {
+        let h = retag(
+            &random_k_atomic(RandomHistoryConfig { ops, k, seed, ..Default::default() }),
+            clients,
+            seed,
+        );
+        let verdict = CausalVerifier::new().verify(&h);
+        prop_assert_eq!(verdict.decided(), Some(causal_oracle(&h)));
+    }
+
+    /// Budget exhaustion degrades to UNKNOWN, never flips a decision.
+    #[test]
+    fn causal_budget_degrades_to_unknown(seed in 0u64..2_000, budget in 0u64..64) {
+        let h = retag(
+            &random_k_atomic(RandomHistoryConfig { ops: 20, k: 2, seed, ..Default::default() }),
+            3,
+            seed,
+        );
+        let full = CausalVerifier::new().verify(&h);
+        let starved = CausalVerifier::with_budget(budget).verify(&h);
+        match starved {
+            Verdict::Inconclusive => {}
+            decided => prop_assert_eq!(decided, full),
+        }
+    }
+}

@@ -40,6 +40,22 @@ impl HistoryBuilder {
         self
     }
 
+    /// Appends a write of `value` over `[start, finish]` issued by
+    /// `client` (for session-aware consistency models).
+    pub fn write_by(mut self, client: u64, value: u64, start: u64, finish: u64) -> Self {
+        self.raw
+            .push(Operation::write(Value(value), Time(start), Time(finish)).with_client(client));
+        self
+    }
+
+    /// Appends a read of `value` over `[start, finish]` issued by
+    /// `client`.
+    pub fn read_by(mut self, client: u64, value: u64, start: u64, finish: u64) -> Self {
+        self.raw
+            .push(Operation::read(Value(value), Time(start), Time(finish)).with_client(client));
+        self
+    }
+
     /// Appends a write with an explicit k-WAV weight.
     pub fn weighted_write(mut self, value: u64, start: u64, finish: u64, weight: u32) -> Self {
         self.raw.push(Operation::weighted_write(

@@ -6,7 +6,7 @@
 //! defaults to 1. This module is hand-rolled (the format needs no quoting:
 //! every field is an integer or a keyword).
 
-use crate::{OpKind, Operation, RawHistory, Time, Value, Weight};
+use crate::{OpKind, Operation, RawHistory, Time, Value, Weight, UNTAGGED_CLIENT};
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -115,7 +115,7 @@ pub fn from_csv_str(text: &str) -> Result<RawHistory, CsvError> {
             }
             None => Weight::UNIT,
         };
-        raw.push(Operation { kind, value, start, finish, weight });
+        raw.push(Operation { kind, value, start, finish, weight, client: UNTAGGED_CLIENT });
     }
     Ok(raw)
 }

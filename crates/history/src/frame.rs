@@ -1,6 +1,8 @@
 //! Compact binary op frames: the fixed-width twin of the NDJSON codec.
 //!
-//! One operation is one 37-byte little-endian frame:
+//! One operation is one little-endian frame. The v1 layout
+//! ([`FRAME_MAGIC`], 37 bytes) has no session information; the v2 layout
+//! ([`FRAME_MAGIC_V2`], 45 bytes) appends the issuing client id:
 //!
 //! ```text
 //! offset  size  field
@@ -10,7 +12,13 @@
 //!     24     8  finish  (u64 LE)
 //!     32     4  weight  (u32 LE)
 //!     36     1  kind    (0 = read, 1 = write)
+//!     37     8  client  (u64 LE, v2 only; 0 = untagged)
 //! ```
+//!
+//! [`FrameReader`] sniffs the leading magic and decodes either version;
+//! writers pick one explicitly ([`FrameWriter::new`] for v1, which rejects
+//! client-tagged records rather than silently dropping the tag, and
+//! [`FrameWriter::new_v2`] for v2).
 //!
 //! The format serves two roles:
 //!
@@ -29,21 +37,28 @@
 
 use crate::fxhash::Fingerprint;
 use crate::ndjson::{NdjsonError, StreamRecord};
-use crate::{OpKind, Operation, Time, Value, Weight};
+use crate::{OpKind, Operation, Time, Value, Weight, UNTAGGED_CLIENT};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
-/// Leading magic of a binary stream file; also versions the layout.
+/// Leading magic of a v1 binary stream file (37-byte frames, no client).
 pub const FRAME_MAGIC: [u8; 8] = *b"KAVF0001";
 
-/// Size of one encoded frame in bytes.
+/// Leading magic of a v2 binary stream file (45-byte frames with client).
+pub const FRAME_MAGIC_V2: [u8; 8] = *b"KAVF0002";
+
+/// Size of one encoded v1 frame in bytes.
 pub const FRAME_LEN: usize = 37;
+
+/// Size of one encoded v2 frame in bytes (v1 plus the client id).
+pub const FRAME_LEN_V2: usize = 45;
 
 /// Leading magic of a routed frame batch (the coordinator↔worker wire
 /// payload, see [`encode_routed_batch`]); also versions that layout.
-pub const BATCH_MAGIC: [u8; 4] = *b"KVB1";
+/// `KVB2` batches carry 45-byte v2 frames.
+pub const BATCH_MAGIC: [u8; 4] = *b"KVB2";
 
 /// Byte length of the routed-batch header: magic, range, payload length.
 pub const BATCH_HEADER_LEN: usize = 20;
@@ -51,7 +66,9 @@ pub const BATCH_HEADER_LEN: usize = 20;
 const KIND_READ: u8 = 0;
 const KIND_WRITE: u8 = 1;
 
-/// Appends one operation as a 37-byte frame.
+/// Appends one operation as a 37-byte v1 frame. The client tag, if any,
+/// is not representable in v1; callers that may carry one go through
+/// [`encode_frame_v2`] or a v1 [`FrameWriter`] (which rejects tags).
 pub fn encode_frame(key: u64, op: &Operation, out: &mut Vec<u8>) {
     out.extend_from_slice(&key.to_le_bytes());
     out.extend_from_slice(&op.value.0.to_le_bytes());
@@ -64,7 +81,13 @@ pub fn encode_frame(key: u64, op: &Operation, out: &mut Vec<u8>) {
     });
 }
 
-/// Decodes one 37-byte frame; `Err` carries the offending kind byte.
+/// Appends one operation as a 45-byte v2 frame (v1 plus the client id).
+pub fn encode_frame_v2(key: u64, op: &Operation, out: &mut Vec<u8>) {
+    encode_frame(key, op, out);
+    out.extend_from_slice(&op.client.to_le_bytes());
+}
+
+/// Decodes one 37-byte v1 frame; `Err` carries the offending kind byte.
 fn decode_frame(frame: &[u8]) -> Result<(u64, Operation), u8> {
     let u64_at = |off: usize| {
         u64::from_le_bytes(frame[off..off + 8].try_into().expect("8-byte slice"))
@@ -82,8 +105,16 @@ fn decode_frame(frame: &[u8]) -> Result<(u64, Operation), u8> {
             start: Time(u64_at(16)),
             finish: Time(u64_at(24)),
             weight: Weight(u32::from_le_bytes(frame[32..36].try_into().expect("4-byte slice"))),
+            client: UNTAGGED_CLIENT,
         },
     ))
+}
+
+/// Decodes one 45-byte v2 frame; `Err` carries the offending kind byte.
+fn decode_frame_v2(frame: &[u8]) -> Result<(u64, Operation), u8> {
+    let (key, mut op) = decode_frame(&frame[..FRAME_LEN])?;
+    op.client = u64::from_le_bytes(frame[37..45].try_into().expect("8-byte slice"));
+    Ok((key, op))
 }
 
 /// A batch of operations in one flat frame buffer — the streaming
@@ -104,17 +135,17 @@ impl FrameBatch {
 
     /// An empty batch with room for `frames` operations.
     pub fn with_capacity(frames: usize) -> Self {
-        FrameBatch { bytes: Vec::with_capacity(frames * FRAME_LEN) }
+        FrameBatch { bytes: Vec::with_capacity(frames * FRAME_LEN_V2) }
     }
 
     /// Appends one keyed operation.
     pub fn push(&mut self, key: u64, op: &Operation) {
-        encode_frame(key, op, &mut self.bytes);
+        encode_frame_v2(key, op, &mut self.bytes);
     }
 
     /// Number of frames in the batch.
     pub fn len(&self) -> usize {
-        self.bytes.len() / FRAME_LEN
+        self.bytes.len() / FRAME_LEN_V2
     }
 
     /// Whether the batch holds no frames.
@@ -129,13 +160,13 @@ impl FrameBatch {
 
     /// Decodes the batch in push order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, Operation)> + '_ {
-        self.bytes.chunks_exact(FRAME_LEN).map(|frame| {
-            decode_frame(frame).expect("FrameBatch frames are written by FrameBatch::push")
+        self.bytes.chunks_exact(FRAME_LEN_V2).map(|frame| {
+            decode_frame_v2(frame).expect("FrameBatch frames are written by FrameBatch::push")
         })
     }
 
-    /// The raw frame bytes (no magic, no header) — `len() * FRAME_LEN`
-    /// bytes of consecutive frames.
+    /// The raw frame bytes (no magic, no header) — `len() * FRAME_LEN_V2`
+    /// bytes of consecutive v2 frames.
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
@@ -145,14 +176,14 @@ impl FrameBatch {
     ///
     /// # Errors
     ///
-    /// Rejects a byte length that is not a multiple of [`FRAME_LEN`] and
-    /// any frame whose kind byte is neither read nor write.
+    /// Rejects a byte length that is not a multiple of [`FRAME_LEN_V2`]
+    /// and any frame whose kind byte is neither read nor write.
     pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, BatchError> {
-        if !bytes.len().is_multiple_of(FRAME_LEN) {
+        if !bytes.len().is_multiple_of(FRAME_LEN_V2) {
             return Err(BatchError::TruncatedFrames { bytes: bytes.len() });
         }
-        for (i, frame) in bytes.chunks_exact(FRAME_LEN).enumerate() {
-            if let Err(kind) = decode_frame(frame) {
+        for (i, frame) in bytes.chunks_exact(FRAME_LEN_V2).enumerate() {
+            if let Err(kind) = decode_frame_v2(frame) {
                 return Err(BatchError::BadKind { frame: i + 1, kind });
             }
         }
@@ -303,7 +334,7 @@ impl fmt::Display for BatchError {
             BatchError::TruncatedFrames { bytes } => {
                 write!(
                     f,
-                    "batch payload of {bytes} bytes is not whole frames ({FRAME_LEN} bytes each)"
+                    "batch payload of {bytes} bytes is not whole frames ({FRAME_LEN_V2} bytes each)"
                 )
             }
             BatchError::BadKind { frame, kind } => {
@@ -382,22 +413,35 @@ pub fn decode_routed_batch(bytes: &[u8]) -> Result<(KeyRange, FrameBatch), Batch
 
 /// Streaming writer for the on-disk frame format: magic first, then one
 /// frame per record, through a reused buffer.
+///
+/// [`new`](FrameWriter::new) writes the v1 layout and rejects
+/// client-tagged records (the tag has no v1 encoding — dropping it
+/// silently would change verdicts under session-aware models);
+/// [`new_v2`](FrameWriter::new_v2) writes the v2 layout, which carries
+/// the tag.
 pub struct FrameWriter<W: std::io::Write> {
     out: W,
     buf: Vec<u8>,
     wrote_magic: bool,
+    v2: bool,
 }
 
 impl<W: std::io::Write> FrameWriter<W> {
-    /// Wraps `out`; the magic goes out with the first record (or
-    /// [`finish`](FrameWriter::finish), so empty streams are valid too).
+    /// Wraps `out` as a v1 stream; the magic goes out with the first
+    /// record (or [`finish`](FrameWriter::finish), so empty streams are
+    /// valid too).
     pub fn new(out: W) -> Self {
-        FrameWriter { out, buf: Vec::with_capacity(FRAME_LEN), wrote_magic: false }
+        FrameWriter { out, buf: Vec::with_capacity(FRAME_LEN_V2), wrote_magic: false, v2: false }
+    }
+
+    /// Wraps `out` as a v2 stream (45-byte frames carrying the client id).
+    pub fn new_v2(out: W) -> Self {
+        FrameWriter { out, buf: Vec::with_capacity(FRAME_LEN_V2), wrote_magic: false, v2: true }
     }
 
     fn magic(&mut self) -> std::io::Result<()> {
         if !self.wrote_magic {
-            self.out.write_all(&FRAME_MAGIC)?;
+            self.out.write_all(if self.v2 { &FRAME_MAGIC_V2 } else { &FRAME_MAGIC })?;
             self.wrote_magic = true;
         }
         Ok(())
@@ -407,11 +451,27 @@ impl<W: std::io::Write> FrameWriter<W> {
     ///
     /// # Errors
     ///
-    /// Propagates I/O errors from the underlying writer.
+    /// Propagates I/O errors from the underlying writer; a v1 writer
+    /// additionally rejects client-tagged records with
+    /// [`std::io::ErrorKind::InvalidInput`].
     pub fn write_record(&mut self, record: &StreamRecord) -> std::io::Result<()> {
+        if !self.v2 && record.client != UNTAGGED_CLIENT {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "client-tagged record (client {}) cannot be encoded as a v1 frame; \
+                     use the v2 frame format",
+                    record.client
+                ),
+            ));
+        }
         self.magic()?;
         self.buf.clear();
-        encode_frame(record.key, &record.op(), &mut self.buf);
+        if self.v2 {
+            encode_frame_v2(record.key, &record.op(), &mut self.buf);
+        } else {
+            encode_frame(record.key, &record.op(), &mut self.buf);
+        }
         self.out.write_all(&self.buf)
     }
 
@@ -428,16 +488,20 @@ impl<W: std::io::Write> FrameWriter<W> {
     }
 }
 
-/// Writes records as a binary frame stream file.
+/// Writes records as a binary frame stream file, picking the layout by
+/// content: v1 when no record carries a client tag (byte-identical to
+/// pre-session streams), v2 as soon as any record does.
 ///
 /// # Errors
 ///
 /// Returns [`NdjsonError::Io`] on I/O failure.
 pub fn write_frames<'a>(
     path: impl AsRef<Path>,
-    records: impl IntoIterator<Item = &'a StreamRecord>,
+    records: impl IntoIterator<Item = &'a StreamRecord> + Clone,
 ) -> Result<(), NdjsonError> {
-    let mut writer = FrameWriter::new(std::io::BufWriter::new(fs::File::create(path)?));
+    let tagged = records.clone().into_iter().any(|r| r.client != UNTAGGED_CLIENT);
+    let out = std::io::BufWriter::new(fs::File::create(path)?);
+    let mut writer = if tagged { FrameWriter::new_v2(out) } else { FrameWriter::new(out) };
     for record in records {
         writer.write_record(record)?;
     }
@@ -456,15 +520,18 @@ pub struct FrameReader<'a> {
     bytes: &'a [u8],
     pos: usize,
     frames: u64,
+    frame_len: usize,
     fingerprint: Option<Fingerprint>,
 }
 
 impl<'a> FrameReader<'a> {
-    /// Wraps a frame stream (no fingerprinting).
+    /// Wraps a frame stream (no fingerprinting), sniffing the leading
+    /// magic to pick the v1 or v2 layout.
     ///
     /// # Errors
     ///
-    /// Rejects input that does not begin with [`FRAME_MAGIC`].
+    /// Rejects input that begins with neither [`FRAME_MAGIC`] nor
+    /// [`FRAME_MAGIC_V2`].
     pub fn new(bytes: &'a [u8]) -> Result<Self, NdjsonError> {
         Self::build(bytes, None)
     }
@@ -473,19 +540,24 @@ impl<'a> FrameReader<'a> {
     ///
     /// # Errors
     ///
-    /// Rejects input that does not begin with [`FRAME_MAGIC`].
+    /// Rejects input that begins with neither [`FRAME_MAGIC`] nor
+    /// [`FRAME_MAGIC_V2`].
     pub fn with_fingerprint(bytes: &'a [u8], fingerprint: Fingerprint) -> Result<Self, NdjsonError> {
         Self::build(bytes, Some(fingerprint))
     }
 
     fn build(bytes: &'a [u8], fingerprint: Option<Fingerprint>) -> Result<Self, NdjsonError> {
-        if bytes.len() < FRAME_MAGIC.len() || bytes[..FRAME_MAGIC.len()] != FRAME_MAGIC {
+        let frame_len = if bytes.len() >= FRAME_MAGIC.len() && bytes[..FRAME_MAGIC.len()] == FRAME_MAGIC {
+            FRAME_LEN
+        } else if bytes.len() >= FRAME_MAGIC_V2.len() && bytes[..FRAME_MAGIC_V2.len()] == FRAME_MAGIC_V2 {
+            FRAME_LEN_V2
+        } else {
             return Err(NdjsonError::Io(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                "not a kav binary frame stream (bad magic; expected KAVF0001)",
+                "not a kav binary frame stream (bad magic; expected KAVF0001 or KAVF0002)",
             )));
-        }
-        Ok(FrameReader { bytes, pos: FRAME_MAGIC.len(), frames: 0, fingerprint })
+        };
+        Ok(FrameReader { bytes, pos: FRAME_MAGIC.len(), frames: 0, frame_len, fingerprint })
     }
 
     /// Frames consumed so far (malformed ones included) — the position
@@ -500,13 +572,14 @@ impl<'a> FrameReader<'a> {
         self.fingerprint.as_ref().map(Fingerprint::value)
     }
 
-    /// The next raw frame — 37 bytes, or a shorter truncated tail.
+    /// The next raw frame — one layout-width chunk, or a shorter
+    /// truncated tail.
     fn peek_raw_frame(&self) -> Option<&'a [u8]> {
         if self.pos >= self.bytes.len() {
             return None;
         }
         let rest = &self.bytes[self.pos..];
-        Some(&rest[..rest.len().min(FRAME_LEN)])
+        Some(&rest[..rest.len().min(self.frame_len)])
     }
 
     fn consume(&mut self, frame: &[u8]) {
@@ -550,13 +623,19 @@ impl Iterator for FrameReader<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         let raw = self.peek_raw_frame()?;
         self.consume(raw);
-        if raw.len() < FRAME_LEN {
+        if raw.len() < self.frame_len {
             return Some(Err(self.parse_error(format!(
-                "truncated frame: {} trailing bytes (frames are {FRAME_LEN} bytes)",
-                raw.len()
+                "truncated frame: {} trailing bytes (frames are {} bytes)",
+                raw.len(),
+                self.frame_len
             ))));
         }
-        match decode_frame(raw) {
+        let decoded = if self.frame_len == FRAME_LEN_V2 {
+            decode_frame_v2(raw)
+        } else {
+            decode_frame(raw)
+        };
+        match decoded {
             Ok((key, op)) => Some(Ok(StreamRecord::new(key, op))),
             Err(bad) => Some(Err(
                 self.parse_error(format!("invalid kind byte {bad} (0 = read, 1 = write)"))
@@ -649,6 +728,72 @@ mod tests {
     }
 
     #[test]
+    fn v2_frames_carry_the_client_tag() {
+        let records = vec![
+            StreamRecord::new(0, Operation::write(Value(1), Time(0), Time(10)).with_client(3)),
+            StreamRecord::new(1, Operation::read(Value(1), Time(12), Time(20))),
+            StreamRecord::new(
+                2,
+                Operation::write(Value(2), Time(30), Time(40)).with_client(u64::MAX),
+            ),
+        ];
+        let mut writer = FrameWriter::new_v2(Vec::new());
+        for record in &records {
+            writer.write_record(record).unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+        assert_eq!(&bytes[..8], &FRAME_MAGIC_V2);
+        assert_eq!(bytes.len(), FRAME_MAGIC_V2.len() + records.len() * FRAME_LEN_V2);
+        let decoded: Vec<_> =
+            FrameReader::new(&bytes).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(decoded, records);
+
+        // An empty v2 stream is just the v2 magic.
+        let empty = FrameWriter::new_v2(Vec::<u8>::new()).finish().unwrap();
+        assert_eq!(empty, FRAME_MAGIC_V2);
+        assert_eq!(FrameReader::new(&empty).unwrap().count(), 0);
+
+        // A v1 writer refuses to drop the tag.
+        let mut v1 = FrameWriter::new(Vec::new());
+        let err = v1.write_record(&records[0]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        // Untagged records still encode in v1 — byte-identical streams.
+        v1.write_record(&records[1]).unwrap();
+        assert_eq!(v1.finish().unwrap().len(), FRAME_MAGIC.len() + FRAME_LEN);
+
+        // Batches (always v2) preserve the tag too.
+        let mut batch = FrameBatch::new();
+        for record in &records {
+            batch.push(record.key, &record.op());
+        }
+        let decoded: Vec<_> = batch.iter().map(|(k, op)| StreamRecord::new(k, op)).collect();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn write_frames_picks_the_layout_by_content() {
+        let dir = std::env::temp_dir().join("kav_history_frame_v2_test");
+        fs::create_dir_all(&dir).unwrap();
+        let untagged = sample();
+        let path = dir.join("v1.bin");
+        write_frames(&path, &untagged).unwrap();
+        assert_eq!(&fs::read(&path).unwrap()[..8], &FRAME_MAGIC);
+        let tagged = vec![StreamRecord::new(
+            0,
+            Operation::write(Value(1), Time(0), Time(10)).with_client(5),
+        )];
+        let path2 = dir.join("v2.bin");
+        write_frames(&path2, &tagged).unwrap();
+        let bytes = fs::read(&path2).unwrap();
+        assert_eq!(&bytes[..8], &FRAME_MAGIC_V2);
+        let decoded: Vec<_> =
+            FrameReader::new(&bytes).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(decoded, tagged);
+        fs::remove_file(path).ok();
+        fs::remove_file(path2).ok();
+    }
+
+    #[test]
     fn key_ranges_nest_and_tile() {
         assert!(KeyRange::ALL.is_valid());
         for key in [0u64, 1, 7, 42, 0xDEAD_BEEF, u64::MAX] {
@@ -727,11 +872,13 @@ mod tests {
                 Err(BatchError::ForeignKey { .. })
             ));
         }
-        // A corrupted kind byte inside the payload is rejected.
+        // A corrupted kind byte inside the payload is rejected. In a v2
+        // frame the kind byte sits 9 bytes from the end (before the
+        // 8-byte client id).
         if !batch.is_empty() {
             let mut bad = bytes.clone();
-            let last = bad.len() - 1;
-            bad[last] = 9;
+            let kind_at = bad.len() - 9;
+            bad[kind_at] = 9;
             assert!(matches!(decode_routed_batch(&bad), Err(BatchError::BadKind { .. })));
         }
     }

@@ -66,7 +66,7 @@ pub use chunk::{chunk_set, Chunk, ChunkSet};
 pub use cluster::{clusters, Cluster, ClusterId};
 pub use history::History;
 pub use interval_tree::{IntervalTree, TreeInterval};
-pub use op::{OpId, OpKind, Operation, Value, Weight};
+pub use op::{OpId, OpKind, Operation, Value, Weight, UNTAGGED_CLIENT};
 pub use raw::RawHistory;
 pub use render::render_timeline;
 pub use repair::{repair, DropReason, RepairLog};

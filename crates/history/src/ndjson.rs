@@ -19,13 +19,17 @@
 //! * `start` / `finish` — invocation and response times, `start < finish`;
 //!   dimensionless ticks (only their order matters).
 //! * `weight` — positive k-WAV weight; optional, defaults to `1`.
+//! * `client` — issuing client (session) id for session-aware consistency
+//!   models; optional, defaults to `0` (untagged — no session
+//!   information). Untagged records serialise without the field, so
+//!   pre-session streams round-trip byte-identically.
 //!
 //! Records of the same key must appear in strictly increasing `finish`
 //! order (completion order); different keys may interleave arbitrarily.
 //! Blank lines are ignored.
 
 use crate::fxhash::Fingerprint;
-use crate::{OpKind, Operation, Time, Value, Weight};
+use crate::{OpKind, Operation, Time, Value, Weight, UNTAGGED_CLIENT};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -50,6 +54,15 @@ pub struct StreamRecord {
     /// k-WAV weight (defaults to `1`).
     #[serde(default)]
     pub weight: Weight,
+    /// Issuing client (session) id; `0` (untagged) when absent. Untagged
+    /// records omit the field on the wire.
+    #[serde(default, skip_serializing_if = "client_is_untagged")]
+    pub client: u64,
+}
+
+/// Serialisation predicate: untagged records omit the `client` field.
+fn client_is_untagged(client: &u64) -> bool {
+    *client == UNTAGGED_CLIENT
 }
 
 impl StreamRecord {
@@ -62,6 +75,7 @@ impl StreamRecord {
             start: op.start,
             finish: op.finish,
             weight: op.weight,
+            client: op.client,
         }
     }
 
@@ -73,6 +87,7 @@ impl StreamRecord {
             start: self.start,
             finish: self.finish,
             weight: self.weight,
+            client: self.client,
         }
     }
 }
@@ -529,6 +544,7 @@ pub fn parse_line_bytes(bytes: &[u8]) -> Result<StreamRecord, serde_json::Error>
     let mut start: Option<u64> = None;
     let mut finish: Option<u64> = None;
     let mut weight: Option<u32> = None;
+    let mut client: Option<u64> = None;
     if s.peek() == Some(b'}') {
         s.pos += 1;
     } else {
@@ -546,6 +562,7 @@ pub fn parse_line_bytes(bytes: &[u8]) -> Result<StreamRecord, serde_json::Error>
                 Some(b"start") if start.is_none() => start = Some(s.scan_u64_field()?),
                 Some(b"finish") if finish.is_none() => finish = Some(s.scan_u64_field()?),
                 Some(b"weight") if weight.is_none() => weight = Some(s.scan_u32_field()?),
+                Some(b"client") if client.is_none() => client = Some(s.scan_u64_field()?),
                 // Unknown fields and later duplicates are validated and
                 // skipped; field values sit at nesting depth 1.
                 _ => s.scan_value(1)?,
@@ -574,6 +591,7 @@ pub fn parse_line_bytes(bytes: &[u8]) -> Result<StreamRecord, serde_json::Error>
         start: Time(start.ok_or_else(|| missing("start"))?),
         finish: Time(finish.ok_or_else(|| missing("finish"))?),
         weight: weight.map_or(Weight::UNIT, Weight),
+        client: client.unwrap_or(UNTAGGED_CLIENT),
     })
 }
 
@@ -604,6 +622,10 @@ pub fn write_line_into(record: &StreamRecord, out: &mut String) {
     push_u64(out, record.finish.0);
     out.push_str(",\"weight\":");
     push_u64(out, u64::from(record.weight.0));
+    if record.client != UNTAGGED_CLIENT {
+        out.push_str(",\"client\":");
+        push_u64(out, record.client);
+    }
     out.push('}');
 }
 
@@ -991,10 +1013,23 @@ mod tests {
             start: Time(u64::MAX - 1),
             finish: Time(u64::MAX),
             weight: Weight(u32::MAX),
+            client: u64::MAX,
         };
         buf.clear();
         write_line_into(&record, &mut buf);
         assert_eq!(buf, to_line(&record));
+        // Client-tagged records carry the field; untagged ones omit it.
+        let tagged =
+            StreamRecord::new(1, Operation::write(Value(3), Time(0), Time(5)).with_client(9));
+        buf.clear();
+        write_line_into(&tagged, &mut buf);
+        assert_eq!(buf, to_line(&tagged));
+        assert!(buf.contains("\"client\":9"), "missing client field: {buf}");
+        let untagged = StreamRecord::new(1, Operation::write(Value(3), Time(0), Time(5)));
+        buf.clear();
+        write_line_into(&untagged, &mut buf);
+        assert_eq!(buf, to_line(&untagged));
+        assert!(!buf.contains("client"), "untagged record leaked a client field: {buf}");
     }
 
     #[test]
@@ -1014,6 +1049,8 @@ mod tests {
         for line in [
             r#"{"kind":"write","value":7,"start":0,"finish":3}"#,
             r#"{"key":9,"kind":"read","value":7,"start":0,"finish":3,"weight":2}"#,
+            r#"{"kind":"read","value":7,"start":0,"finish":3,"client":12}"#,
+            r#"{"kind":"read","value":7,"start":0,"finish":3,"client":5,"client":6}"#,
             // Escaped field names and tags decode before matching:
             // `\u006b` is `k`, so this sets `key` and a `kind` of "read".
             "{\"\\u006bey\":5,\"kind\":\"re\\u0061d\",\"value\":1,\"start\":0,\"finish\":1}",

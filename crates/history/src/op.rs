@@ -134,6 +134,17 @@ impl fmt::Display for OpKind {
     }
 }
 
+/// The anonymous client id: operations not tagged with a session carry
+/// client `0`, which consistency models treat as "no session information"
+/// (each untagged operation is its own one-op session — always sound).
+pub const UNTAGGED_CLIENT: u64 = 0;
+
+/// Serialisation predicate: untagged operations omit the `client` field,
+/// keeping the codecs byte-identical to pre-session streams.
+fn client_is_untagged(client: &u64) -> bool {
+    *client == UNTAGGED_CLIENT
+}
+
 /// A single read or write operation with its time interval.
 ///
 /// An operation is *active* over the closed interval `[start, finish]`. The
@@ -164,22 +175,55 @@ pub struct Operation {
     /// Weight for the weighted k-AV problem; 1 unless set explicitly.
     #[serde(default)]
     pub weight: Weight,
+    /// Issuing client (session) id; [`UNTAGGED_CLIENT`] (`0`) when the
+    /// stream carries no session information. Session-aware consistency
+    /// models (causal) order operations of the same client; interval-only
+    /// models ignore it.
+    #[serde(default, skip_serializing_if = "client_is_untagged")]
+    pub client: u64,
 }
 
 impl Operation {
     /// Creates a unit-weight read of `value` active over `[start, finish]`.
     pub fn read(value: Value, start: Time, finish: Time) -> Self {
-        Operation { kind: OpKind::Read, value, start, finish, weight: Weight::UNIT }
+        Operation {
+            kind: OpKind::Read,
+            value,
+            start,
+            finish,
+            weight: Weight::UNIT,
+            client: UNTAGGED_CLIENT,
+        }
     }
 
     /// Creates a unit-weight write of `value` active over `[start, finish]`.
     pub fn write(value: Value, start: Time, finish: Time) -> Self {
-        Operation { kind: OpKind::Write, value, start, finish, weight: Weight::UNIT }
+        Operation {
+            kind: OpKind::Write,
+            value,
+            start,
+            finish,
+            weight: Weight::UNIT,
+            client: UNTAGGED_CLIENT,
+        }
     }
 
     /// Creates a write with an explicit weight (for k-WAV instances, §V).
     pub fn weighted_write(value: Value, start: Time, finish: Time, weight: Weight) -> Self {
-        Operation { kind: OpKind::Write, value, start, finish, weight }
+        Operation { kind: OpKind::Write, value, start, finish, weight, client: UNTAGGED_CLIENT }
+    }
+
+    /// Tags the operation with the issuing client (session) id.
+    #[must_use]
+    pub fn with_client(mut self, client: u64) -> Self {
+        self.client = client;
+        self
+    }
+
+    /// True when the operation carries no session information.
+    #[inline]
+    pub fn is_untagged(&self) -> bool {
+        self.client == UNTAGGED_CLIENT
     }
 
     /// Returns true if this is a read.
@@ -269,6 +313,29 @@ mod tests {
         let back = serde_json::to_string(&op).unwrap();
         let again: Operation = serde_json::from_str(&back).unwrap();
         assert_eq!(op, again);
+    }
+
+    #[test]
+    fn client_tag_defaults_and_roundtrips() {
+        // Untagged operations serialise without a `client` field — the
+        // bytes are identical to pre-session streams.
+        let untagged = Operation::write(Value(4), Time(0), Time(3));
+        assert!(untagged.is_untagged());
+        let js = serde_json::to_string(&untagged).unwrap();
+        assert!(!js.contains("client"), "untagged op leaked a client field: {js}");
+
+        // Tagged operations carry it and round-trip.
+        let tagged = Operation::read(Value(4), Time(5), Time(9)).with_client(7);
+        assert!(!tagged.is_untagged());
+        let js = serde_json::to_string(&tagged).unwrap();
+        assert!(js.contains("\"client\":7"), "missing client field: {js}");
+        let back: Operation = serde_json::from_str(&js).unwrap();
+        assert_eq!(back, tagged);
+
+        // Absent field deserialises as untagged.
+        let op: Operation =
+            serde_json::from_str(r#"{"kind":"write","value":4,"start":0,"finish":3}"#).unwrap();
+        assert_eq!(op.client, UNTAGGED_CLIENT);
     }
 
     #[test]

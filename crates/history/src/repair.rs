@@ -193,6 +193,7 @@ mod tests {
             start: Time(50),
             finish: Time(60),
             weight: Weight(0), // zero weight
+            client: 0,
         });
         let (h, log) = repair(raw).unwrap();
         assert_eq!(h.len(), 2);

@@ -299,6 +299,7 @@ struct OpColumns {
     starts: Vec<Time>,
     finishes: Vec<Time>,
     weights: Vec<Weight>,
+    clients: Vec<u64>,
     /// Rows before `head` are drained; row `i` of the window is `head + i`.
     head: usize,
 }
@@ -314,6 +315,7 @@ impl OpColumns {
         self.starts.push(op.start);
         self.finishes.push(op.finish);
         self.weights.push(op.weight);
+        self.clients.push(op.client);
     }
 
     /// Reassembles row `i` (window-relative) into an [`Operation`].
@@ -325,6 +327,7 @@ impl OpColumns {
             start: self.starts[j],
             finish: self.finishes[j],
             weight: self.weights[j],
+            client: self.clients[j],
         }
     }
 
@@ -338,6 +341,7 @@ impl OpColumns {
             self.starts.drain(..self.head);
             self.finishes.drain(..self.head);
             self.weights.drain(..self.head);
+            self.clients.drain(..self.head);
             self.head = 0;
         }
     }

@@ -22,6 +22,7 @@ fn arb_soup() -> impl Strategy<Value = RawHistory> {
                 start: Time(start),
                 finish: Time(start + len), // len 0 => empty interval anomaly
                 weight: Weight(weight),    // 0 => zero-weight anomaly
+                client: 0,
             })
             .collect()
     })

@@ -509,10 +509,13 @@ pub(crate) fn run(config: &SimConfig, faults: &FaultSchedule) -> SimOutput {
                 if p.replies >= p.needed {
                     p.done = true;
                     let finish = stamp(now, offset_at(client, now));
-                    histories
-                        .entry(p.key)
-                        .or_default()
-                        .push(Operation::write(Value(p.version), p.start_stamp, finish));
+                    histories.entry(p.key).or_default().push(
+                        // Session-tag with the 1-based client id (0 is the
+                        // untagged sentinel) so session-aware models see
+                        // the simulator's real per-client order.
+                        Operation::write(Value(p.version), p.start_stamp, finish)
+                            .with_client(client as u64 + 1),
+                    );
                     stats.writes += 1;
                     stats.total_write_latency += now - p.started_at;
                     let at = now + config.think_time.sample(&mut rng);
@@ -559,10 +562,10 @@ pub(crate) fn run(config: &SimConfig, faults: &FaultSchedule) -> SimOutput {
                 if p.replies >= p.needed {
                     p.done = true;
                     let finish = stamp(now, offset_at(client, now));
-                    histories
-                        .entry(p.key)
-                        .or_default()
-                        .push(Operation::read(Value(p.version), p.start_stamp, finish));
+                    histories.entry(p.key).or_default().push(
+                        Operation::read(Value(p.version), p.start_stamp, finish)
+                            .with_client(client as u64 + 1),
+                    );
                     stats.reads += 1;
                     stats.total_read_latency += now - p.started_at;
                     let at = now + config.think_time.sample(&mut rng);
@@ -585,10 +588,10 @@ pub(crate) fn run(config: &SimConfig, faults: &FaultSchedule) -> SimOutput {
                     // dictating write in the history. A timed-out read
                     // returned nothing and leaves no record.
                     let finish = stamp(now, offset_at(client, now));
-                    histories
-                        .entry(p.key)
-                        .or_default()
-                        .push(Operation::write(Value(p.version), p.start_stamp, finish));
+                    histories.entry(p.key).or_default().push(
+                        Operation::write(Value(p.version), p.start_stamp, finish)
+                            .with_client(client as u64 + 1),
+                    );
                 }
                 let at = now + config.think_time.sample(&mut rng);
                 schedule!(at, Event::ClientNext { client });

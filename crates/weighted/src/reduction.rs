@@ -138,6 +138,7 @@ mod tests {
                 assert!(!feasible, "bin packing feasible but k-WAV unsolvable: {bp:?}")
             }
             Verdict::Inconclusive => panic!("unbounded search cannot be inconclusive"),
+            Verdict::Consistent => panic!("k-WAV YES always carries a witness"),
         }
     }
 

@@ -23,6 +23,10 @@
 //!   2-AV verdicts: the §IV-A proof that zones alone cannot decide 2-AV.
 //! * [`streaming_workload`] — a multi-register op stream in global
 //!   completion order, the input shape of the streaming pipeline.
+//! * [`zone_conflict`] / [`safe_not_regular`] / [`causal_violation`] /
+//!   [`causal_cycle`] and the causal stream generators — forced-apart
+//!   inputs that separate the consistency models in the pluggable
+//!   verdict layer (atomic ⟹ regular ⟹ safe, plus causal).
 //! * [`fault_stream`] / [`fault_streams`] — streams recorded against a
 //!   simulated store under injected faults (crashes, partitions,
 //!   reconfiguration, clocks beyond the skew bound), each with a
@@ -36,6 +40,7 @@ mod deep_stale;
 mod faulty;
 mod figure;
 mod ladders;
+mod models;
 mod random;
 mod staircase;
 mod stream;
@@ -45,6 +50,10 @@ pub use deep_stale::{deep_stale, deep_stale_stream, DeepStaleConfig};
 pub use faulty::{fault_scenario_names, fault_stream, fault_streams, FaultyStream};
 pub use figure::figure3;
 pub use ladders::{inject_ladder, ladder, serial};
+pub use models::{
+    causal_clean_stream, causal_cycle, causal_violation, causal_violation_stream,
+    safe_not_regular, zone_conflict, CausalStreamConfig,
+};
 pub use random::{random_k_atomic, RandomHistoryConfig};
 pub use staircase::staircase;
 pub use stream::{streaming_workload, StreamingWorkloadConfig};

@@ -1,0 +1,317 @@
+//! Forced-apart workloads: one gadget per gap in the consistency-model
+//! lattice, so every pair of adjacent models has an input that separates
+//! them.
+//!
+//! The lattice the verifiers decide is `atomic (k = 1) ⟹ regular ⟹
+//! safe`, with causal consistency off to the side (it constrains client
+//! sessions, which the interval models ignore). A test suite that only
+//! ever sees histories satisfying *all* models, or violating *all* of
+//! them, cannot tell the verifiers apart — these generators produce the
+//! histories in between:
+//!
+//! * [`zone_conflict`] — regular and safe, **not** atomic. The classic
+//!   new-old inversion does not survive the §II-C write-shortening
+//!   normalisation, so the separating geometry is a *zone conflict*: two
+//!   overlapping writes whose interleaved reads force contradictory
+//!   write orders.
+//! * [`safe_not_regular`] — safe, **not** regular: a read overlapping a
+//!   later write may return a value a completed write already replaced.
+//! * [`causal_violation`] — 2-atomic, **not** causal: session order plus
+//!   writes-into forces a write between a read and its dictating write
+//!   (the `WriteCORead` bad pattern). The k-atomicity verifiers absorb
+//!   the one-write staleness at `k = 2`; only the session-aware model
+//!   pins the violation as causal.
+//! * [`causal_cycle`] — **not** causal via the other bad pattern, a
+//!   cycle in session order ∪ writes-into (`CyclicCO`).
+//! * [`causal_violation_stream`] / [`causal_clean_stream`] — the same
+//!   separations as completion-ordered multi-register streams, for
+//!   end-to-end pipeline and fleet audits.
+
+use kav_history::ndjson::StreamRecord;
+use kav_history::{History, HistoryBuilder, Operation, Time, Value};
+
+/// Regular (and safe) but not atomic: two overlapping writes whose reads
+/// force contradictory write orders.
+///
+/// Both writes span all four reads, so every read overlaps its dictating
+/// write (regular and safe are unconstrained). But atomicity must commit
+/// to one write order: `r(1); r(2)` forces `w(1) < w(2)` while the later
+/// `r(2); r(1)` forces the reverse — no total order serialises both.
+///
+/// # Examples
+///
+/// ```
+/// use kav_workloads::zone_conflict;
+///
+/// let history = zone_conflict();
+/// assert_eq!(history.len(), 6);
+/// ```
+pub fn zone_conflict() -> History {
+    HistoryBuilder::new()
+        .write(1, 0, 100)
+        .write(2, 5, 90)
+        .read(1, 10, 15)
+        .read(2, 20, 25)
+        .read(2, 30, 35)
+        .read(1, 40, 45)
+        .build()
+        .expect("zone-conflict gadget is a valid history")
+}
+
+/// Safe but not regular: `r(1)` overlaps the in-flight `w(3)`, so safe
+/// semantics place no constraint on it — but `w(2)` completed strictly
+/// between `w(1)` and the read, so returning `1` violates regularity.
+///
+/// # Examples
+///
+/// ```
+/// use kav_workloads::safe_not_regular;
+///
+/// let history = safe_not_regular();
+/// assert_eq!(history.len(), 4);
+/// ```
+pub fn safe_not_regular() -> History {
+    HistoryBuilder::new()
+        .write(1, 0, 5)
+        .write(2, 10, 15)
+        .write(3, 20, 50)
+        .read(1, 25, 35)
+        .build()
+        .expect("safe-not-regular gadget is a valid history")
+}
+
+/// 2-atomic but not causal: client 2 reads `2` then the older `1`, and
+/// client 1's session orders `w(1)` before `w(2)` — so `w(2)` sits
+/// between `r(1)` and its dictating write in the causal order (the
+/// `WriteCORead` bad pattern). The k-atomicity verifiers accept the
+/// one-write staleness at `k = 2`; the session-aware model refuses it
+/// outright.
+///
+/// # Examples
+///
+/// ```
+/// use kav_workloads::causal_violation;
+///
+/// let history = causal_violation();
+/// // Two sessions of two operations each.
+/// assert_eq!(history.len(), 4);
+/// ```
+pub fn causal_violation() -> History {
+    HistoryBuilder::new()
+        .write_by(1, 1, 0, 10)
+        .write_by(1, 2, 20, 100)
+        .read_by(2, 2, 30, 40)
+        .read_by(2, 1, 50, 60)
+        .build()
+        .expect("causal-violation gadget is a valid history")
+}
+
+/// Not causal via a cycle in session order ∪ writes-into: each client
+/// reads the value the *other* client writes later in its session, so
+/// `r(1) → w(2) → r(2) → w(1) → r(1)` closes (the `CyclicCO` bad
+/// pattern). All four intervals overlap, so every interval model is
+/// satisfied.
+///
+/// # Examples
+///
+/// ```
+/// use kav_workloads::causal_cycle;
+///
+/// assert_eq!(kav_workloads::causal_cycle().len(), 4);
+/// ```
+pub fn causal_cycle() -> History {
+    HistoryBuilder::new()
+        .read_by(1, 1, 0, 50)
+        .write_by(1, 2, 10, 60)
+        .read_by(2, 2, 20, 70)
+        .write_by(2, 1, 30, 80)
+        .build()
+        .expect("causal-cycle gadget is a valid history")
+}
+
+/// Parameters for the causal stream generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CausalStreamConfig {
+    /// Number of registers in the stream.
+    pub keys: u64,
+    /// Gadget instances per register (4 operations each).
+    pub gadgets_per_key: usize,
+    /// Deterministic time jitter so different seeds produce different
+    /// byte streams (and resume fingerprints) with identical verdicts.
+    pub seed: u64,
+}
+
+impl Default for CausalStreamConfig {
+    fn default() -> Self {
+        CausalStreamConfig { keys: 2, gadgets_per_key: 8, seed: 0 }
+    }
+}
+
+/// Emits `gadgets` serialized instances of a 4-operation session gadget
+/// for one key, each instance shifted by a stride so instances never
+/// overlap, with fresh values throughout. `ops` maps
+/// `(value_base, time_base)` to the instance's client-tagged operations.
+fn gadget_stream(
+    config: CausalStreamConfig,
+    ops: impl Fn(u64, u64) -> Vec<Operation>,
+) -> Vec<StreamRecord> {
+    assert!(config.keys >= 1, "keys must be positive");
+    assert!(config.gadgets_per_key >= 1, "gadgets_per_key must be positive");
+    const STRIDE: u64 = 200;
+    let jitter = config.seed % 37;
+    let mut records = Vec::with_capacity(config.keys as usize * config.gadgets_per_key * 4);
+    for key in 0..config.keys {
+        for instance in 0..config.gadgets_per_key as u64 {
+            let value_base = instance * 2 + 1;
+            let time_base = instance * STRIDE + jitter;
+            for op in ops(value_base, time_base) {
+                records.push(StreamRecord::new(key, op));
+            }
+        }
+    }
+    records.sort_by_key(|r| (r.finish, r.key, r.start));
+    records
+}
+
+/// A completion-ordered stream where every key is 2-atomic but causally
+/// violating: each instance embeds the [`causal_violation`] session
+/// pattern. `kav stream` accepts it at the default `--k 2` and refuses
+/// it under `--model causal` — the end-to-end separation scenario.
+///
+/// # Panics
+///
+/// Panics if `config.keys == 0` or `config.gadgets_per_key == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use kav_workloads::{causal_violation_stream, CausalStreamConfig};
+///
+/// let stream = causal_violation_stream(CausalStreamConfig::default());
+/// assert_eq!(stream.len(), 2 * 8 * 4);
+/// assert!(stream.iter().all(|r| r.client != 0));
+/// ```
+pub fn causal_violation_stream(config: CausalStreamConfig) -> Vec<StreamRecord> {
+    gadget_stream(config, |v, t| {
+        vec![
+            Operation::write(Value(v), Time(t), Time(t + 10)).with_client(1),
+            Operation::write(Value(v + 1), Time(t + 20), Time(t + 100)).with_client(1),
+            Operation::read(Value(v + 1), Time(t + 30), Time(t + 40)).with_client(2),
+            Operation::read(Value(v), Time(t + 50), Time(t + 60)).with_client(2),
+        ]
+    })
+}
+
+/// A completion-ordered stream that is causally consistent (in fact
+/// serial, hence atomic): client 1 writes, client 2 reads what was just
+/// written, strictly in turn. The clean counterpart of
+/// [`causal_violation_stream`] for fixed-seed round-trip tests.
+///
+/// # Panics
+///
+/// Panics if `config.keys == 0` or `config.gadgets_per_key == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use kav_workloads::{causal_clean_stream, CausalStreamConfig};
+///
+/// let stream = causal_clean_stream(CausalStreamConfig::default());
+/// assert_eq!(stream.len(), 2 * 8 * 4);
+/// ```
+pub fn causal_clean_stream(config: CausalStreamConfig) -> Vec<StreamRecord> {
+    gadget_stream(config, |v, t| {
+        vec![
+            Operation::write(Value(v), Time(t), Time(t + 10)).with_client(1),
+            Operation::read(Value(v), Time(t + 20), Time(t + 30)).with_client(2),
+            Operation::write(Value(v + 1), Time(t + 40), Time(t + 50)).with_client(1),
+            Operation::read(Value(v + 1), Time(t + 60), Time(t + 70)).with_client(2),
+        ]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kav_core::{
+        CausalVerifier, Fzf, GkOneAv, RegularVerifier, SafeVerifier, Verifier,
+    };
+
+    #[test]
+    fn zone_conflict_separates_regular_from_atomic() {
+        let history = zone_conflict();
+        assert_eq!(GkOneAv.verify(&history).decided(), Some(false));
+        assert_eq!(RegularVerifier.verify(&history).decided(), Some(true));
+        assert_eq!(SafeVerifier.verify(&history).decided(), Some(true));
+    }
+
+    #[test]
+    fn safe_not_regular_separates_safe_from_regular() {
+        let history = safe_not_regular();
+        assert_eq!(RegularVerifier.verify(&history).decided(), Some(false));
+        assert_eq!(SafeVerifier.verify(&history).decided(), Some(true));
+    }
+
+    #[test]
+    fn causal_violation_separates_causal_from_atomic() {
+        let history = causal_violation();
+        assert_eq!(Fzf.verify(&history).decided(), Some(true));
+        assert_eq!(CausalVerifier::new().verify(&history).decided(), Some(false));
+    }
+
+    #[test]
+    fn causal_cycle_is_refused() {
+        let history = causal_cycle();
+        assert_eq!(CausalVerifier::new().verify(&history).decided(), Some(false));
+    }
+
+    /// One key's records, reassembled as a validated history.
+    fn key_history(stream: &[StreamRecord], key: u64) -> History {
+        let raw: kav_history::RawHistory =
+            stream.iter().filter(|r| r.key == key).map(|r| r.op()).collect();
+        raw.into_history().expect("per-key substream validates")
+    }
+
+    #[test]
+    fn violation_stream_keys_are_2_atomic_but_not_causal() {
+        let config = CausalStreamConfig { keys: 3, gadgets_per_key: 5, seed: 9 };
+        let stream = causal_violation_stream(config);
+        assert!(stream.windows(2).all(|w| w[0].finish <= w[1].finish));
+        for key in 0..config.keys {
+            let history = key_history(&stream, key);
+            assert_eq!(Fzf.verify(&history).decided(), Some(true), "key {key}");
+            assert_eq!(
+                CausalVerifier::new().verify(&history).decided(),
+                Some(false),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_stream_keys_satisfy_every_model() {
+        let config = CausalStreamConfig { keys: 2, gadgets_per_key: 6, seed: 4 };
+        let stream = causal_clean_stream(config);
+        for key in 0..config.keys {
+            let history = key_history(&stream, key);
+            assert_eq!(GkOneAv.verify(&history).decided(), Some(true), "key {key}");
+            assert_eq!(
+                CausalVerifier::new().verify(&history).decided(),
+                Some(true),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed_and_vary_across_seeds() {
+        let a = causal_violation_stream(CausalStreamConfig::default());
+        let b = causal_violation_stream(CausalStreamConfig::default());
+        assert_eq!(a, b);
+        let c = causal_violation_stream(CausalStreamConfig {
+            seed: 1,
+            ..CausalStreamConfig::default()
+        });
+        assert_ne!(a, c);
+    }
+}

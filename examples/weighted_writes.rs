@@ -53,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("k-WAV unsolvable <=>  packing infeasible: {}", bp.solve_exact().is_none())
         }
         Verdict::Inconclusive => unreachable!("unbounded search"),
+        Verdict::Consistent => unreachable!("k-WAV verdicts carry witnesses"),
     }
     Ok(())
 }

@@ -521,7 +521,7 @@ mod fleet {
     use k_atomicity::history::frame::KeyRange;
     use k_atomicity::verify::{
         fleet_verdict, worker_loop, FleetConfig, FleetCoordinator, FleetSummary, GenK,
-        Verifier, WorkerLink,
+        ModelId, Verifier, WorkerLink,
     };
     use std::net::Shutdown;
     use std::os::unix::net::UnixStream;
@@ -568,6 +568,7 @@ mod fleet {
     fn fleet_config<V: Verifier>(verifier: &V, window: usize, replay_cap: usize) -> FleetConfig {
         FleetConfig {
             algo: verifier.name().to_owned(),
+            model: ModelId::KAtomic,
             k: verifier.k(),
             window,
             horizon: None,

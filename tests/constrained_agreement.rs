@@ -53,6 +53,7 @@ fn checked(history: &History, verdict: &Verdict, k: u64, who: &str) -> bool {
         }
         Verdict::NotKAtomic => false,
         Verdict::Inconclusive => panic!("{who} must be decisive here"),
+        Verdict::Consistent => panic!("{who} must carry a witness, not a bare Consistent"),
     }
 }
 
@@ -107,6 +108,9 @@ proptest! {
             }
             Verdict::NotKAtomic => prop_assert!(!exact, "budgeted NO contradicts"),
             Verdict::Inconclusive => {} // the only permitted degradation
+            Verdict::Consistent => {
+                panic!("budgeted run must carry a witness, not a bare Consistent")
+            }
         }
     }
 }

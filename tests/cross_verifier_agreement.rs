@@ -63,6 +63,7 @@ fn checked(history: &History, verdict: &Verdict, k: u64, who: &str) -> bool {
         }
         Verdict::NotKAtomic => false,
         Verdict::Inconclusive => panic!("{who} must be decisive here"),
+        Verdict::Consistent => panic!("{who} must carry a witness, not a bare Consistent"),
     }
 }
 

@@ -8,7 +8,7 @@
 //! decoder stays in the tree as the executable specification the fast
 //! path is judged against.
 
-use k_atomicity::history::frame::{FrameReader, FrameWriter, FRAME_LEN};
+use k_atomicity::history::frame::{FrameReader, FrameWriter, FRAME_LEN, FRAME_LEN_V2};
 use k_atomicity::history::fxhash::Fingerprint;
 use k_atomicity::history::ndjson::{self, NdjsonError, StreamRecord};
 use k_atomicity::history::{OpKind, Time, Value, Weight};
@@ -21,15 +21,16 @@ fn record_strategy() -> impl Strategy<Value = StreamRecord> {
         any::<u64>(),
         any::<u64>(),
         0u64..1_000,
-        any::<u32>(),
+        (any::<u32>(), 0u64..4),
     )
-        .prop_map(|(key, is_write, value, start, len, weight)| StreamRecord {
+        .prop_map(|(key, is_write, value, start, len, (weight, client))| StreamRecord {
             key,
             kind: if is_write { OpKind::Write } else { OpKind::Read },
             value: Value(value),
             start: Time(start),
             finish: Time(start.saturating_add(len)),
             weight: Weight(weight),
+            client,
         })
 }
 
@@ -61,6 +62,11 @@ fn render_line(
     }
     if !(drop_defaults && record.weight == Weight::UNIT) {
         fields.push(format!("\"weight\":{}", record.weight.0));
+    }
+    // `client` is #[serde(default)] too: omitting it must decode as 0
+    // (the untagged sentinel).
+    if !(drop_defaults && record.client == 0) {
+        fields.push(format!("\"client\":{}", record.client));
     }
     if let Some(extra) = unknown {
         fields.push(extra.to_owned());
@@ -263,7 +269,12 @@ proptest! {
         records in prop::collection::vec(record_strategy(), 0..12),
         cut in 0usize..=FRAME_LEN,
     ) {
-        let mut writer = FrameWriter::new(Vec::new());
+        // Session-tagged records need the v2 layout (the v1 writer
+        // rejects tags by contract), mirroring the CLI's auto-selection.
+        let v2 = records.iter().any(|r| r.client != 0);
+        let frame_len = if v2 { FRAME_LEN_V2 } else { FRAME_LEN };
+        let mut writer =
+            if v2 { FrameWriter::new_v2(Vec::new()) } else { FrameWriter::new(Vec::new()) };
         for record in &records {
             writer.write_record(record).unwrap();
         }
@@ -278,7 +289,7 @@ proptest! {
         // Chop mid-frame (cut == FRAME_LEN appends nothing): every full
         // frame still decodes, then the partial frame errors with its
         // 1-based frame number.
-        let extra: Vec<u8> = vec![0xABu8; cut % FRAME_LEN];
+        let extra: Vec<u8> = vec![0xABu8; cut % frame_len];
         bytes.extend_from_slice(&extra);
         let mut reader =
             FrameReader::with_fingerprint(&bytes, Fingerprint::new()).unwrap();

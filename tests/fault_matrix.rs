@@ -28,8 +28,8 @@ use k_atomicity::history::ndjson::StreamRecord;
 use k_atomicity::history::repair;
 use k_atomicity::sim::{scenario, scenario_matrix, ExpectedClass, ScenarioRun};
 use k_atomicity::verify::{
-    smallest_k, GenK, PipelineConfig, PipelineOutput, PipelineSnapshot, Staleness,
-    StreamPipeline, Verdict, Verifier,
+    smallest_k, CausalVerifier, GenK, PipelineConfig, PipelineOutput, PipelineSnapshot,
+    RegularVerifier, Staleness, StreamPipeline, Verdict, Verifier,
 };
 
 /// Fixed seeds: the matrix must bite (and stay sound) on every one of
@@ -161,6 +161,10 @@ fn offline_genk_grid_agrees_with_ground_truth() {
                                      true staleness {true_k}"
                                 ),
                                 Verdict::Inconclusive => {} // UNKNOWN is always sound
+                                Verdict::Consistent => panic!(
+                                    "{name} seed {seed} key {key}: k-atomic verifiers \
+                                     must carry a witness, not a bare Consistent"
+                                ),
                             }
                         }
                     }
@@ -309,6 +313,109 @@ fn verdicts_survive_kill_and_resume_at_any_cut() {
             }
         }
     }
+}
+
+/// Model rows of the matrix: the pluggable regular and causal verifiers
+/// driven through the same streaming pipeline over every fault class.
+/// The simulator session-tags every recorded operation with its issuing
+/// client, so the causal row exercises real session structure. The
+/// discipline is the k-atomic one, per model:
+///
+/// * wide single-segment windows must reproduce the offline model
+///   verdict exactly on clean records;
+/// * tight windows may degrade to UNKNOWN, but a NO on a clean record
+///   must match the offline model verdict, and a YES always needs a
+///   certified chain on undamaged evidence.
+#[test]
+fn model_stream_verdicts_are_sound_on_the_fault_matrix() {
+    // Each model's offline verdict on a clean per-key record.
+    fn offline<V: Verifier>(verifier: &V, run: &ScenarioRun, key: u64) -> Option<bool> {
+        let history = run
+            .output
+            .histories
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, raw)| raw.clone().into_history().expect("clean records validate"))
+            .expect("key exists");
+        verifier.verify(&history).decided()
+    }
+
+    fn check_model<V: Verifier + Copy + Send + 'static>(
+        verifier: V,
+        model: &str,
+    ) -> (usize, usize) {
+        // Window beyond any per-key history (streamed ≡ offline), then
+        // small windows with a tight horizon (degradation pressure).
+        let wide = PipelineConfig { shards: 2, window: 256, ..Default::default() };
+        let tight =
+            PipelineConfig { shards: 3, window: 16, horizon: Some(16), ..Default::default() };
+        let (mut decided, mut refused) = (0usize, 0usize);
+        for &seed in SEEDS {
+            for (run, truths) in matrix(seed) {
+                let name = &run.manifest.name;
+                for config in [wide, tight] {
+                    let single_segment = config.window >= 256;
+                    let mut pipeline = StreamPipeline::new(verifier, config);
+                    push_all(&mut pipeline, &run.records);
+                    let output = pipeline.finish();
+                    for (key, report) in &output.keys {
+                        let clean = truth_of(&truths, *key) != Truth::Damaged;
+                        match report.k_atomic() {
+                            Some(true) => {
+                                decided += 1;
+                                assert_eq!(
+                                    (report.horizon_breaches, report.orphaned_reads),
+                                    (0, 0),
+                                    "{name} seed {seed} key {key}: {model} YES \
+                                     without a certified chain"
+                                );
+                                assert!(
+                                    clean,
+                                    "{name} seed {seed} key {key}: {model} YES \
+                                     certified from anomalous evidence"
+                                );
+                                assert_ne!(
+                                    offline(&verifier, &run, *key),
+                                    Some(false),
+                                    "{name} seed {seed} key {key}: unsound {model} \
+                                     stream YES"
+                                );
+                            }
+                            Some(false) => {
+                                decided += 1;
+                                refused += 1;
+                                if clean {
+                                    assert_eq!(
+                                        offline(&verifier, &run, *key),
+                                        Some(false),
+                                        "{name} seed {seed} key {key}: unsound \
+                                         {model} stream NO"
+                                    );
+                                }
+                            }
+                            None => {}
+                        }
+                        if single_segment && clean {
+                            assert_eq!(
+                                report.k_atomic(),
+                                offline(&verifier, &run, *key),
+                                "{name} seed {seed} key {key}: single-segment \
+                                 {model} verdict diverged from offline"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        (decided, refused)
+    }
+
+    let (regular_decided, _) = check_model(RegularVerifier, "regular");
+    let (causal_decided, _) = check_model(CausalVerifier::new(), "causal");
+    // Non-vacuity: both rows must actually decide something on the
+    // fixed seeds, or the assertions above are dead code.
+    assert!(regular_decided > 0, "regular row never decided on seeds {SEEDS:?}");
+    assert!(causal_decided > 0, "causal row never decided on seeds {SEEDS:?}");
 }
 
 /// The clean control is the YES side of the matrix: strict quorums with no

@@ -16,8 +16,8 @@ use k_atomicity::history::frame::{FrameReader, FrameWriter};
 use k_atomicity::history::ndjson::{self, StreamRecord};
 use k_atomicity::verify::{
     worker_loop, FleetConfig, FleetCoordinator, FleetSummary, Fzf, GenK, GkOneAv, KeyError,
-    KeyReport, PipelineConfig, PipelineOutput, PipelineSnapshot, StreamPipeline, Verifier,
-    WorkerLink,
+    KeyReport, ModelId, PipelineConfig, PipelineOutput, PipelineSnapshot, StreamPipeline,
+    Verifier, WorkerLink,
 };
 use k_atomicity::workloads::{streaming_workload, StreamingWorkloadConfig};
 use proptest::prelude::*;
@@ -52,6 +52,7 @@ fn spawn_workers<V: Verifier + Clone + Send + 'static>(
 fn fleet_config<V: Verifier>(verifier: &V, window: usize) -> FleetConfig {
     FleetConfig {
         algo: verifier.name().to_owned(),
+        model: ModelId::KAtomic,
         k: verifier.k(),
         window,
         horizon: None,

@@ -13,7 +13,7 @@ use k_atomicity::verify::protocol::{
     SnapshotReply, COORDINATOR_MAGIC, WORKER_MAGIC,
 };
 use k_atomicity::verify::{
-    worker_loop, FleetConfig, FleetCoordinator, Fzf, PipelineConfig, ProtocolError,
+    worker_loop, FleetConfig, FleetCoordinator, Fzf, ModelId, PipelineConfig, ProtocolError,
     StreamPipeline, WorkerLink,
 };
 use std::io::{Read, Write};
@@ -47,6 +47,7 @@ fn assign(driver: &mut UnixStream, range: KeyRange) {
     let assignment = Assignment {
         range,
         algo: "fzf".to_owned(),
+        model: ModelId::KAtomic,
         k: 2,
         window: 8,
         horizon: None,
@@ -175,6 +176,7 @@ fn worker_rejects_a_mismatched_verifier() {
     let assignment = Assignment {
         range: KeyRange::ALL,
         algo: "genk".to_owned(), // the worker runs fzf
+        model: ModelId::KAtomic,
         k: 2,
         window: 8,
         horizon: None,
@@ -273,6 +275,7 @@ fn scripted_worker(
 fn fleet_config() -> FleetConfig {
     FleetConfig {
         algo: "fzf".to_owned(),
+        model: ModelId::KAtomic,
         k: 2,
         window: 8,
         horizon: None,

@@ -41,13 +41,13 @@ proptest! {
     #[test]
     fn json_roundtrip_is_lossless(
         ops in prop::collection::vec(
-            (any::<bool>(), 0u64..50, 0u64..1000, 1u64..100, 1u32..9),
+            (any::<bool>(), 0u64..50, 0u64..1000, 1u64..100, 1u32..9, 0u64..4),
             0..40,
         )
     ) {
         let raw: RawHistory = ops
             .into_iter()
-            .map(|(is_read, value, start, len, weight)| Operation {
+            .map(|(is_read, value, start, len, weight, client)| Operation {
                 kind: if is_read {
                     k_atomicity::history::OpKind::Read
                 } else {
@@ -57,6 +57,7 @@ proptest! {
                 start: Time(start),
                 finish: Time(start + len),
                 weight: Weight(weight),
+                client,
             })
             .collect();
         let roundtripped = json::from_json_str(&json::to_json_string(&raw)).unwrap();

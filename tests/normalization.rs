@@ -102,6 +102,11 @@ proptest! {
                 Verdict::Inconclusive => {
                     return Err(TestCaseError::fail("oracle must be decisive"))
                 }
+                Verdict::Consistent => {
+                    return Err(TestCaseError::fail(
+                        "k-atomic oracle must carry a witness, not a bare Consistent",
+                    ))
+                }
             };
             prop_assert_eq!(
                 pipeline,

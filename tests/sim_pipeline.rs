@@ -38,6 +38,7 @@ fn simulate_serialize_verify_roundtrip() {
             Verdict::KAtomic { witness } => check_witness(&h, &witness, 2).unwrap(),
             Verdict::NotKAtomic => panic!("strict quorums should stay 2-atomic"),
             Verdict::Inconclusive => unreachable!(),
+            Verdict::Consistent => unreachable!("k-atomic verdicts carry witnesses"),
         }
         assert_eq!(
             Lbt::new().verify(&h).is_k_atomic(),

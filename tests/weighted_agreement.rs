@@ -108,6 +108,11 @@ proptest! {
             k_atomicity::verify::Verdict::Inconclusive => {
                 return Err(TestCaseError::fail("unbounded search was inconclusive"))
             }
+            k_atomicity::verify::Verdict::Consistent => {
+                return Err(TestCaseError::fail(
+                    "k-WAV oracle must carry a witness, not a bare Consistent",
+                ))
+            }
         }
     }
 

@@ -7,11 +7,13 @@
 //! * tuple ("newtype") structs — serialized transparently as their inner
 //!   value, matching both `#[serde(transparent)]` and serde's default
 //!   newtype behaviour;
-//! * structs with named fields, honouring `#[serde(default)]` per field
-//!   (and `Option<T>` fields are implicitly optional, as in real serde);
+//! * structs with named fields, honouring `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]` per field (and `Option<T>`
+//!   fields are implicitly optional, as in real serde);
 //! * enums with unit, one-element tuple, and named-field variants, in
 //!   serde's externally-tagged representation, honouring
-//!   `#[serde(rename_all = "snake_case")]`.
+//!   `#[serde(rename_all = "snake_case")]` and per-variant
+//!   `#[serde(rename = "...")]`.
 //!
 //! Generics, lifetimes and other serde attributes are rejected with a
 //! compile-time panic naming the construct.
@@ -52,10 +54,14 @@ enum Data {
 struct Field {
     name: String,
     has_default: bool,
+    /// Predicate path from `#[serde(skip_serializing_if = "path")]`.
+    skip_if: Option<String>,
 }
 
 struct Variant {
     name: String,
+    /// Wire tag from `#[serde(rename = "...")]`, overriding `rename_all`.
+    rename: Option<String>,
     data: VariantData,
 }
 
@@ -69,6 +75,8 @@ enum VariantData {
 struct SerdeAttrs {
     rename_all_snake: bool,
     has_default: bool,
+    skip_if: Option<String>,
+    rename: Option<String>,
 }
 
 // ---------------------------------------------------------------------------
@@ -159,11 +167,34 @@ fn apply_serde_args(args: TokenStream, attrs: &mut SerdeAttrs) {
                     attrs.rename_all_snake = true;
                     i += 3;
                 }
+                "rename" => {
+                    attrs.rename = Some(string_arg("rename", items.get(i + 2)));
+                    i += 3;
+                }
+                "skip_serializing_if" => {
+                    attrs.skip_if =
+                        Some(string_arg("skip_serializing_if", items.get(i + 2)));
+                    i += 3;
+                }
                 other => panic!("serde stand-in: unsupported serde attribute `{other}`"),
             },
             TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
             other => panic!("serde stand-in: unexpected token in #[serde(...)]: {other}"),
         }
+    }
+}
+
+/// Extracts the string content of a `name = "value"` serde argument.
+fn string_arg(name: &str, token: Option<&TokenTree>) -> String {
+    match token {
+        Some(TokenTree::Literal(lit)) => {
+            let text = lit.to_string();
+            match text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+                Some(inner) => inner.to_string(),
+                None => panic!("serde stand-in: malformed {name}: {text}"),
+            }
+        }
+        other => panic!("serde stand-in: malformed {name}: {other:?}"),
     }
 }
 
@@ -244,7 +275,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             pos += 1;
         }
-        fields.push(Field { name, has_default: attrs.has_default });
+        fields.push(Field { name, has_default: attrs.has_default, skip_if: attrs.skip_if });
     }
     fields
 }
@@ -254,7 +285,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut pos = 0;
     while pos < tokens.len() {
-        parse_attrs(&tokens, &mut pos);
+        let attrs = parse_attrs(&tokens, &mut pos);
         let name = expect_ident(&tokens, &mut pos);
         let data = match tokens.get(pos) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
@@ -270,7 +301,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
         if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             pos += 1;
         }
-        variants.push(Variant { name, data });
+        variants.push(Variant { name, rename: attrs.rename, data });
     }
     variants
 }
@@ -310,10 +341,17 @@ fn gen_serialize(c: &Container) -> String {
             );
             for f in fields {
                 let key = rename(&f.name, c.rename_all_snake);
-                out.push_str(&format!(
+                let push = format!(
                     "__entries.push((::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value(&self.{})));\n",
                     f.name
-                ));
+                );
+                match &f.skip_if {
+                    Some(path) => out.push_str(&format!(
+                        "if !{path}(&self.{}) {{\n{push}}}\n",
+                        f.name
+                    )),
+                    None => out.push_str(&push),
+                }
             }
             out.push_str("::serde::Value::Object(__entries)");
             out
@@ -321,7 +359,8 @@ fn gen_serialize(c: &Container) -> String {
         Data::Enum(variants) => {
             let mut arms = String::new();
             for v in variants {
-                let tag = rename(&v.name, c.rename_all_snake);
+                let tag =
+                    v.rename.clone().unwrap_or_else(|| rename(&v.name, c.rename_all_snake));
                 match &v.data {
                     VariantData::Unit => arms.push_str(&format!(
                         "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{tag}\")),\n",
@@ -412,7 +451,8 @@ fn gen_deserialize(c: &Container) -> String {
             let mut unit_arms = String::new();
             let mut data_arms = String::new();
             for v in variants {
-                let tag = rename(&v.name, c.rename_all_snake);
+                let tag =
+                    v.rename.clone().unwrap_or_else(|| rename(&v.name, c.rename_all_snake));
                 match &v.data {
                     VariantData::Unit => unit_arms.push_str(&format!(
                         "\"{tag}\" => ::std::result::Result::Ok({name}::{v}),\n",
